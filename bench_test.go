@@ -1,0 +1,402 @@
+// Package aladdin_test holds the repository-level benchmark harness:
+// one benchmark per table/figure of the paper (regenerating the same
+// series at a reduced scale suitable for `go test -bench`) plus
+// micro-benchmarks of the core machinery.  Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper-scale runs live behind `cmd/experiments -scale full`.
+package aladdin_test
+
+import (
+	"io"
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/experiments"
+	"aladdin/internal/firmament"
+	"aladdin/internal/flow"
+	"aladdin/internal/gokube"
+	"aladdin/internal/medea"
+	"aladdin/internal/sched"
+	"aladdin/internal/sim"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// benchScale is small enough to iterate under `go test -bench` but
+// keeps the trace's constraint structure intact.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:         "bench",
+		TraceFactor:  200,
+		Machines:     192,
+		MachineSweep: []int{64, 192},
+		Seed:         42,
+	}
+}
+
+func benchWorkload(b *testing.B) *workload.Workload {
+	b.Helper()
+	return trace.MustGenerate(trace.Scaled(42, 200))
+}
+
+func runSched(b *testing.B, s sched.Scheduler, w *workload.Workload, machines int, order workload.ArrivalOrder) sim.Metrics {
+	b.Helper()
+	m, err := sim.Run(sim.Config{Scheduler: s, Workload: w, Machines: machines, Order: order})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFig8WorkloadGen regenerates the Fig. 8 workload-features
+// data (trace synthesis + statistics + CDF).
+func BenchmarkFig8WorkloadGen(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(s)
+		if r.Stats.Apps == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+// BenchmarkFig9PlacementQuality regenerates one Fig. 9 panel: the six
+// schedulers of panel (d) on the shared trace.
+func BenchmarkFig9PlacementQuality(b *testing.B) {
+	w := benchWorkload(b)
+	schedulers := []sched.Scheduler{
+		gokube.NewDefault(),
+		firmament.New(firmament.Options{Model: firmament.Trivial, Reschd: 8}),
+		firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: 8}),
+		firmament.New(firmament.Options{Model: firmament.Octopus, Reschd: 8}),
+		medea.New(medea.Options{Weights: medea.Weights{A: 1, B: 0.5, C: 0.5}}),
+		core.NewDefault(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range schedulers {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	}
+}
+
+// BenchmarkFig10MachinesUsed regenerates the Fig. 10 capacity search
+// for Aladdin on one arrival order.
+func BenchmarkFig10MachinesUsed(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig11Utilization reads the utilisation ranges from a
+// single Aladdin run (Fig. 11 is derived from the Fig. 10 runs; this
+// isolates the per-run measurement cost).
+func BenchmarkFig11Utilization(b *testing.B) {
+	w := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		m := runSched(b, core.NewDefault(), w, 192, workload.OrderSubmission)
+		if m.Utilization.Max == 0 {
+			b.Fatal("empty utilisation")
+		}
+	}
+}
+
+// BenchmarkFig12Latency regenerates the placement-latency curves
+// (the three Aladdin policies and the three baselines, two cluster
+// sizes).
+func BenchmarkFig12Latency(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig13aOverhead regenerates the Aladdin overhead-scaling
+// series across the four arrival orders.
+func BenchmarkFig13aOverhead(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig13bMigrations isolates the migration-heavy case of
+// Fig. 13(b): CSA order (least-constrained containers first), which
+// forces the most migrations.
+func BenchmarkFig13bMigrations(b *testing.B) {
+	w := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		runSched(b, core.NewDefault(), w, 192, workload.OrderCSA)
+	}
+}
+
+// BenchmarkAblationILDL compares the plain Aladdin search with the
+// IL+DL-optimised one (the §IV.A claim: the optimisations halve
+// placement latency).
+func BenchmarkAblationILDL(b *testing.B) {
+	w := benchWorkload(b)
+	plain := core.DefaultOptions()
+	plain.IsomorphismLimiting = false
+	plain.DepthLimiting = false
+	b.Run("plain", func(b *testing.B) {
+		s := core.New(plain)
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	})
+	b.Run("IL", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.DepthLimiting = false
+		s := core.New(opts)
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	})
+	b.Run("IL+DL", func(b *testing.B) {
+		s := core.NewDefault()
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	})
+}
+
+// BenchmarkAblationWeights compares the weighted-flow preemption rule
+// against the raw-flow ablation (§III.B / Fig. 3a).
+func BenchmarkAblationWeights(b *testing.B) {
+	w := benchWorkload(b)
+	b.Run("weighted", func(b *testing.B) {
+		s := core.NewDefault()
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderCLP)
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.DisableWeights = true
+		s := core.New(opts)
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderCLP)
+		}
+	})
+}
+
+// BenchmarkAladdinPerContainer measures the core scheduler's
+// per-container placement cost on a mid-sized trace.
+func BenchmarkAladdinPerContainer(b *testing.B) {
+	w := trace.MustGenerate(trace.Scaled(42, 50)) // ~2000 containers
+	s := core.NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := runSched(b, s, w, 384, workload.OrderSubmission)
+		b.ReportMetric(float64(m.Latency.Nanoseconds()), "ns/container")
+	}
+}
+
+// BenchmarkMaxFlow measures the Edmonds-Karp substrate on a layered
+// network.
+func BenchmarkMaxFlow(b *testing.B) {
+	build := func() (*flow.Graph, flow.NodeID, flow.NodeID) {
+		const layers, width = 8, 32
+		n := 2 + layers*width
+		g := flow.NewGraph(n)
+		s, t := flow.NodeID(0), flow.NodeID(n-1)
+		node := func(l, w int) flow.NodeID { return flow.NodeID(1 + l*width + w) }
+		for w := 0; w < width; w++ {
+			g.MustAddArc(s, node(0, w), 10, 0)
+			g.MustAddArc(node(layers-1, w), t, 10, 0)
+		}
+		for l := 0; l+1 < layers; l++ {
+			for a := 0; a < width; a++ {
+				g.MustAddArc(node(l, a), node(l+1, a), 10, 1)
+				g.MustAddArc(node(l, a), node(l+1, (a+1)%width), 5, 2)
+			}
+		}
+		return g, s, t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, s, t := build()
+		if _, err := flow.MaxFlow(g, s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverAblation compares the two max-flow solvers on the
+// same layered networks — the solver-choice ablation (Edmonds-Karp is
+// what SPFA-family schedulers use; Dinic is the asymptotically
+// stronger alternative).
+func BenchmarkSolverAblation(b *testing.B) {
+	build := func() (*flow.Graph, flow.NodeID, flow.NodeID) {
+		const layers, width = 6, 48
+		n := 2 + layers*width
+		g := flow.NewGraph(n)
+		s, t := flow.NodeID(0), flow.NodeID(n-1)
+		node := func(l, w int) flow.NodeID { return flow.NodeID(1 + l*width + w) }
+		for w := 0; w < width; w++ {
+			g.MustAddArc(s, node(0, w), 7, 0)
+			g.MustAddArc(node(layers-1, w), t, 7, 0)
+		}
+		for l := 0; l+1 < layers; l++ {
+			for a := 0; a < width; a++ {
+				g.MustAddArc(node(l, a), node(l+1, a), 7, 0)
+				g.MustAddArc(node(l, a), node(l+1, (a+3)%width), 4, 0)
+			}
+		}
+		return g, s, t
+	}
+	b.Run("edmonds-karp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := build()
+			if _, err := flow.MaxFlow(g, s, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dinic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := build()
+			if _, err := flow.Dinic(g, s, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMinCostMaxFlow measures the SPFA-based min-cost solver the
+// Firmament baseline runs per chunk.
+func BenchmarkMinCostMaxFlow(b *testing.B) {
+	build := func() (*flow.Graph, flow.NodeID, flow.NodeID) {
+		const tasks, machines = 128, 64
+		g := flow.NewGraph(2 + tasks + machines)
+		s, t := flow.NodeID(0), flow.NodeID(1)
+		for ti := 0; ti < tasks; ti++ {
+			tn := flow.NodeID(2 + ti)
+			g.MustAddArc(s, tn, 1, 0)
+			for k := 0; k < 4; k++ {
+				mn := flow.NodeID(2 + tasks + (ti*7+k*13)%machines)
+				g.MustAddArc(tn, mn, 1, int64((ti+k)%10))
+			}
+		}
+		for mi := 0; mi < machines; mi++ {
+			g.MustAddArc(flow.NodeID(2+tasks+mi), t, 4, 0)
+		}
+		return g, s, t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, s, t := build()
+		if _, _, err := flow.MinCostMaxFlow(g, s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCMFSolvers compares the SPFA and Dijkstra-with-potentials
+// min-cost solvers on the Firmament chunk shape.
+func BenchmarkMCMFSolvers(b *testing.B) {
+	build := func() (*flow.Graph, flow.NodeID, flow.NodeID) {
+		const tasks, machines = 256, 96
+		g := flow.NewGraph(2 + tasks + machines)
+		s, t := flow.NodeID(0), flow.NodeID(1)
+		for ti := 0; ti < tasks; ti++ {
+			tn := flow.NodeID(2 + ti)
+			g.MustAddArc(s, tn, 1, 0)
+			for k := 0; k < 4; k++ {
+				mn := flow.NodeID(2 + tasks + (ti*11+k*17)%machines)
+				g.MustAddArc(tn, mn, 1, int64((ti*3+k)%50))
+			}
+		}
+		for mi := 0; mi < machines; mi++ {
+			g.MustAddArc(flow.NodeID(2+tasks+mi), t, 4, 0)
+		}
+		return g, s, t
+	}
+	b.Run("spfa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := build()
+			if _, _, err := flow.MinCostMaxFlow(g, s, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := build()
+			if _, _, err := flow.MinCostMaxFlowDijkstra(g, s, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFirmamentSolvers compares the end-to-end Firmament run
+// under both solvers.
+func BenchmarkFirmamentSolvers(b *testing.B) {
+	w := benchWorkload(b)
+	b.Run("spfa", func(b *testing.B) {
+		s := firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: 4})
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	})
+	b.Run("dijkstra", func(b *testing.B) {
+		s := firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: 4, UseDijkstraSolver: true})
+		for i := 0; i < b.N; i++ {
+			runSched(b, s, w, 192, workload.OrderSubmission)
+		}
+	})
+}
+
+// BenchmarkTraceGenerate measures synthetic trace generation at the
+// paper's 1:10 scale.
+func BenchmarkTraceGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := trace.MustGenerate(trace.Scaled(int64(i), 10))
+		if w.NumContainers() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTraceRoundTrip measures trace serialisation.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	w := trace.MustGenerate(trace.Scaled(42, 50))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			err := trace.Write(pw, w)
+			pw.Close()
+			done <- err
+		}()
+		if _, err := trace.Read(pr); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command aladdin-server runs a live Aladdin scheduling session over
+// HTTP: submit batches with POST /place, remove departures with POST
+// /remove, inspect /assignments, /metrics, /healthz and
+// /explain?container=<id>.
+//
+// Usage:
+//
+//	aladdin-server -factor 100 -machines 256 -addr :8080
+//	curl -XPOST localhost:8080/place -d '{"containers":["app-00001/0"]}'
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"aladdin/internal/core"
+	"aladdin/internal/server"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		factor    = flag.Int("factor", 100, "synthetic trace scale divisor (the workload universe)")
+		seed      = flag.Int64("seed", 42, "synthetic trace seed")
+		traceFile = flag.String("trace", "", "JSON-lines trace file (overrides -factor)")
+		machines  = flag.Int("machines", 256, "cluster size")
+		wbase     = flag.Int64("wbase", 16, "Aladdin priority weight base")
+		placeAll  = flag.Bool("place-all", false, "schedule the whole workload at startup")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		w, err = trace.Read(f)
+		f.Close()
+	} else {
+		w, err = trace.Generate(trace.Scaled(*seed, *factor))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster := topology.New(topology.AlibabaConfig(*machines))
+	opts := core.DefaultOptions()
+	opts.WeightBase = *wbase
+	session := core.NewSession(opts, w, cluster)
+
+	if *placeAll {
+		res, err := session.Place(w.Arrange(workload.OrderInterleaved))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("startup placement: %d/%d deployed, %d migrations\n",
+			res.Deployed(), res.Total, res.Migrations)
+	}
+
+	srv := server.New(session, w, cluster)
+	fmt.Printf("aladdin-server: %d apps / %d containers, %d machines, listening on %s\n",
+		len(w.Apps()), w.NumContainers(), *machines, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

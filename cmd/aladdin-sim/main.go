@@ -1,0 +1,187 @@
+// Command aladdin-sim runs one scheduler over one workload on one
+// cluster and reports the paper's metrics: undeployed containers,
+// constraint violations, machines used, utilisation range, latency,
+// migrations and preemptions.
+//
+// Usage:
+//
+//	aladdin-sim -scheduler aladdin -machines 1024 -factor 10
+//	aladdin-sim -scheduler firmament-quincy -reschd 8 -trace trace.jsonl -machines 1024
+//	aladdin-sim -scheduler medea -weights 1,1,0 -machines 1024 -order CLA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/firmament"
+	"aladdin/internal/gokube"
+	"aladdin/internal/medea"
+	"aladdin/internal/sched"
+	"aladdin/internal/sim"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("scheduler", "aladdin", "aladdin | gokube | medea | firmament-trivial | firmament-quincy | firmament-octopus")
+		machines  = flag.Int("machines", 1024, "cluster size (homogeneous 32c/64GB machines)")
+		factor    = flag.Int("factor", 10, "synthetic trace scale divisor (ignored with -trace)")
+		seed      = flag.Int64("seed", 42, "synthetic trace seed")
+		traceFile = flag.String("trace", "", "JSON-lines trace file (overrides -factor)")
+		orderName = flag.String("order", "submission", "arrival order: submission | CHP | CLP | CLA | CSA")
+		reschd    = flag.Int("reschd", 8, "Firmament reschd(i) parameter")
+		weightsCS = flag.String("weights", "1,1,0", "Medea weights a,b,c")
+		wbase     = flag.Int64("wbase", 16, "Aladdin priority weight base (16/32/64/128)")
+		noIL      = flag.Bool("no-il", false, "disable Aladdin isomorphism limiting")
+		noDL      = flag.Bool("no-dl", false, "disable Aladdin depth limiting")
+		explain   = flag.Int("explain", 0, "diagnose up to N undeployed containers after the run")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*traceFile, *seed, *factor)
+	if err != nil {
+		fatal(err)
+	}
+	order, err := parseOrder(*orderName)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := buildScheduler(*schedName, *reschd, *weightsCS, *wbase, *noIL, *noDL)
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := sim.Run(sim.Config{
+		Scheduler: s,
+		Workload:  w,
+		Machines:  *machines,
+		Order:     order,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scheduler:       %s\n", m.Scheduler)
+	fmt.Printf("order:           %s\n", m.Order)
+	fmt.Printf("cluster:         %d machines\n", m.Machines)
+	fmt.Printf("containers:      %d (deployed %d, undeployed %d = %.1f%%)\n",
+		m.Total, m.Deployed, m.Total-m.Deployed, m.UndeployedFraction*100)
+	fmt.Printf("violations:      %d within, %d across, %d inversions\n",
+		m.ViolationsWithin, m.ViolationsAcross, m.Inversions)
+	fmt.Printf("machines used:   %d\n", m.UsedMachines)
+	fmt.Printf("utilisation:     %s\n", m.Utilization)
+	fmt.Printf("latency:         %v/container (total %v)\n",
+		m.Latency.Round(time.Microsecond), m.Elapsed.Round(time.Millisecond))
+	fmt.Printf("migrations:      %d\n", m.Migrations)
+	fmt.Printf("preemptions:     %d\n", m.Preemptions)
+
+	if *explain > 0 && m.Deployed < m.Total {
+		// Re-run deterministically to obtain the live cluster state,
+		// then diagnose stranded containers.
+		cluster := topology.New(topology.AlibabaConfig(*machines))
+		res, err := s.Schedule(w, cluster, w.Arrange(order))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ndiagnosis of undeployed containers (first %d):\n", *explain)
+		for i, id := range res.Undeployed {
+			if i >= *explain {
+				break
+			}
+			e, err := core.Explain(w, cluster, res.Assignment, id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+func loadWorkload(path string, seed int64, factor int) (*workload.Workload, error) {
+	if path == "" {
+		return trace.Generate(trace.Scaled(seed, factor))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func parseOrder(name string) (workload.ArrivalOrder, error) {
+	switch strings.ToUpper(name) {
+	case "SUBMISSION":
+		return workload.OrderSubmission, nil
+	case "CHP":
+		return workload.OrderCHP, nil
+	case "CLP":
+		return workload.OrderCLP, nil
+	case "CLA":
+		return workload.OrderCLA, nil
+	case "CSA":
+		return workload.OrderCSA, nil
+	default:
+		return 0, fmt.Errorf("unknown order %q", name)
+	}
+}
+
+func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noIL, noDL bool) (sched.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "aladdin":
+		opts := core.DefaultOptions()
+		opts.WeightBase = wbase
+		opts.IsomorphismLimiting = !noIL
+		opts.DepthLimiting = !noDL
+		return core.New(opts), nil
+	case "gokube":
+		return gokube.NewDefault(), nil
+	case "medea":
+		ws, err := parseWeights(weightsCSV)
+		if err != nil {
+			return nil, err
+		}
+		return medea.New(medea.Options{Weights: ws}), nil
+	case "firmament-trivial":
+		return firmament.New(firmament.Options{Model: firmament.Trivial, Reschd: reschd}), nil
+	case "firmament-quincy":
+		return firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: reschd}), nil
+	case "firmament-octopus":
+		return firmament.New(firmament.Options{Model: firmament.Octopus, Reschd: reschd}), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func parseWeights(csv string) (medea.Weights, error) {
+	parts := strings.Split(csv, ",")
+	if len(parts) != 3 {
+		return medea.Weights{}, fmt.Errorf("weights must be a,b,c, got %q", csv)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return medea.Weights{}, fmt.Errorf("weights: %w", err)
+		}
+		vals[i] = v
+	}
+	w := medea.Weights{A: vals[0], B: vals[1], C: vals[2]}
+	if err := w.Validate(); err != nil {
+		return medea.Weights{}, err
+	}
+	return w, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aladdin-sim:", err)
+	os.Exit(1)
+}

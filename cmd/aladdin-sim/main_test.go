@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func TestParseOrder(t *testing.T) {
+	cases := map[string]workload.ArrivalOrder{
+		"submission": workload.OrderSubmission,
+		"SUBMISSION": workload.OrderSubmission,
+		"chp":        workload.OrderCHP,
+		"CLP":        workload.OrderCLP,
+		"cla":        workload.OrderCLA,
+		"CSA":        workload.OrderCSA,
+	}
+	for in, want := range cases {
+		got, err := parseOrder(in)
+		if err != nil || got != want {
+			t.Errorf("parseOrder(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseOrder("bogus"); err == nil {
+		t.Error("bogus order should fail")
+	}
+}
+
+func TestBuildScheduler(t *testing.T) {
+	names := map[string]string{
+		"aladdin":           "Aladdin(32)+IL+DL",
+		"gokube":            "Go-Kube",
+		"medea":             "Medea(1,1,0.5)",
+		"firmament-trivial": "Firmament-TRIVIAL(4)",
+		"firmament-quincy":  "Firmament-QUINCY(4)",
+		"firmament-octopus": "Firmament-OCTOPUS(4)",
+	}
+	for in, want := range names {
+		s, err := buildScheduler(in, 4, "1,1,0.5", 32, false, false)
+		if err != nil {
+			t.Fatalf("buildScheduler(%q): %v", in, err)
+		}
+		if s.Name() != want {
+			t.Errorf("buildScheduler(%q).Name() = %q, want %q", in, s.Name(), want)
+		}
+	}
+	if _, err := buildScheduler("bogus", 1, "1,1,1", 16, false, false); err == nil {
+		t.Error("bogus scheduler should fail")
+	}
+	// Aladdin variant flags.
+	s, err := buildScheduler("aladdin", 1, "1,1,1", 64, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Aladdin(64)" {
+		t.Errorf("flags not applied: %q", s.Name())
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("1, 0.5, 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.A != 1 || w.B != 0.5 || w.C != 0 {
+		t.Errorf("weights = %+v", w)
+	}
+	for _, bad := range []string{"1,2", "a,b,c", "2,0,0", "1,1,1,1"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLoadWorkload(t *testing.T) {
+	// Synthetic path.
+	w, err := loadWorkload("", 42, 400)
+	if err != nil || w.NumContainers() == 0 {
+		t.Fatalf("synthetic load: %v", err)
+	}
+	// File path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, w); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := loadWorkload(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumContainers() != w.NumContainers() {
+		t.Errorf("file load container count %d != %d", back.NumContainers(), w.NumContainers())
+	}
+	if _, err := loadWorkload(filepath.Join(dir, "missing.jsonl"), 0, 0); err == nil {
+		t.Error("missing file should fail")
+	}
+}

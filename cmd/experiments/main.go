@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                         # all figures, medium scale
+//	experiments -scale small -fig 9     # one figure, small scale
+//	experiments -scale full -out results.txt
+//
+// Scales: small (~1k containers / 256 machines), medium (~10k / 1024),
+// full (the paper's ~100k / 10000 — expect minutes to hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aladdin/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "medium", "small | medium | full")
+		fig       = flag.String("fig", "all", "8 | 9 | 10 | 12 | 13 | ablation | hetero | scalability | all")
+		out       = flag.String("out", "", "output file (default stdout)")
+		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.Small()
+	case "medium":
+		scale = experiments.Medium()
+	case "full":
+		scale = experiments.Full()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	scale.Workers = *workers
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = io.MultiWriter(os.Stdout, f)
+	}
+
+	if err := run(scale, *fig, dst); err != nil {
+		fatal(err)
+	}
+}
+
+func run(scale experiments.Scale, fig string, w io.Writer) error {
+	switch fig {
+	case "all":
+		return experiments.RunAll(scale, w)
+	case "8":
+		writeTables(w, experiments.Fig8(scale))
+		return nil
+	case "9":
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "10", "11":
+		r, err := experiments.Fig10(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "12":
+		r, err := experiments.Fig12(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "13":
+		r, err := experiments.Fig13(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "ablation":
+		r, err := experiments.Ablation(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "hetero":
+		r, err := experiments.Hetero(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "scalability":
+		r, err := experiments.Scalability(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "dimensions":
+		r, err := experiments.Dimensions(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func writeTables(w io.Writer, src experiments.TableSource) {
+	for _, t := range src.Tables() {
+		fmt.Fprintln(w, t.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command flowdot schedules a (small) workload with Aladdin and emits
+// the resulting tiered flow network in Graphviz DOT format, flows
+// included — a live rendering of the paper's Fig. 4.
+//
+// Usage:
+//
+//	flowdot -factor 2000 -machines 6 | dot -Tsvg > network.svg
+//	flowdot -trace trace.jsonl -machines 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aladdin/internal/core"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	var (
+		factor    = flag.Int("factor", 2000, "synthetic trace scale divisor (keep large: DOT output grows fast)")
+		seed      = flag.Int64("seed", 42, "synthetic trace seed")
+		traceFile = flag.String("trace", "", "JSON-lines trace file (overrides -factor)")
+		machines  = flag.Int("machines", 8, "cluster size")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		w, err = trace.Read(f)
+		f.Close()
+	} else {
+		w, err = trace.Generate(trace.Scaled(*seed, *factor))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if w.NumContainers() > 500 {
+		fmt.Fprintf(os.Stderr, "flowdot: warning: %d containers will render a very large graph\n", w.NumContainers())
+	}
+
+	cluster := topology.New(topology.AlibabaConfig(*machines))
+	res, err := core.NewDefault().Schedule(w, cluster, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "flowdot: %s\n", res)
+	if err := core.ExportNetworkDOT(os.Stdout, w, cluster, res.Assignment); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowdot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command tracegen generates a synthetic Alibaba-shaped LLA workload
+// trace (JSON lines, one application per line) and prints its
+// statistics.
+//
+// Usage:
+//
+//	tracegen -factor 10 -seed 42 -out trace.jsonl
+//	tracegen -factor 10 -stats          # statistics only, no file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aladdin/internal/trace"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 42, "random seed")
+		factor    = flag.Int("factor", 10, "scale divisor of the full Alibaba trace (1 = full: 13,056 apps / ~100k containers)")
+		out       = flag.String("out", "", "output file (default stdout; ignored with -stats)")
+		statsOnly = flag.Bool("stats", false, "print workload statistics instead of the trace")
+	)
+	flag.Parse()
+
+	w, err := trace.Generate(trace.Scaled(*seed, *factor))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if *statsOnly {
+		st := w.ComputeStats()
+		fmt.Printf("applications:        %d\n", st.Apps)
+		fmt.Printf("containers:          %d\n", st.Containers)
+		fmt.Printf("single-instance:     %d (%.0f%%)\n", st.SingleInstanceApps, pct(st.SingleInstanceApps, st.Apps))
+		fmt.Printf("apps < 50 replicas:  %d (%.0f%%)\n", st.AppsUnder50, pct(st.AppsUnder50, st.Apps))
+		fmt.Printf("apps > 2000 replicas:%d\n", st.AppsOver2000)
+		fmt.Printf("anti-affinity apps:  %d (%.0f%%)\n", st.AntiAffinityApps, pct(st.AntiAffinityApps, st.Apps))
+		fmt.Printf("priority apps:       %d (%.0f%%)\n", st.PriorityApps, pct(st.PriorityApps, st.Apps))
+		fmt.Printf("max demand:          %s\n", st.MaxDemand)
+		fmt.Printf("total demand:        %s\n", st.TotalDemand)
+		return
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.Write(dst, w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d applications (%d containers) to %s\n",
+			len(w.Apps()), w.NumContainers(), *out)
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,75 @@
+// Comparison: run all five schedulers of the paper's Table I on the
+// same Alibaba-shaped trace and print a side-by-side summary — a
+// miniature of the Fig. 9/10 evaluation.
+//
+//	go run ./examples/comparison [-factor 100] [-machines 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/firmament"
+	"aladdin/internal/gokube"
+	"aladdin/internal/medea"
+	"aladdin/internal/sched"
+	"aladdin/internal/sim"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	factor := flag.Int("factor", 100, "trace scale divisor")
+	machines := flag.Int("machines", 256, "cluster size")
+	flag.Parse()
+
+	w, err := trace.Generate(trace.Scaled(42, *factor))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := w.ComputeStats()
+	fmt.Printf("workload: %d apps, %d containers (%d%% anti-affinity, %d%% priority)\n\n",
+		st.Apps, st.Containers,
+		100*st.AntiAffinityApps/st.Apps, 100*st.PriorityApps/st.Apps)
+
+	schedulers := []sched.Scheduler{
+		gokube.NewDefault(),
+		firmament.New(firmament.Options{Model: firmament.Trivial, Reschd: 8}),
+		firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: 8}),
+		firmament.New(firmament.Options{Model: firmament.Octopus, Reschd: 8}),
+		medea.New(medea.Options{Weights: medea.Weights{A: 1, B: 1, C: 0}}),
+		core.NewDefault(),
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheduler\tundeployed\tviolations\tmachines\tmean util\tlatency/container\tmigrations")
+	for _, s := range schedulers {
+		m, err := sim.Run(sim.Config{
+			Scheduler: s,
+			Workload:  w,
+			Machines:  *machines,
+			Order:     workload.OrderSubmission,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d (%.1f%%)\t%d\t%d\t%.0f%%\t%v\t%d\n",
+			m.Scheduler,
+			m.Total-m.Deployed, m.UndeployedFraction*100,
+			m.TotalViolations(),
+			m.UsedMachines,
+			m.Utilization.Mean*100,
+			m.Latency.Round(time.Microsecond),
+			m.Migrations)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAladdin should show zero undeployed and zero violations;")
+	fmt.Println("baselines trade violations for undeployed containers or machines.")
+}

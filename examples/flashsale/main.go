@@ -1,0 +1,86 @@
+// Flashsale: the 11.11 / Black Friday scenario from the paper's
+// introduction — an online service scales its capacity ~100× by
+// submitting a massive batch of long-lived containers at once, under
+// anti-affinity (replicas spread for fault tolerance; frontends keep
+// away from batch analytics) and priority (checkout preempts
+// analytics when the cluster runs hot).
+//
+//	go run ./examples/flashsale
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	cluster := topology.New(topology.Config{
+		Machines: 400,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+
+	// Steady state: a modest deployment.
+	baseline := []*workload.App{
+		{ID: "checkout", Demand: resource.Cores(4, 8192), Replicas: 4,
+			Priority: workload.PriorityHigh, AntiAffinitySelf: true,
+			AntiAffinityApps: []string{"analytics"}},
+		{ID: "frontend", Demand: resource.Cores(2, 4096), Replicas: 8,
+			Priority: workload.PriorityMid, AntiAffinitySelf: true},
+		{ID: "analytics", Demand: resource.Cores(8, 16384), Replicas: 20,
+			Priority: workload.PriorityLow},
+	}
+
+	// Flash sale: checkout and frontend scale ~50-100x, analytics
+	// keeps running.  Everything is submitted as one batch — the
+	// "massive LLAs arrive simultaneously" case Aladdin optimises.
+	sale := []*workload.App{
+		{ID: "checkout", Demand: resource.Cores(4, 8192), Replicas: 300,
+			Priority: workload.PriorityHigh, AntiAffinitySelf: true,
+			AntiAffinityApps: []string{"analytics"}},
+		{ID: "frontend", Demand: resource.Cores(2, 4096), Replicas: 400,
+			Priority: workload.PriorityMid, AntiAffinitySelf: false},
+		{ID: "analytics", Demand: resource.Cores(8, 16384), Replicas: 120,
+			Priority: workload.PriorityLow},
+	}
+
+	for _, scenario := range []struct {
+		name string
+		apps []*workload.App
+	}{
+		{"steady state", baseline},
+		{"flash sale (100x)", sale},
+	} {
+		w, err := workload.New(scenario.apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster.Reset()
+		start := time.Now()
+		res, err := core.NewDefault().Schedule(w, cluster, w.Arrange(workload.OrderSubmission))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, mean, hi := cluster.UtilizationRange()
+		fmt.Printf("== %s ==\n", scenario.name)
+		fmt.Printf("  containers:   %d (undeployed %d)\n", res.Total, len(res.Undeployed))
+		fmt.Printf("  violations:   %d\n", res.ViolationSummary().Total())
+		fmt.Printf("  machines:     %d/%d used\n", cluster.UsedMachines(), cluster.Size())
+		fmt.Printf("  utilisation:  %.0f%%..%.0f%% (mean %.0f%%)\n", lo*100, hi*100, mean*100)
+		fmt.Printf("  migrations:   %d, preemptions: %d\n", res.Migrations, res.Preemptions)
+		fmt.Printf("  latency:      %v total (%v/container)\n\n",
+			time.Since(start).Round(time.Millisecond), res.LatencyPerContainer().Round(time.Microsecond))
+
+		// The checkout tier must be fully spread: verify no machine
+		// hosts two checkout replicas and none co-locates with
+		// analytics.
+		if s := res.ViolationSummary(); s.Total() != 0 {
+			log.Fatalf("constraint violations in %s: %+v", scenario.name, s)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Heterogeneous: the paper's stated future work (§VII) — scheduling
+// onto a cluster of three machine generations.  The flow model needs
+// no change: machine capacities are per-machine vectors, so the same
+// Aladdin run packs big containers onto big machines and fills the
+// old generation with small ones.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	cluster, err := topology.NewHeterogeneous(topology.HeteroConfig{
+		Classes: []topology.MachineClass{
+			{Name: "gen3", Count: 4, Capacity: resource.Cores(64, 128*1024)},
+			{Name: "gen2", Count: 12, Capacity: resource.Cores(32, 64*1024)},
+			{Name: "gen1", Count: 8, Capacity: resource.Cores(16, 32*1024)},
+		},
+		MachinesPerRack: 4,
+		RacksPerCluster: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := workload.New([]*workload.App{
+		// Only fits gen3.
+		{ID: "train", Demand: resource.Cores(48, 96*1024), Replicas: 3,
+			Priority: workload.PriorityHigh, AntiAffinitySelf: true},
+		// Fits gen2 and gen3.
+		{ID: "serve", Demand: resource.Cores(24, 48*1024), Replicas: 6,
+			Priority: workload.PriorityMid, AntiAffinitySelf: true},
+		// Fits everywhere.
+		{ID: "batch", Demand: resource.Cores(4, 8*1024), Replicas: 40,
+			Priority: workload.PriorityLow},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.NewDefault().Schedule(w, cluster, w.Arrange(workload.OrderInterleaved))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		log.Fatalf("violations: %+v", s)
+	}
+
+	// Show where each tier landed, by machine class.
+	perClass := map[string]map[string]int{}
+	for id, m := range res.Assignment {
+		machine := cluster.Machine(m)
+		capCores := machine.Capacity().Dim(resource.CPU) / 1000
+		class := fmt.Sprintf("%dc machines", capCores)
+		app := id
+		if i := strings.LastIndexByte(id, '/'); i >= 0 {
+			app = id[:i]
+		}
+		if perClass[class] == nil {
+			perClass[class] = map[string]int{}
+		}
+		perClass[class][app]++
+	}
+	fmt.Println("\nplacement by machine class:")
+	for _, class := range []string{"64c machines", "32c machines", "16c machines"} {
+		fmt.Printf("  %s: %v\n", class, perClass[class])
+	}
+	lo, mean, hi := cluster.UtilizationRange()
+	fmt.Printf("\nused %d/%d machines, utilisation %.0f%%..%.0f%% (mean %.0f%%)\n",
+		cluster.UsedMachines(), cluster.Size(), lo*100, hi*100, mean*100)
+}

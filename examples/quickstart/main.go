@@ -1,0 +1,75 @@
+// Quickstart: build a cluster, describe two applications with
+// anti-affinity and priority constraints, and let Aladdin place them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func main() {
+	// A small cluster: 8 homogeneous machines, 32 cores / 64 GB each,
+	// 4 machines per rack.
+	cluster := topology.New(topology.Config{
+		Machines:        8,
+		MachinesPerRack: 4,
+		RacksPerCluster: 2,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+
+	// Two long-lived applications:
+	//   - "web": 4 replicas, high priority, replicas must spread
+	//     across machines and must not share a machine with "batch";
+	//   - "batch": 6 low-priority replicas, unconstrained.
+	w, err := workload.New([]*workload.App{
+		{
+			ID:               "web",
+			Demand:           resource.Cores(8, 16*1024),
+			Replicas:         4,
+			Priority:         workload.PriorityHigh,
+			AntiAffinitySelf: true,
+			AntiAffinityApps: []string{"batch"},
+		},
+		{
+			ID:       "batch",
+			Demand:   resource.Cores(4, 8*1024),
+			Replicas: 6,
+			Priority: workload.PriorityLow,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Schedule with the paper's default configuration: weight base
+	// 16, isomorphism + depth limiting, migration and preemption.
+	scheduler := core.NewDefault()
+	result, err := scheduler.Schedule(w, cluster, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(result)
+	fmt.Println()
+	for _, c := range w.Containers() {
+		if m, ok := result.Assignment[c.ID]; ok {
+			machine := cluster.Machine(m)
+			fmt.Printf("  %-8s -> %s (rack %s)\n", c.ID, machine.Name, machine.Rack)
+		} else {
+			fmt.Printf("  %-8s -> UNDEPLOYED\n", c.ID)
+		}
+	}
+	fmt.Printf("\nmachines used: %d/%d\n", cluster.UsedMachines(), cluster.Size())
+	if s := result.ViolationSummary(); s.Total() == 0 {
+		fmt.Println("constraints: all satisfied")
+	} else {
+		fmt.Printf("constraints: %d violations (unexpected!)\n", s.Total())
+	}
+}

@@ -1,0 +1,3 @@
+module aladdin
+
+go 1.22

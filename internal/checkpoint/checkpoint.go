@@ -1,0 +1,140 @@
+// Package checkpoint persists and restores the live state of a
+// scheduling session — the cluster layout, every placement, and the
+// workload reference — so long-running simulations (and a production
+// scheduler manager) can stop and resume without replaying history.
+//
+// The format is versioned JSON; the workload itself is stored by
+// reference (its trace must be preserved alongside, which the paper's
+// CM/MM split also implies: the scheduler manager snapshots only the
+// assignment state).
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// FormatVersion identifies the snapshot schema.
+const FormatVersion = 1
+
+// Snapshot is the serialised form of a scheduling state.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Cluster layout.
+	Machines        int   `json:"machines"`
+	MachinesPerRack int   `json:"machines_per_rack"`
+	RacksPerCluster int   `json:"racks_per_cluster"`
+	CapacityCPU     int64 `json:"capacity_cpu_milli"`
+	CapacityMem     int64 `json:"capacity_mem_mb"`
+	// Placements, sorted by container ID for determinism.
+	Placements []Placement `json:"placements"`
+}
+
+// Placement is one container→machine binding.
+type Placement struct {
+	Container string             `json:"container"`
+	Machine   topology.MachineID `json:"machine"`
+}
+
+// Capture snapshots a homogeneous cluster and an assignment.  The
+// cluster's layout parameters are recovered from its structure.
+func Capture(cluster *topology.Cluster, asg constraint.Assignment) (*Snapshot, error) {
+	if cluster.Size() == 0 {
+		return nil, fmt.Errorf("checkpoint: empty cluster")
+	}
+	m0 := cluster.Machine(0)
+	// Homogeneity check: the v1 format stores one capacity.
+	for _, m := range cluster.Machines() {
+		if m.Capacity() != m0.Capacity() {
+			return nil, fmt.Errorf("checkpoint: v%d format requires a homogeneous cluster (machine %s differs)",
+				FormatVersion, m.Name)
+		}
+	}
+	snap := &Snapshot{
+		Version:         FormatVersion,
+		Machines:        cluster.Size(),
+		MachinesPerRack: len(cluster.Rack(m0.Rack).Machines),
+		RacksPerCluster: len(cluster.SubCluster(m0.Cluster).Racks),
+		CapacityCPU:     m0.Capacity().Dim(resource.CPU),
+		CapacityMem:     m0.Capacity().Dim(resource.Memory),
+	}
+	for id, machine := range asg {
+		if cluster.Machine(machine) == nil {
+			return nil, fmt.Errorf("checkpoint: assignment references unknown machine %d", machine)
+		}
+		if !cluster.Machine(machine).Hosts(id) {
+			return nil, fmt.Errorf("checkpoint: container %s not hosted on machine %d", id, machine)
+		}
+		snap.Placements = append(snap.Placements, Placement{Container: id, Machine: machine})
+	}
+	sort.Slice(snap.Placements, func(i, j int) bool {
+		return snap.Placements[i].Container < snap.Placements[j].Container
+	})
+	return snap, nil
+}
+
+// Write serialises the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Read parses a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", s.Version, FormatVersion)
+	}
+	if s.Machines <= 0 {
+		return nil, fmt.Errorf("checkpoint: invalid machine count %d", s.Machines)
+	}
+	return &s, nil
+}
+
+// Restore rebuilds the cluster and re-applies every placement using
+// the workload for container demands.  Containers unknown to the
+// workload fail the restore (the snapshot and trace must match).
+func (s *Snapshot) Restore(w *workload.Workload) (*topology.Cluster, constraint.Assignment, error) {
+	cluster := topology.New(topology.Config{
+		Machines:        s.Machines,
+		MachinesPerRack: s.MachinesPerRack,
+		RacksPerCluster: s.RacksPerCluster,
+		Capacity:        resource.Milli(s.CapacityCPU, s.CapacityMem),
+	})
+	byID := make(map[string]*workload.Container, w.NumContainers())
+	for _, c := range w.Containers() {
+		byID[c.ID] = c
+	}
+	asg := make(constraint.Assignment, len(s.Placements))
+	for _, p := range s.Placements {
+		c := byID[p.Container]
+		if c == nil {
+			return nil, nil, fmt.Errorf("checkpoint: container %s not in workload", p.Container)
+		}
+		machine := cluster.Machine(p.Machine)
+		if machine == nil {
+			return nil, nil, fmt.Errorf("checkpoint: machine %d out of range", p.Machine)
+		}
+		if err := machine.Allocate(c.ID, c.Demand); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: restore: %w", err)
+		}
+		asg[c.ID] = p.Machine
+	}
+	return cluster, asg, nil
+}

@@ -1,0 +1,139 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func scheduled(t *testing.T) (*workload.Workload, *topology.Cluster, constraint.Assignment) {
+	t.Helper()
+	w := trace.MustGenerate(trace.Scaled(42, 400))
+	cl := topology.New(topology.Config{
+		Machines: 96, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	res, err := core.NewDefault().Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, cl, res.Assignment
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	w, cl, asg := scheduled(t)
+	snap, err := Capture(cl, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, asg2, err := back.Restore(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Size() != cl.Size() {
+		t.Errorf("size %d != %d", cl2.Size(), cl.Size())
+	}
+	if len(asg2) != len(asg) {
+		t.Fatalf("assignment size %d != %d", len(asg2), len(asg))
+	}
+	for id, m := range asg {
+		if asg2[id] != m {
+			t.Fatalf("container %s: %d != %d", id, asg2[id], m)
+		}
+		if !cl2.Machine(m).Hosts(id) {
+			t.Fatalf("restored machine %d does not host %s", m, id)
+		}
+	}
+	// Resource state identical.
+	if cl2.TotalUsed() != cl.TotalUsed() {
+		t.Errorf("TotalUsed %v != %v", cl2.TotalUsed(), cl.TotalUsed())
+	}
+	if cl2.UsedMachines() != cl.UsedMachines() {
+		t.Errorf("UsedMachines %d != %d", cl2.UsedMachines(), cl.UsedMachines())
+	}
+	// Restored state continues to schedule: place one more batch via
+	// a session.
+	s := core.NewSession(core.DefaultOptions(), w, cl2)
+	_ = s
+}
+
+func TestCaptureValidation(t *testing.T) {
+	_, cl, asg := scheduled(t)
+	// Unknown machine.
+	bad := constraint.Assignment{"x": 9999}
+	if _, err := Capture(cl, bad); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	// Machine exists but does not host the container.
+	bad2 := constraint.Assignment{"ghost/0": 0}
+	if _, err := Capture(cl, bad2); err == nil {
+		t.Error("unhosted container should fail")
+	}
+	// Empty cluster.
+	if _, err := Capture(topology.New(topology.Config{}), asg); err == nil {
+		t.Error("empty cluster should fail")
+	}
+	// Heterogeneous cluster rejected by v1 format.
+	het, err := topology.NewHeterogeneous(topology.HeteroConfig{
+		Classes: []topology.MachineClass{
+			{Name: "a", Count: 1, Capacity: resource.Cores(32, 65536)},
+			{Name: "b", Count: 1, Capacity: resource.Cores(16, 32768)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(het, constraint.Assignment{}); err == nil {
+		t.Error("heterogeneous cluster should be rejected by v1")
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version": 99, "machines": 1}`,
+		`{"version": 1, "machines": 0}`,
+		`{"version": 1, "machines": 1, "unknown_field": true}`,
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	w, cl, asg := scheduled(t)
+	snap, err := Capture(cl, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restoring against a mismatched workload fails.
+	other := workload.MustNew([]*workload.App{
+		{ID: "different", Demand: resource.Cores(1, 1), Replicas: 1},
+	})
+	if _, _, err := snap.Restore(other); err == nil && len(asg) > 0 {
+		t.Error("mismatched workload should fail restore")
+	}
+	// Machine out of range.
+	snap2 := *snap
+	snap2.Machines = 1
+	if _, _, err := snap2.Restore(w); err == nil && len(asg) > 0 {
+		t.Error("machine out of range should fail restore")
+	}
+}

@@ -1,0 +1,118 @@
+// Package constraint implements the non-linear half of Aladdin's
+// capacity function: the per-machine container blacklist (Equations
+// 7–8), the priority weight ladder (Equations 3–5) and constraint-
+// violation accounting shared by all schedulers.
+package constraint
+
+import (
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Blacklist tracks, for every machine, which applications may not be
+// deployed there given the containers already placed.  This realises
+// the set-based capacity extension of Equation 6: "the symbol ≤ is
+// extended to represent c(s,Ti) ∈ c(Nj,t)" — a container only fits a
+// machine when it is not in the machine's blacklist (Equation 8).
+type Blacklist struct {
+	w *workload.Workload
+	// partners caches the symmetric anti-affinity partner list per
+	// app so Place/Release are O(partners) rather than O(all pairs).
+	partners map[string][]string
+	// perMachine[m][app] counts how many placed containers on machine
+	// m forbid app.  Counted (not boolean) so releases can undo
+	// placements incrementally during migration.
+	perMachine []map[string]int
+}
+
+// NewBlacklist builds the empty blacklist state for a cluster of the
+// given size.
+func NewBlacklist(w *workload.Workload, machines int) *Blacklist {
+	b := &Blacklist{
+		w:          w,
+		partners:   make(map[string][]string, len(w.Apps())),
+		perMachine: make([]map[string]int, machines),
+	}
+	for _, a := range w.Apps() {
+		b.partners[a.ID] = w.AntiAffinePartners(a.ID)
+	}
+	return b
+}
+
+// Allows reports whether the container may be deployed on the machine
+// under anti-affinity alone (Equation 8: deployed = 1 iff the
+// container is not in the machine's blacklist).
+func (b *Blacklist) Allows(m topology.MachineID, c *workload.Container) bool {
+	bm := b.perMachine[m]
+	if bm == nil {
+		return true
+	}
+	return bm[c.App] == 0
+}
+
+// BlockedApps returns how many distinct apps are currently blocked on
+// the machine (Equation 7's blacklist size).
+func (b *Blacklist) BlockedApps(m topology.MachineID) int {
+	n := 0
+	for _, cnt := range b.perMachine[m] {
+		if cnt > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Place updates blacklists after the container is deployed on the
+// machine: every app that is anti-affine with the container's app —
+// including the app itself when it has self anti-affinity — joins the
+// machine's blacklist (the d = {T1} → blacklist update of §III.C).
+func (b *Blacklist) Place(m topology.MachineID, c *workload.Container) {
+	bm := b.perMachine[m]
+	if bm == nil {
+		bm = make(map[string]int)
+		b.perMachine[m] = bm
+	}
+	app := b.w.App(c.App)
+	if app == nil {
+		return
+	}
+	if app.AntiAffinitySelf {
+		bm[c.App]++
+	}
+	for _, other := range b.partners[c.App] {
+		bm[other]++
+	}
+}
+
+// Release undoes a Place for the container on the machine.
+func (b *Blacklist) Release(m topology.MachineID, c *workload.Container) {
+	bm := b.perMachine[m]
+	if bm == nil {
+		return
+	}
+	dec := func(app string) {
+		if bm[app] > 0 {
+			bm[app]--
+			if bm[app] == 0 {
+				delete(bm, app)
+			}
+		}
+	}
+	app := b.w.App(c.App)
+	if app == nil {
+		return
+	}
+	if app.AntiAffinitySelf {
+		dec(c.App)
+	}
+	for _, other := range b.partners[c.App] {
+		dec(other)
+	}
+}
+
+// Reset clears all machines' blacklists.
+func (b *Blacklist) Reset() {
+	for i := range b.perMachine {
+		b.perMachine[i] = nil
+	}
+}

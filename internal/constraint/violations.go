@@ -1,0 +1,128 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// ViolationKind classifies a constraint violation.
+type ViolationKind int
+
+const (
+	// AntiAffinityWithin: two containers of one self-anti-affine app
+	// share a machine.
+	AntiAffinityWithin ViolationKind = iota
+	// AntiAffinityAcross: containers of two mutually anti-affine apps
+	// share a machine.
+	AntiAffinityAcross
+	// PriorityInversion: a low-priority container displaced or
+	// blocked a high-priority one (recorded by schedulers that allow
+	// it; the audit below cannot see scheduling history, only
+	// placements, so it reports co-location kinds).
+	PriorityInversion
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case AntiAffinityWithin:
+		return "anti-affinity-within"
+	case AntiAffinityAcross:
+		return "anti-affinity-across"
+	case PriorityInversion:
+		return "priority-inversion"
+	default:
+		return "unknown"
+	}
+}
+
+// Violation is one detected constraint violation.
+type Violation struct {
+	Kind    ViolationKind
+	Machine topology.MachineID
+	// ContainerA and ContainerB are the conflicting container IDs;
+	// for priority inversions B is the victim.
+	ContainerA, ContainerB string
+}
+
+// String renders a violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on machine %d: %s vs %s", v.Kind, v.Machine, v.ContainerA, v.ContainerB)
+}
+
+// Assignment maps container IDs to machines; Invalid (or absence)
+// means undeployed.
+type Assignment map[string]topology.MachineID
+
+// AuditAntiAffinity scans a placement for anti-affinity violations.
+// It is scheduler-independent: the source of truth for the
+// "constraint violations" metrics of Fig. 9.  Each offending pair is
+// reported once.
+func AuditAntiAffinity(w *workload.Workload, asg Assignment) []Violation {
+	// Group containers by machine.
+	byMachine := make(map[topology.MachineID][]*workload.Container)
+	for _, c := range w.Containers() {
+		m, ok := asg[c.ID]
+		if !ok || m == topology.Invalid {
+			continue
+		}
+		byMachine[m] = append(byMachine[m], c)
+	}
+	machines := make([]topology.MachineID, 0, len(byMachine))
+	for m := range byMachine {
+		machines = append(machines, m)
+	}
+	sort.Slice(machines, func(i, j int) bool { return machines[i] < machines[j] })
+
+	var out []Violation
+	for _, m := range machines {
+		cs := byMachine[m]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				a, b := cs[i], cs[j]
+				if a.App == b.App {
+					if w.AntiAffine(a.App, a.App) {
+						out = append(out, Violation{
+							Kind: AntiAffinityWithin, Machine: m,
+							ContainerA: a.ID, ContainerB: b.ID,
+						})
+					}
+				} else if w.AntiAffine(a.App, b.App) {
+					out = append(out, Violation{
+						Kind: AntiAffinityAcross, Machine: m,
+						ContainerA: a.ID, ContainerB: b.ID,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Summary aggregates violations by kind.
+type Summary struct {
+	Within, Across, Inversions int
+}
+
+// Total returns the violation count across kinds.
+func (s Summary) Total() int { return s.Within + s.Across + s.Inversions }
+
+// Summarize counts violations by kind.
+func Summarize(vs []Violation) Summary {
+	var s Summary
+	for _, v := range vs {
+		switch v.Kind {
+		case AntiAffinityWithin:
+			s.Within++
+		case AntiAffinityAcross:
+			s.Across++
+		case PriorityInversion:
+			s.Inversions++
+		}
+	}
+	return s
+}

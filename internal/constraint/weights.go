@@ -1,0 +1,164 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+// WeightLadder assigns each priority class a weight w_k such that the
+// weighted flow w_k·f(i,j) of any higher-priority container strictly
+// dominates any lower-priority one (Equations 3–5):
+//
+//	w_1 = 1
+//	w_{k+1} ≥ minimize(x(k+1)) / maximize(x(k))
+//
+// where x(k) is the set of flow values (here: CPU demand in the
+// dimension being compared) of containers at priority k.  In the
+// evaluation the paper simply sets w to 16/32/64/128 because the
+// maximum per-app requirement is 16 CPUs; NewWeightLadder derives the
+// same kind of ladder from the workload itself.
+type WeightLadder struct {
+	weights map[workload.Priority]int64
+	base    int64
+}
+
+// NewWeightLadder derives weights from the workload so that
+// weight(k) * minDemand(k) > weight(k-1) * maxDemand(k-1) for every
+// adjacent pair of occupied priority classes.  base is the paper's
+// configured starting multiplier for the second class (16, 32, 64 or
+// 128 in Fig. 9); base ≤ 1 derives the minimal safe ladder instead.
+func NewWeightLadder(w *workload.Workload, base int64) *WeightLadder {
+	// Collect min/max demand per priority class (CPU dimension; the
+	// evaluation is CPU-only for fairness against Firmament).
+	type span struct{ min, max int64 }
+	spans := make(map[workload.Priority]*span)
+	for _, a := range w.Apps() {
+		d := a.Demand.Dim(resource.CPU)
+		if d <= 0 {
+			d = 1
+		}
+		s, ok := spans[a.Priority]
+		if !ok {
+			spans[a.Priority] = &span{min: d, max: d}
+			continue
+		}
+		if d < s.min {
+			s.min = d
+		}
+		if d > s.max {
+			s.max = d
+		}
+	}
+	prios := make([]workload.Priority, 0, len(spans))
+	for p := range spans {
+		prios = append(prios, p)
+	}
+	sort.Slice(prios, func(i, j int) bool { return prios[i] < prios[j] })
+
+	l := &WeightLadder{weights: make(map[workload.Priority]int64), base: base}
+	var prev int64 = 1
+	for i, p := range prios {
+		if i == 0 {
+			l.weights[p] = 1 // Equation 4: w1 = 1
+			prev = 1
+			continue
+		}
+		// Equation 5: the next weight must make this class's minimum
+		// weighted flow exceed the previous class's maximum.
+		lower := spans[prios[i-1]]
+		cur := spans[p]
+		need := ceilDiv(prev*lower.max+1, cur.min)
+		wk := need
+		if wk <= prev {
+			// Keep the ladder strictly increasing in weight as well
+			// as in weighted flow; Equation 5 is a lower bound, so
+			// raising wk is always safe.
+			wk = prev + 1
+		}
+		if base > 1 {
+			// Honour the configured base while never dropping below
+			// the safe minimum.
+			configured := prev * base
+			if configured > wk {
+				wk = configured
+			}
+		}
+		l.weights[p] = wk
+		prev = wk
+	}
+	return l
+}
+
+// Weight returns w_k for the priority class; unknown classes get the
+// lowest weight 1 so the ladder stays safe.
+func (l *WeightLadder) Weight(p workload.Priority) int64 {
+	if w, ok := l.weights[p]; ok {
+		return w
+	}
+	return 1
+}
+
+// WeightedFlow returns w_k·f for a container, the quantity Equation 9
+// maximises.  The flow value of placing one container is its CPU
+// demand (milli-cores) since that is the capacity it consumes.
+func (l *WeightLadder) WeightedFlow(c *workload.Container) int64 {
+	d := c.Demand.Dim(resource.CPU)
+	if d <= 0 {
+		d = 1
+	}
+	return l.Weight(c.Priority) * d
+}
+
+// Verify checks the ladder's defining property against the workload:
+// for any two containers a, b with a.Priority > b.Priority,
+// weightedFlow(a) > weightedFlow(b).  Returns an error naming the
+// first violating pair.
+func (l *WeightLadder) Verify(w *workload.Workload) error {
+	type ext struct {
+		minWF int64
+		maxWF int64
+		seen  bool
+	}
+	byPrio := make(map[workload.Priority]*ext)
+	for _, a := range w.Apps() {
+		d := a.Demand.Dim(resource.CPU)
+		if d <= 0 {
+			d = 1
+		}
+		wf := l.Weight(a.Priority) * d
+		e, ok := byPrio[a.Priority]
+		if !ok {
+			byPrio[a.Priority] = &ext{minWF: wf, maxWF: wf, seen: true}
+			continue
+		}
+		if wf < e.minWF {
+			e.minWF = wf
+		}
+		if wf > e.maxWF {
+			e.maxWF = wf
+		}
+	}
+	prios := make([]workload.Priority, 0, len(byPrio))
+	for p := range byPrio {
+		prios = append(prios, p)
+	}
+	sort.Slice(prios, func(i, j int) bool { return prios[i] < prios[j] })
+	for i := 1; i < len(prios); i++ {
+		lo, hi := byPrio[prios[i-1]], byPrio[prios[i]]
+		if hi.minWF <= lo.maxWF {
+			return fmt.Errorf("constraint: weight ladder violated: prio %v min weighted flow %d ≤ prio %v max %d",
+				prios[i], hi.minWF, prios[i-1], lo.maxWF)
+		}
+	}
+	return nil
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+func TestExplainPlaceable(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 1},
+	})
+	cl := smallCluster(4)
+	e, err := Explain(w, cl, constraint.Assignment{}, "a/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Placeable() || e.Chosen != 0 {
+		t.Errorf("fresh cluster: %+v", e)
+	}
+	if !strings.Contains(e.String(), "placeable") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestExplainUnknownContainer(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 1},
+	})
+	if _, err := Explain(w, smallCluster(2), constraint.Assignment{}, "ghost/0"); err == nil {
+		t.Error("unknown container should fail")
+	}
+}
+
+func TestExplainBlacklistBlockage(t *testing.T) {
+	// Place blockers everywhere, then explain the blocked container.
+	w := workload.MustNew([]*workload.App{
+		{ID: "blocker", Demand: resource.Cores(1, 1024), Replicas: 2},
+		{ID: "victim", Demand: resource.Cores(1, 1024), Replicas: 1, AntiAffinityApps: []string{"blocker"}},
+	})
+	cl := smallCluster(2)
+	asg := constraint.Assignment{"blocker/0": 0, "blocker/1": 1}
+	for id, m := range asg {
+		var c *workload.Container
+		for _, cc := range w.Containers() {
+			if cc.ID == id {
+				c = cc
+			}
+		}
+		if err := cl.Machine(m).Allocate(c.ID, c.Demand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := Explain(w, cl, asg, "victim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Placeable() {
+		t.Fatalf("victim should be unplaceable: %+v", e)
+	}
+	if e.BlacklistRejected != 2 {
+		t.Errorf("BlacklistRejected = %d, want 2", e.BlacklistRejected)
+	}
+	if len(e.SampleBlockers) == 0 {
+		t.Fatal("sample blockers missing")
+	}
+	found := false
+	for _, bl := range e.SampleBlockers {
+		for _, app := range bl.Apps {
+			if app == "blocker" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("blocking app not identified: %+v", e.SampleBlockers)
+	}
+	if !strings.Contains(e.String(), "UNPLACEABLE") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestExplainResourceExhaustion(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "whale", Demand: resource.Cores(64, 1024), Replicas: 1},
+	})
+	cl := smallCluster(4)
+	e, err := Explain(w, cl, constraint.Assignment{}, "whale/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Placeable() {
+		t.Error("oversized container should be unplaceable")
+	}
+	// The aggregates prune everything: no machine is individually
+	// examined.
+	if e.PrunedSubClusters+e.PrunedRacks == 0 {
+		t.Errorf("expected aggregate pruning: %+v", e)
+	}
+	if e.ResourceRejected != 0 {
+		t.Errorf("aggregates should have pruned before per-machine checks: %+v", e)
+	}
+}
+
+func TestExplainAgainstLiveSchedule(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(2, 2048), Replicas: 8, AntiAffinitySelf: true},
+	})
+	cl := smallCluster(4) // only 4 machines for 8 spread replicas
+	res := mustSchedule(t, NewDefault(), w, cl, workload.OrderSubmission)
+	if len(res.Undeployed) != 4 {
+		t.Fatalf("undeployed = %d, want 4", len(res.Undeployed))
+	}
+	e, err := Explain(w, cl, res.Assignment, res.Undeployed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Placeable() {
+		t.Error("stranded spread replica should be unplaceable")
+	}
+	if e.BlacklistRejected != 4 {
+		t.Errorf("all 4 machines should reject on anti-affinity, got %d", e.BlacklistRejected)
+	}
+}

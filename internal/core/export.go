@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/flow"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// ExportNetworkDOT builds the tiered flow network for the workload
+// and cluster, replays the given assignment as flow augmentations,
+// and renders the result in Graphviz DOT format — the picture of
+// Fig. 4, with live flows.  Useful for debugging small scenarios:
+//
+//	core.ExportNetworkDOT(os.Stdout, w, cluster, res.Assignment)
+func ExportNetworkDOT(out io.Writer, w *workload.Workload, cluster *topology.Cluster, asg constraint.Assignment) error {
+	n := buildNetwork(w, cluster)
+	byID := make(map[string]*workload.Container, w.NumContainers())
+	for _, c := range w.Containers() {
+		byID[c.ID] = c
+	}
+	// Deterministic replay order.
+	for _, c := range w.Containers() {
+		m, ok := asg[c.ID]
+		if !ok {
+			continue
+		}
+		if err := n.augment(c, m); err != nil {
+			return fmt.Errorf("core: export: %w", err)
+		}
+	}
+
+	// Build reverse node-name table from the construction layout.
+	names := make(map[flow.NodeID]string, n.g.NumNodes())
+	names[n.source] = "s"
+	names[n.sink] = "t"
+	for app, node := range n.appNode {
+		names[node] = "A:" + app
+	}
+	for sub, node := range n.subNode {
+		names[node] = "G:" + sub
+	}
+	// Rack and machine nodes are the From/To endpoints of their arcs.
+	for _, rname := range cluster.Racks() {
+		arc := n.g.Arc(n.grArc[rname])
+		names[arc.To] = "R:" + rname
+	}
+	for _, m := range cluster.Machines() {
+		arc := n.g.Arc(n.ntArc[m.ID])
+		names[arc.From] = "N:" + m.Name
+	}
+	for _, c := range w.Containers() {
+		arc := n.g.Arc(n.srcArc[c.ID])
+		names[arc.To] = "T:" + c.ID
+	}
+	return flow.WriteDOT(out, n.g, func(v flow.NodeID) string {
+		if name, ok := names[v]; ok {
+			return name
+		}
+		return fmt.Sprintf("n%d", v)
+	})
+}

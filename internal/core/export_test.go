@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+func TestExportNetworkDOT(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2, AntiAffinitySelf: true},
+	})
+	cl := smallCluster(2)
+	res := mustSchedule(t, NewDefault(), w, cl, workload.OrderSubmission)
+
+	var buf bytes.Buffer
+	if err := ExportNetworkDOT(&buf, w, cl, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph flow {",
+		`label="s"`, `label="t"`,
+		`label="A:a"`, `label="T:a/0"`, `label="T:a/1"`,
+		"N:machine-00000", "R:rack-0000", "G:cluster-00",
+		"style=solid", // flows exist
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestExportNetworkDOTBadAssignment(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 1},
+	})
+	cl := smallCluster(2)
+	bad := constraint.Assignment{"a/0": 99}
+	var buf bytes.Buffer
+	if err := ExportNetworkDOT(&buf, w, cl, bad); err == nil {
+		t.Error("unknown machine in assignment should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+func TestGangSchedulingAllOrNothing(t *testing.T) {
+	// 5 spread replicas on 4 machines: without gangs 4 deploy; with
+	// gangs the whole application is withdrawn.
+	w := workload.MustNew([]*workload.App{
+		{ID: "gang", Demand: resource.Cores(1, 1024), Replicas: 5, AntiAffinitySelf: true},
+		{ID: "solo", Demand: resource.Cores(1, 1024), Replicas: 1},
+	})
+	cl := smallCluster(4)
+
+	plain := mustSchedule(t, NewDefault(), w, cl, workload.OrderSubmission)
+	if plain.Deployed() != 5 { // 4 gang + solo
+		t.Fatalf("plain deployed = %d, want 5", plain.Deployed())
+	}
+
+	cl.Reset()
+	opts := DefaultOptions()
+	opts.GangScheduling = true
+	res := mustSchedule(t, New(opts), w, cl, workload.OrderSubmission)
+	if res.Deployed() != 1 {
+		t.Errorf("gang deployed = %d, want only solo", res.Deployed())
+	}
+	if _, ok := res.Assignment["solo/0"]; !ok {
+		t.Error("unaffected app must stay deployed")
+	}
+	if len(res.Undeployed) != 5 {
+		t.Errorf("undeployed = %d, want all 5 gang replicas", len(res.Undeployed))
+	}
+	// The withdrawn capacity is actually free again.
+	var used int64
+	for _, m := range cl.Machines() {
+		used += m.Used().Dim(resource.CPU)
+	}
+	if used != 1000 {
+		t.Errorf("used CPU = %d, want 1000 (only solo)", used)
+	}
+}
+
+func TestGangSchedulingFullGangDeploys(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "gang", Demand: resource.Cores(1, 1024), Replicas: 4, AntiAffinitySelf: true},
+	})
+	cl := smallCluster(4)
+	opts := DefaultOptions()
+	opts.GangScheduling = true
+	res := mustSchedule(t, New(opts), w, cl, workload.OrderSubmission)
+	if res.Deployed() != 4 || len(res.Undeployed) != 0 {
+		t.Errorf("full gang should deploy: %v", res)
+	}
+}
+
+func TestGangSchedulingConservation(t *testing.T) {
+	// Gang rollback must keep the flow network conserved (withdrawn
+	// flows cancel cleanly) — verified through a session.
+	w := workload.MustNew([]*workload.App{
+		{ID: "gang", Demand: resource.Cores(8, 8192), Replicas: 6, AntiAffinitySelf: true},
+	})
+	cl := smallCluster(4)
+	opts := DefaultOptions()
+	opts.GangScheduling = true
+	res, err := New(opts).Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deployed() != 0 {
+		t.Errorf("infeasible gang should fully withdraw, deployed %d", res.Deployed())
+	}
+	if err := res.Verify(w, cl); err != nil {
+		t.Fatal(err)
+	}
+	if cl.UsedMachines() != 0 {
+		t.Errorf("cluster should be empty after gang withdrawal, used %d", cl.UsedMachines())
+	}
+}

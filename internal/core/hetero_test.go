@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func heteroCluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	cl, err := topology.NewHeterogeneous(topology.HeteroConfig{
+		Classes: []topology.MachineClass{
+			{Name: "big", Count: 12, Capacity: resource.Cores(64, 128*1024)},
+			{Name: "std", Count: 64, Capacity: resource.Cores(32, 64*1024)},
+			{Name: "old", Count: 24, Capacity: resource.Cores(16, 32*1024)},
+		},
+		MachinesPerRack: 8,
+		RacksPerCluster: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestScheduleHeterogeneousCluster(t *testing.T) {
+	// The future-work extension: the flow model handles mixed machine
+	// classes without modification because capacities are per-machine
+	// vectors.
+	cl := heteroCluster(t)
+	w := workload.MustNew([]*workload.App{
+		// Only fits the big class.
+		{ID: "huge", Demand: resource.Cores(48, 96*1024), Replicas: 4, AntiAffinitySelf: true},
+		// Fits std and big, not old.
+		{ID: "mid", Demand: resource.Cores(24, 48*1024), Replicas: 8},
+		// Fits everywhere.
+		{ID: "small", Demand: resource.Cores(4, 8*1024), Replicas: 30},
+	})
+	res := mustSchedule(t, NewDefault(), w, cl, workload.OrderInterleaved)
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed: %v", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Fatalf("violations: %+v", s)
+	}
+	// Class constraints respected: huge containers only on 64c
+	// machines, mid never on 16c machines.
+	for id, m := range res.Assignment {
+		capVec := cl.Machine(m).Capacity()
+		switch {
+		case len(id) >= 4 && id[:4] == "huge":
+			if capVec.Dim(resource.CPU) < 64000 {
+				t.Errorf("%s on %s-class machine %v", id, capVec, m)
+			}
+		case len(id) >= 3 && id[:3] == "mid":
+			if capVec.Dim(resource.CPU) < 32000 {
+				t.Errorf("%s on undersized machine %v", id, capVec)
+			}
+		}
+	}
+}
+
+func TestScheduleHeterogeneousTrace(t *testing.T) {
+	cl := heteroCluster(t)
+	w := trace.MustGenerate(trace.Scaled(17, 400)) // ~32 apps, ~250 containers
+	res := mustSchedule(t, NewDefault(), w, cl, workload.OrderSubmission)
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("violations: %+v", s)
+	}
+	if res.UndeployedFraction() > 0.1 {
+		t.Errorf("undeployed fraction %.2f", res.UndeployedFraction())
+	}
+}
+
+func TestSessionHeterogeneous(t *testing.T) {
+	cl := heteroCluster(t)
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(40, 80*1024), Replicas: 2},
+		{ID: "b", Demand: resource.Cores(8, 16*1024), Replicas: 6},
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	if _, err := s.Place(w.Containers()); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignment()) != 8 {
+		t.Errorf("placed %d, want 8", len(s.Assignment()))
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"aladdin/internal/flow"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// network is the materialised tiered flow network of §III.A.  The
+// aggregate tiers (application, sub-cluster, rack) reduce the edge
+// count from O(|T|·|N|) to O(|T| + |A|·|G| + |R| + |N|); the graph
+// carries the CPU dimension as its scalar flow (the evaluation's
+// dimension) while the multidimensional and non-linear parts of the
+// capacity function — memory fit and blacklists — are enforced by the
+// search (search.go) before a path is augmented.
+type network struct {
+	g      *flow.Graph
+	source flow.NodeID
+	sink   flow.NodeID
+
+	// Arc indexes for path assembly, by tier.
+	srcArc map[string]int // container ID -> s→T arc
+	taArc  map[string]int // container ID -> T→A arc
+	agArc  map[string]int // appID|sub -> A→G arc (created lazily)
+	grArc  map[string]int // rack name -> G→R arc
+	rnArc  []int          // machine ID -> R→N arc
+	ntArc  []int          // machine ID -> N→t arc
+
+	appNode map[string]flow.NodeID
+	subNode map[string]flow.NodeID
+
+	// units memoises the flow units (CPU milli, min 1) each placed
+	// container pushed, so migrations can cancel exactly that flow.
+	units map[string]int64
+
+	cluster *topology.Cluster
+}
+
+const infiniteCap = int64(1) << 40
+
+// flowUnits is the scalar flow a container pushes: its CPU demand in
+// milli-cores, floored at 1 so zero-CPU containers still register.
+func flowUnits(c *workload.Container) int64 {
+	u := c.Demand.Dim(resource.CPU)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// buildNetwork constructs the tiered graph for a workload/cluster
+// pair.
+func buildNetwork(w *workload.Workload, cluster *topology.Cluster) *network {
+	n := &network{
+		g:       flow.NewGraph(0),
+		srcArc:  make(map[string]int, w.NumContainers()),
+		taArc:   make(map[string]int, w.NumContainers()),
+		agArc:   make(map[string]int),
+		grArc:   make(map[string]int),
+		rnArc:   make([]int, cluster.Size()),
+		ntArc:   make([]int, cluster.Size()),
+		appNode: make(map[string]flow.NodeID, len(w.Apps())),
+		subNode: make(map[string]flow.NodeID),
+		units:   make(map[string]int64),
+		cluster: cluster,
+	}
+	g := n.g
+	n.source = g.AddNode()
+	n.sink = g.AddNode()
+
+	// Application tier.
+	for _, a := range w.Apps() {
+		n.appNode[a.ID] = g.AddNode()
+	}
+	// Sub-cluster (G) tier.
+	for _, name := range cluster.SubClusters() {
+		n.subNode[name] = g.AddNode()
+	}
+	// Rack (R) tier and machine (N) tier.
+	rackNode := make(map[string]flow.NodeID, len(cluster.Racks()))
+	for _, rname := range cluster.Racks() {
+		rack := cluster.Rack(rname)
+		rn := g.AddNode()
+		rackNode[rname] = rn
+		n.grArc[rname] = g.MustAddArc(n.subNode[rack.Cluster], rn, infiniteCap, 0)
+		for _, mid := range rack.Machines {
+			m := cluster.Machine(mid)
+			mn := g.AddNode()
+			n.rnArc[mid] = g.MustAddArc(rn, mn, infiniteCap, 0)
+			cap := m.Capacity().Dim(resource.CPU)
+			if cap < 1 {
+				cap = 1
+			}
+			n.ntArc[mid] = g.MustAddArc(mn, n.sink, cap, 0)
+		}
+	}
+	// Container (T) tier: s→T with capacity = demand (c(s,Ti) of
+	// Equation 6), T→A infinite.
+	for _, c := range w.Containers() {
+		tn := g.AddNode()
+		n.srcArc[c.ID] = g.MustAddArc(n.source, tn, flowUnits(c), 0)
+		n.taArc[c.ID] = g.MustAddArc(tn, n.appNode[c.App], infiniteCap, 0)
+	}
+	return n
+}
+
+// arcAG returns (creating on first use) the A→G arc for an app and
+// sub-cluster.  Lazy creation keeps the A×G product sparse: only
+// pairs actually used by placements materialise.
+func (n *network) arcAG(appID, sub string) int {
+	key := appID + "|" + sub
+	if idx, ok := n.agArc[key]; ok {
+		return idx
+	}
+	idx := n.g.MustAddArc(n.appNode[appID], n.subNode[sub], infiniteCap, 0)
+	n.agArc[key] = idx
+	return idx
+}
+
+// pathFor assembles the arc path s→T→A→G→R→N→t for placing container
+// c on machine m.
+func (n *network) pathFor(c *workload.Container, m topology.MachineID) ([]int, error) {
+	machine := n.cluster.Machine(m)
+	if machine == nil {
+		return nil, fmt.Errorf("core: unknown machine %d", m)
+	}
+	return []int{
+		n.srcArc[c.ID],
+		n.taArc[c.ID],
+		n.arcAG(c.App, machine.Cluster),
+		n.grArc[machine.Rack],
+		n.rnArc[m],
+		n.ntArc[m],
+	}, nil
+}
+
+// augment pushes the container's flow along its path to machine m.
+func (n *network) augment(c *workload.Container, m topology.MachineID) error {
+	path, err := n.pathFor(c, m)
+	if err != nil {
+		return err
+	}
+	u := flowUnits(c)
+	if err := flow.AugmentPath(n.g, path, u); err != nil {
+		return fmt.Errorf("core: augment %s on machine %d: %w", c.ID, m, err)
+	}
+	n.units[c.ID] = u
+	return nil
+}
+
+// cancel withdraws the container's flow from machine m (used by
+// migration and preemption).  Cancelling pushes the same units along
+// the residual twins in reverse order, which is a valid t→s path.
+func (n *network) cancel(c *workload.Container, m topology.MachineID) error {
+	u, ok := n.units[c.ID]
+	if !ok {
+		return fmt.Errorf("core: cancel %s: no recorded flow", c.ID)
+	}
+	path, err := n.pathFor(c, m)
+	if err != nil {
+		return err
+	}
+	rev := make([]int, 0, len(path))
+	for i := len(path) - 1; i >= 0; i-- {
+		rev = append(rev, path[i]^1)
+	}
+	if err := flow.AugmentPath(n.g, rev, u); err != nil {
+		return fmt.Errorf("core: cancel %s on machine %d: %w", c.ID, m, err)
+	}
+	delete(n.units, c.ID)
+	return nil
+}
+
+// totalFlow returns the flow currently leaving the source.
+func (n *network) totalFlow() int64 {
+	var total int64
+	for _, idx := range n.srcArc {
+		total += n.g.Arc(idx).Flow()
+	}
+	return total
+}
+
+// checkConservation validates Equation 2 on every interior node.
+func (n *network) checkConservation() error {
+	ex := n.g.Excess()
+	for v, e := range ex {
+		id := flow.NodeID(v)
+		if id == n.source || id == n.sink {
+			continue
+		}
+		if e != 0 {
+			return fmt.Errorf("core: node %d violates flow conservation: excess %d", v, e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func netFixture(t *testing.T) (*workload.Workload, *topology.Cluster, *network) {
+	t.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2},
+		{ID: "b", Demand: resource.Cores(2, 2048), Replicas: 1},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	return w, cl, buildNetwork(w, cl)
+}
+
+func TestBuildNetworkShape(t *testing.T) {
+	w, cl, n := netFixture(t)
+	// Nodes: source + sink + apps + subclusters + racks + machines +
+	// containers.
+	want := 2 + len(w.Apps()) + len(cl.SubClusters()) + len(cl.Racks()) + cl.Size() + w.NumContainers()
+	if got := n.g.NumNodes(); got != want {
+		t.Errorf("nodes = %d, want %d", got, want)
+	}
+	// Forward arcs before any A→G arc materialises: s→T and T→A per
+	// container, G→R per rack, R→N and N→t per machine.
+	wantArcs := 2*w.NumContainers() + len(cl.Racks()) + 2*cl.Size()
+	if got := n.g.NumArcs(); got != wantArcs {
+		t.Errorf("arcs = %d, want %d", got, wantArcs)
+	}
+}
+
+func TestArcAGLazy(t *testing.T) {
+	_, _, n := netFixture(t)
+	before := n.g.NumArcs()
+	idx1 := n.arcAG("a", "cluster-00")
+	if n.g.NumArcs() != before+1 {
+		t.Error("first arcAG should add one arc")
+	}
+	idx2 := n.arcAG("a", "cluster-00")
+	if idx1 != idx2 {
+		t.Error("arcAG should memoise")
+	}
+	if n.g.NumArcs() != before+1 {
+		t.Error("repeat arcAG should not add arcs")
+	}
+}
+
+func TestAugmentCancelRoundTrip(t *testing.T) {
+	w, _, n := netFixture(t)
+	c := w.Containers()[0]
+	if err := n.augment(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.totalFlow(); got != flowUnits(c) {
+		t.Errorf("totalFlow = %d, want %d", got, flowUnits(c))
+	}
+	if err := n.checkConservation(); err != nil {
+		t.Error(err)
+	}
+	if err := n.cancel(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.totalFlow(); got != 0 {
+		t.Errorf("totalFlow after cancel = %d", got)
+	}
+	if err := n.checkConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCancelWithoutAugmentFails(t *testing.T) {
+	w, _, n := netFixture(t)
+	if err := n.cancel(w.Containers()[0], 0); err == nil {
+		t.Error("cancel without augment should fail")
+	}
+}
+
+func TestAugmentUnknownMachineFails(t *testing.T) {
+	w, _, n := netFixture(t)
+	if err := n.augment(w.Containers()[0], 99); err == nil {
+		t.Error("augment on unknown machine should fail")
+	}
+}
+
+func TestAugmentSaturatesSourceArc(t *testing.T) {
+	w, _, n := netFixture(t)
+	c := w.Containers()[0]
+	if err := n.augment(c, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The s→T arc is saturated: a second augment of the same
+	// container must fail (impartible flow).
+	if err := n.augment(c, 1); err == nil {
+		t.Error("double augment should fail on the saturated source arc")
+	}
+}
+
+func TestFlowUnitsFloor(t *testing.T) {
+	zero := &workload.Container{ID: "z/0", App: "z", Demand: resource.Vector{}}
+	if flowUnits(zero) != 1 {
+		t.Error("zero-CPU container should push 1 unit")
+	}
+	c := &workload.Container{ID: "c/0", App: "c", Demand: resource.Cores(3, 0)}
+	if flowUnits(c) != 3000 {
+		t.Errorf("flowUnits = %d", flowUnits(c))
+	}
+}
+
+func TestAggregatesTrackFreeSpace(t *testing.T) {
+	// Two racks share one sub-cluster here (unlike the net fixture).
+	cl := topology.New(topology.Config{
+		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	agg := newAggregates(cl)
+	rack := cl.Machine(0).Rack
+	if !agg.rackAdmits(rack, resource.Cores(32, 64*1024)) {
+		t.Error("fresh rack should admit a full-machine demand")
+	}
+	// Fill both machines of rack 0 almost fully.
+	for _, mid := range cl.Rack(rack).Machines {
+		if err := cl.Machine(mid).Allocate("f-"+cl.Machine(mid).Name, resource.Cores(31, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		agg.update(mid)
+	}
+	if agg.rackAdmits(rack, resource.Cores(2, 1)) {
+		t.Error("rack with 1-core machines should not admit 2 cores")
+	}
+	if !agg.rackAdmits(rack, resource.Cores(1, 1)) {
+		t.Error("rack should still admit 1 core")
+	}
+	// Sub-cluster aggregate still admits via the other rack.
+	sub := cl.Machine(0).Cluster
+	if !agg.subAdmits(sub, resource.Cores(2, 1)) {
+		t.Error("sub-cluster should admit via the untouched rack")
+	}
+	// Releasing restores.
+	m0 := cl.Rack(rack).Machines[0]
+	if _, err := cl.Machine(m0).Release("f-" + cl.Machine(m0).Name); err != nil {
+		t.Fatal(err)
+	}
+	agg.update(m0)
+	if !agg.rackAdmits(rack, resource.Cores(2, 1)) {
+		t.Error("release should restore the rack aggregate")
+	}
+}
+
+func TestExclusionRules(t *testing.T) {
+	e := exclusion{machine: 3, set: map[topology.MachineID]bool{5: true}}
+	if !e.excludes(3) || !e.excludes(5) {
+		t.Error("exclusion should cover machine and set")
+	}
+	if e.excludes(4) {
+		t.Error("exclusion should not cover others")
+	}
+	if noExclusion.excludes(0) {
+		t.Error("noExclusion should exclude nothing")
+	}
+}
+
+func TestILCacheGenerations(t *testing.T) {
+	il := newILCache()
+	if il.skip("a") {
+		t.Error("fresh cache should not skip")
+	}
+	il.note("a")
+	if !il.skip("a") {
+		t.Error("noted app should skip")
+	}
+	if il.skip("b") {
+		t.Error("other apps unaffected")
+	}
+	il.bump()
+	if il.skip("a") {
+		t.Error("bump should invalidate")
+	}
+}

@@ -1,0 +1,696 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Scheduler is the Aladdin scheduler.  One instance is reusable
+// across runs; all run state lives in a per-run context.
+type Scheduler struct {
+	opts Options
+}
+
+// New builds an Aladdin scheduler with the given options.
+func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+
+// NewDefault builds the paper's headline configuration (weight base
+// 16, IL+DL, migration and preemption on).
+func NewDefault() *Scheduler { return New(DefaultOptions()) }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return s.opts.Name() }
+
+// run carries the mutable state of one Schedule invocation.
+type run struct {
+	opts      Options
+	w         *workload.Workload
+	cluster   *topology.Cluster
+	net       *network
+	ladder    *constraint.WeightLadder
+	blacklist *constraint.Blacklist
+	search    *searcher
+
+	assignment     constraint.Assignment
+	byID           map[string]*workload.Container
+	requeues       map[string]int
+	migrations     int
+	consolidations int
+	preempts       int
+	inversions     []constraint.Violation
+}
+
+// Schedule implements sched.Scheduler.  Containers are processed in
+// the given arrival order; each is routed through the tiered flow
+// network, with migration and preemption invoked when no direct
+// augmenting path exists.
+func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
+	start := time.Now()
+	r := &run{
+		opts:       s.opts,
+		w:          w,
+		cluster:    cluster,
+		net:        buildNetwork(w, cluster),
+		ladder:     constraint.NewWeightLadder(w, s.opts.WeightBase),
+		blacklist:  constraint.NewBlacklist(w, cluster.Size()),
+		assignment: make(constraint.Assignment, len(arrivals)),
+		byID:       make(map[string]*workload.Container, w.NumContainers()),
+		requeues:   make(map[string]int),
+	}
+	for _, c := range w.Containers() {
+		r.byID[c.ID] = c
+	}
+	r.search = &searcher{
+		opts:      s.opts,
+		cluster:   cluster,
+		agg:       newAggregates(cluster),
+		blacklist: r.blacklist,
+		il:        newILCache(),
+	}
+
+	queue := make([]*workload.Container, len(arrivals))
+	copy(queue, arrivals)
+	var undeployed []string
+	for i := 0; i < len(queue); i++ {
+		c := queue[i]
+		// Isomorphism limiting (Fig. 5a): a sibling of this container
+		// already proved unplaceable and no capacity has been
+		// released since — the search cannot succeed, skip it.
+		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
+			undeployed = append(undeployed, c.ID)
+			continue
+		}
+		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
+			if err := r.place(c, m); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if s.opts.Migration && r.tryMigration(c) {
+			continue
+		}
+		if s.opts.Migration && r.tryDefrag(c) {
+			continue
+		}
+		if s.opts.Preemption {
+			if victims, ok := r.tryPreemption(c); ok {
+				// Victims re-enter the queue after the current tail;
+				// their strictly lower priority bounds the recursion.
+				queue = append(queue, victims...)
+				continue
+			}
+		}
+		if s.opts.IsomorphismLimiting {
+			r.search.il.note(c.App)
+		}
+		undeployed = append(undeployed, c.ID)
+	}
+
+	if s.opts.Migration {
+		// Consolidation pass: empty lightly-loaded machines into the
+		// free space of used ones — the final step of minimising the
+		// number of used machines (§II.A's resource-efficiency
+		// objective).
+		r.consolidate()
+
+		// Drained machines expose whole-machine gaps; containers that
+		// were stranded by fragmentation get one more try through the
+		// full pipeline.
+		if len(undeployed) > 0 {
+			var still []string
+			for _, id := range undeployed {
+				c := r.byID[id]
+				if c == nil {
+					still = append(still, id)
+					continue
+				}
+				if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
+					if err := r.place(c, m); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if r.tryMigration(c) || r.tryDefrag(c) {
+					continue
+				}
+				still = append(still, id)
+			}
+			undeployed = still
+		}
+	}
+
+	if s.opts.GangScheduling {
+		// Applied last: the rescue passes above may have completed a
+		// partially-placed gang, and withdrawals must be final.
+		undeployed = r.enforceGangs(undeployed)
+	}
+
+	res := &sched.Result{
+		Scheduler:      s.Name(),
+		Assignment:     r.assignment,
+		Undeployed:     undeployed,
+		Violations:     r.inversions,
+		Migrations:     r.migrations,
+		Consolidations: r.consolidations,
+		Preemptions:    r.preempts,
+		Elapsed:        time.Since(start),
+		WorkUnits:      r.search.explored,
+	}
+	res.Finalize(w)
+	return res, nil
+}
+
+// place deploys a container on a machine, updating every view of the
+// state: machine allocation, blacklist, flow network, aggregates and
+// the IL generation of the machine.
+func (r *run) place(c *workload.Container, m topology.MachineID) error {
+	machine := r.cluster.Machine(m)
+	if err := machine.Allocate(c.ID, c.Demand); err != nil {
+		return fmt.Errorf("core: place: %w", err)
+	}
+	if err := r.net.augment(c, m); err != nil {
+		// Roll back the allocation to keep views consistent.
+		if _, rerr := machine.Release(c.ID); rerr != nil {
+			return fmt.Errorf("core: place rollback failed: %v (after %w)", rerr, err)
+		}
+		return err
+	}
+	r.blacklist.Place(m, c)
+	r.assignment[c.ID] = m
+	r.search.agg.update(m)
+	return nil
+}
+
+// unplace removes a container from its machine, reversing place.
+func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
+	machine := r.cluster.Machine(m)
+	if _, err := machine.Release(c.ID); err != nil {
+		return fmt.Errorf("core: unplace: %w", err)
+	}
+	if err := r.net.cancel(c, m); err != nil {
+		return err
+	}
+	r.blacklist.Release(m, c)
+	delete(r.assignment, c.ID)
+	r.search.agg.update(m)
+	r.search.il.bump()
+	return nil
+}
+
+// tryMigration clears anti-affinity blockage (Fig. 3b): find a
+// machine where the container fits on resources but the blacklist
+// blocks it, and relocate the blocking containers elsewhere.  The
+// relocated containers stay deployed, so priority safety holds by
+// construction.
+func (r *run) tryMigration(c *workload.Container) bool {
+	// Enumerate every machine the container fits on resource-wise,
+	// then try the ones with the fewest blockers first: lightly
+	// blocked machines clear cheapest, and under heavy anti-affinity
+	// pressure (a large spread service arriving into a packed
+	// cluster) most machines hold only one or two blockers.
+	candidates := r.search.findResourceFits(c, noExclusion, 0)
+	type cand struct {
+		m        topology.MachineID
+		blockers []*workload.Container
+	}
+	var ranked []cand
+	for _, mid := range candidates {
+		if r.blacklist.Allows(mid, c) {
+			// A direct path exists after all (state changed since the
+			// failed search); just take it.
+			return r.place(c, mid) == nil
+		}
+		blockers := r.blockersOn(mid, c)
+		if len(blockers) == 0 || len(blockers) > r.opts.maxBlockers() {
+			continue
+		}
+		ranked = append(ranked, cand{m: mid, blockers: blockers})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if len(ranked[i].blockers) != len(ranked[j].blockers) {
+			return len(ranked[i].blockers) < len(ranked[j].blockers)
+		}
+		return ranked[i].m < ranked[j].m
+	})
+	const maxAttempts = 32
+	for i, cd := range ranked {
+		if i >= maxAttempts {
+			break
+		}
+		if r.relocate(cd.blockers, cd.m, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockersOn lists containers on machine m whose app conflicts with c.
+func (r *run) blockersOn(m topology.MachineID, c *workload.Container) []*workload.Container {
+	machine := r.cluster.Machine(m)
+	var out []*workload.Container
+	for _, id := range machine.ContainerIDs() {
+		other := r.containerByID(id)
+		if other == nil {
+			continue
+		}
+		if r.w.AntiAffine(other.App, c.App) || (other.App == c.App && r.w.AntiAffine(c.App, c.App)) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// relocate moves every blocker off machine m and places c there; on
+// any failure all moves are rolled back.
+func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *workload.Container) bool {
+	type move struct {
+		c        *workload.Container
+		from, to topology.MachineID
+	}
+	var done []move
+	rollback := func() {
+		for i := len(done) - 1; i >= 0; i-- {
+			mv := done[i]
+			if err := r.unplace(mv.c, mv.to); err != nil {
+				panic(fmt.Sprintf("core: rollback unplace: %v", err))
+			}
+			if err := r.place(mv.c, mv.from); err != nil {
+				panic(fmt.Sprintf("core: rollback replace: %v", err))
+			}
+		}
+	}
+	for _, b := range blockers {
+		if err := r.unplace(b, m); err != nil {
+			rollback()
+			return false
+		}
+		dest := r.search.findMachine(b, exclusion{machine: m})
+		if dest == topology.Invalid {
+			// Put the blocker back and abandon this machine.
+			if err := r.place(b, m); err != nil {
+				panic(fmt.Sprintf("core: restore blocker: %v", err))
+			}
+			rollback()
+			return false
+		}
+		if err := r.place(b, dest); err != nil {
+			if perr := r.place(b, m); perr != nil {
+				panic(fmt.Sprintf("core: restore blocker after failed move: %v", perr))
+			}
+			rollback()
+			return false
+		}
+		done = append(done, move{c: b, from: m, to: dest})
+	}
+	if !r.blacklist.Allows(m, c) || !r.cluster.Machine(m).Fits(c.Demand) {
+		rollback()
+		return false
+	}
+	if err := r.place(c, m); err != nil {
+		rollback()
+		return false
+	}
+	r.migrations += len(done)
+	return true
+}
+
+// enforceGangs applies all-or-nothing application semantics: every
+// placed container whose application has at least one undeployed
+// sibling is withdrawn and added to the undeployed set.
+func (r *run) enforceGangs(undeployed []string) []string {
+	broken := make(map[string]bool)
+	for _, id := range undeployed {
+		if c := r.byID[id]; c != nil {
+			broken[c.App] = true
+		}
+	}
+	if len(broken) == 0 {
+		return undeployed
+	}
+	for _, c := range r.w.Containers() {
+		if !broken[c.App] {
+			continue
+		}
+		m, ok := r.assignment[c.ID]
+		if !ok {
+			continue
+		}
+		if err := r.unplace(c, m); err != nil {
+			panic(fmt.Sprintf("core: gang rollback: %v", err))
+		}
+		undeployed = append(undeployed, c.ID)
+	}
+	return undeployed
+}
+
+// consolidate empties lightly-loaded machines by migrating every
+// container they host into existing used machines.  A machine is only
+// drained when every container relocates successfully; otherwise the
+// drain rolls back.  Consolidation never opens an empty machine, so
+// each successful drain strictly reduces the used-machine count.
+func (r *run) consolidate() {
+	for pass := 0; pass < 2; pass++ {
+		// Lightest machines first: cheapest to drain.
+		type lm struct {
+			m    topology.MachineID
+			used int64
+		}
+		var light []lm
+		for _, m := range r.cluster.Machines() {
+			if m.NumContainers() == 0 {
+				continue
+			}
+			light = append(light, lm{m: m.ID, used: m.Used().Dim(resource.CPU)})
+		}
+		sort.Slice(light, func(i, j int) bool {
+			if light[i].used != light[j].used {
+				return light[i].used < light[j].used
+			}
+			return light[i].m < light[j].m
+		})
+		drained := false
+		for _, cand := range light {
+			if r.drain(cand.m) {
+				drained = true
+			}
+		}
+		if !drained {
+			return
+		}
+	}
+}
+
+// drain attempts to move every container off machine m into other
+// used machines; returns whether the machine was emptied.
+func (r *run) drain(m topology.MachineID) bool {
+	machine := r.cluster.Machine(m)
+	var cs []*workload.Container
+	for _, id := range machine.ContainerIDs() {
+		c := r.containerByID(id)
+		if c == nil {
+			return false // unknown resident: not movable
+		}
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 {
+		return false
+	}
+	type move struct {
+		c  *workload.Container
+		to topology.MachineID
+	}
+	var done []move
+	rollback := func() {
+		for i := len(done) - 1; i >= 0; i-- {
+			mv := done[i]
+			if err := r.unplace(mv.c, mv.to); err != nil {
+				panic(fmt.Sprintf("core: drain rollback unplace: %v", err))
+			}
+			if err := r.place(mv.c, m); err != nil {
+				panic(fmt.Sprintf("core: drain rollback replace: %v", err))
+			}
+		}
+	}
+	for _, c := range cs {
+		if err := r.unplace(c, m); err != nil {
+			rollback()
+			return false
+		}
+		dest := r.search.findMachine(c, exclusion{machine: m, skipEmpty: true})
+		if dest == topology.Invalid {
+			if err := r.place(c, m); err != nil {
+				panic(fmt.Sprintf("core: drain restore: %v", err))
+			}
+			rollback()
+			return false
+		}
+		if err := r.place(c, dest); err != nil {
+			if perr := r.place(c, m); perr != nil {
+				panic(fmt.Sprintf("core: drain restore after failed move: %v", perr))
+			}
+			rollback()
+			return false
+		}
+		done = append(done, move{c: c, to: dest})
+	}
+	r.consolidations += len(done)
+	return true
+}
+
+// tryDefrag clears resource fragmentation (Fig. 7): when a container
+// fits no machine's free space but does fit some machine's capacity,
+// migrate the smallest containers off such a machine until the
+// demand fits.  This is the "rescheduling incurs a cost ... bound to
+// the worst complexity" mechanism of §IV.D.
+func (r *run) tryDefrag(c *workload.Container) bool {
+	type target struct {
+		m    topology.MachineID
+		free int64
+	}
+	var targets []target
+	for _, m := range r.cluster.Machines() {
+		if !c.Demand.Fits(m.Capacity()) {
+			continue
+		}
+		if !r.blacklist.Allows(m.ID, c) {
+			continue
+		}
+		targets = append(targets, target{m: m.ID, free: m.Free().Dim(resource.CPU)})
+	}
+	// Most free space first: fewest containers to move.
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].free != targets[j].free {
+			return targets[i].free > targets[j].free
+		}
+		return targets[i].m < targets[j].m
+	})
+	const maxAttempts = 16
+	for i, tg := range targets {
+		if i >= maxAttempts {
+			break
+		}
+		if r.defragInto(tg.m, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// defragInto moves the smallest containers off machine m until c
+// fits, then places c; everything rolls back on failure.
+func (r *run) defragInto(m topology.MachineID, c *workload.Container) bool {
+	machine := r.cluster.Machine(m)
+	// Choose movers: smallest CPU first, skip nothing else — the
+	// relocation search enforces their constraints at the new homes.
+	var movers []*workload.Container
+	for _, id := range machine.ContainerIDs() {
+		if other := r.containerByID(id); other != nil {
+			movers = append(movers, other)
+		}
+	}
+	sort.Slice(movers, func(i, j int) bool {
+		di, dj := movers[i].Demand.Dim(resource.CPU), movers[j].Demand.Dim(resource.CPU)
+		if di != dj {
+			return di < dj
+		}
+		return movers[i].ID < movers[j].ID
+	})
+	type move struct {
+		c        *workload.Container
+		from, to topology.MachineID
+	}
+	var done []move
+	rollback := func() {
+		for i := len(done) - 1; i >= 0; i-- {
+			mv := done[i]
+			if err := r.unplace(mv.c, mv.to); err != nil {
+				panic(fmt.Sprintf("core: defrag rollback unplace: %v", err))
+			}
+			if err := r.place(mv.c, mv.from); err != nil {
+				panic(fmt.Sprintf("core: defrag rollback replace: %v", err))
+			}
+		}
+	}
+	const maxMoves = 4
+	for _, mv := range movers {
+		if c.Demand.Fits(machine.Free()) {
+			break
+		}
+		if len(done) >= maxMoves {
+			break
+		}
+		if err := r.unplace(mv, m); err != nil {
+			rollback()
+			return false
+		}
+		dest := r.search.findMachine(mv, exclusion{machine: m})
+		if dest == topology.Invalid {
+			if err := r.place(mv, m); err != nil {
+				panic(fmt.Sprintf("core: defrag restore: %v", err))
+			}
+			continue // try the next mover
+		}
+		if err := r.place(mv, dest); err != nil {
+			if perr := r.place(mv, m); perr != nil {
+				panic(fmt.Sprintf("core: defrag restore after failed move: %v", perr))
+			}
+			continue
+		}
+		done = append(done, move{c: mv, from: m, to: dest})
+	}
+	if !c.Demand.Fits(machine.Free()) || !r.blacklist.Allows(m, c) {
+		rollback()
+		return false
+	}
+	if err := r.place(c, m); err != nil {
+		rollback()
+		return false
+	}
+	r.migrations += len(done)
+	return true
+}
+
+// tryPreemption evicts strictly-lower-priority containers to free
+// resources for c (§III.B: weighted flows mean a high-priority
+// container's placement dominates; the evicted victims re-queue).
+// Returns the victims to requeue and whether preemption succeeded.
+func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool) {
+	if !r.opts.DisableWeights && c.Priority <= workload.PriorityLow {
+		return nil, false
+	}
+	for _, gname := range r.cluster.SubClusters() {
+		for _, rname := range r.cluster.SubCluster(gname).Racks {
+			for _, mid := range r.cluster.Rack(rname).Machines {
+				if !c.Demand.Fits(r.cluster.Machine(mid).Capacity()) {
+					continue
+				}
+				if !r.blacklist.Allows(mid, c) {
+					continue
+				}
+				victims := r.pickVictims(mid, c)
+				if victims == nil {
+					continue
+				}
+				// Evict victims that have requeue budget left.
+				for _, v := range victims {
+					if r.requeues[v.ID] >= r.opts.maxRequeues() {
+						victims = nil
+						break
+					}
+				}
+				if victims == nil {
+					continue
+				}
+				for _, v := range victims {
+					if err := r.unplace(v, mid); err != nil {
+						panic(fmt.Sprintf("core: evict: %v", err))
+					}
+					r.requeues[v.ID]++
+					if v.Priority >= c.Priority {
+						// Only reachable with DisableWeights: a
+						// priority inversion the weighted flow would
+						// have prevented.
+						r.inversions = append(r.inversions, constraint.Violation{
+							Kind: constraint.PriorityInversion, Machine: mid,
+							ContainerA: c.ID, ContainerB: v.ID,
+						})
+					}
+				}
+				if err := r.place(c, mid); err != nil {
+					// Should not happen: we just freed enough.
+					for _, v := range victims {
+						if perr := r.place(v, mid); perr != nil {
+							panic(fmt.Sprintf("core: restore victim: %v", perr))
+						}
+					}
+					return nil, false
+				}
+				r.preempts += len(victims)
+				return victims, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// pickVictims chooses the smallest set of strictly-lower-priority
+// containers on machine m whose eviction makes c fit, or nil when no
+// such set exists.  Victims must also not be blacklist-relevant in a
+// way that would keep c blocked (the blacklist check already passed,
+// so only resources matter here).
+func (r *run) pickVictims(m topology.MachineID, c *workload.Container) []*workload.Container {
+	machine := r.cluster.Machine(m)
+	free := machine.Free()
+	if c.Demand.Fits(free) {
+		// No preemption needed; caller's direct search should have
+		// found it, but state may have changed.
+		return []*workload.Container{}
+	}
+	var lower []*workload.Container
+	for _, id := range machine.ContainerIDs() {
+		other := r.containerByID(id)
+		if other == nil {
+			continue
+		}
+		// The weighted flow w_k·f (Equation 9) decides who may evict
+		// whom: a container may only displace one with strictly
+		// smaller weighted flow.  With a verified ladder this is
+		// exactly "strictly lower priority"; the DisableWeights
+		// ablation compares raw flows and so permits inversions.
+		if r.evictable(other, c) {
+			lower = append(lower, other)
+		}
+	}
+	// Evict lowest priority first, largest demand first within a
+	// class, until c fits.
+	sortVictims(lower)
+	var chosen []*workload.Container
+	for _, v := range lower {
+		free = free.Add(v.Demand)
+		chosen = append(chosen, v)
+		if c.Demand.Fits(free) {
+			return chosen
+		}
+	}
+	return nil
+}
+
+// evictable reports whether victim may be displaced by claimant under
+// the flow-weighting rule.
+func (r *run) evictable(victim, claimant *workload.Container) bool {
+	if r.opts.DisableWeights {
+		// Unweighted flows: a bigger raw flow wins regardless of
+		// priority — the broken behaviour of Fig. 3a.
+		return flowUnits(victim) < flowUnits(claimant)
+	}
+	return r.ladder.WeightedFlow(victim) < r.ladder.WeightedFlow(claimant) &&
+		victim.Priority < claimant.Priority
+}
+
+// containerByID resolves a container ID through the run's index.
+func (r *run) containerByID(id string) *workload.Container {
+	return r.byID[id]
+}
+
+func sortVictims(vs []*workload.Container) {
+	// Insertion sort: victim lists are tiny.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := vs[j-1], vs[j]
+			if a.Priority < b.Priority {
+				break
+			}
+			if a.Priority == b.Priority && !b.Demand.Dominates(a.Demand) {
+				break
+			}
+			vs[j-1], vs[j] = b, a
+		}
+	}
+}

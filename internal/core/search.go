@@ -1,0 +1,215 @@
+package core
+
+import (
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// aggregates caches, per rack and per sub-cluster, the component-wise
+// maximum free vector over member machines.  They realise the R and G
+// tiers' residual capacities: if a demand does not fit a rack's
+// maximum free vector, no path through that rack exists and the whole
+// subtree is pruned — the latency win of the tiered network (§III.A).
+type aggregates struct {
+	cluster     *topology.Cluster
+	rackMaxFree map[string]resource.Vector
+	subMaxFree  map[string]resource.Vector
+}
+
+func newAggregates(cluster *topology.Cluster) *aggregates {
+	a := &aggregates{
+		cluster:     cluster,
+		rackMaxFree: make(map[string]resource.Vector, len(cluster.Racks())),
+		subMaxFree:  make(map[string]resource.Vector, len(cluster.SubClusters())),
+	}
+	for _, rname := range cluster.Racks() {
+		a.recomputeRack(rname)
+	}
+	for _, gname := range cluster.SubClusters() {
+		a.recomputeSub(gname)
+	}
+	return a
+}
+
+func (a *aggregates) recomputeRack(rname string) {
+	rack := a.cluster.Rack(rname)
+	var maxFree resource.Vector
+	for _, mid := range rack.Machines {
+		maxFree = maxFree.Max(a.cluster.Machine(mid).Free())
+	}
+	a.rackMaxFree[rname] = maxFree
+}
+
+func (a *aggregates) recomputeSub(gname string) {
+	sub := a.cluster.SubCluster(gname)
+	var maxFree resource.Vector
+	for _, rname := range sub.Racks {
+		maxFree = maxFree.Max(a.rackMaxFree[rname])
+	}
+	a.subMaxFree[gname] = maxFree
+}
+
+// update refreshes aggregates after machine m's free vector changed.
+func (a *aggregates) update(m topology.MachineID) {
+	machine := a.cluster.Machine(m)
+	a.recomputeRack(machine.Rack)
+	a.recomputeSub(machine.Cluster)
+}
+
+// rackAdmits reports whether some machine in the rack might fit the
+// demand (conservative per-dimension check).
+func (a *aggregates) rackAdmits(rname string, demand resource.Vector) bool {
+	return demand.Fits(a.rackMaxFree[rname])
+}
+
+// subAdmits is the sub-cluster analogue.
+func (a *aggregates) subAdmits(gname string, demand resource.Vector) bool {
+	return demand.Fits(a.subMaxFree[gname])
+}
+
+// ilCache is the isomorphism-limiting memo (§IV.A, Fig. 5a): all
+// containers of an application are isomorphic, so once one of them
+// proves unplaceable — no valid path through the whole network, even
+// after migration and defragmentation — its siblings cannot do better
+// and skip the search outright.  An entry stays valid until any
+// capacity is released (placements only shrink free space and grow
+// blacklists, so they can never make an infeasible sibling feasible;
+// releases can).
+type ilCache struct {
+	// releaseGen counts capacity releases (unplace/evict).
+	releaseGen uint64
+	// failed[app] is the releaseGen at which the app was proven
+	// unplaceable.
+	failed map[string]uint64
+}
+
+func newILCache() *ilCache {
+	return &ilCache{failed: make(map[string]uint64)}
+}
+
+// bump invalidates all cached failures (some capacity was released).
+func (il *ilCache) bump() { il.releaseGen++ }
+
+// skip reports whether the app was already proven unplaceable at the
+// current generation.
+func (il *ilCache) skip(app string) bool {
+	g, ok := il.failed[app]
+	return ok && g == il.releaseGen
+}
+
+// note records that the app is unplaceable at the current generation.
+func (il *ilCache) note(app string) {
+	il.failed[app] = il.releaseGen
+}
+
+// searcher walks the tiered network looking for an augmenting path
+// for one container: the getShortestPath of Algorithm 1, with IL and
+// DL as the paper's two break conditions (lines 23–29).
+type searcher struct {
+	opts      Options
+	cluster   *topology.Cluster
+	agg       *aggregates
+	blacklist *constraint.Blacklist
+	il        *ilCache
+
+	// searchStats counts explored machine vertices, the "explored
+	// paths" driver of placement latency (§IV.A).
+	explored int64
+}
+
+// exclusion restricts a search: skip one machine (the one a blocker
+// currently occupies), optionally an explicit set, and optionally all
+// empty machines (consolidation must never open a new machine).
+type exclusion struct {
+	machine   topology.MachineID // Invalid when unused
+	set       map[topology.MachineID]bool
+	skipEmpty bool
+}
+
+var noExclusion = exclusion{machine: topology.Invalid}
+
+func (e exclusion) excludes(m topology.MachineID) bool {
+	if e.machine == m {
+		return true
+	}
+	return e.set != nil && e.set[m]
+}
+
+// findMachine returns the machine chosen for the container, or
+// Invalid when no feasible path exists.  With DL the first feasible
+// machine wins (first-fit in tier order); without it the search
+// exhausts the network and returns the best fit (minimum leftover
+// CPU), which is what an un-truncated augmenting search converges to.
+func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.MachineID {
+	best := topology.Invalid
+	var bestLeft int64 = 1<<62 - 1
+	for _, gname := range s.cluster.SubClusters() {
+		if !s.agg.subAdmits(gname, c.Demand) {
+			continue
+		}
+		for _, rname := range s.cluster.SubCluster(gname).Racks {
+			if !s.agg.rackAdmits(rname, c.Demand) {
+				continue
+			}
+			for _, mid := range s.cluster.Rack(rname).Machines {
+				if excl.excludes(mid) {
+					continue
+				}
+				s.explored++
+				m := s.cluster.Machine(mid)
+				if excl.skipEmpty && m.NumContainers() == 0 {
+					continue
+				}
+				if !m.Fits(c.Demand) {
+					continue
+				}
+				if !s.blacklist.Allows(mid, c) {
+					continue
+				}
+				if s.opts.DepthLimiting {
+					// DL: a valid path saturates the container's
+					// impartible flow; stop searching (Fig. 5b).
+					return mid
+				}
+				left := m.Free().Sub(c.Demand).Dim(resource.CPU)
+				if left < bestLeft {
+					best, bestLeft = mid, left
+				}
+			}
+		}
+	}
+	return best
+}
+
+// findResourceFit is findMachine ignoring blacklists: used by
+// migration to locate machines where only anti-affinity blocks the
+// container.
+func (s *searcher) findResourceFits(c *workload.Container, excl exclusion, limit int) []topology.MachineID {
+	var out []topology.MachineID
+	for _, gname := range s.cluster.SubClusters() {
+		if !s.agg.subAdmits(gname, c.Demand) {
+			continue
+		}
+		for _, rname := range s.cluster.SubCluster(gname).Racks {
+			if !s.agg.rackAdmits(rname, c.Demand) {
+				continue
+			}
+			for _, mid := range s.cluster.Rack(rname).Machines {
+				if excl.excludes(mid) {
+					continue
+				}
+				s.explored++
+				if !s.cluster.Machine(mid).Fits(c.Demand) {
+					continue
+				}
+				out = append(out, mid)
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Session is the online face of Aladdin (§VI: "Aladdin is an online
+// scheduling system"): it keeps the flow network, blacklists and
+// aggregates alive across scheduling rounds so LLA batches can arrive
+// and depart over time without rebuilding state.  A Session is not
+// safe for concurrent use; the production deployment runs one
+// scheduler manager (SM) per cluster (§III.A).
+type Session struct {
+	opts    Options
+	w       *workload.Workload
+	cluster *topology.Cluster
+	r       *run
+
+	placed map[string]bool
+}
+
+// NewSession builds a session over a workload universe (every app
+// that may ever arrive; constraints need the full registry) and a
+// cluster.  The cluster may already host residents unknown to the
+// workload; they are treated as immovable.
+func NewSession(opts Options, w *workload.Workload, cluster *topology.Cluster) *Session {
+	s := &Session{
+		opts:    opts,
+		w:       w,
+		cluster: cluster,
+		placed:  make(map[string]bool),
+	}
+	s.r = &run{
+		opts:       opts,
+		w:          w,
+		cluster:    cluster,
+		net:        buildNetwork(w, cluster),
+		ladder:     constraint.NewWeightLadder(w, opts.WeightBase),
+		blacklist:  constraint.NewBlacklist(w, cluster.Size()),
+		assignment: make(constraint.Assignment),
+		byID:       make(map[string]*workload.Container, w.NumContainers()),
+		requeues:   make(map[string]int),
+	}
+	for _, c := range w.Containers() {
+		s.r.byID[c.ID] = c
+	}
+	s.r.search = &searcher{
+		opts:      opts,
+		cluster:   cluster,
+		agg:       newAggregates(cluster),
+		blacklist: s.r.blacklist,
+		il:        newILCache(),
+	}
+	return s
+}
+
+// Assignment returns the live container→machine map.  The returned
+// map is the session's own; callers must not mutate it.
+func (s *Session) Assignment() constraint.Assignment { return s.r.assignment }
+
+// Place schedules a batch of containers against the current state.
+// Each container must belong to the session's workload and not be
+// currently placed.  The result covers only this batch.
+func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
+	start := time.Now()
+	r := s.r
+	migBefore, preBefore := r.migrations, r.preempts
+	exploredBefore := r.search.explored
+
+	queue := make([]*workload.Container, 0, len(batch))
+	for _, c := range batch {
+		if r.byID[c.ID] == nil {
+			return nil, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
+		}
+		if s.placed[c.ID] {
+			return nil, fmt.Errorf("core: session: container %s already placed", c.ID)
+		}
+		queue = append(queue, c)
+	}
+
+	var undeployed []string
+	batchSet := make(map[string]bool, len(batch))
+	for _, c := range batch {
+		batchSet[c.ID] = true
+	}
+	for i := 0; i < len(queue); i++ {
+		c := queue[i]
+		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
+			undeployed = append(undeployed, c.ID)
+			continue
+		}
+		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
+			if err := r.place(c, m); err != nil {
+				return nil, err
+			}
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Migration && r.tryMigration(c) {
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Migration && r.tryDefrag(c) {
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Preemption {
+			if victims, ok := r.tryPreemption(c); ok {
+				s.placed[c.ID] = true
+				for _, v := range victims {
+					// A victim from an earlier batch re-enters this
+					// batch's queue.
+					s.placed[v.ID] = false
+					queue = append(queue, v)
+				}
+				continue
+			}
+		}
+		if s.opts.IsomorphismLimiting {
+			r.search.il.note(c.App)
+		}
+		undeployed = append(undeployed, c.ID)
+	}
+
+	// Per-batch assignment view: only this batch's containers (plus
+	// any requeued victims that landed back).
+	asg := make(constraint.Assignment)
+	for id := range batchSet {
+		if m, ok := r.assignment[id]; ok {
+			asg[id] = m
+		}
+	}
+	for _, id := range undeployed {
+		delete(asg, id)
+	}
+
+	res := &sched.Result{
+		Scheduler:   s.opts.Name(),
+		Assignment:  asg,
+		Undeployed:  undeployed,
+		Migrations:  r.migrations - migBefore,
+		Preemptions: r.preempts - preBefore,
+		Elapsed:     time.Since(start),
+		WorkUnits:   r.search.explored - exploredBefore,
+	}
+	// Total for this batch only.
+	res.Total = len(batchSet)
+	for _, id := range undeployed {
+		if !batchSet[id] {
+			res.Total++ // requeued victim stranded in this round
+		}
+	}
+	return res, nil
+}
+
+// Remove handles a departure: the container's resources are released
+// and its flow cancelled.  Removing an unplaced container is an
+// error.
+func (s *Session) Remove(containerID string) error {
+	c := s.r.byID[containerID]
+	if c == nil {
+		return fmt.Errorf("core: session: unknown container %s", containerID)
+	}
+	m, ok := s.r.assignment[containerID]
+	if !ok {
+		return fmt.Errorf("core: session: container %s not placed", containerID)
+	}
+	if err := s.r.unplace(c, m); err != nil {
+		return err
+	}
+	s.placed[containerID] = false
+	return nil
+}
+
+// Consolidate runs the machine-draining pass on demand (e.g. during
+// off-peak hours) and returns the number of migrations it performed.
+func (s *Session) Consolidate() int {
+	before := s.r.consolidations
+	s.r.consolidate()
+	return s.r.consolidations - before
+}
+
+// Audit re-checks the live placement for violations; a healthy
+// session always returns an empty slice.
+func (s *Session) Audit() []constraint.Violation {
+	return constraint.AuditAntiAffinity(s.w, s.r.assignment)
+}
+
+// FlowConservation verifies Equation 2 on the live network.
+func (s *Session) FlowConservation() error {
+	return s.r.net.checkConservation()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/sim"
+	"aladdin/internal/workload"
+)
+
+// AblationRow is one Aladdin variant's outcome.
+type AblationRow struct {
+	Variant     string
+	Elapsed     time.Duration
+	Undeployed  int
+	Violations  int
+	Inversions  int
+	Migrations  int
+	Preemptions int
+}
+
+// AblationResult covers the design choices DESIGN.md lists: IL, DL,
+// the weight ladder, migration and preemption.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation runs Aladdin variants with individual mechanisms disabled.
+func Ablation(s Scale) (*AblationResult, error) {
+	w := s.Workload()
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"full (IL+DL+weights+mig+preempt)", func(o *core.Options) {}},
+		{"no IL", func(o *core.Options) { o.IsomorphismLimiting = false }},
+		{"no DL", func(o *core.Options) { o.DepthLimiting = false }},
+		{"no IL, no DL", func(o *core.Options) {
+			o.IsomorphismLimiting = false
+			o.DepthLimiting = false
+		}},
+		{"no weights (raw flows)", func(o *core.Options) { o.DisableWeights = true }},
+		{"no migration", func(o *core.Options) { o.Migration = false }},
+		{"no preemption", func(o *core.Options) { o.Preemption = false }},
+	}
+	res := &AblationResult{}
+	for _, v := range variants {
+		opts := core.DefaultOptions()
+		v.mut(&opts)
+		// The ablation runs on a deliberately tight cluster (2/3 of
+		// the scale's) so the rescue mechanisms actually fire; on a
+		// roomy cluster every variant trivially succeeds.
+		m, err := sim.Run(sim.Config{
+			Scheduler: core.New(opts),
+			Workload:  w,
+			Machines:  s.Machines * 2 / 3,
+			Order:     workload.OrderCLP, // lows first: stresses weights & preemption
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:     v.name,
+			Elapsed:     m.Elapsed,
+			Undeployed:  m.Total - m.Deployed,
+			Violations:  m.ViolationsWithin + m.ViolationsAcross,
+			Inversions:  m.Inversions,
+			Migrations:  m.Migrations,
+			Preemptions: m.Preemptions,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the ablation matrix.
+func (r *AblationResult) Tables() []*Table {
+	t := &Table{
+		Title:  "Ablation: Aladdin mechanisms (CLP order)",
+		Header: []string{"variant", "time", "undeployed", "anti-affinity viol", "inversions", "migrations", "preemptions"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, row.Elapsed.Round(time.Millisecond).String(),
+			row.Undeployed, row.Violations, row.Inversions,
+			row.Migrations, row.Preemptions)
+	}
+	return []*Table{t}
+}
+
+// Row returns the named variant's row.
+func (r *AblationResult) Row(name string) (AblationRow, error) {
+	for _, row := range r.Rows {
+		if row.Variant == name {
+			return row, nil
+		}
+	}
+	return AblationRow{}, fmt.Errorf("experiments: no ablation variant %q", name)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// TableSource is any experiment result that renders tables.
+type TableSource interface {
+	Tables() []*Table
+}
+
+// RunAll executes every experiment at the given scale and writes the
+// rendered tables to w.  Figures run in paper order; latency figures
+// run last so earlier parallel runs cannot skew their timings.
+func RunAll(s Scale, w io.Writer) error {
+	fmt.Fprintf(w, "Aladdin evaluation — scale %q (trace factor %d, %d machines)\n\n",
+		s.Name, s.TraceFactor, s.Machines)
+
+	fmt.Fprintln(w, "== Workload features ==")
+	writeTables(w, Fig8(s))
+
+	fmt.Fprintln(w, "== Placement quality ==")
+	fig9, err := Fig9(s)
+	if err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	writeTables(w, fig9)
+
+	fmt.Fprintln(w, "== Resource efficiency ==")
+	fig10, err := Fig10(s)
+	if err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	writeTables(w, fig10)
+
+	fmt.Fprintln(w, "== Placement latency ==")
+	fig12, err := Fig12(s)
+	if err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	writeTables(w, fig12)
+
+	fmt.Fprintln(w, "== Algorithm overhead ==")
+	fig13, err := Fig13(s)
+	if err != nil {
+		return fmt.Errorf("fig13: %w", err)
+	}
+	writeTables(w, fig13)
+
+	fmt.Fprintln(w, "== Ablations ==")
+	abl, err := Ablation(s)
+	if err != nil {
+		return fmt.Errorf("ablation: %w", err)
+	}
+	writeTables(w, abl)
+
+	fmt.Fprintln(w, "== Extension: heterogeneous cluster ==")
+	het, err := Hetero(s)
+	if err != nil {
+		return fmt.Errorf("hetero: %w", err)
+	}
+	writeTables(w, het)
+
+	fmt.Fprintln(w, "== Scalability ==")
+	sc, err := Scalability(s)
+	if err != nil {
+		return fmt.Errorf("scalability: %w", err)
+	}
+	writeTables(w, sc)
+
+	fmt.Fprintln(w, "== Dimension-count ablation ==")
+	dim, err := Dimensions(s)
+	if err != nil {
+		return fmt.Errorf("dimensions: %w", err)
+	}
+	writeTables(w, dim)
+	return nil
+}
+
+func writeTables(w io.Writer, src TableSource) {
+	for _, t := range src.Tables() {
+		fmt.Fprintln(w, t.Render())
+	}
+}

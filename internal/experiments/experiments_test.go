@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a fast scale for CI: ~500 containers on 192 machines.
+func tiny() Scale {
+	return Scale{
+		Name:         "tiny",
+		TraceFactor:  200,
+		Machines:     192,
+		MachineSweep: []int{64, 192},
+		Seed:         42,
+	}
+}
+
+func TestFig8ShapesMatchPaper(t *testing.T) {
+	r := Fig8(tiny())
+	st := r.Stats
+	if st.Apps == 0 || st.Containers == 0 {
+		t.Fatal("empty workload")
+	}
+	singles := float64(st.SingleInstanceApps) / float64(st.Apps)
+	if singles < 0.5 || singles > 0.75 {
+		t.Errorf("single-instance fraction %.2f, want ~0.64", singles)
+	}
+	anti := float64(st.AntiAffinityApps) / float64(st.Apps)
+	if anti < 0.6 || anti > 0.8 {
+		t.Errorf("anti-affinity fraction %.2f, want ~0.70", anti)
+	}
+	if len(r.CDF) == 0 {
+		t.Error("CDF empty")
+	}
+	// CDF monotone in both coordinates.
+	for i := 1; i < len(r.CDF); i++ {
+		if r.CDF[i][0] < r.CDF[i-1][0] || r.CDF[i][1] < r.CDF[i-1][1] {
+			t.Fatalf("CDF not monotone at %d: %v", i, r.CDF)
+		}
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if !strings.Contains(tables[1].Render(), "anti-affinity") {
+		t.Error("Fig 8b table missing constraint rows")
+	}
+}
+
+func TestFig9HeadlineClaims(t *testing.T) {
+	r, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24 (4 panels x 6 schedulers)", len(r.Rows))
+	}
+	// Headline: Aladdin deploys everything with zero violations in
+	// every panel.
+	for _, row := range r.AladdinRows() {
+		if row.UndeployedAbsolute != 0 {
+			t.Errorf("%s panel %s: %d undeployed, want 0",
+				row.Scheduler, row.Panel, row.UndeployedAbsolute)
+		}
+		if row.TotalViolations != 0 {
+			t.Errorf("%s panel %s: %d violations, want 0",
+				row.Scheduler, row.Panel, row.TotalViolations)
+		}
+	}
+	// Aladdin strictly beats (or ties at zero) every other scheduler
+	// in each panel on undeployed+violations.
+	byPanel := map[string][]Fig9Row{}
+	for _, row := range r.Rows {
+		byPanel[row.Panel] = append(byPanel[row.Panel], row)
+	}
+	for panel, rows := range byPanel {
+		for _, row := range rows {
+			if strings.HasPrefix(row.Scheduler, "Aladdin") {
+				continue
+			}
+			if row.UndeployedAbsolute+row.TotalViolations < 0 {
+				t.Errorf("panel %s %s: negative?!", panel, row.Scheduler)
+			}
+		}
+	}
+	// At least one baseline must show trouble (otherwise the trace is
+	// trivially easy and the comparison says nothing).
+	trouble := 0
+	for _, row := range r.Rows {
+		if !strings.HasPrefix(row.Scheduler, "Aladdin") &&
+			row.UndeployedAbsolute+row.TotalViolations > 0 {
+			trouble++
+		}
+	}
+	if trouble == 0 {
+		t.Error("no baseline struggled; workload too easy to be meaningful")
+	}
+	// Firmament improves (or at least does not degrade badly) as
+	// reschd grows: compare QUINCY(1) vs QUINCY(8).
+	var q1, q8 int = -1, -1
+	for _, row := range r.Rows {
+		if row.Scheduler == "Firmament-QUINCY(1)" {
+			q1 = row.UndeployedAbsolute + row.TotalViolations
+		}
+		if row.Scheduler == "Firmament-QUINCY(8)" {
+			q8 = row.UndeployedAbsolute + row.TotalViolations
+		}
+	}
+	if q1 < 0 || q8 < 0 {
+		t.Fatal("QUINCY rows missing")
+	}
+	if q8 > q1 {
+		t.Errorf("QUINCY(8)=%d worse than QUINCY(1)=%d", q8, q1)
+	}
+	// Fig 9e data renders.
+	tables := r.Tables()
+	if len(tables) != 5 {
+		t.Fatalf("tables = %d, want 5", len(tables))
+	}
+}
+
+func TestFig10HeadlineClaims(t *testing.T) {
+	r, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (4 orders x 4 schedulers)", len(r.Rows))
+	}
+	by := r.ByScheduler()
+	aladdin := by["Aladdin(16)+IL+DL"]
+	kube := by["Go-Kube"]
+	if len(aladdin) != 4 || len(kube) != 4 {
+		t.Fatalf("per-scheduler series: aladdin=%d kube=%d", len(aladdin), len(kube))
+	}
+	// Aladdin needs the fewest machines in every order, within the
+	// one-machine granularity noise of the tiny trace (at the paper's
+	// scale a single machine is 0.01%; here it is ~1.3%).
+	for i := range aladdin {
+		for name, series := range by {
+			if name == "Aladdin(16)+IL+DL" {
+				continue
+			}
+			slack := aladdin[i] / 50 // 2%
+			if slack < 1 {
+				slack = 1
+			}
+			if series[i]+slack < aladdin[i] {
+				t.Errorf("order %d: %s used %d, Aladdin %d (more than %d over)",
+					i, name, series[i], aladdin[i], slack)
+			}
+		}
+	}
+	// Go-Kube is order-sensitive (widest spread) relative to Aladdin.
+	spread := func(s []int) int {
+		min, max := s[0], s[0]
+		for _, v := range s {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return max - min
+	}
+	if spread(kube) < spread(aladdin) {
+		t.Errorf("Go-Kube spread %d < Aladdin spread %d; expected Go-Kube to be order-sensitive",
+			spread(kube), spread(aladdin))
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+}
+
+func TestFig12LatencyShapes(t *testing.T) {
+	s := tiny()
+	r, err := Fig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 schedulers x len(sweep) rows.
+	want := 6 * len(s.MachineSweep)
+	if len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	totals := r.TotalBySched()
+	plain := totals["Aladdin(16)"]
+	ildl := totals["Aladdin(16)+IL+DL"]
+	if plain == 0 || ildl == 0 {
+		t.Fatal("missing Aladdin variants in Fig 12")
+	}
+	// IL+DL must not be slower than plain overall (the paper claims
+	// ~50% reduction; timing noise at tiny scale makes the exact
+	// factor unreliable, the direction must hold).
+	if ildl > plain*3/2 {
+		t.Errorf("Aladdin+IL+DL (%v) much slower than plain (%v)", ildl, plain)
+	}
+}
+
+func TestFig13OverheadAndMigrations(t *testing.T) {
+	s := tiny()
+	r, err := Fig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * len(s.MachineSweep)
+	if len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	// Migrations stay a small fraction of total containers (paper:
+	// ~1.7% worst case; allow up to 20% at tiny scale).
+	for _, row := range r.Rows {
+		if row.Total == 0 {
+			t.Fatal("zero total")
+		}
+		frac := float64(row.Migrations) / float64(row.Total)
+		if frac > 0.2 {
+			t.Errorf("%v@%d: migration fraction %.2f too high", row.Order, row.Machines, frac)
+		}
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+}
+
+func TestAblationClaims(t *testing.T) {
+	r, err := Ablation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Row("full (IL+DL+weights+mig+preempt)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Violations != 0 {
+		t.Errorf("full Aladdin violated constraints: %d", full.Violations)
+	}
+	if full.Inversions != 0 {
+		t.Errorf("full Aladdin inverted priorities: %d", full.Inversions)
+	}
+	noMig, err := r.Row("no migration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMig.Migrations != 0 {
+		t.Error("no-migration variant migrated")
+	}
+	if noMig.Undeployed < full.Undeployed {
+		t.Errorf("disabling migration improved deployment: %d < %d",
+			noMig.Undeployed, full.Undeployed)
+	}
+	if _, err := r.Row("nonexistent"); err == nil {
+		t.Error("unknown variant should error")
+	}
+}
+
+func TestScalabilityNearLinear(t *testing.T) {
+	r, err := Scalability(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(r.Rows))
+	}
+	// §IV.D: average complexity O(V·E·c).  Per-container work may
+	// grow with the machine count E but must not grow quadratically
+	// in it: the growth ratio is bounded by ~4× the machine-count
+	// ratio (the worst case O(V·E²·c) would scale with E²).
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.Containers <= first.Containers {
+		t.Fatalf("containers not increasing: %d .. %d", first.Containers, last.Containers)
+	}
+	machineGrowth := float64(last.Machines) / float64(first.Machines)
+	if first.PerUnit > 0 {
+		growth := last.PerUnit / first.PerUnit
+		if growth > 4*machineGrowth {
+			t.Errorf("work per container grew %.1f× vs machine growth %.1f×: beyond O(V·E·c)",
+				growth, machineGrowth)
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("scalability should render one table")
+	}
+}
+
+func TestDimensionAblation(t *testing.T) {
+	r, err := Dimensions(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	cpuOnly, both := r.Rows[0], r.Rows[1]
+	// The extra dimension's cost is bounded: within 3× work units
+	// (the claim is "linear and much smaller than E"; the dominant
+	// work is per-machine visits, identical in both).
+	if cpuOnly.WorkUnits > 0 && float64(both.WorkUnits)/float64(cpuOnly.WorkUnits) > 3 {
+		t.Errorf("memory dimension tripled the work: %d vs %d", both.WorkUnits, cpuOnly.WorkUnits)
+	}
+	if cpuOnly.Violations != 0 || both.Violations != 0 {
+		t.Error("violations in dimension ablation")
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("dimension ablation should render one table")
+	}
+}
+
+func TestHeteroExtension(t *testing.T) {
+	r, err := Hetero(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	if len(r.Classes) != 3 {
+		t.Errorf("classes = %d, want 3", len(r.Classes))
+	}
+	var aladdin *HeteroRow
+	for i := range r.Rows {
+		if strings.HasPrefix(r.Rows[i].Scheduler, "Aladdin") {
+			aladdin = &r.Rows[i]
+		}
+	}
+	if aladdin == nil {
+		t.Fatal("Aladdin row missing")
+	}
+	if aladdin.Violations != 0 {
+		t.Errorf("Aladdin violated on heterogeneous cluster: %d", aladdin.Violations)
+	}
+	// Aladdin undeploys no more than any baseline.
+	for _, row := range r.Rows {
+		if row.Undeployed < aladdin.Undeployed {
+			t.Errorf("%s undeployed %d < Aladdin %d", row.Scheduler, row.Undeployed, aladdin.Undeployed)
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("hetero should render one table")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("x", 42)
+	tb.AddRow(3.14159, "yy")
+	out := tb.Render()
+	if !strings.Contains(out, "T\n=") {
+		t.Error("title underline missing")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float formatting missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, rule, 2 rows
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{Small(), Medium(), Full()} {
+		if s.TraceFactor < 1 || s.Machines <= 0 || len(s.MachineSweep) == 0 {
+			t.Errorf("scale %s malformed: %+v", s.Name, s)
+		}
+	}
+	if Small().Workload().NumContainers() == 0 {
+		t.Error("small workload empty")
+	}
+}
+
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll in -short mode")
+	}
+	var buf bytes.Buffer
+	// Extra-tiny for the full pipeline.
+	s := Scale{
+		Name: "xtiny", TraceFactor: 400, Machines: 96,
+		MachineSweep: []int{48, 96}, Seed: 7,
+	}
+	if err := RunAll(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 8(a)", "Fig 9(a)", "Fig 10", "Fig 11", "Fig 12", "Fig 13(a)", "Fig 13(b)", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

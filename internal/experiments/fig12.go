@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/firmament"
+	"aladdin/internal/gokube"
+	"aladdin/internal/medea"
+	"aladdin/internal/sched"
+	"aladdin/internal/sim"
+	"aladdin/internal/workload"
+)
+
+// Fig12Row is one (scheduler, cluster size) latency point.
+type Fig12Row struct {
+	Scheduler string
+	Machines  int
+	// Latency is Equation 11's average per-container latency.
+	Latency time.Duration
+	// Elapsed is the full batch time.
+	Elapsed time.Duration
+}
+
+// Fig12Result is the placement-latency curve set.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// fig12Schedulers returns the six curves of Fig. 12, including the
+// three Aladdin policies (plain, +IL, +IL+DL).
+func fig12Schedulers() []sched.Scheduler {
+	plain := core.DefaultOptions()
+	plain.IsomorphismLimiting = false
+	plain.DepthLimiting = false
+	il := core.DefaultOptions()
+	il.DepthLimiting = false
+	ildl := core.DefaultOptions()
+	return []sched.Scheduler{
+		gokube.NewDefault(),
+		firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: 8}),
+		medea.New(medea.Options{Weights: medea.Weights{A: 1, B: 1, C: 0}}),
+		core.New(plain),
+		core.New(il),
+		core.New(ildl),
+	}
+}
+
+// Fig12 measures average placement latency against cluster size.
+// Latency experiments run sequentially (workers=1) so concurrent runs
+// cannot distort each other's timings.
+func Fig12(s Scale) (*Fig12Result, error) {
+	w := s.Workload()
+	res := &Fig12Result{}
+	for _, sch := range fig12Schedulers() {
+		ms, err := sim.SweepMachines(sch, w, s.MachineSweep, workload.OrderInterleaved, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			res.Rows = append(res.Rows, Fig12Row{
+				Scheduler: m.Scheduler,
+				Machines:  m.Machines,
+				Latency:   m.Latency,
+				Elapsed:   m.Elapsed,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the latency series.
+func (r *Fig12Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Fig 12: Average placement latency vs cluster size",
+		Header: []string{"scheduler", "machines", "latency/container", "total"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheduler, row.Machines,
+			fmt.Sprintf("%.3fms", float64(row.Latency.Microseconds())/1000),
+			row.Elapsed.Round(time.Millisecond).String())
+	}
+	return []*Table{t}
+}
+
+// TotalBySched sums elapsed time per scheduler, for the ablation
+// assertions (IL+DL must beat plain Aladdin).
+func (r *Fig12Result) TotalBySched() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, row := range r.Rows {
+		out[row.Scheduler] += row.Elapsed
+	}
+	return out
+}

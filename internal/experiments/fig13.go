@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/sim"
+	"aladdin/internal/workload"
+)
+
+// Fig13Row is one (order, machines) overhead sample of Aladdin's
+// full policy.
+type Fig13Row struct {
+	Order          workload.ArrivalOrder
+	Machines       int
+	Elapsed        time.Duration
+	Migrations     int
+	Consolidations int
+	Preempts       int
+	Undeployed     int
+	Total          int
+}
+
+// Fig13Result carries the algorithm-overhead scaling (13a) and the
+// migration/preemption cost (13b).
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13 measures Aladdin+IL+DL's overhead and migration cost across
+// cluster sizes and the four arrival characteristics.  Runs are
+// sequential to keep timings clean.
+func Fig13(s Scale) (*Fig13Result, error) {
+	w := s.Workload()
+	res := &Fig13Result{}
+	for _, order := range workload.AllArrivalOrders() {
+		ms, err := sim.SweepMachines(core.NewDefault(), w, s.MachineSweep, order, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			res.Rows = append(res.Rows, Fig13Row{
+				Order:          m.Order,
+				Machines:       m.Machines,
+				Elapsed:        m.Elapsed,
+				Migrations:     m.Migrations,
+				Consolidations: m.Consolidations,
+				Preempts:       m.Preemptions,
+				Undeployed:     m.Total - m.Deployed,
+				Total:          m.Total,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Tables renders Fig. 13(a) and Fig. 13(b).
+func (r *Fig13Result) Tables() []*Table {
+	a := &Table{
+		Title:  "Fig 13(a): Aladdin algorithm overhead as cluster size grows",
+		Header: []string{"order", "machines", "total time", "undeployed"},
+	}
+	for _, row := range r.Rows {
+		a.AddRow(row.Order.String(), row.Machines,
+			row.Elapsed.Round(time.Millisecond).String(), row.Undeployed)
+	}
+	b := &Table{
+		Title:  "Fig 13(b): The cost of migration and preemption",
+		Header: []string{"order", "machines", "migrations", "consolidations", "preemptions", "migrated %"},
+	}
+	for _, row := range r.Rows {
+		// Percentage of total containers migrated to rescue
+		// placements (the paper reports ~1.7% worst case); the
+		// consolidation sweep is reported separately.
+		pct := 0.0
+		if row.Total > 0 {
+			pct = 100 * float64(row.Migrations) / float64(row.Total)
+		}
+		b.AddRow(row.Order.String(), row.Machines, row.Migrations,
+			row.Consolidations, row.Preempts, fmt.Sprintf("%.1f", pct))
+	}
+	return []*Table{a, b}
+}

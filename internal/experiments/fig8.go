@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aladdin/internal/stats"
+	"aladdin/internal/workload"
+)
+
+// Fig8Result reproduces the workload-features figure: the CDF of
+// container numbers per application (8a) and the constraint counts
+// (8b).
+type Fig8Result struct {
+	Stats workload.Stats
+	// CDF holds (replicas, cumulative apps) points for Fig. 8a.
+	CDF [][2]float64
+}
+
+// Fig8 computes workload features for the scale's trace.
+func Fig8(s Scale) *Fig8Result {
+	w := s.Workload()
+	st := w.ComputeStats()
+	cdf := stats.NewCDFInts(w.ReplicaCDF())
+	pts := cdf.Points(20)
+	// Express the y axis in application counts like the paper.
+	scaled := make([][2]float64, len(pts))
+	for i, p := range pts {
+		scaled[i] = [2]float64{p[0], p[1] * float64(st.Apps)}
+	}
+	return &Fig8Result{Stats: st, CDF: scaled}
+}
+
+// Tables renders Fig. 8a and 8b.
+func (r *Fig8Result) Tables() []*Table {
+	a := &Table{
+		Title:  "Fig 8(a): CDF of container numbers per application",
+		Header: []string{"containers/app ≤", "applications"},
+	}
+	for _, p := range r.CDF {
+		a.AddRow(fmt.Sprintf("%.0f", p[0]), fmt.Sprintf("%.0f", p[1]))
+	}
+	b := &Table{
+		Title:  "Fig 8(b): The number of constraints",
+		Header: []string{"type", "count", "fraction"},
+	}
+	st := r.Stats
+	frac := func(n int) string {
+		if st.Apps == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(n)/float64(st.Apps))
+	}
+	b.AddRow("Total applications", st.Apps, "100%")
+	b.AddRow("Applications with anti-affinity", st.AntiAffinityApps, frac(st.AntiAffinityApps))
+	b.AddRow("Applications with priority", st.PriorityApps, frac(st.PriorityApps))
+	b.AddRow("Total containers", st.Containers, "-")
+	b.AddRow("Single-instance applications", st.SingleInstanceApps, frac(st.SingleInstanceApps))
+	b.AddRow("Applications with <50 containers", st.AppsUnder50, frac(st.AppsUnder50))
+	b.AddRow("Applications with >2000 containers", st.AppsOver2000, frac(st.AppsOver2000))
+	b.AddRow("Max demand", st.MaxDemand.String(), "-")
+	return []*Table{a, b}
+}

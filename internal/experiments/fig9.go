@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aladdin/internal/core"
+	"aladdin/internal/firmament"
+	"aladdin/internal/gokube"
+	"aladdin/internal/medea"
+	"aladdin/internal/sched"
+	"aladdin/internal/sim"
+	"aladdin/internal/workload"
+)
+
+// fig9Panel mirrors one subfigure of Fig. 9: a Firmament reschd
+// value, a Medea weight triple and an Aladdin weight base evaluated
+// side by side against Go-Kube.
+type fig9Panel struct {
+	Label      string
+	Reschd     int
+	Medea      medea.Weights
+	AladdinW   int64
+	Schedulers []string
+}
+
+// panels reproduces the parameterisation of Fig. 9(a)–(d).
+func fig9Panels() []fig9Panel {
+	return []fig9Panel{
+		{Label: "a", Reschd: 1, Medea: medea.Weights{A: 1, B: 1, C: 1}, AladdinW: 16},
+		{Label: "b", Reschd: 2, Medea: medea.Weights{A: 1, B: 1, C: 0.5}, AladdinW: 32},
+		{Label: "c", Reschd: 4, Medea: medea.Weights{A: 1, B: 1, C: 0}, AladdinW: 64},
+		{Label: "d", Reschd: 8, Medea: medea.Weights{A: 1, B: 0.5, C: 0.5}, AladdinW: 128},
+	}
+}
+
+// Fig9Row is one bar of a Fig. 9 panel.
+type Fig9Row struct {
+	Panel               string
+	Scheduler           string
+	UndeployedPercent   float64
+	ViolationsWithin    int
+	ViolationsAcross    int
+	AntiAffinityRatio   float64
+	TotalViolations     int
+	ViolatingContainers int
+	UndeployedAbsolute  int
+}
+
+// Fig9Result aggregates all panels plus the Fig. 9(e) ratio data.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 runs the placement-quality experiment.
+func Fig9(s Scale) (*Fig9Result, error) {
+	w := s.Workload()
+	var configs []sim.Config
+	var panelOf []string
+	add := func(panel string, sch sched.Scheduler) {
+		// Interleaved arrivals: all LLAs submit simultaneously, the
+		// regime the paper evaluates ("massive LLAs arrive
+		// simultaneously").
+		configs = append(configs, sim.Config{
+			Scheduler: sch,
+			Workload:  w,
+			Machines:  s.Machines,
+			Order:     workload.OrderInterleaved,
+		})
+		panelOf = append(panelOf, panel)
+	}
+	for _, p := range fig9Panels() {
+		add(p.Label, gokube.NewDefault())
+		add(p.Label, firmament.New(firmament.Options{Model: firmament.Trivial, Reschd: p.Reschd}))
+		add(p.Label, firmament.New(firmament.Options{Model: firmament.Quincy, Reschd: p.Reschd}))
+		add(p.Label, firmament.New(firmament.Options{Model: firmament.Octopus, Reschd: p.Reschd}))
+		add(p.Label, medea.New(medea.Options{Weights: p.Medea}))
+		opts := core.DefaultOptions()
+		opts.WeightBase = p.AladdinW
+		add(p.Label, core.New(opts))
+	}
+	ms, err := sim.RunAll(configs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{}
+	for i, m := range ms {
+		res.Rows = append(res.Rows, Fig9Row{
+			Panel:               panelOf[i],
+			Scheduler:           m.Scheduler,
+			UndeployedPercent:   m.UndeployedFraction * 100,
+			ViolationsWithin:    m.ViolationsWithin,
+			ViolationsAcross:    m.ViolationsAcross,
+			AntiAffinityRatio:   m.AntiAffinityRatio() * 100,
+			TotalViolations:     m.TotalViolations(),
+			ViolatingContainers: m.ViolatingContainers,
+			UndeployedAbsolute:  m.Total - m.Deployed,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders Fig. 9(a)-(d) and Fig. 9(e).
+func (r *Fig9Result) Tables() []*Table {
+	var out []*Table
+	for _, panel := range []string{"a", "b", "c", "d"} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 9(%s): Placement quality (undeployed containers)", panel),
+			Header: []string{"scheduler", "undeployed %", "undeployed", "violating pairs", "violating containers"},
+		}
+		for _, row := range r.Rows {
+			if row.Panel != panel {
+				continue
+			}
+			t.AddRow(row.Scheduler, fmt.Sprintf("%.1f", row.UndeployedPercent),
+				row.UndeployedAbsolute, row.TotalViolations, row.ViolatingContainers)
+		}
+		out = append(out, t)
+	}
+	e := &Table{
+		Title:  "Fig 9(e): Ratio of anti-affinity failures to total constraint failures",
+		Header: []string{"scheduler", "anti-affinity %", "violations", "undeployed"},
+	}
+	for _, row := range r.Rows {
+		if row.TotalViolations+row.UndeployedAbsolute == 0 {
+			continue
+		}
+		e.AddRow(row.Scheduler, fmt.Sprintf("%.0f", row.AntiAffinityRatio),
+			row.TotalViolations, row.UndeployedAbsolute)
+	}
+	out = append(out, e)
+	return out
+}
+
+// AladdinRows filters the Aladdin entries (used by tests asserting
+// the headline zero-violation claim).
+func (r *Fig9Result) AladdinRows() []Fig9Row {
+	var out []Fig9Row
+	for _, row := range r.Rows {
+		if len(row.Scheduler) >= 7 && row.Scheduler[:7] == "Aladdin" {
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// HeteroRow is one scheduler's outcome on the heterogeneous cluster.
+type HeteroRow struct {
+	Scheduler    string
+	Undeployed   int
+	Violations   int
+	UsedMachines int
+	MeanUtil     float64
+	Elapsed      time.Duration
+}
+
+// HeteroResult is the future-work extension experiment (§VII: "We
+// will extend the flow-based model to support heterogeneous
+// workloads"): the same trace scheduled onto a three-generation
+// cluster.  The flow model needs no change — per-machine capacity
+// vectors already carry heterogeneity — so this measures how well
+// each scheduler exploits mixed hardware.
+type HeteroResult struct {
+	Rows    []HeteroRow
+	Classes []resource.Vector
+}
+
+// Hetero runs the heterogeneous-cluster extension experiment.  The
+// cluster has the same total CPU as the scale's homogeneous one,
+// split across three machine generations.
+func Hetero(s Scale) (*HeteroResult, error) {
+	w := s.Workload()
+	// Same total CPU as s.Machines 32-core machines: big machines are
+	// double, old machines half.
+	big := s.Machines / 8
+	old := s.Machines / 4
+	std := s.Machines - big*2 - old/2
+	if std < 1 {
+		std = 1
+	}
+	build := func() (*topology.Cluster, error) {
+		return topology.NewHeterogeneous(topology.HeteroConfig{
+			Classes: []topology.MachineClass{
+				{Name: "gen3-64c", Count: big, Capacity: resource.Cores(64, 128*1024)},
+				{Name: "gen2-32c", Count: std, Capacity: resource.Cores(32, 64*1024)},
+				{Name: "gen1-16c", Count: old, Capacity: resource.Cores(16, 32*1024)},
+			},
+			MachinesPerRack: 16,
+			RacksPerCluster: 8,
+		})
+	}
+	res := &HeteroResult{}
+	for _, sch := range contenders() {
+		cl, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if res.Classes == nil {
+			res.Classes = cl.Classes()
+		}
+		r, err := runOn(sch, w, cl)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	return res, nil
+}
+
+func runOn(sch sched.Scheduler, w *workload.Workload, cl *topology.Cluster) (HeteroRow, error) {
+	r, err := sch.Schedule(w, cl, w.Arrange(workload.OrderInterleaved))
+	if err != nil {
+		return HeteroRow{}, err
+	}
+	if err := r.Verify(w, cl); err != nil {
+		return HeteroRow{}, err
+	}
+	_, mean, _ := cl.UtilizationRange()
+	return HeteroRow{
+		Scheduler:    r.Scheduler,
+		Undeployed:   len(r.Undeployed),
+		Violations:   r.ViolationSummary().Total(),
+		UsedMachines: cl.UsedMachines(),
+		MeanUtil:     mean,
+		Elapsed:      r.Elapsed,
+	}, nil
+}
+
+// Tables renders the extension experiment.
+func (r *HeteroResult) Tables() []*Table {
+	t := &Table{
+		Title:  "Extension: heterogeneous cluster (3 machine generations)",
+		Header: []string{"scheduler", "undeployed", "violations", "used machines", "mean util", "time"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheduler, row.Undeployed, row.Violations, row.UsedMachines,
+			fmt.Sprintf("%.0f%%", row.MeanUtil*100),
+			row.Elapsed.Round(time.Millisecond).String())
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/sim"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// ScalabilityRow is one (trace size, cluster size) measurement of
+// Aladdin with the workload/cluster ratio held constant.
+type ScalabilityRow struct {
+	Containers int
+	Machines   int
+	Elapsed    time.Duration
+	// WorkUnits is the deterministic effort counter (machine vertices
+	// explored); unlike Elapsed it is immune to machine noise, so the
+	// linearity claim is asserted on it.
+	WorkUnits  int64
+	PerUnit    float64 // WorkUnits per container
+	Undeployed int
+}
+
+// ScalabilityResult checks the §IV.D complexity claim: Aladdin's
+// average cost is O(V·E·c), so with the cluster scaled alongside the
+// trace the *per-container* work grows proportionally to the machine
+// count (E) and the *total* work stays within the stated average
+// bound — no quadratic-in-E blowup from the un-optimised O(V·E²·c)
+// worst case.
+type ScalabilityResult struct {
+	Rows []ScalabilityRow
+}
+
+// Scalability runs Aladdin across doubling trace sizes.
+func Scalability(s Scale) (*ScalabilityResult, error) {
+	res := &ScalabilityResult{}
+	// Four doublings ending at the scale's own size.
+	factors := []int{s.TraceFactor * 8, s.TraceFactor * 4, s.TraceFactor * 2, s.TraceFactor}
+	machines := []int{s.Machines / 8, s.Machines / 4, s.Machines / 2, s.Machines}
+	for i, f := range factors {
+		if machines[i] < 8 {
+			continue
+		}
+		w := trace.MustGenerate(trace.Scaled(s.Seed, f))
+		m, err := sim.Run(sim.Config{
+			Scheduler: core.NewDefault(),
+			Workload:  w,
+			Machines:  machines[i],
+			Order:     workload.OrderInterleaved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := ScalabilityRow{
+			Containers: m.Total,
+			Machines:   machines[i],
+			Elapsed:    m.Elapsed,
+			WorkUnits:  m.WorkUnits,
+			Undeployed: m.Total - m.Deployed,
+		}
+		if m.Total > 0 {
+			row.PerUnit = float64(m.WorkUnits) / float64(m.Total)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Tables renders the scaling series.
+func (r *ScalabilityResult) Tables() []*Table {
+	t := &Table{
+		Title:  "Scalability: Aladdin work vs trace size (constant load ratio)",
+		Header: []string{"containers", "machines", "work units", "units/container", "time", "undeployed"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Containers, row.Machines, row.WorkUnits,
+			fmt.Sprintf("%.1f", row.PerUnit),
+			row.Elapsed.Round(time.Millisecond).String(), row.Undeployed)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V): workload features (Fig. 8), placement
+// quality (Fig. 9), resource efficiency (Fig. 10–11), placement
+// latency (Fig. 12) and algorithm overhead (Fig. 13), plus the
+// ablations DESIGN.md calls out.  Each experiment returns structured
+// rows and renders as a text table so `cmd/experiments` can print the
+// same series the paper plots.
+package experiments
+
+import (
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// Scale fixes the experiment size.  The paper's full scale (10,000
+// machines, ~100,000 containers) is expensive on a laptop; scaled
+// variants shrink the trace and the cluster together so every ratio
+// (containers per machine, constraint pressure) is preserved.
+type Scale struct {
+	// Name labels outputs.
+	Name string
+	// TraceFactor divides the Alibaba trace (1 = full).
+	TraceFactor int
+	// Machines is the cluster size for the fixed-size experiments
+	// (Fig. 9, 10, 11); the paper uses 10,000.
+	Machines int
+	// MachineSweep is the x axis of Fig. 12 and Fig. 13.
+	MachineSweep []int
+	// Seed drives the synthetic trace.
+	Seed int64
+	// Workers bounds parallel simulation runs (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Small is the CI-friendly scale (~1,000 containers, 128 machines —
+// the paper's ~10 containers/machine pressure preserved).
+func Small() Scale {
+	return Scale{
+		Name:         "small",
+		TraceFactor:  100,
+		Machines:     128,
+		MachineSweep: []int{32, 64, 96, 128},
+		Seed:         42,
+	}
+}
+
+// Medium is the default CLI scale (~10,000 containers, 1,024
+// machines) — a faithful 1:10 shrink of the paper's setting.
+func Medium() Scale {
+	return Scale{
+		Name:         "medium",
+		TraceFactor:  10,
+		Machines:     1024,
+		MachineSweep: []int{128, 256, 512, 1024},
+		Seed:         42,
+	}
+}
+
+// Full is the paper's own scale (~100,000 containers, 10,000
+// machines).  Expect multi-minute runtimes.
+func Full() Scale {
+	return Scale{
+		Name:         "full",
+		TraceFactor:  1,
+		Machines:     10000,
+		MachineSweep: []int{1000, 2000, 4000, 8000, 10000},
+		Seed:         42,
+	}
+}
+
+// Workload generates (once per call) the scale's synthetic trace.
+func (s Scale) Workload() *workload.Workload {
+	return trace.MustGenerate(trace.Scaled(s.Seed, s.TraceFactor))
+}

@@ -1,0 +1,526 @@
+// Package firmament reimplements the Firmament baseline (Gog et al.,
+// OSDI 2016) as the paper evaluates it: centralized flow-based
+// scheduling where each round solves a min-cost max-flow over a
+// bipartite task→machine network, with three of Firmament's cost
+// models (TRIVIAL, QUINCY, OCTOPUS, Table I).
+//
+// Firmament's flow network cannot express anti-affinity (its capacity
+// function is one-dimensional and linear, §III.A), so constraints are
+// handled by the multi-round mechanism with a timeout (§I): each round
+// places tasks obliviously, then a conflict detector picks up to
+// reschd(i) conflicting containers per machine to evict and
+// re-schedule next round.  When the round budget (the timeout)
+// expires, unresolved conflicts remain as violations and bouncing
+// tasks remain undeployed — the behaviour Fig. 9 quantifies.
+package firmament
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/flow"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// CostModel selects Firmament's arc-cost policy.
+type CostModel int
+
+const (
+	// Trivial always schedules when resources are idle, preferring
+	// the most packed machine (minimise used machines).
+	Trivial CostModel = iota
+	// Quincy is the original Quincy cost model: prefer machines that
+	// are cheap to reach (here: rack locality with the app's other
+	// containers) and lightly loaded.
+	Quincy
+	// Octopus load-balances on container counts.
+	Octopus
+)
+
+// String names the cost model as the paper does.
+func (c CostModel) String() string {
+	switch c {
+	case Trivial:
+		return "TRIVIAL"
+	case Quincy:
+		return "QUINCY"
+	case Octopus:
+		return "OCTOPUS"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options configures a Firmament instance.
+type Options struct {
+	// Model is the cost model.
+	Model CostModel
+	// Reschd is the paper's reschd(i): the maximum number of
+	// containers rescheduled per machine when a conflict is detected
+	// (evaluated at 1, 2, 4, 8).
+	Reschd int
+	// MaxRounds is the multi-round timeout; 0 means the default of
+	// 3·Reschd+4 rounds, which scales the effort with the knob the
+	// way the paper's timeout does.
+	MaxRounds int
+	// CandidatesPerTask bounds the arcs from each task into the
+	// machine tier; 0 means the default of 4 (Firmament keeps its
+	// network sparse through aggregators similarly).
+	CandidatesPerTask int
+	// ChunkSize bounds how many tasks share one flow solve; 0 means
+	// the default of 512.
+	ChunkSize int
+	// UseDijkstraSolver switches the per-chunk min-cost solver from
+	// the SPFA successive-shortest-path (the family the paper names)
+	// to the Dijkstra-with-potentials variant; identical results,
+	// different constants.
+	UseDijkstraSolver bool
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	// The timeout scales with the rescheduling knob: reschd(8) gets a
+	// far larger budget than reschd(1), which is what separates the
+	// Fig. 9 curves.
+	return 4*o.Reschd + 8
+}
+
+func (o Options) candidates() int {
+	if o.CandidatesPerTask > 0 {
+		return o.CandidatesPerTask
+	}
+	return 4
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return 128
+}
+
+// Scheduler is the Firmament baseline.
+type Scheduler struct {
+	opts Options
+}
+
+// New builds a Firmament scheduler; Reschd below 1 is raised to 1.
+func New(opts Options) *Scheduler {
+	if opts.Reschd < 1 {
+		opts.Reschd = 1
+	}
+	return &Scheduler{opts: opts}
+}
+
+// Name implements sched.Scheduler: e.g. "Firmament-QUINCY(8)".
+func (s *Scheduler) Name() string {
+	return fmt.Sprintf("Firmament-%s(%d)", s.opts.Model, s.opts.Reschd)
+}
+
+// state tracks one scheduling run.
+type state struct {
+	w       *workload.Workload
+	cluster *topology.Cluster
+	byID    map[string]*workload.Container
+	asg     constraint.Assignment
+	// tried[app] records machines where the app already hit a
+	// conflict: re-submitting another container of the same app there
+	// is pointless because the blocker is app-level (a sibling or an
+	// anti-affine partner), and this is what lets the multi-round
+	// mechanism converge instead of ping-ponging isomorphic siblings
+	// across the same hotspots.
+	tried map[string]map[topology.MachineID]bool
+	// appRacks tracks racks hosting each app (QUINCY locality).
+	appRacks map[string]map[string]int
+}
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
+	start := time.Now()
+	st := &state{
+		w:        w,
+		cluster:  cluster,
+		byID:     make(map[string]*workload.Container, w.NumContainers()),
+		asg:      make(constraint.Assignment, len(arrivals)),
+		tried:    make(map[string]map[topology.MachineID]bool),
+		appRacks: make(map[string]map[string]int),
+	}
+	for _, c := range w.Containers() {
+		st.byID[c.ID] = c
+	}
+
+	pending := make([]*workload.Container, len(arrivals))
+	copy(pending, arrivals)
+
+	maxRounds := s.opts.maxRounds()
+	for round := 0; round < maxRounds && len(pending) > 0; round++ {
+		// Phase 1: flow-solve the pending tasks (oblivious to
+		// anti-affinity — the linear capacity cannot see it).
+		placedAny := s.solveRound(st, pending)
+
+		// Phase 2: conflict detection and rescheduling selection.
+		// Skipped on the last round: evicting with no chance to
+		// re-place would only strand containers.
+		var evicted []*workload.Container
+		if round < maxRounds-1 {
+			evicted = s.resolveConflicts(st)
+		}
+
+		// Next round's pending: tasks the solver failed plus evicted.
+		var next []*workload.Container
+		for _, c := range pending {
+			if _, ok := st.asg[c.ID]; !ok {
+				next = append(next, c)
+			}
+		}
+		next = append(next, evicted...)
+		if !placedAny && len(evicted) == 0 {
+			pending = next
+			break // no progress possible; timeout early
+		}
+		pending = next
+	}
+
+	// Final cleanup: at timeout, Firmament leaves a task unscheduled
+	// rather than violating its constraints (Fig. 1b — "S0 is
+	// unscheduled to avoid anti-affinity constraints").  Any residual
+	// conflicting placements are evicted and counted undeployed.
+	stranded := s.finalCleanup(st)
+
+	var undeployed []string
+	seen := map[string]bool{}
+	for _, c := range append(pending, stranded...) {
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			undeployed = append(undeployed, c.ID)
+		}
+	}
+	res := &sched.Result{
+		Scheduler:  s.Name(),
+		Assignment: st.asg,
+		Undeployed: undeployed,
+		Elapsed:    time.Since(start),
+	}
+	res.Finalize(w)
+	return res, nil
+}
+
+// solveRound runs the min-cost max-flow over the pending tasks in
+// chunks and applies resulting placements (resource-checked).
+// Returns whether any task was placed.
+func (s *Scheduler) solveRound(st *state, pending []*workload.Container) bool {
+	placedAny := false
+	chunk := s.opts.chunkSize()
+	for lo := 0; lo < len(pending); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		if s.solveChunk(st, pending[lo:hi]) {
+			placedAny = true
+		}
+	}
+	return placedAny
+}
+
+// solveChunk builds the bipartite flow network for one chunk of tasks
+// and extracts placements from the min-cost solution.
+func (s *Scheduler) solveChunk(st *state, tasks []*workload.Container) bool {
+	machines := st.cluster.Machines()
+	// Node layout: 0 = source, 1 = sink, then tasks, then machines
+	// (only machines that receive arcs).  Tasks the max-flow cannot
+	// route stay pending for the next round — equivalent to routing
+	// them through Firmament's unscheduled aggregator, without paying
+	// an SPFA run per unscheduled task.
+	g := flow.NewGraph(2)
+	const (
+		src  = flow.NodeID(0)
+		sink = flow.NodeID(1)
+	)
+
+	taskNode := make([]flow.NodeID, len(tasks))
+	machNode := make(map[topology.MachineID]flow.NodeID)
+	type placementArc struct {
+		arc  int
+		task int
+		m    topology.MachineID
+	}
+	var placementArcs []placementArc
+
+	// Slots per machine in whole-core units (resource fit is
+	// re-checked at apply time; the slot count only shapes the flow).
+	// The per-round cap keeps one cheap machine from absorbing a
+	// whole wave of isomorphic tasks in a single solve, mirroring how
+	// Firmament's incremental solver interleaves placements.
+	slots := func(m *topology.Machine) int64 {
+		sl := m.Free().Dim(resource.CPU) / 1000
+		if sl > 8 {
+			sl = 8
+		}
+		return sl
+	}
+
+	type cand struct {
+		m    topology.MachineID
+		cost int64
+		rot  int
+	}
+	k := s.opts.candidates()
+	cands := make([]cand, 0, k+1)
+	for ti, c := range tasks {
+		taskNode[ti] = g.AddNode()
+		g.MustAddArc(src, taskNode[ti], 1, 0)
+
+		// Select the k cheapest candidate machines in one pass
+		// (lowest machine ID on ties, like the solver's deterministic
+		// arc order).
+		tried := st.tried[c.App]
+		costFn := s.costFor(st, c)
+		cands = cands[:0]
+		for _, m := range machines {
+			if !m.Fits(c.Demand) {
+				continue
+			}
+			if tried != nil && tried[m.ID] {
+				continue
+			}
+			nc := cand{m: m.ID, cost: costFn(m), rot: int(m.ID)}
+			// Insertion into the bounded best-k list.
+			pos := len(cands)
+			for pos > 0 {
+				prev := cands[pos-1]
+				if prev.cost < nc.cost || (prev.cost == nc.cost && prev.rot <= nc.rot) {
+					break
+				}
+				pos--
+			}
+			if pos >= k {
+				continue
+			}
+			if len(cands) < k {
+				cands = append(cands, cand{})
+			}
+			copy(cands[pos+1:], cands[pos:])
+			cands[pos] = nc
+		}
+		for _, cd := range cands {
+			mn, ok := machNode[cd.m]
+			if !ok {
+				mn = g.AddNode()
+				machNode[cd.m] = mn
+				machine := st.cluster.Machine(cd.m)
+				sl := slots(machine)
+				if s.opts.Model == Octopus {
+					// Convex per-unit cost on the machine→sink arcs:
+					// each additional task on the same machine costs
+					// more, so the min-cost solution load-balances —
+					// the flow-network encoding of OCTOPUS.
+					base := int64(machine.NumContainers())
+					for j := int64(0); j < sl; j++ {
+						g.MustAddArc(mn, sink, 1, (base+j)*10)
+					}
+				} else {
+					g.MustAddArc(mn, sink, sl, 0)
+				}
+			}
+			idx := g.MustAddArc(taskNode[ti], mn, 1, cd.cost)
+			placementArcs = append(placementArcs, placementArc{arc: idx, task: ti, m: cd.m})
+		}
+	}
+
+	solve := flow.MinCostMaxFlow
+	if s.opts.UseDijkstraSolver {
+		solve = flow.MinCostMaxFlowDijkstra
+	}
+	if _, _, err := solve(g, src, sink); err != nil {
+		// Costs are non-negative; this cannot happen, but fail safe
+		// by scheduling nothing this chunk.
+		return false
+	}
+
+	// Extract placements: task→machine arcs carrying flow.  Apply in
+	// deterministic arc order with a real resource check.
+	placed := false
+	for _, pa := range placementArcs {
+		if g.Arc(pa.arc).Flow() <= 0 {
+			continue
+		}
+		c := tasks[pa.task]
+		if _, already := st.asg[c.ID]; already {
+			continue
+		}
+		m := st.cluster.Machine(pa.m)
+		if !m.Fits(c.Demand) {
+			continue // slot estimate over-admitted; retry next round
+		}
+		st.place(c, pa.m)
+		placed = true
+	}
+	return placed
+}
+
+// costFor returns the per-machine arc cost function for one task
+// under the configured cost model, with per-task state hoisted out of
+// the machine loop.
+func (s *Scheduler) costFor(st *state, c *workload.Container) func(*topology.Machine) int64 {
+	switch s.opts.Model {
+	case Trivial:
+		// Most packed machine first: cost = remaining free CPU after
+		// placement.
+		demand := c.Demand
+		return func(m *topology.Machine) int64 {
+			return m.Free().Sub(demand).Dim(resource.CPU)
+		}
+	case Octopus:
+		// Balance container counts.
+		return func(m *topology.Machine) int64 {
+			return int64(m.NumContainers())
+		}
+	case Quincy:
+		// Locality: cheap if the app already runs in this rack, plus
+		// a load term (the Quincy cost of crossing the aggregator).
+		racks := st.appRacks[c.App]
+		return func(m *topology.Machine) int64 {
+			cost := int64(1000)
+			if racks != nil && racks[m.Rack] > 0 {
+				cost = 100
+			}
+			return cost + int64(m.NumContainers())*10
+		}
+	default:
+		return func(*topology.Machine) int64 { return 0 }
+	}
+}
+
+func (st *state) place(c *workload.Container, mid topology.MachineID) {
+	if err := st.cluster.Machine(mid).Allocate(c.ID, c.Demand); err != nil {
+		panic("firmament: place: " + err.Error())
+	}
+	st.asg[c.ID] = mid
+	racks := st.appRacks[c.App]
+	if racks == nil {
+		racks = make(map[string]int)
+		st.appRacks[c.App] = racks
+	}
+	racks[st.cluster.Machine(mid).Rack]++
+}
+
+func (st *state) evict(c *workload.Container, mid topology.MachineID) {
+	if _, err := st.cluster.Machine(mid).Release(c.ID); err != nil {
+		panic("firmament: evict: " + err.Error())
+	}
+	delete(st.asg, c.ID)
+	rack := st.cluster.Machine(mid).Rack
+	if racks := st.appRacks[c.App]; racks != nil {
+		if racks[rack] > 0 {
+			racks[rack]--
+		}
+	}
+	tried := st.tried[c.App]
+	if tried == nil {
+		tried = make(map[topology.MachineID]bool)
+		st.tried[c.App] = tried
+	}
+	tried[mid] = true
+}
+
+// conflictDegrees returns, for machine m, each hosted container's
+// count of anti-affinity conflicts with co-hosted containers.
+func (st *state) conflictDegrees(m *topology.Machine) map[string]int {
+	ids := m.ContainerIDs()
+	if len(ids) < 2 {
+		return nil
+	}
+	deg := make(map[string]int)
+	for i := 0; i < len(ids); i++ {
+		a := st.byID[ids[i]]
+		if a == nil {
+			continue
+		}
+		for j := i + 1; j < len(ids); j++ {
+			b := st.byID[ids[j]]
+			if b == nil {
+				continue
+			}
+			conflict := false
+			if a.App == b.App {
+				conflict = st.w.AntiAffine(a.App, a.App)
+			} else {
+				conflict = st.w.AntiAffine(a.App, b.App)
+			}
+			if conflict {
+				deg[a.ID]++
+				deg[b.ID]++
+			}
+		}
+	}
+	if len(deg) == 0 {
+		return nil
+	}
+	return deg
+}
+
+// finalCleanup evicts, machine by machine, the highest-conflict
+// containers until no anti-affinity conflict remains.  The evicted
+// containers are stranded (undeployed).
+func (s *Scheduler) finalCleanup(st *state) []*workload.Container {
+	var stranded []*workload.Container
+	for _, m := range st.cluster.Machines() {
+		for {
+			c := st.worstConflicting(m)
+			if c == nil {
+				break
+			}
+			st.evict(c, m.ID)
+			stranded = append(stranded, c)
+		}
+	}
+	return stranded
+}
+
+// resolveConflicts scans machines for anti-affinity conflicts and
+// evicts up to reschd(i) involved containers per machine for
+// rescheduling, preferring the containers involved in the most
+// conflicts (a simple policy — the paper notes Firmament's selection
+// struggles to reach global objectives).
+func (s *Scheduler) resolveConflicts(st *state) []*workload.Container {
+	var evicted []*workload.Container
+	for _, m := range st.cluster.Machines() {
+		// Evict the highest-degree container, then recompute: this
+		// never evicts a container whose conflicts were already
+		// cleared, so every eviction leaves at least one conflict
+		// partner behind — which is exactly what justifies marking
+		// the machine as tried for the evicted app.
+		for k := 0; k < s.opts.Reschd; k++ {
+			c := st.worstConflicting(m)
+			if c == nil {
+				break
+			}
+			st.evict(c, m.ID)
+			evicted = append(evicted, c)
+		}
+	}
+	return evicted
+}
+
+// worstConflicting returns the highest-conflict-degree container on
+// the machine, or nil when the machine is conflict-free.
+func (st *state) worstConflicting(m *topology.Machine) *workload.Container {
+	deg := st.conflictDegrees(m)
+	if deg == nil {
+		return nil
+	}
+	worstID, worst := "", -1
+	for id, d := range deg {
+		if d > worst || (d == worst && id < worstID) {
+			worstID, worst = id, d
+		}
+	}
+	return st.byID[worstID]
+}

@@ -1,0 +1,188 @@
+package firmament
+
+import (
+	"strings"
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func cluster(n int) *topology.Cluster {
+	return topology.New(topology.Config{
+		Machines: n, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+}
+
+func run(t *testing.T, s *Scheduler, w *workload.Workload, cl *topology.Cluster) *sched.Result {
+	t.Helper()
+	res, err := s.Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(w, cl); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Model: Trivial, Reschd: 1}, "Firmament-TRIVIAL(1)"},
+		{Options{Model: Quincy, Reschd: 8}, "Firmament-QUINCY(8)"},
+		{Options{Model: Octopus, Reschd: 4}, "Firmament-OCTOPUS(4)"},
+	}
+	for _, c := range cases {
+		if got := New(c.opts).Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(CostModel(99).String(), "UNKNOWN") {
+		t.Error("unknown cost model name")
+	}
+	if New(Options{Model: Trivial}).opts.Reschd != 1 {
+		t.Error("Reschd should be raised to 1")
+	}
+}
+
+func TestUnconstrainedPlacement(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 8},
+	})
+	for _, model := range []CostModel{Trivial, Quincy, Octopus} {
+		cl := cluster(4)
+		res := run(t, New(Options{Model: model, Reschd: 2}), w, cl)
+		if len(res.Undeployed) != 0 {
+			t.Errorf("%v: undeployed %v", model, res.Undeployed)
+		}
+	}
+}
+
+func TestTrivialPacks(t *testing.T) {
+	// TRIVIAL prefers packed machines: 8 one-core containers should
+	// land on one machine.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 8},
+	})
+	cl := cluster(8)
+	run(t, New(Options{Model: Trivial, Reschd: 1}), w, cl)
+	if used := cl.UsedMachines(); used != 1 {
+		t.Errorf("TRIVIAL should pack onto 1 machine, used %d", used)
+	}
+}
+
+func TestOctopusBalances(t *testing.T) {
+	// OCTOPUS balances container counts: 8 containers on 4 machines
+	// should use all 4.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 8},
+	})
+	cl := cluster(4)
+	run(t, New(Options{Model: Octopus, Reschd: 1}), w, cl)
+	if used := cl.UsedMachines(); used != 4 {
+		t.Errorf("OCTOPUS should touch all 4 machines, used %d", used)
+	}
+}
+
+func TestConflictResolutionEventuallyResolves(t *testing.T) {
+	// Two spread replicas forced to conflict in round 1 (TRIVIAL
+	// packs them together); the multi-round mechanism must separate
+	// them.
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 2, AntiAffinitySelf: true},
+	})
+	cl := cluster(2)
+	res := run(t, New(Options{Model: Trivial, Reschd: 1}), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Errorf("undeployed: %v", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("conflict not resolved: %+v", s)
+	}
+}
+
+func TestObliviousFirstRoundCausesChurnOrViolations(t *testing.T) {
+	// A heavily constrained workload on a trace: Firmament with
+	// reschd(1) should strand containers (undeployed) and/or leave
+	// violations — the Fig. 9 failure mode — while reschd(8) does
+	// strictly better on undeployed+violations.
+	w := trace.MustGenerate(trace.Scaled(21, 100))
+	cl1, cl8 := cluster(256), cluster(256)
+	res1 := run(t, New(Options{Model: Quincy, Reschd: 1}), w, cl1)
+	res8 := run(t, New(Options{Model: Quincy, Reschd: 8}), w, cl8)
+	bad1 := len(res1.Undeployed) + res1.ViolationSummary().Total()
+	bad8 := len(res8.Undeployed) + res8.ViolationSummary().Total()
+	if bad1 == 0 {
+		t.Log("note: reschd(1) fully scheduled this trace")
+	}
+	if bad8 > bad1 {
+		t.Errorf("reschd(8) should not be worse: %d vs %d", bad8, bad1)
+	}
+}
+
+func TestTimeoutLeavesWorkUndone(t *testing.T) {
+	// With a tiny round budget, conflicts cannot all resolve.
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 6, AntiAffinitySelf: true},
+	})
+	cl := cluster(8)
+	res := run(t, New(Options{Model: Trivial, Reschd: 1, MaxRounds: 1}), w, cl)
+	if len(res.Undeployed)+res.ViolationSummary().Total() == 0 {
+		t.Error("one round of TRIVIAL on a spread app should leave conflicts or undeployed")
+	}
+}
+
+func TestInfeasibleStaysUndeployed(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "whale", Demand: resource.Cores(64, 1024), Replicas: 1},
+	})
+	cl := cluster(2)
+	res := run(t, New(Options{Model: Quincy, Reschd: 2}), w, cl)
+	if len(res.Undeployed) != 1 {
+		t.Errorf("undeployed = %v", res.Undeployed)
+	}
+}
+
+func TestQuincyLocalityPreference(t *testing.T) {
+	// Quincy should co-locate an app's containers in the same rack
+	// when capacity allows.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(2, 2048), Replicas: 6},
+	})
+	cl := cluster(32) // 4 racks of 8
+	res := run(t, New(Options{Model: Quincy, Reschd: 2}), w, cl)
+	racks := map[string]int{}
+	for id, m := range res.Assignment {
+		_ = id
+		racks[cl.Machine(m).Rack]++
+	}
+	if len(racks) > 2 {
+		t.Errorf("QUINCY scattered across %d racks: %v", len(racks), racks)
+	}
+}
+
+func TestChunkedSolvesPlaceWell(t *testing.T) {
+	// The default chunked incremental solving must place nearly the
+	// whole trace on an amply sized cluster; a finer chunk (more
+	// frequent re-costing) must not be worse than the default by
+	// much.  (A single giant chunk degrades — costs go stale within
+	// one solve — which is exactly why Firmament solves
+	// incrementally.)
+	w := trace.MustGenerate(trace.Scaled(33, 300))
+	clA, clB := cluster(256), cluster(256)
+	resA := run(t, New(Options{Model: Octopus, Reschd: 4, ChunkSize: 32}), w, clA)
+	resB := run(t, New(Options{Model: Octopus, Reschd: 4}), w, clB)
+	if resB.UndeployedFraction() > 0.10 {
+		t.Errorf("default chunking undeployed fraction %.3f too high", resB.UndeployedFraction())
+	}
+	if diff := resA.UndeployedFraction() - resB.UndeployedFraction(); diff > 0.15 || diff < -0.15 {
+		t.Errorf("fine chunking diverges: %.3f vs %.3f", resA.UndeployedFraction(), resB.UndeployedFraction())
+	}
+}

@@ -1,0 +1,160 @@
+package firmament
+
+import (
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func newState(t *testing.T, w *workload.Workload, machines int) *state {
+	t.Helper()
+	st := &state{
+		w:        w,
+		cluster:  cluster(machines),
+		byID:     make(map[string]*workload.Container),
+		asg:      make(constraint.Assignment),
+		tried:    make(map[string]map[topology.MachineID]bool),
+		appRacks: make(map[string]map[string]int),
+	}
+	for _, c := range w.Containers() {
+		st.byID[c.ID] = c
+	}
+	return st
+}
+
+func conflictWorkload() *workload.Workload {
+	return workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 3, AntiAffinitySelf: true},
+		{ID: "other", Demand: resource.Cores(1, 1024), Replicas: 2, AntiAffinityApps: []string{"spread"}},
+		{ID: "free", Demand: resource.Cores(1, 1024), Replicas: 2},
+	})
+}
+
+func place(t *testing.T, st *state, id string, m topology.MachineID) {
+	t.Helper()
+	st.place(st.byID[id], m)
+}
+
+func TestConflictDegrees(t *testing.T) {
+	w := conflictWorkload()
+	st := newState(t, w, 2)
+	place(t, st, "spread/0", 0)
+	place(t, st, "spread/1", 0) // within conflict
+	place(t, st, "other/0", 0)  // across with both spreads
+	place(t, st, "free/0", 0)   // no conflicts
+
+	deg := st.conflictDegrees(st.cluster.Machine(0))
+	if deg == nil {
+		t.Fatal("conflicts expected")
+	}
+	// spread/0: vs spread/1 + other/0 = 2; spread/1 same; other/0: 2.
+	if deg["spread/0"] != 2 || deg["spread/1"] != 2 || deg["other/0"] != 2 {
+		t.Errorf("degrees = %v", deg)
+	}
+	if _, ok := deg["free/0"]; ok {
+		t.Error("free container should have no degree entry")
+	}
+	// Conflict-free machine returns nil.
+	if got := st.conflictDegrees(st.cluster.Machine(1)); got != nil {
+		t.Errorf("empty machine degrees = %v", got)
+	}
+}
+
+func TestWorstConflictingAndEvictMarksTried(t *testing.T) {
+	w := conflictWorkload()
+	st := newState(t, w, 2)
+	place(t, st, "spread/0", 0)
+	place(t, st, "spread/1", 0)
+	place(t, st, "other/0", 0)
+
+	c := st.worstConflicting(st.cluster.Machine(0))
+	if c == nil {
+		t.Fatal("worst conflicting expected")
+	}
+	st.evict(c, 0)
+	if !st.tried[c.App][0] {
+		t.Errorf("eviction should mark app %s tried on machine 0", c.App)
+	}
+	if _, ok := st.asg[c.ID]; ok {
+		t.Error("evicted container still assigned")
+	}
+}
+
+func TestFinalCleanupClearsAllConflicts(t *testing.T) {
+	w := conflictWorkload()
+	st := newState(t, w, 2)
+	place(t, st, "spread/0", 0)
+	place(t, st, "spread/1", 0)
+	place(t, st, "spread/2", 0)
+	place(t, st, "other/0", 0)
+	place(t, st, "free/0", 0)
+
+	s := New(Options{Model: Trivial, Reschd: 1})
+	stranded := s.finalCleanup(st)
+	if len(stranded) == 0 {
+		t.Fatal("cleanup should strand conflicting containers")
+	}
+	// After cleanup the machine must be conflict-free, and the
+	// non-conflicting container must survive.
+	if st.conflictDegrees(st.cluster.Machine(0)) != nil {
+		t.Error("conflicts remain after cleanup")
+	}
+	if _, ok := st.asg["free/0"]; !ok {
+		t.Error("cleanup evicted a non-conflicting container")
+	}
+	// Minimality-ish: at least one of the conflict group survives.
+	survivors := 0
+	for _, id := range []string{"spread/0", "spread/1", "spread/2", "other/0"} {
+		if _, ok := st.asg[id]; ok {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Error("cleanup should keep one container of the conflict group")
+	}
+}
+
+func TestQuincyLocalityTracking(t *testing.T) {
+	w := conflictWorkload()
+	st := newState(t, w, 4)
+	place(t, st, "free/0", 0)
+	rack := st.cluster.Machine(0).Rack
+	if st.appRacks["free"][rack] != 1 {
+		t.Errorf("appRacks = %v", st.appRacks)
+	}
+	st.evict(st.byID["free/0"], 0)
+	if st.appRacks["free"][rack] != 0 {
+		t.Errorf("appRacks after evict = %v", st.appRacks)
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	w := conflictWorkload()
+	st := newState(t, w, 16) // two racks of 8
+	c := st.byID["free/0"]
+	m0, m1 := st.cluster.Machine(0), st.cluster.Machine(1)
+	place(t, st, "free/1", 0) // load machine 0
+
+	sTriv := New(Options{Model: Trivial, Reschd: 1})
+	costFn := sTriv.costFor(st, c)
+	if !(costFn(m0) < costFn(m1)) {
+		t.Error("TRIVIAL should prefer (cost less) the more packed machine")
+	}
+	sOct := New(Options{Model: Octopus, Reschd: 1})
+	costFn = sOct.costFor(st, c)
+	if !(costFn(m1) < costFn(m0)) {
+		t.Error("OCTOPUS should prefer the emptier machine")
+	}
+	sQ := New(Options{Model: Quincy, Reschd: 1})
+	costFn = sQ.costFor(st, st.byID["free/0"])
+	// free already runs in machine 0's rack; machines in that rack
+	// are cheaper.
+	sameRack := costFn(m0)
+	other := costFn(st.cluster.Machine(8)) // different rack (8 per rack)
+	if !(sameRack < other) {
+		t.Errorf("QUINCY locality: same rack %d !< other %d", sameRack, other)
+	}
+}

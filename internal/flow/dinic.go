@@ -1,0 +1,83 @@
+package flow
+
+import "fmt"
+
+// Dinic computes the maximum s-t flow with Dinic's algorithm: BFS
+// level graphs plus blocking flows found by DFS with the current-arc
+// optimisation.  It is asymptotically stronger than Edmonds-Karp
+// (O(V²E) vs O(VE²)) and considerably faster on the wide, shallow
+// networks cluster scheduling produces; the solver-choice ablation
+// bench compares the two.
+func Dinic(g *Graph, s, t NodeID) (int64, error) {
+	if err := g.checkNode(s); err != nil {
+		return 0, err
+	}
+	if err := g.checkNode(t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, fmt.Errorf("flow: source equals sink (%d)", s)
+	}
+	n := g.NumNodes()
+	level := make([]int32, n)
+	iter := make([]int32, n)
+	queue := make([]NodeID, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.adj[v] {
+				a := &g.arcs[ai]
+				if a.Cap > 0 && level[a.To] == -1 {
+					level[a.To] = level[v] + 1
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		return level[t] != -1
+	}
+
+	var dfs func(v NodeID, limit int64) int64
+	dfs = func(v NodeID, limit int64) int64 {
+		if v == t {
+			return limit
+		}
+		for ; iter[v] < int32(len(g.adj[v])); iter[v]++ {
+			ai := g.adj[v][iter[v]]
+			a := &g.arcs[ai]
+			if a.Cap <= 0 || level[a.To] != level[v]+1 {
+				continue
+			}
+			d := limit
+			if a.Cap < d {
+				d = a.Cap
+			}
+			if pushed := dfs(a.To, d); pushed > 0 {
+				g.push(int(ai), pushed)
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	var total int64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(s, inf)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total, nil
+}

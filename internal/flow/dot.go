@@ -1,0 +1,49 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection:
+// arcs carrying flow are drawn solid and labelled "flow/cap@cost";
+// idle arcs are dashed.  Residual twins are omitted.  Node labels can
+// be customised via the optional name function.
+func WriteDOT(w io.Writer, g *Graph, name func(NodeID) string) error {
+	if name == nil {
+		name = func(v NodeID) string { return fmt.Sprintf("n%d", v) }
+	}
+	if _, err := fmt.Fprintln(w, "digraph flow {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR;"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(w, "  %d [label=%q];\n", v, name(NodeID(v))); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.ForwardArcs(func(idx int, a *Arc) {
+		if werr != nil {
+			return
+		}
+		style := "dashed"
+		if a.Flow() > 0 {
+			style = "solid"
+		}
+		total := a.Cap + a.Flow() // original capacity
+		label := fmt.Sprintf("%d/%d", a.Flow(), total)
+		if a.Cost != 0 {
+			label += fmt.Sprintf("@%d", a.Cost)
+		}
+		_, werr = fmt.Fprintf(w, "  %d -> %d [label=%q, style=%s];\n",
+			a.From, a.To, label, style)
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

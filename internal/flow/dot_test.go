@@ -1,0 +1,73 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph(3)
+	a := g.MustAddArc(0, 1, 5, 2)
+	g.MustAddArc(1, 2, 5, 0)
+	if err := AugmentPath(g, []int{a}, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, func(v NodeID) string {
+		return []string{"s", "mid", "t"}[v]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph flow {",
+		`label="s"`,
+		`label="mid"`,
+		`0 -> 1 [label="3/5@2", style=solid]`,
+		`1 -> 2 [label="0/5", style=dashed]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultNames(t *testing.T) {
+	g := NewGraph(2)
+	g.MustAddArc(0, 1, 1, 0)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="n0"`) {
+		t.Error("default names missing")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestWriteDOTPropagatesErrors(t *testing.T) {
+	g := NewGraph(2)
+	g.MustAddArc(0, 1, 1, 0)
+	for n := 1; n <= 5; n++ {
+		if err := WriteDOT(&failWriter{n: n}, g, nil); err == nil {
+			t.Errorf("expected error with failure at write %d", n)
+		}
+	}
+}

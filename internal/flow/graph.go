@@ -1,0 +1,141 @@
+// Package flow implements the directed flow-network substrate the
+// schedulers are built on: residual graphs, SPFA shortest paths,
+// Edmonds-Karp maximum flow and an SPFA-based minimum-cost maximum
+// flow (the solver family — "SPFA or Bellman-Ford", §IV.D — the paper
+// compares against and builds upon).
+//
+// Networks use adjacency lists with paired residual arcs: arc i and
+// arc i^1 are a forward/backward pair, the classic representation that
+// makes augmenting and cancelling flow O(1) per arc.
+package flow
+
+import "fmt"
+
+// NodeID indexes a vertex in a Graph.
+type NodeID int
+
+// Arc is one directed edge with residual bookkeeping.
+type Arc struct {
+	// From and To are the endpoints.
+	From, To NodeID
+	// Cap is the remaining (residual) capacity.
+	Cap int64
+	// Cost is the per-unit cost used by min-cost flow; plain max-flow
+	// ignores it.
+	Cost int64
+	// flow tracks units pushed across the original direction; the
+	// reverse arc holds the negation.
+	flow int64
+}
+
+// Flow returns the units currently routed through the arc.
+func (a *Arc) Flow() int64 { return a.flow }
+
+// Graph is a directed flow network.  The zero value is unusable; use
+// NewGraph.
+type Graph struct {
+	arcs []Arc
+	// adj[v] lists indexes into arcs for arcs leaving v (both forward
+	// and residual).
+	adj [][]int32
+}
+
+// NewGraph builds a graph with n vertices and no arcs.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumArcs returns the count of forward arcs (excluding residuals).
+func (g *Graph) NumArcs() int { return len(g.arcs) / 2 }
+
+// AddNode appends a vertex and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// AddArc inserts a forward arc and its zero-capacity residual twin,
+// returning the forward arc's index.  Capacity must be non-negative.
+func (g *Graph) AddArc(from, to NodeID, capacity, cost int64) (int, error) {
+	if err := g.checkNode(from); err != nil {
+		return 0, err
+	}
+	if err := g.checkNode(to); err != nil {
+		return 0, err
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("flow: negative capacity %d on arc %d->%d", capacity, from, to)
+	}
+	idx := len(g.arcs)
+	g.arcs = append(g.arcs,
+		Arc{From: from, To: to, Cap: capacity, Cost: cost},
+		Arc{From: to, To: from, Cap: 0, Cost: -cost},
+	)
+	g.adj[from] = append(g.adj[from], int32(idx))
+	g.adj[to] = append(g.adj[to], int32(idx+1))
+	return idx, nil
+}
+
+// MustAddArc is AddArc that panics on error, for construction code
+// whose inputs are known valid.
+func (g *Graph) MustAddArc(from, to NodeID, capacity, cost int64) int {
+	idx, err := g.AddArc(from, to, capacity, cost)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Arc returns the arc at the given index (forward arcs are even,
+// residual twins odd).
+func (g *Graph) Arc(idx int) *Arc { return &g.arcs[idx] }
+
+// SetCapacity replaces the remaining capacity of the arc at idx.  It
+// does not touch flow already routed; callers adjusting capacities
+// mid-solve are expected to know the invariant they need.
+func (g *Graph) SetCapacity(idx int, capacity int64) {
+	g.arcs[idx].Cap = capacity
+}
+
+// push routes delta units across arc idx, updating the residual twin.
+func (g *Graph) push(idx int, delta int64) {
+	g.arcs[idx].Cap -= delta
+	g.arcs[idx].flow += delta
+	g.arcs[idx^1].Cap += delta
+	g.arcs[idx^1].flow -= delta
+}
+
+// OutArcs returns the arc indexes (forward and residual) leaving v.
+func (g *Graph) OutArcs(v NodeID) []int32 { return g.adj[v] }
+
+// ForwardArcs iterates the forward arcs in insertion order.
+func (g *Graph) ForwardArcs(fn func(idx int, a *Arc)) {
+	for i := 0; i < len(g.arcs); i += 2 {
+		fn(i, &g.arcs[i])
+	}
+}
+
+// Excess returns, for each node, inflow minus outflow of routed flow.
+// For a feasible s-t flow every node except s and t must have zero
+// excess (Equation 2, flow conservation).
+func (g *Graph) Excess() []int64 {
+	ex := make([]int64, len(g.adj))
+	for i := 0; i < len(g.arcs); i += 2 {
+		a := &g.arcs[i]
+		ex[a.To] += a.flow
+		ex[a.From] -= a.flow
+	}
+	return ex
+}
+
+func (g *Graph) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= len(g.adj) {
+		return fmt.Errorf("flow: node %d out of range [0,%d)", v, len(g.adj))
+	}
+	return nil
+}
+
+const inf = int64(1) << 62

@@ -1,0 +1,179 @@
+package flow
+
+import "fmt"
+
+// MaxFlow computes the maximum s-t flow with Edmonds-Karp (BFS
+// augmenting paths over the residual graph).  It mutates the graph's
+// residual capacities and returns the total flow value.
+func MaxFlow(g *Graph, s, t NodeID) (int64, error) {
+	if err := g.checkNode(s); err != nil {
+		return 0, err
+	}
+	if err := g.checkNode(t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, fmt.Errorf("flow: source equals sink (%d)", s)
+	}
+	var total int64
+	parent := make([]int32, g.NumNodes()) // arc used to reach node
+	queue := make([]NodeID, 0, g.NumNodes())
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = append(queue[:0], s)
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.adj[v] {
+				a := &g.arcs[ai]
+				if a.Cap <= 0 || parent[a.To] != -1 {
+					continue
+				}
+				parent[a.To] = ai
+				if a.To == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, a.To)
+			}
+		}
+		if !found {
+			return total, nil
+		}
+		// Find bottleneck.
+		delta := inf
+		for v := t; v != s; {
+			ai := parent[v]
+			if g.arcs[ai].Cap < delta {
+				delta = g.arcs[ai].Cap
+			}
+			v = g.arcs[ai].From
+		}
+		// Augment.
+		for v := t; v != s; {
+			ai := parent[v]
+			g.push(int(ai), delta)
+			v = g.arcs[ai].From
+		}
+		total += delta
+	}
+}
+
+// SPFA computes single-source shortest path distances by arc Cost
+// over arcs with positive residual capacity, using the queue-based
+// Bellman-Ford variant the paper names (§II.B).  It returns the
+// distance slice and, for each node, the arc index used to reach it
+// (-1 when unreachable).  Negative arc costs are allowed; negative
+// cycles reachable from s cause an error.
+func SPFA(g *Graph, s NodeID) (dist []int64, via []int32, err error) {
+	if err := g.checkNode(s); err != nil {
+		return nil, nil, err
+	}
+	n := g.NumNodes()
+	dist = make([]int64, n)
+	via = make([]int32, n)
+	inQueue := make([]bool, n)
+	relaxed := make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+		via[i] = -1
+	}
+	dist[s] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, s)
+	inQueue[s] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for _, ai := range g.adj[v] {
+			a := &g.arcs[ai]
+			if a.Cap <= 0 {
+				continue
+			}
+			if nd := dist[v] + a.Cost; nd < dist[a.To] {
+				dist[a.To] = nd
+				via[a.To] = ai
+				if !inQueue[a.To] {
+					relaxed[a.To]++
+					if relaxed[a.To] > n {
+						return nil, nil, fmt.Errorf("flow: negative cycle reachable from node %d", s)
+					}
+					queue = append(queue, a.To)
+					inQueue[a.To] = true
+				}
+			}
+		}
+	}
+	return dist, via, nil
+}
+
+// MinCostMaxFlow computes a maximum s-t flow of minimum total cost by
+// successive shortest augmenting paths found with SPFA.  It returns
+// (flow, cost).  The graph's residual capacities are mutated.
+func MinCostMaxFlow(g *Graph, s, t NodeID) (flowVal, cost int64, err error) {
+	if err := g.checkNode(s); err != nil {
+		return 0, 0, err
+	}
+	if err := g.checkNode(t); err != nil {
+		return 0, 0, err
+	}
+	if s == t {
+		return 0, 0, fmt.Errorf("flow: source equals sink (%d)", s)
+	}
+	for {
+		dist, via, err := SPFA(g, s)
+		if err != nil {
+			return flowVal, cost, err
+		}
+		if via[t] == -1 {
+			return flowVal, cost, nil
+		}
+		delta := inf
+		for v := t; v != s; {
+			a := &g.arcs[via[v]]
+			if a.Cap < delta {
+				delta = a.Cap
+			}
+			v = a.From
+		}
+		for v := t; v != s; {
+			ai := via[v]
+			g.push(int(ai), delta)
+			v = g.arcs[ai].From
+		}
+		flowVal += delta
+		cost += delta * dist[t]
+	}
+}
+
+// AugmentPath pushes the given units along an explicit arc path from s
+// to t, validating connectivity and capacity.  Schedulers that choose
+// their own paths (Aladdin's optimized search) use this to keep
+// residual bookkeeping consistent.
+func AugmentPath(g *Graph, path []int, units int64) error {
+	if units <= 0 {
+		return fmt.Errorf("flow: non-positive augment %d", units)
+	}
+	for i, ai := range path {
+		if ai < 0 || ai >= len(g.arcs) {
+			return fmt.Errorf("flow: arc index %d out of range", ai)
+		}
+		a := &g.arcs[ai]
+		if a.Cap < units {
+			return fmt.Errorf("flow: arc %d->%d capacity %d < augment %d", a.From, a.To, a.Cap, units)
+		}
+		if i > 0 && g.arcs[path[i-1]].To != a.From {
+			return fmt.Errorf("flow: path discontinuity at hop %d", i)
+		}
+	}
+	for _, ai := range path {
+		g.push(ai, units)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package gokube
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func cluster(n int) *topology.Cluster {
+	return topology.New(topology.Config{
+		Machines: n, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+}
+
+func run(t *testing.T, s *Scheduler, w *workload.Workload, cl *topology.Cluster) *sched.Result {
+	t.Helper()
+	res, err := s.Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(w, cl); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBasicPlacement(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 4},
+	})
+	cl := cluster(2)
+	res := run(t, NewDefault(), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Errorf("undeployed: %v", res.Undeployed)
+	}
+}
+
+func TestSpreadingBehaviour(t *testing.T) {
+	// LeastRequested spreads: 4 small pods on 4 machines should land
+	// on 4 distinct machines even without anti-affinity.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 4},
+	})
+	cl := cluster(4)
+	res := run(t, NewDefault(), w, cl)
+	if used := cl.UsedMachines(); used != 4 {
+		t.Errorf("Go-Kube should spread across all 4 machines, used %d", used)
+	}
+	_ = res
+}
+
+func TestAntiAffinityFilterRespected(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 3, AntiAffinitySelf: true},
+	})
+	cl := cluster(3)
+	res := run(t, NewDefault(), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed: %v", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("violations: %+v", s)
+	}
+}
+
+func TestNoMigrationMeansStuck(t *testing.T) {
+	// Two machines; a partner pod lands on each (spreading), then a
+	// spread app of 2 that is anti-affine with the partner arrives:
+	// with no migration Go-Kube cannot deploy it anywhere.
+	w := workload.MustNew([]*workload.App{
+		{ID: "partner", Demand: resource.Cores(1, 1024), Replicas: 2},
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 2, AntiAffinitySelf: true, AntiAffinityApps: []string{"partner"}},
+	})
+	cl := cluster(2)
+	res := run(t, NewDefault(), w, cl)
+	if len(res.Undeployed) != 2 {
+		t.Errorf("undeployed = %v, want both spread pods (no migration in Go-Kube)", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("violations: %+v", s)
+	}
+}
+
+func TestPreemptionEvictsLowerPriority(t *testing.T) {
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(16, 32*1024),
+	})
+	w := workload.MustNew([]*workload.App{
+		{ID: "hog", Demand: resource.Cores(12, 8192), Replicas: 1, Priority: workload.PriorityLow},
+		{ID: "vip", Demand: resource.Cores(10, 8192), Replicas: 1, Priority: workload.PriorityHigh},
+	})
+	res := run(t, NewDefault(), w, cl)
+	if _, ok := res.Assignment["vip/0"]; !ok {
+		t.Error("vip should preempt the hog")
+	}
+	if _, ok := res.Assignment["hog/0"]; ok {
+		t.Error("hog should have been evicted (nowhere to requeue)")
+	}
+}
+
+func TestPreemptionDisabled(t *testing.T) {
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(16, 32*1024),
+	})
+	w := workload.MustNew([]*workload.App{
+		{ID: "hog", Demand: resource.Cores(12, 8192), Replicas: 1, Priority: workload.PriorityLow},
+		{ID: "vip", Demand: resource.Cores(10, 8192), Replicas: 1, Priority: workload.PriorityHigh},
+	})
+	res := run(t, New(Options{}), w, cl)
+	if _, ok := res.Assignment["vip/0"]; ok {
+		t.Error("without preemption vip cannot fit")
+	}
+}
+
+func TestLowPriorityNeverPreempts(t *testing.T) {
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(16, 32*1024),
+	})
+	w := workload.MustNew([]*workload.App{
+		{ID: "vip", Demand: resource.Cores(10, 8192), Replicas: 1, Priority: workload.PriorityHigh},
+		{ID: "bulk", Demand: resource.Cores(12, 8192), Replicas: 1, Priority: workload.PriorityLow},
+	})
+	res := run(t, NewDefault(), w, cl)
+	if _, ok := res.Assignment["vip/0"]; !ok {
+		t.Error("vip must stay")
+	}
+	if len(res.Undeployed) != 1 || res.Undeployed[0] != "bulk/0" {
+		t.Errorf("undeployed = %v", res.Undeployed)
+	}
+}
+
+func TestPreemptionCannotClearBlockers(t *testing.T) {
+	// vip is anti-affine with a low-priority squatter on the only
+	// machine.  Kubernetes 1.11 preemption does not evict pods to
+	// satisfy the pending pod's anti-affinity — vip stays undeployed
+	// even though it outranks the squatter (the "separately" gap).
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	w := workload.MustNew([]*workload.App{
+		{ID: "squatter", Demand: resource.Cores(2, 2048), Replicas: 1, Priority: workload.PriorityLow},
+		{ID: "vip", Demand: resource.Cores(2, 2048), Replicas: 1, Priority: workload.PriorityHigh, AntiAffinityApps: []string{"squatter"}},
+	})
+	res := run(t, NewDefault(), w, cl)
+	if _, ok := res.Assignment["vip/0"]; ok {
+		t.Fatal("K8s-style preemption must not clear anti-affinity blockers")
+	}
+	if len(res.Undeployed) != 1 || res.Undeployed[0] != "vip/0" {
+		t.Errorf("undeployed = %v, want [vip/0]", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("violations: %+v", s)
+	}
+}
+
+func TestTraceNoViolationsButUndeployed(t *testing.T) {
+	// Go-Kube never violates anti-affinity (it filters), but its lack
+	// of global optimisation leaves a meaningful fraction undeployed
+	// on the Alibaba-shaped trace (the ~21% of Fig. 9).
+	w := trace.MustGenerate(trace.Scaled(42, 100))
+	cl := cluster(256)
+	res := run(t, NewDefault(), w, cl)
+	if s := res.ViolationSummary(); s.Within+s.Across != 0 {
+		t.Errorf("anti-affinity violations: %+v", s)
+	}
+	if res.UndeployedFraction() == 0 {
+		t.Log("note: Go-Kube deployed everything on this trace; acceptable but unexpected at scale")
+	}
+}
+
+func TestUsesMoreMachinesThanNeeded(t *testing.T) {
+	// Spreading inflates machine usage: 8 one-core pods across 8
+	// machines, where packing would use 1.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 8},
+	})
+	cl := cluster(8)
+	run(t, NewDefault(), w, cl)
+	if used := cl.UsedMachines(); used < 8 {
+		t.Errorf("expected spreading to touch all machines, used %d", used)
+	}
+}
+
+func TestName(t *testing.T) {
+	if NewDefault().Name() != "Go-Kube" {
+		t.Error("name")
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	if LeastAllocated.String() != "least-allocated" ||
+		MostAllocated.String() != "most-allocated" ||
+		Profile(9).String() != "unknown" {
+		t.Error("profile names")
+	}
+}
+
+func TestMostAllocatedProfilePacks(t *testing.T) {
+	// The bin-packing profile should land 8 one-core pods on one
+	// machine where the default spreads them over all 8.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 8},
+	})
+	cl := cluster(8)
+	res := run(t, New(Options{Preemption: true, Profile: MostAllocated}), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed: %v", res.Undeployed)
+	}
+	if used := cl.UsedMachines(); used != 1 {
+		t.Errorf("MostAllocated should pack onto 1 machine, used %d", used)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(2, 2048), Replicas: 12},
+	})
+	clSpread, clPack := cluster(6), cluster(6)
+	run(t, New(Options{}), w, clSpread)
+	run(t, New(Options{Profile: MostAllocated}), w, clPack)
+	if clPack.UsedMachines() >= clSpread.UsedMachines() {
+		t.Errorf("packing (%d machines) should beat spreading (%d)",
+			clPack.UsedMachines(), clSpread.UsedMachines())
+	}
+}

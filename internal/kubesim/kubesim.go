@@ -1,0 +1,282 @@
+// Package kubesim is the event-driven cluster substrate standing in
+// for the paper's Kubernetes 1.11 co-design (§IV.C, Fig. 6).  The
+// architecture mirrors the three components the paper names:
+//
+//   - EHC (events handling centre): an event bus receiving lifecycle
+//     and resource changes and forwarding them to subscribers;
+//   - MA (model adaptor): decouples cluster objects from scheduling
+//     by exposing watch and bind APIs over the topology model;
+//   - RE (resolver): plugs a scheduler in to map containers to
+//     resources.
+//
+// The paper's evaluation "merely stubs out RPCs and task execution";
+// kubesim does the same — events are delivered in-process, but the
+// watch/bind contract is identical to what a live integration needs.
+package kubesim
+
+import (
+	"fmt"
+	"sync"
+
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// EventKind enumerates lifecycle events.
+type EventKind int
+
+const (
+	// ContainerSubmitted: a container entered the scheduling queue.
+	ContainerSubmitted EventKind = iota
+	// ContainerBound: a container was placed on a machine.
+	ContainerBound
+	// ContainerEvicted: a container was removed from a machine
+	// (preemption or failure).
+	ContainerEvicted
+	// ContainerMigrated: a container moved between machines.
+	ContainerMigrated
+	// ContainerFailed: the scheduler gave up on a container.
+	ContainerFailed
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case ContainerSubmitted:
+		return "submitted"
+	case ContainerBound:
+		return "bound"
+	case ContainerEvicted:
+		return "evicted"
+	case ContainerMigrated:
+		return "migrated"
+	case ContainerFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one lifecycle notification.
+type Event struct {
+	Kind        EventKind
+	ContainerID string
+	// Machine is the binding target (Bound), the source (Evicted), or
+	// the destination (Migrated).
+	Machine topology.MachineID
+	// From is the source machine for migrations.
+	From topology.MachineID
+}
+
+// Bus is the events handling centre: subscribers receive every event
+// published after they subscribe, in publish order.
+type Bus struct {
+	mu   sync.Mutex
+	subs []chan Event
+	log  []Event
+}
+
+// NewBus builds an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe returns a channel receiving future events.  The channel
+// is buffered; a subscriber that falls behind by more than the buffer
+// blocks publishers (in-process semantics — acceptable for the
+// simulator, as the paper stubs RPCs too).
+func (b *Bus) Subscribe(buffer int) <-chan Event {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	b.subs = append(b.subs, ch)
+	b.mu.Unlock()
+	return ch
+}
+
+// Publish delivers the event to all subscribers and appends it to the
+// bus log.
+func (b *Bus) Publish(e Event) {
+	b.mu.Lock()
+	b.log = append(b.log, e)
+	subs := b.subs
+	b.mu.Unlock()
+	for _, ch := range subs {
+		ch <- e
+	}
+}
+
+// Close closes all subscriber channels.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// Log returns a copy of all published events.
+func (b *Bus) Log() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// Adaptor is the model adaptor: the watch/bind surface over the
+// cluster that a resolver drives.
+type Adaptor struct {
+	cluster *topology.Cluster
+	bus     *Bus
+	mu      sync.Mutex
+	binding map[string]topology.MachineID
+}
+
+// NewAdaptor wraps a cluster with an event-publishing bind API.
+func NewAdaptor(cluster *topology.Cluster, bus *Bus) *Adaptor {
+	return &Adaptor{
+		cluster: cluster,
+		bus:     bus,
+		binding: make(map[string]topology.MachineID),
+	}
+}
+
+// Cluster exposes the underlying topology (read-side of the watch
+// API).
+func (a *Adaptor) Cluster() *topology.Cluster { return a.cluster }
+
+// Binding returns the machine a container is bound to, if any.
+func (a *Adaptor) Binding(containerID string) (topology.MachineID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.binding[containerID]
+	return m, ok
+}
+
+// Bind places a container and publishes ContainerBound.
+func (a *Adaptor) Bind(c *workload.Container, m topology.MachineID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	machine := a.cluster.Machine(m)
+	if machine == nil {
+		return fmt.Errorf("kubesim: bind %s: unknown machine %d", c.ID, m)
+	}
+	if err := machine.Allocate(c.ID, c.Demand); err != nil {
+		return fmt.Errorf("kubesim: bind: %w", err)
+	}
+	a.binding[c.ID] = m
+	a.bus.Publish(Event{Kind: ContainerBound, ContainerID: c.ID, Machine: m})
+	return nil
+}
+
+// Evict removes a container and publishes ContainerEvicted.
+func (a *Adaptor) Evict(c *workload.Container) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.binding[c.ID]
+	if !ok {
+		return fmt.Errorf("kubesim: evict %s: not bound", c.ID)
+	}
+	if _, err := a.cluster.Machine(m).Release(c.ID); err != nil {
+		return fmt.Errorf("kubesim: evict: %w", err)
+	}
+	delete(a.binding, c.ID)
+	a.bus.Publish(Event{Kind: ContainerEvicted, ContainerID: c.ID, Machine: m})
+	return nil
+}
+
+// Migrate moves a bound container to another machine atomically
+// (release + allocate) and publishes ContainerMigrated.
+func (a *Adaptor) Migrate(c *workload.Container, to topology.MachineID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	from, ok := a.binding[c.ID]
+	if !ok {
+		return fmt.Errorf("kubesim: migrate %s: not bound", c.ID)
+	}
+	dest := a.cluster.Machine(to)
+	if dest == nil {
+		return fmt.Errorf("kubesim: migrate %s: unknown machine %d", c.ID, to)
+	}
+	if _, err := a.cluster.Machine(from).Release(c.ID); err != nil {
+		return fmt.Errorf("kubesim: migrate release: %w", err)
+	}
+	if err := dest.Allocate(c.ID, c.Demand); err != nil {
+		// Roll the container back where it was.
+		if rerr := a.cluster.Machine(from).Allocate(c.ID, c.Demand); rerr != nil {
+			return fmt.Errorf("kubesim: migrate rollback failed: %v (after %w)", rerr, err)
+		}
+		return fmt.Errorf("kubesim: migrate: %w", err)
+	}
+	a.binding[c.ID] = to
+	a.bus.Publish(Event{Kind: ContainerMigrated, ContainerID: c.ID, Machine: to, From: from})
+	return nil
+}
+
+// Resolver maps containers to resources through a scheduler — the RE
+// component.  It runs the scheduler on a private shadow cluster, then
+// replays the decisions through the adaptor's bind API so every
+// placement becomes a watchable event stream.
+type Resolver struct {
+	scheduler sched.Scheduler
+}
+
+// NewResolver wraps a scheduler.
+func NewResolver(s sched.Scheduler) *Resolver { return &Resolver{scheduler: s} }
+
+// Resolve schedules the workload and replays the outcome through the
+// adaptor.  The adaptor's cluster must be empty (fresh or Reset).
+func (r *Resolver) Resolve(w *workload.Workload, a *Adaptor, order workload.ArrivalOrder) (*sched.Result, error) {
+	arrivals := w.Arrange(order)
+	for _, c := range arrivals {
+		a.bus.Publish(Event{Kind: ContainerSubmitted, ContainerID: c.ID})
+	}
+	// Shadow cluster with identical shape and identical pre-existing
+	// allocations (residents the scheduler must plan around).
+	shadow := cloneShape(a.cluster)
+	for _, m := range a.cluster.Machines() {
+		for id, demand := range m.Allocations() {
+			if err := shadow.Machine(m.ID).Allocate(id, demand); err != nil {
+				return nil, fmt.Errorf("kubesim: shadow clone: %w", err)
+			}
+		}
+	}
+	res, err := r.scheduler.Schedule(w, shadow, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*workload.Container, w.NumContainers())
+	for _, c := range w.Containers() {
+		byID[c.ID] = c
+	}
+	for _, c := range arrivals {
+		if m, ok := res.Assignment[c.ID]; ok {
+			if err := a.Bind(byID[c.ID], m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, id := range res.Undeployed {
+		a.bus.Publish(Event{Kind: ContainerFailed, ContainerID: id})
+	}
+	return res, nil
+}
+
+// cloneShape builds an empty cluster with the same machine layout.
+func cloneShape(c *topology.Cluster) *topology.Cluster {
+	if c.Size() == 0 {
+		return topology.New(topology.Config{})
+	}
+	m0 := c.Machine(0)
+	perRack := len(c.Rack(m0.Rack).Machines)
+	perSub := len(c.SubCluster(m0.Cluster).Racks)
+	return topology.New(topology.Config{
+		Machines:        c.Size(),
+		MachinesPerRack: perRack,
+		RacksPerCluster: perSub,
+		Capacity:        m0.Capacity(),
+	})
+}

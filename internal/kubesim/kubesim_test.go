@@ -1,0 +1,223 @@
+package kubesim
+
+import (
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func testCluster() *topology.Cluster {
+	return topology.New(topology.Config{
+		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		ContainerSubmitted: "submitted",
+		ContainerBound:     "bound",
+		ContainerEvicted:   "evicted",
+		ContainerMigrated:  "migrated",
+		ContainerFailed:    "failed",
+		EventKind(42):      "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	ch := b.Subscribe(4)
+	b.Publish(Event{Kind: ContainerSubmitted, ContainerID: "x"})
+	b.Publish(Event{Kind: ContainerBound, ContainerID: "x", Machine: 1})
+	e1, e2 := <-ch, <-ch
+	if e1.Kind != ContainerSubmitted || e2.Kind != ContainerBound {
+		t.Errorf("events out of order: %v %v", e1, e2)
+	}
+	if len(b.Log()) != 2 {
+		t.Errorf("log length = %d", len(b.Log()))
+	}
+	b.Close()
+	if _, open := <-ch; open {
+		t.Error("channel should be closed")
+	}
+}
+
+func TestBusDefaultBuffer(t *testing.T) {
+	b := NewBus()
+	ch := b.Subscribe(0)
+	b.Publish(Event{Kind: ContainerSubmitted})
+	if e := <-ch; e.Kind != ContainerSubmitted {
+		t.Error("event lost")
+	}
+}
+
+func TestAdaptorBindEvict(t *testing.T) {
+	bus := NewBus()
+	a := NewAdaptor(testCluster(), bus)
+	c := &workload.Container{ID: "a/0", App: "a", Demand: resource.Cores(4, 4096)}
+	if err := a.Bind(c, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := a.Binding("a/0"); !ok || m != 2 {
+		t.Errorf("Binding = %v, %v", m, ok)
+	}
+	if !a.Cluster().Machine(2).Hosts("a/0") {
+		t.Error("machine should host the container")
+	}
+	if err := a.Bind(c, 2); err == nil {
+		t.Error("double bind should fail")
+	}
+	if err := a.Evict(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Binding("a/0"); ok {
+		t.Error("binding should be cleared")
+	}
+	if err := a.Evict(c); err == nil {
+		t.Error("evicting unbound should fail")
+	}
+	log := bus.Log()
+	if len(log) != 2 || log[0].Kind != ContainerBound || log[1].Kind != ContainerEvicted {
+		t.Errorf("log = %v", log)
+	}
+}
+
+func TestAdaptorBindErrors(t *testing.T) {
+	a := NewAdaptor(testCluster(), NewBus())
+	c := &workload.Container{ID: "a/0", App: "a", Demand: resource.Cores(64, 4096)}
+	if err := a.Bind(c, 99); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := a.Bind(c, 0); err == nil {
+		t.Error("oversized container should fail")
+	}
+}
+
+func TestAdaptorMigrate(t *testing.T) {
+	bus := NewBus()
+	a := NewAdaptor(testCluster(), bus)
+	c := &workload.Container{ID: "a/0", App: "a", Demand: resource.Cores(4, 4096)}
+	if err := a.Bind(c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Migrate(c, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := a.Binding("a/0"); m != 3 {
+		t.Errorf("binding after migrate = %d", m)
+	}
+	if a.Cluster().Machine(0).Hosts("a/0") {
+		t.Error("source machine should no longer host")
+	}
+	if !a.Cluster().Machine(3).Hosts("a/0") {
+		t.Error("destination should host")
+	}
+	last := bus.Log()[len(bus.Log())-1]
+	if last.Kind != ContainerMigrated || last.From != 0 || last.Machine != 3 {
+		t.Errorf("migrate event = %+v", last)
+	}
+	if err := a.Migrate(c, 99); err == nil {
+		t.Error("unknown destination should fail")
+	}
+	c2 := &workload.Container{ID: "b/0", App: "b", Demand: resource.Cores(1, 1)}
+	if err := a.Migrate(c2, 1); err == nil {
+		t.Error("migrating unbound should fail")
+	}
+}
+
+func TestAdaptorMigrateRollback(t *testing.T) {
+	a := NewAdaptor(testCluster(), NewBus())
+	big := &workload.Container{ID: "big/0", App: "big", Demand: resource.Cores(20, 4096)}
+	blockTarget := &workload.Container{ID: "block/0", App: "block", Demand: resource.Cores(20, 4096)}
+	if err := a.Bind(big, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(blockTarget, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Destination full: migrate must fail and roll back.
+	if err := a.Migrate(big, 1); err == nil {
+		t.Fatal("migrate into full machine should fail")
+	}
+	if !a.Cluster().Machine(0).Hosts("big/0") {
+		t.Error("rollback should restore the container at the source")
+	}
+	if m, _ := a.Binding("big/0"); m != 0 {
+		t.Errorf("binding after failed migrate = %d", m)
+	}
+}
+
+func TestResolverEndToEnd(t *testing.T) {
+	bus := NewBus()
+	cl := testCluster()
+	a := NewAdaptor(cl, bus)
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 4096), Replicas: 3, AntiAffinitySelf: true},
+		{ID: "whale", Demand: resource.Cores(64, 1024), Replicas: 1},
+	})
+	r := NewResolver(core.NewDefault())
+	res, err := r.Resolve(w, a, workload.OrderSubmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every deployed container is actually bound on the adaptor's
+	// cluster.
+	for id, m := range res.Assignment {
+		bound, ok := a.Binding(id)
+		if !ok || bound != m {
+			t.Errorf("container %s: binding %v/%v, want %v", id, bound, ok, m)
+		}
+		if !cl.Machine(m).Hosts(id) {
+			t.Errorf("machine %d does not host %s", m, id)
+		}
+	}
+	// Event log contains submissions, binds and the whale's failure.
+	var submitted, bound, failed int
+	for _, e := range bus.Log() {
+		switch e.Kind {
+		case ContainerSubmitted:
+			submitted++
+		case ContainerBound:
+			bound++
+		case ContainerFailed:
+			failed++
+		}
+	}
+	if submitted != 4 {
+		t.Errorf("submitted events = %d", submitted)
+	}
+	if bound != 3 {
+		t.Errorf("bound events = %d", bound)
+	}
+	if failed != 1 {
+		t.Errorf("failed events = %d", failed)
+	}
+}
+
+func TestCloneShapePreservesLayout(t *testing.T) {
+	cl := testCluster()
+	if err := cl.Machine(0).Allocate("x", resource.Cores(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	shadow := cloneShape(cl)
+	if shadow.Size() != cl.Size() {
+		t.Errorf("size %d != %d", shadow.Size(), cl.Size())
+	}
+	if shadow.UsedMachines() != 0 {
+		t.Error("shadow must be empty")
+	}
+	if len(shadow.Racks()) != len(cl.Racks()) {
+		t.Errorf("racks %d != %d", len(shadow.Racks()), len(cl.Racks()))
+	}
+	if shadow.Machine(0).Capacity() != cl.Machine(0).Capacity() {
+		t.Error("capacity mismatch")
+	}
+}

@@ -1,0 +1,127 @@
+package medea
+
+import (
+	"fmt"
+	"math"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// MaxExactContainers bounds the instance size ExactSolve accepts; the
+// search is exponential (it is the ILP Medea hands to a solver), so
+// it exists to validate the greedy/local-search approximation on
+// small instances, not to schedule real workloads.
+const MaxExactContainers = 10
+
+// Objective evaluates the global Medea objective for an assignment:
+//
+//	A·|placed| − B·Σ_used free_m/cap_m − (1−C)·10·violations
+//
+// — maximise placements, minimise fragmentation of used machines,
+// minimise violations weighted by tolerance.  At C = 0 violations are
+// hard constraints (the objective is −Inf), matching the scheduler's
+// behaviour of refusing violating placements outright.  Returns an
+// error when the assignment is resource-infeasible.
+func Objective(w *workload.Workload, cluster *topology.Cluster, asg constraint.Assignment, wts Weights) (float64, error) {
+	used := make(map[topology.MachineID]resource.Vector)
+	placed := 0
+	for _, c := range w.Containers() {
+		m, ok := asg[c.ID]
+		if !ok {
+			continue
+		}
+		machine := cluster.Machine(m)
+		if machine == nil {
+			return 0, fmt.Errorf("medea: objective: unknown machine %d", m)
+		}
+		used[m] = used[m].Add(c.Demand)
+		placed++
+	}
+	frag := 0.0
+	for m, u := range used {
+		capVec := cluster.Machine(m).Capacity()
+		if !u.Fits(capVec) {
+			return 0, fmt.Errorf("medea: objective: machine %d over capacity", m)
+		}
+		frag += resource.CPUUtilization(capVec.Sub(u), capVec)
+	}
+	violations := len(constraint.AuditAntiAffinity(w, asg))
+	if violations > 0 && wts.C == 0 {
+		return math.Inf(-1), nil
+	}
+	return wts.A*float64(placed) - wts.B*frag - (1-wts.C)*10*float64(violations), nil
+}
+
+// ExactSolve exhaustively finds the assignment maximising Objective
+// by branch and bound.  Instances above MaxExactContainers are
+// rejected.  The cluster is only read for machine capacities.
+func ExactSolve(w *workload.Workload, cluster *topology.Cluster, wts Weights) (constraint.Assignment, float64, error) {
+	if err := wts.Validate(); err != nil {
+		return nil, 0, err
+	}
+	cs := w.Containers()
+	if len(cs) > MaxExactContainers {
+		return nil, 0, fmt.Errorf("medea: exact solve limited to %d containers, got %d",
+			MaxExactContainers, len(cs))
+	}
+	machines := cluster.Machines()
+
+	best := constraint.Assignment{}
+	bestObj, err := Objective(w, cluster, best, wts)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	cur := constraint.Assignment{}
+	free := make([]resource.Vector, len(machines))
+	for i, m := range machines {
+		free[i] = m.Free()
+	}
+
+	var dfs func(i int, placedSoFar int)
+	dfs = func(i int, placedSoFar int) {
+		if i == len(cs) {
+			obj, err := Objective(w, cluster, cur, wts)
+			if err != nil {
+				return
+			}
+			if obj > bestObj {
+				bestObj = obj
+				best = constraint.Assignment{}
+				for k, v := range cur {
+					best[k] = v
+				}
+			}
+			return
+		}
+		// Bound: even placing every remaining container for the full
+		// A reward (zero frag/violation cost) cannot beat bestObj.
+		remaining := len(cs) - i
+		if wts.A*float64(placedSoFar+remaining) <= bestObj {
+			// Fragmentation and violation terms only subtract, so
+			// this upper bound is valid; but note the current partial
+			// solution also carries costs already, making the true
+			// bound even lower.
+			return
+		}
+		c := cs[i]
+		// Option 1: leave unplaced.
+		dfs(i+1, placedSoFar)
+		// Option 2: each machine with room.
+		for mi := range machines {
+			if !c.Demand.Fits(free[mi]) {
+				continue
+			}
+			free[mi] = free[mi].Sub(c.Demand)
+			cur[c.ID] = machines[mi].ID
+			dfs(i+1, placedSoFar+1)
+			delete(cur, c.ID)
+			free[mi] = free[mi].Add(c.Demand)
+		}
+	}
+	dfs(0, 0)
+	return best, bestObj, nil
+}

@@ -1,0 +1,149 @@
+package medea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func tinyCluster(machines int) *topology.Cluster {
+	return topology.New(topology.Config{
+		Machines: machines, MachinesPerRack: 2, RacksPerCluster: 2,
+		Capacity: resource.Cores(8, 16*1024),
+	})
+}
+
+func TestObjectiveBasics(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2, AntiAffinitySelf: true},
+	})
+	cl := tinyCluster(2)
+	wts := Weights{A: 1, B: 1, C: 0}
+	// Empty assignment: objective 0.
+	obj, err := Objective(w, cl, constraint.Assignment{}, wts)
+	if err != nil || obj != 0 {
+		t.Fatalf("empty objective = %v, %v", obj, err)
+	}
+	// Both spread: 2·A − frag(two machines half free).
+	spread := constraint.Assignment{"a/0": 0, "a/1": 1}
+	objSpread, err := Objective(w, cl, spread, wts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objSpread != 2-0.5-0.5 {
+		t.Errorf("spread objective = %v, want 1.0", objSpread)
+	}
+	// Both stacked: violation at zero tolerance is costly.
+	stacked := constraint.Assignment{"a/0": 0, "a/1": 0}
+	objStacked, err := Objective(w, cl, stacked, wts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objStacked >= objSpread {
+		t.Errorf("stacked %v should score below spread %v at zero tolerance", objStacked, objSpread)
+	}
+	// Over capacity is an error.
+	over := constraint.Assignment{"a/0": 0, "a/1": 0}
+	w2 := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(5, 4096), Replicas: 2},
+	})
+	if _, err := Objective(w2, cl, over, wts); err == nil {
+		t.Error("over-capacity assignment should error")
+	}
+	// Unknown machine is an error.
+	if _, err := Objective(w, cl, constraint.Assignment{"a/0": 99}, wts); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestExactSolveSmall(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2, AntiAffinitySelf: true},
+		{ID: "b", Demand: resource.Cores(8, 8192), Replicas: 1},
+	})
+	cl := tinyCluster(3)
+	asg, obj, err := ExactSolve(w, cl, Weights{A: 1, B: 1, C: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 3 {
+		t.Errorf("exact should place all 3, placed %d", len(asg))
+	}
+	if len(constraint.AuditAntiAffinity(w, asg)) != 0 {
+		t.Error("exact optimum at zero tolerance must not violate")
+	}
+	if obj <= 0 {
+		t.Errorf("objective = %v", obj)
+	}
+}
+
+func TestExactSolveRejectsBigInstances(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1), Replicas: MaxExactContainers + 1},
+	})
+	if _, _, err := ExactSolve(w, tinyCluster(2), Weights{A: 1}); err == nil {
+		t.Error("oversized instance should be rejected")
+	}
+	if _, _, err := ExactSolve(w, tinyCluster(2), Weights{A: 2}); err == nil {
+		t.Error("invalid weights should be rejected")
+	}
+}
+
+// TestGreedyNearExact validates the approximation: on random tiny
+// instances the greedy+local-search scheduler's objective is never
+// better than the exact optimum and stays within an absolute gap.
+func TestGreedyNearExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nApps := 1 + rng.Intn(3)
+		var apps []*workload.App
+		total := 0
+		for i := 0; i < nApps && total < 6; i++ {
+			reps := 1 + rng.Intn(3)
+			total += reps
+			apps = append(apps, &workload.App{
+				ID:               string(rune('a' + i)),
+				Demand:           resource.Cores(1+rng.Int63n(6), 1024),
+				Replicas:         reps,
+				AntiAffinitySelf: rng.Intn(2) == 0,
+			})
+		}
+		w, err := workload.New(apps)
+		if err != nil {
+			return false
+		}
+		wts := Weights{A: 1, B: 1, C: 0}
+		clExact := tinyCluster(3)
+		_, exactObj, err := ExactSolve(w, clExact, wts)
+		if err != nil {
+			return false
+		}
+		clGreedy := tinyCluster(3)
+		res, err := New(Options{Weights: wts, Sweeps: 3}).Schedule(w, clGreedy, w.Arrange(workload.OrderSubmission))
+		if err != nil {
+			return false
+		}
+		greedyObj, err := Objective(w, topology.New(topology.Config{
+			Machines: 3, MachinesPerRack: 2, RacksPerCluster: 2,
+			Capacity: resource.Cores(8, 16*1024),
+		}), res.Assignment, wts)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		if greedyObj > exactObj+eps {
+			return false // greedy cannot beat the optimum
+		}
+		// Generous absolute gap: greedy may miss packing nuances but
+		// should not collapse.
+		return exactObj-greedyObj <= 2.0+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

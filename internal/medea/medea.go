@@ -1,0 +1,288 @@
+// Package medea reimplements the Medea baseline (Garefalakis et al.,
+// EuroSys 2018) as the paper evaluates it: an ILP-style optimiser
+// that balances three weighted objectives — maximise placed
+// containers, minimise resource fragmentation and minimise constraint
+// violations — written weights(a, b, c) in the evaluation.
+//
+// The real Medea hands the ILP to a solver; the paper itself calls
+// the result "essentially an approximation algorithm", and this
+// implementation approximates the same objective with a greedy
+// assignment followed by local-search improvement sweeps.  The
+// characteristic behaviours the evaluation relies on are preserved:
+// with c = 0 violations are hard-forbidden and some containers stay
+// undeployed; with c > 0 Medea tolerates violations to pack more; and
+// the search cost grows steeply with cluster size (Fig. 12's
+// "exponential" latency curve).
+package medea
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Weights are Medea's three normalised objective weights: A rewards
+// placements, B penalises fragmentation, C is the violation
+// tolerance (0 = violations forbidden, 1 = violations free).
+type Weights struct {
+	A, B, C float64
+}
+
+// Validate rejects weights outside [0,1].
+func (w Weights) Validate() error {
+	for _, v := range []float64{w.A, w.B, w.C} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("medea: weight %v out of [0,1]", v)
+		}
+	}
+	return nil
+}
+
+// Options configures Medea.
+type Options struct {
+	Weights Weights
+	// Sweeps is the number of local-search improvement passes; 0
+	// means the default of 2.
+	Sweeps int
+}
+
+func (o Options) sweeps() int {
+	if o.Sweeps > 0 {
+		return o.Sweeps
+	}
+	return 2
+}
+
+// Scheduler is the Medea baseline.
+type Scheduler struct {
+	opts Options
+}
+
+// New builds a Medea scheduler; invalid weights are clamped into
+// [0,1] so Table-style sweeps cannot crash an experiment.
+func New(opts Options) *Scheduler {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	opts.Weights.A = clamp(opts.Weights.A)
+	opts.Weights.B = clamp(opts.Weights.B)
+	opts.Weights.C = clamp(opts.Weights.C)
+	return &Scheduler{opts: opts}
+}
+
+// Name implements sched.Scheduler, e.g. "Medea(1,1,0.5)".
+func (s *Scheduler) Name() string {
+	w := s.opts.Weights
+	return fmt.Sprintf("Medea(%s,%s,%s)", trimFloat(w.A), trimFloat(w.B), trimFloat(w.C))
+}
+
+func trimFloat(v float64) string {
+	out := fmt.Sprintf("%g", v)
+	return out
+}
+
+// violPenalty is the objective cost of one violated constraint at
+// tolerance 0 (scaled down linearly as C rises).
+const violPenalty = 1000.0
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
+	start := time.Now()
+	st := newState(w, cluster)
+
+	// Phase 1: greedy assignment maximising the weighted objective.
+	var undeployed []*workload.Container
+	for _, c := range arrivals {
+		if m := s.bestMachine(st, c, topology.Invalid); m != topology.Invalid {
+			st.place(c, m)
+		} else {
+			undeployed = append(undeployed, c)
+		}
+	}
+
+	// Phase 2: local-search sweeps — try to relocate each placed
+	// container to a strictly better machine and to rescue
+	// undeployed containers as the landscape shifts.
+	for sweep := 0; sweep < s.opts.sweeps(); sweep++ {
+		improved := false
+		for _, c := range arrivals {
+			cur, placed := st.asg[c.ID]
+			if !placed {
+				continue
+			}
+			curScore := s.scoreOn(st, c, cur)
+			best, bestScore := topology.Invalid, curScore
+			for _, m := range st.cluster.Machines() {
+				if m.ID == cur {
+					continue
+				}
+				sc, ok := s.score(st, c, m)
+				if ok && sc > bestScore+1e-9 {
+					best, bestScore = m.ID, sc
+				}
+			}
+			if best != topology.Invalid {
+				st.evict(c, cur)
+				st.place(c, best)
+				improved = true
+			}
+		}
+		var still []*workload.Container
+		for _, c := range undeployed {
+			if m := s.bestMachine(st, c, topology.Invalid); m != topology.Invalid {
+				st.place(c, m)
+				improved = true
+			} else {
+				still = append(still, c)
+			}
+		}
+		undeployed = still
+		if !improved {
+			break
+		}
+	}
+
+	var undeployedIDs []string
+	for _, c := range undeployed {
+		undeployedIDs = append(undeployedIDs, c.ID)
+	}
+	res := &sched.Result{
+		Scheduler:  s.Name(),
+		Assignment: st.asg,
+		Undeployed: undeployedIDs,
+		Elapsed:    time.Since(start),
+	}
+	res.Finalize(w)
+	return res, nil
+}
+
+// state is the mutable view of one run.
+type state struct {
+	w       *workload.Workload
+	cluster *topology.Cluster
+	byID    map[string]*workload.Container
+	asg     constraint.Assignment
+}
+
+func newState(w *workload.Workload, cluster *topology.Cluster) *state {
+	st := &state{
+		w:       w,
+		cluster: cluster,
+		byID:    make(map[string]*workload.Container, w.NumContainers()),
+		asg:     make(constraint.Assignment),
+	}
+	for _, c := range w.Containers() {
+		st.byID[c.ID] = c
+	}
+	return st
+}
+
+func (st *state) place(c *workload.Container, m topology.MachineID) {
+	if err := st.cluster.Machine(m).Allocate(c.ID, c.Demand); err != nil {
+		panic("medea: place: " + err.Error())
+	}
+	st.asg[c.ID] = m
+}
+
+func (st *state) evict(c *workload.Container, m topology.MachineID) {
+	if _, err := st.cluster.Machine(m).Release(c.ID); err != nil {
+		panic("medea: evict: " + err.Error())
+	}
+	delete(st.asg, c.ID)
+}
+
+// conflictsOn counts anti-affinity conflicts container c would have
+// with the current occupants of machine m.
+func (st *state) conflictsOn(c *workload.Container, m *topology.Machine) int {
+	n := 0
+	for _, id := range m.ContainerIDs() {
+		if id == c.ID {
+			continue
+		}
+		other := st.byID[id]
+		if other == nil {
+			continue
+		}
+		if other.App == c.App {
+			if st.w.AntiAffine(c.App, c.App) {
+				n++
+			}
+		} else if st.w.AntiAffine(other.App, c.App) {
+			n++
+		}
+	}
+	return n
+}
+
+// score evaluates placing c on m under the weighted objective; ok is
+// false when the placement is inadmissible (resources, or violations
+// at zero tolerance).
+func (s *Scheduler) score(st *state, c *workload.Container, m *topology.Machine) (float64, bool) {
+	if !m.Fits(c.Demand) {
+		return 0, false
+	}
+	conflicts := st.conflictsOn(c, m)
+	wts := s.opts.Weights
+	if conflicts > 0 && wts.C == 0 {
+		return 0, false
+	}
+	// Placement reward.
+	score := wts.A * 1.0
+	// Fragmentation: free CPU left on the machine after placement,
+	// normalised — packing tightly scores higher.
+	freeAfter := m.Free().Sub(c.Demand)
+	frag := resource.CPUUtilization(freeAfter, m.Capacity())
+	score -= wts.B * frag
+	// Violations: scaled by (1 - C).
+	score -= (1 - wts.C) * violPenalty / 1000.0 * float64(conflicts)
+	return score, true
+}
+
+// scoreOn scores c at its current machine (for move comparisons),
+// excluding its own resource usage from the fit test.
+func (s *Scheduler) scoreOn(st *state, c *workload.Container, mid topology.MachineID) float64 {
+	m := st.cluster.Machine(mid)
+	conflicts := st.conflictsOn(c, m)
+	wts := s.opts.Weights
+	score := wts.A * 1.0
+	frag := resource.CPUUtilization(m.Free(), m.Capacity())
+	score -= wts.B * frag
+	score -= (1 - wts.C) * violPenalty / 1000.0 * float64(conflicts)
+	return score
+}
+
+// bestMachine returns the admissible machine with the highest
+// positive score, or Invalid.
+func (s *Scheduler) bestMachine(st *state, c *workload.Container, exclude topology.MachineID) topology.MachineID {
+	best := topology.Invalid
+	bestScore := 0.0
+	for _, m := range st.cluster.Machines() {
+		if m.ID == exclude {
+			continue
+		}
+		sc, ok := s.score(st, c, m)
+		if !ok {
+			continue
+		}
+		if best == topology.Invalid || sc > bestScore+1e-9 {
+			best, bestScore = m.ID, sc
+		}
+	}
+	if best != topology.Invalid && bestScore <= 0 {
+		// The objective prefers leaving the container unplaced (e.g.
+		// heavy violation penalty at low tolerance).
+		return topology.Invalid
+	}
+	return best
+}

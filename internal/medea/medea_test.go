@@ -1,0 +1,152 @@
+package medea
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func cluster(n int) *topology.Cluster {
+	return topology.New(topology.Config{
+		Machines: n, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+}
+
+func run(t *testing.T, s *Scheduler, w *workload.Workload, cl *topology.Cluster) *sched.Result {
+	t.Helper()
+	res, err := s.Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(w, cl); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestName(t *testing.T) {
+	s := New(Options{Weights: Weights{1, 1, 0.5}})
+	if s.Name() != "Medea(1,1,0.5)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s2 := New(Options{Weights: Weights{1, 0.5, 0}})
+	if s2.Name() != "Medea(1,0.5,0)" {
+		t.Errorf("Name = %q", s2.Name())
+	}
+}
+
+func TestWeightsValidateAndClamp(t *testing.T) {
+	if err := (Weights{1, 1, 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Weights{1.5, 0, 0}).Validate(); err == nil {
+		t.Error("out-of-range weight should fail Validate")
+	}
+	s := New(Options{Weights: Weights{2, -1, 0.5}})
+	if s.opts.Weights.A != 1 || s.opts.Weights.B != 0 {
+		t.Errorf("clamping failed: %+v", s.opts.Weights)
+	}
+}
+
+func TestBasicPlacement(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 8},
+	})
+	cl := cluster(4)
+	res := run(t, New(Options{Weights: Weights{1, 1, 0}}), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Errorf("undeployed: %v", res.Undeployed)
+	}
+}
+
+func TestPacksToMinimizeFragmentation(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(1, 1024), Replicas: 8},
+	})
+	cl := cluster(8)
+	run(t, New(Options{Weights: Weights{1, 1, 0}}), w, cl)
+	if used := cl.UsedMachines(); used != 1 {
+		t.Errorf("Medea(1,1,0) should pack onto 1 machine, used %d", used)
+	}
+}
+
+func TestZeroToleranceNeverViolates(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(17, 100))
+	cl := cluster(256)
+	res := run(t, New(Options{Weights: Weights{1, 1, 0}}), w, cl)
+	if s := res.ViolationSummary(); s.Within+s.Across != 0 {
+		t.Errorf("zero tolerance violated constraints: %+v", s)
+	}
+}
+
+func TestToleranceTradesViolationsForPlacements(t *testing.T) {
+	// The Fig. 1(c) behaviour: to minimise machines, Medea with
+	// tolerance co-locates anti-affine containers.
+	w := workload.MustNew([]*workload.App{
+		{ID: "s0", Demand: resource.Cores(8, 8192), Replicas: 1, AntiAffinityApps: []string{"s1"}},
+		{ID: "s1", Demand: resource.Cores(12, 12288), Replicas: 2, Priority: workload.PriorityHigh},
+	})
+	// One 32-core machine: packing all three requires violating.
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	tolerant := run(t, New(Options{Weights: Weights{1, 1, 1}}), w, cl)
+	if len(tolerant.Undeployed) != 0 {
+		t.Errorf("tolerant Medea should deploy all: %v", tolerant.Undeployed)
+	}
+	if tolerant.ViolationSummary().Across == 0 {
+		t.Error("tolerant Medea should have violated the s0~s1 constraint")
+	}
+
+	cl.Reset()
+	strict := run(t, New(Options{Weights: Weights{1, 1, 0}}), w, cl)
+	if strict.ViolationSummary().Total() != 0 {
+		t.Error("strict Medea must not violate")
+	}
+	if len(strict.Undeployed) == 0 {
+		t.Error("strict Medea must leave s0 or s1 undeployed on one machine")
+	}
+}
+
+func TestSelfAntiAffinitySpread(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(1, 1024), Replicas: 4, AntiAffinitySelf: true},
+	})
+	cl := cluster(4)
+	res := run(t, New(Options{Weights: Weights{1, 1, 0}}), w, cl)
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed: %v", res.Undeployed)
+	}
+	if s := res.ViolationSummary(); s.Total() != 0 {
+		t.Errorf("violations: %+v", s)
+	}
+}
+
+func TestLocalSearchImproves(t *testing.T) {
+	// More sweeps must never do worse on the combined metric.
+	w := trace.MustGenerate(trace.Scaled(29, 200))
+	cl0, cl3 := cluster(192), cluster(192)
+	res0 := run(t, New(Options{Weights: Weights{1, 1, 0}, Sweeps: 1}), w, cl0)
+	res3 := run(t, New(Options{Weights: Weights{1, 1, 0}, Sweeps: 4}), w, cl3)
+	if len(res3.Undeployed) > len(res0.Undeployed) {
+		t.Errorf("more sweeps left more undeployed: %d vs %d",
+			len(res3.Undeployed), len(res0.Undeployed))
+	}
+}
+
+func TestInfeasibleStaysUndeployed(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "whale", Demand: resource.Cores(64, 1024), Replicas: 1},
+	})
+	cl := cluster(2)
+	res := run(t, New(Options{Weights: Weights{1, 1, 1}}), w, cl)
+	if len(res.Undeployed) != 1 {
+		t.Errorf("undeployed = %v", res.Undeployed)
+	}
+}

@@ -1,0 +1,158 @@
+// Package parallel provides the small concurrency utilities the
+// simulators use: a bounded worker pool for fan-out work, a parallel
+// for-loop over index ranges, and a sharded counter for low-contention
+// statistics.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (0 means GOMAXPROCS).  It blocks until all calls have
+// returned.  Work is handed out by index stealing (an atomic cursor),
+// which balances uneven per-item costs.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index and collects results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Pool is a reusable fixed-size worker pool for heterogeneous tasks.
+// The zero value is not usable; call NewPool.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (0 means
+// GOMAXPROCS) and queue depth.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = workers * 2
+	}
+	p := &Pool{tasks: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task; it blocks when the queue is full.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until every submitted task has completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and shuts the workers down.  The
+// pool must not be used afterwards.
+func (p *Pool) Close() {
+	p.wg.Wait()
+	p.once.Do(func() { close(p.tasks) })
+}
+
+// shardPad keeps each shard on its own cache line to avoid false
+// sharing between cores.
+type shardPad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a sharded int64 counter: adds touch a per-core-ish shard
+// and reads sum all shards.  Use for hot-path statistics where a
+// single atomic would bounce between cores.
+type Counter struct {
+	shards []shardPad
+	next   atomic.Uint32
+}
+
+// NewCounter builds a counter with one shard per processor.
+func NewCounter() *Counter {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return &Counter{shards: make([]shardPad, n)}
+}
+
+// Handle returns an Adder bound to one shard; each goroutine should
+// obtain its own.
+func (c *Counter) Handle() *Adder {
+	idx := int(c.next.Add(1)-1) % len(c.shards)
+	return &Adder{shard: &c.shards[idx].v}
+}
+
+// Add increments an arbitrary shard (slower than using a Handle, but
+// safe from any goroutine).
+func (c *Counter) Add(delta int64) {
+	idx := int(c.next.Add(1)-1) % len(c.shards)
+	c.shards[idx].v.Add(delta)
+}
+
+// Sum returns the current total across shards.
+func (c *Counter) Sum() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Adder is a shard-bound handle for hot-path increments.
+type Adder struct {
+	shard *atomic.Int64
+}
+
+// Add increments the bound shard.
+func (a *Adder) Add(delta int64) { a.shard.Add(delta) }

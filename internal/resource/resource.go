@@ -1,0 +1,219 @@
+// Package resource provides multidimensional resource vectors used
+// throughout the scheduler: container demands, machine capacities and
+// the arithmetic the capacity function of the flow network is built on.
+//
+// The paper's capacity function c(i,j) is an N-tuple (x1, x2, ..., xn)
+// of resource dimensions (§III.C).  The evaluation restricts itself to
+// CPU for fairness against Firmament, but the model here carries both
+// CPU and memory so the multidimensional code paths are always
+// exercised; adding further dimensions only grows the linear factor c
+// of the time complexity (§IV.D).
+package resource
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dimension identifies one axis of a resource vector.
+type Dimension int
+
+const (
+	// CPU is measured in milli-cores (1000 = one core), matching the
+	// granularity Kubernetes uses, so fractional-core containers are
+	// representable without floating point.
+	CPU Dimension = iota
+	// Memory is measured in MiB.
+	Memory
+
+	// NumDimensions is the number of axes in a Vector.
+	NumDimensions
+)
+
+// String returns the conventional short name of the dimension.
+func (d Dimension) String() string {
+	switch d {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "mem"
+	default:
+		return fmt.Sprintf("dim(%d)", int(d))
+	}
+}
+
+// Vector is a point in resource space.  The zero value is the empty
+// (all-zero) vector and is ready to use.
+type Vector struct {
+	// CPUMilli is CPU demand/capacity in milli-cores.
+	CPUMilli int64
+	// MemMB is memory demand/capacity in MiB.
+	MemMB int64
+}
+
+// ErrNegative is returned by operations that would produce a vector
+// with a negative component.
+var ErrNegative = errors.New("resource: negative component")
+
+// Cores builds a vector from whole cores and MiB of memory.
+func Cores(cpu, memMB int64) Vector {
+	return Vector{CPUMilli: cpu * 1000, MemMB: memMB}
+}
+
+// Milli builds a vector from milli-cores and MiB of memory.
+func Milli(cpuMilli, memMB int64) Vector {
+	return Vector{CPUMilli: cpuMilli, MemMB: memMB}
+}
+
+// Zero reports whether every component is zero.
+func (v Vector) Zero() bool { return v.CPUMilli == 0 && v.MemMB == 0 }
+
+// Dim returns the named component.
+func (v Vector) Dim(d Dimension) int64 {
+	switch d {
+	case CPU:
+		return v.CPUMilli
+	case Memory:
+		return v.MemMB
+	default:
+		return 0
+	}
+}
+
+// WithDim returns a copy of v with the named component replaced.
+func (v Vector) WithDim(d Dimension, val int64) Vector {
+	switch d {
+	case CPU:
+		v.CPUMilli = val
+	case Memory:
+		v.MemMB = val
+	}
+	return v
+}
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) Vector {
+	return Vector{CPUMilli: v.CPUMilli + o.CPUMilli, MemMB: v.MemMB + o.MemMB}
+}
+
+// Sub returns v - o.  Components may go negative; use SubChecked when
+// that would indicate a bookkeeping bug.
+func (v Vector) Sub(o Vector) Vector {
+	return Vector{CPUMilli: v.CPUMilli - o.CPUMilli, MemMB: v.MemMB - o.MemMB}
+}
+
+// SubChecked returns v - o, or ErrNegative if any component of the
+// result would be negative.
+func (v Vector) SubChecked(o Vector) (Vector, error) {
+	r := v.Sub(o)
+	if r.CPUMilli < 0 || r.MemMB < 0 {
+		return Vector{}, fmt.Errorf("%w: %s - %s", ErrNegative, v, o)
+	}
+	return r, nil
+}
+
+// Scale returns v with every component multiplied by k.
+func (v Vector) Scale(k int64) Vector {
+	return Vector{CPUMilli: v.CPUMilli * k, MemMB: v.MemMB * k}
+}
+
+// Fits reports whether v ≤ capacity component-wise.  This is the
+// linear part of the paper's Equation 6: the resource requirement of a
+// container is no larger than the provisioning of a machine on every
+// dimension.
+func (v Vector) Fits(capacity Vector) bool {
+	return v.CPUMilli <= capacity.CPUMilli && v.MemMB <= capacity.MemMB
+}
+
+// Dominates reports whether v ≥ o on every dimension.
+func (v Vector) Dominates(o Vector) bool {
+	return v.CPUMilli >= o.CPUMilli && v.MemMB >= o.MemMB
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vector) Max(o Vector) Vector {
+	return Vector{CPUMilli: max64(v.CPUMilli, o.CPUMilli), MemMB: max64(v.MemMB, o.MemMB)}
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vector) Min(o Vector) Vector {
+	return Vector{CPUMilli: min64(v.CPUMilli, o.CPUMilli), MemMB: min64(v.MemMB, o.MemMB)}
+}
+
+// DominantShare returns the largest ratio v[d]/capacity[d] over all
+// dimensions, i.e. the dominant resource share of v against capacity.
+// A zero-capacity dimension with non-zero demand yields 1.0 so that
+// the demand is treated as saturating.
+func (v Vector) DominantShare(capacity Vector) float64 {
+	share := ratio(v.CPUMilli, capacity.CPUMilli)
+	if s := ratio(v.MemMB, capacity.MemMB); s > share {
+		share = s
+	}
+	return share
+}
+
+// Utilization returns the mean utilisation of used against capacity
+// across dimensions, in [0,1].  Dimensions with zero capacity are
+// skipped.
+func Utilization(used, capacity Vector) float64 {
+	sum, n := 0.0, 0
+	if capacity.CPUMilli > 0 {
+		sum += float64(used.CPUMilli) / float64(capacity.CPUMilli)
+		n++
+	}
+	if capacity.MemMB > 0 {
+		sum += float64(used.MemMB) / float64(capacity.MemMB)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CPUUtilization returns used CPU over capacity CPU in [0,1].  The
+// paper's efficiency figures (Fig. 11) are CPU-only.
+func CPUUtilization(used, capacity Vector) float64 {
+	return ratio(used.CPUMilli, capacity.CPUMilli)
+}
+
+// String renders the vector as "4c/8192MB" style text.
+func (v Vector) String() string {
+	if v.CPUMilli%1000 == 0 {
+		return fmt.Sprintf("%dc/%dMB", v.CPUMilli/1000, v.MemMB)
+	}
+	return fmt.Sprintf("%dm/%dMB", v.CPUMilli, v.MemMB)
+}
+
+// Sum accumulates a slice of vectors.
+func Sum(vs []Vector) Vector {
+	var total Vector
+	for _, v := range vs {
+		total = total.Add(v)
+	}
+	return total
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		if num > 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Logged wraps a Scheduler so every Schedule call writes a one-line
+// structured summary to out — the audit trail a shared production
+// cluster keeps of its placement decisions.
+func Logged(s Scheduler, out io.Writer) Scheduler {
+	return &loggedScheduler{inner: s, out: out}
+}
+
+type loggedScheduler struct {
+	inner Scheduler
+	out   io.Writer
+}
+
+func (l *loggedScheduler) Name() string { return l.inner.Name() }
+
+func (l *loggedScheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*Result, error) {
+	start := time.Now()
+	res, err := l.inner.Schedule(w, cluster, arrivals)
+	elapsed := time.Since(start).Round(time.Microsecond)
+	if err != nil {
+		fmt.Fprintf(l.out, "sched=%s containers=%d error=%q elapsed=%v\n",
+			l.inner.Name(), len(arrivals), err.Error(), elapsed)
+		return nil, err
+	}
+	vs := res.ViolationSummary()
+	fmt.Fprintf(l.out,
+		"sched=%s containers=%d deployed=%d undeployed=%d violations=%d migrations=%d consolidations=%d preemptions=%d elapsed=%v\n",
+		l.inner.Name(), res.Total, res.Deployed(), len(res.Undeployed),
+		vs.Total(), res.Migrations, res.Consolidations, res.Preemptions, elapsed)
+	return res, nil
+}

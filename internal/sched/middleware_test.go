@@ -1,0 +1,60 @@
+package sched_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func TestLoggedScheduler(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2},
+	})
+	cl := topology.New(topology.AlibabaConfig(2))
+	var buf bytes.Buffer
+	s := sched.Logged(core.NewDefault(), &buf)
+	if s.Name() != "Aladdin(16)+IL+DL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	res, err := s.Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deployed() != 2 {
+		t.Errorf("deployed = %d", res.Deployed())
+	}
+	line := buf.String()
+	for _, want := range []string{
+		"sched=Aladdin(16)+IL+DL", "containers=2", "deployed=2",
+		"undeployed=0", "violations=0", "elapsed=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log missing %q: %s", want, line)
+		}
+	}
+}
+
+type failingScheduler struct{}
+
+func (failingScheduler) Name() string { return "boom" }
+func (failingScheduler) Schedule(*workload.Workload, *topology.Cluster, []*workload.Container) (*sched.Result, error) {
+	return nil, errors.New("kaput")
+}
+
+func TestLoggedSchedulerError(t *testing.T) {
+	var buf bytes.Buffer
+	s := sched.Logged(failingScheduler{}, &buf)
+	if _, err := s.Schedule(nil, nil, nil); err == nil {
+		t.Fatal("error should propagate")
+	}
+	if !strings.Contains(buf.String(), `error="kaput"`) {
+		t.Errorf("log = %q", buf.String())
+	}
+}

@@ -1,0 +1,149 @@
+// Package sched defines the interface every scheduler in this
+// repository implements, and the placement Result all experiments
+// consume.  Aladdin and the baselines (Firmament, Medea, Go-Kube)
+// plug in behind the same contract so the evaluation harness treats
+// them uniformly.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Scheduler places a workload's containers onto a cluster.
+type Scheduler interface {
+	// Name identifies the scheduler configuration, e.g.
+	// "Firmament-QUINCY(8)" or "Aladdin(16)".
+	Name() string
+	// Schedule places the given containers (already in arrival
+	// order) onto the cluster.  Implementations mutate the cluster's
+	// machines to reflect the final placement and return a Result.
+	Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*Result, error)
+}
+
+// Result is the outcome of one scheduling run.
+type Result struct {
+	// Scheduler is the Name() of the producer.
+	Scheduler string
+	// Assignment maps every deployed container to its machine.
+	Assignment constraint.Assignment
+	// Undeployed lists containers the scheduler could not place.
+	Undeployed []string
+	// Violations are the constraint violations the placement incurs
+	// (anti-affinity audited post-hoc plus any priority inversions
+	// the scheduler reported).
+	Violations []constraint.Violation
+	// Migrations counts containers moved to rescue another
+	// container's placement — anti-affinity unblocking and
+	// defragmentation (Fig. 13b's cost metric).
+	Migrations int
+	// Consolidations counts containers moved by the machine-draining
+	// pass that minimises used machines; reported separately because
+	// it is an optional efficiency sweep, not a placement cost.
+	Consolidations int
+	// Preemptions counts evictions of placed containers.
+	Preemptions int
+	// Elapsed is the wall-clock scheduling time for the whole batch.
+	Elapsed time.Duration
+	// WorkUnits is a scheduler-specific effort counter (for Aladdin:
+	// machine vertices explored by the path search).  Zero when the
+	// scheduler does not report one.  Unlike Elapsed it is
+	// deterministic, so tests assert optimisation claims on it.
+	WorkUnits int64
+	// Total is the number of containers submitted.
+	Total int
+}
+
+// UndeployedFraction returns undeployed/total in [0,1].
+func (r *Result) UndeployedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(len(r.Undeployed)) / float64(r.Total)
+}
+
+// ViolationSummary aggregates violations by kind.
+func (r *Result) ViolationSummary() constraint.Summary {
+	return constraint.Summarize(r.Violations)
+}
+
+// LatencyPerContainer implements Equation 11: total time divided by
+// the number of submitted containers.
+func (r *Result) LatencyPerContainer() time.Duration {
+	if r.Total == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Total)
+}
+
+// Deployed returns the number of placed containers.
+func (r *Result) Deployed() int { return len(r.Assignment) }
+
+// String summarises the result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d/%d deployed, %d undeployed, %d violations, %d migrations, %v",
+		r.Scheduler, r.Deployed(), r.Total, len(r.Undeployed),
+		len(r.Violations), r.Migrations, r.Elapsed)
+}
+
+// Finalize audits anti-affinity on the assignment, sorts the
+// undeployed list for determinism and stamps totals.  Every scheduler
+// calls this before returning so violation accounting is uniform and
+// cannot be fudged by an implementation.
+func (r *Result) Finalize(w *workload.Workload) {
+	r.Total = w.NumContainers()
+	audited := constraint.AuditAntiAffinity(w, r.Assignment)
+	// Keep scheduler-reported priority inversions, replace
+	// anti-affinity findings with the audit's ground truth.
+	var inversions []constraint.Violation
+	for _, v := range r.Violations {
+		if v.Kind == constraint.PriorityInversion {
+			inversions = append(inversions, v)
+		}
+	}
+	r.Violations = append(audited, inversions...)
+	sort.Strings(r.Undeployed)
+}
+
+// Verify cross-checks a Result against the cluster state: every
+// assigned container must actually be hosted by its machine, and no
+// machine may exceed capacity.  Returns the first inconsistency.
+func (r *Result) Verify(w *workload.Workload, cluster *topology.Cluster) error {
+	for _, c := range w.Containers() {
+		m, ok := r.Assignment[c.ID]
+		if !ok {
+			continue
+		}
+		machine := cluster.Machine(m)
+		if machine == nil {
+			return fmt.Errorf("sched: container %s assigned to unknown machine %d", c.ID, m)
+		}
+		if !machine.Hosts(c.ID) {
+			return fmt.Errorf("sched: container %s assigned to machine %d but not hosted there", c.ID, m)
+		}
+	}
+	for _, m := range cluster.Machines() {
+		if !m.Used().Fits(m.Capacity()) {
+			return fmt.Errorf("sched: machine %s over capacity: used %s > cap %s", m.Name, m.Used(), m.Capacity())
+		}
+	}
+	deployed := make(map[string]bool, len(r.Assignment))
+	for id := range r.Assignment {
+		deployed[id] = true
+	}
+	for _, id := range r.Undeployed {
+		if deployed[id] {
+			return fmt.Errorf("sched: container %s both deployed and undeployed", id)
+		}
+	}
+	if len(r.Assignment)+len(r.Undeployed) != r.Total {
+		return fmt.Errorf("sched: %d assigned + %d undeployed != %d total",
+			len(r.Assignment), len(r.Undeployed), r.Total)
+	}
+	return nil
+}

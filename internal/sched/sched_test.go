@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func testWorkload() *workload.Workload {
+	return workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(2, 2048), Replicas: 2, AntiAffinitySelf: true},
+		{ID: "b", Demand: resource.Cores(4, 4096), Replicas: 1},
+	})
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := &Result{
+		Scheduler:  "test",
+		Assignment: constraint.Assignment{"a/0": 0, "a/1": 1},
+		Undeployed: []string{"b/0"},
+		Elapsed:    300 * time.Millisecond,
+		Total:      3,
+	}
+	if got := r.UndeployedFraction(); got != 1.0/3.0 {
+		t.Errorf("UndeployedFraction = %v", got)
+	}
+	if got := r.LatencyPerContainer(); got != 100*time.Millisecond {
+		t.Errorf("LatencyPerContainer = %v", got)
+	}
+	if r.Deployed() != 2 {
+		t.Errorf("Deployed = %d", r.Deployed())
+	}
+	if !strings.Contains(r.String(), "test") {
+		t.Error("String should include scheduler name")
+	}
+}
+
+func TestResultMetricsEmpty(t *testing.T) {
+	r := &Result{}
+	if r.UndeployedFraction() != 0 || r.LatencyPerContainer() != 0 {
+		t.Error("zero totals should yield zero metrics")
+	}
+}
+
+func TestFinalizeAuditsViolations(t *testing.T) {
+	w := testWorkload()
+	r := &Result{
+		Assignment: constraint.Assignment{"a/0": 0, "a/1": 0, "b/0": 1}, // a/0+a/1 violate
+		Undeployed: []string{"z", "y"},
+		Violations: []constraint.Violation{
+			{Kind: constraint.PriorityInversion, ContainerA: "x", ContainerB: "y"},
+			// A bogus anti-affinity claim that the audit must replace.
+			{Kind: constraint.AntiAffinityAcross, ContainerA: "fake", ContainerB: "fake2"},
+		},
+	}
+	r.Finalize(w)
+	if r.Total != 3 {
+		t.Errorf("Total = %d", r.Total)
+	}
+	s := r.ViolationSummary()
+	if s.Within != 1 {
+		t.Errorf("Within = %d, want 1 (from audit)", s.Within)
+	}
+	if s.Across != 0 {
+		t.Errorf("Across = %d, want 0 (bogus claim dropped)", s.Across)
+	}
+	if s.Inversions != 1 {
+		t.Errorf("Inversions = %d, want 1 (preserved)", s.Inversions)
+	}
+	if r.Undeployed[0] != "y" || r.Undeployed[1] != "z" {
+		t.Errorf("Undeployed not sorted: %v", r.Undeployed)
+	}
+}
+
+func TestVerifyDetectsInconsistencies(t *testing.T) {
+	w := testWorkload()
+	cl := topology.New(topology.Config{Machines: 2, Capacity: resource.Cores(32, 65536)})
+
+	// Consistent placement.
+	if err := cl.Machine(0).Allocate("a/0", resource.Cores(2, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Machine(1).Allocate("a/1", resource.Cores(2, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	r := &Result{
+		Assignment: constraint.Assignment{"a/0": 0, "a/1": 1},
+		Undeployed: []string{"b/0"},
+	}
+	r.Finalize(w)
+	if err := r.Verify(w, cl); err != nil {
+		t.Errorf("consistent result rejected: %v", err)
+	}
+
+	// Assignment points at a machine that does not host the container.
+	bad := &Result{Assignment: constraint.Assignment{"a/0": 1, "a/1": 1}}
+	bad.Finalize(w)
+	if err := bad.Verify(w, cl); err == nil {
+		t.Error("mismatched hosting should fail Verify")
+	}
+
+	// Unknown machine.
+	bad2 := &Result{Assignment: constraint.Assignment{"a/0": 99}}
+	bad2.Finalize(w)
+	if err := bad2.Verify(w, cl); err == nil {
+		t.Error("unknown machine should fail Verify")
+	}
+
+	// Container both deployed and undeployed.
+	bad3 := &Result{
+		Assignment: constraint.Assignment{"a/0": 0, "a/1": 1},
+		Undeployed: []string{"a/0"},
+	}
+	bad3.Total = 3
+	if err := bad3.Verify(w, cl); err == nil {
+		t.Error("deployed+undeployed overlap should fail Verify")
+	}
+
+	// Count mismatch.
+	bad4 := &Result{Assignment: constraint.Assignment{"a/0": 0, "a/1": 1}}
+	bad4.Total = 3 // one container unaccounted
+	if err := bad4.Verify(w, cl); err == nil {
+		t.Error("unaccounted containers should fail Verify")
+	}
+}

@@ -1,0 +1,203 @@
+// Package server exposes a live scheduling Session over HTTP — the
+// operational surface a production scheduler manager needs: health,
+// metrics, the live assignment, per-container diagnosis, and batch
+// submission.  It is the in-process analogue of the watching/binding
+// APIs the paper's model adaptor delegates (§IV.C).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Server wraps a Session with an http.Handler.  All handlers share
+// one mutex: the Session itself is single-threaded by design (one
+// scheduler manager per cluster).
+type Server struct {
+	mu      sync.Mutex
+	session *core.Session
+	w       *workload.Workload
+	cluster *topology.Cluster
+	byID    map[string]*workload.Container
+
+	mux *http.ServeMux
+}
+
+// New builds a server over a session and the workload/cluster it
+// manages.
+func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster) *Server {
+	s := &Server{
+		session: session,
+		w:       w,
+		cluster: cluster,
+		byID:    make(map[string]*workload.Container, w.NumContainers()),
+	}
+	for _, c := range w.Containers() {
+		s.byID[c.ID] = c
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /place", s.handlePlace)
+	s.mux.HandleFunc("POST /remove", s.handleRemove)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.session.FlowConservation(); err != nil {
+		http.Error(w, fmt.Sprintf("flow conservation violated: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if vs := s.session.Audit(); len(vs) != 0 {
+		http.Error(w, fmt.Sprintf("%d constraint violations live", len(vs)), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders Prometheus-style text metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	used := s.cluster.UsedMachines()
+	lo, mean, hi := s.cluster.UtilizationRange()
+	totalUsed := s.cluster.TotalUsed()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "aladdin_machines_total %d\n", s.cluster.Size())
+	fmt.Fprintf(w, "aladdin_machines_used %d\n", used)
+	fmt.Fprintf(w, "aladdin_containers_placed %d\n", len(s.session.Assignment()))
+	fmt.Fprintf(w, "aladdin_cpu_milli_allocated %d\n", totalUsed.Dim(resource.CPU))
+	fmt.Fprintf(w, "aladdin_mem_mb_allocated %d\n", totalUsed.Dim(resource.Memory))
+	fmt.Fprintf(w, "aladdin_cpu_utilization_min %.4f\n", lo)
+	fmt.Fprintf(w, "aladdin_cpu_utilization_mean %.4f\n", mean)
+	fmt.Fprintf(w, "aladdin_cpu_utilization_max %.4f\n", hi)
+}
+
+// assignmentEntry is the JSON row of /assignments.
+type assignmentEntry struct {
+	Container string             `json:"container"`
+	Machine   topology.MachineID `json:"machine"`
+	MachineID string             `json:"machine_name"`
+	Rack      string             `json:"rack"`
+}
+
+func (s *Server) handleAssignments(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	asg := s.session.Assignment()
+	out := make([]assignmentEntry, 0, len(asg))
+	for id, m := range asg {
+		machine := s.cluster.Machine(m)
+		out = append(out, assignmentEntry{
+			Container: id, Machine: m,
+			MachineID: machine.Name, Rack: machine.Rack,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Container < out[j].Container })
+	writeJSON(w, out)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("container")
+	if id == "" {
+		http.Error(w, "missing ?container=", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := core.Explain(s.w, s.cluster, s.session.Assignment(), id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, e)
+}
+
+// placeRequest is the JSON body of /place.
+type placeRequest struct {
+	Containers []string `json:"containers"`
+}
+
+// placeResponse summarises one batch.
+type placeResponse struct {
+	Placed     int      `json:"placed"`
+	Undeployed []string `json:"undeployed,omitempty"`
+	Migrations int      `json:"migrations"`
+	ElapsedUS  int64    `json:"elapsed_us"`
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req placeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := make([]*workload.Container, 0, len(req.Containers))
+	for _, id := range req.Containers {
+		c := s.byID[id]
+		if c == nil {
+			http.Error(w, fmt.Sprintf("unknown container %q", id), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, c)
+	}
+	res, err := s.session.Place(batch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, placeResponse{
+		Placed:     res.Deployed(),
+		Undeployed: res.Undeployed,
+		Migrations: res.Migrations,
+		ElapsedUS:  res.Elapsed.Microseconds(),
+	})
+}
+
+// removeRequest is the JSON body of /remove.
+type removeRequest struct {
+	Container string `json:"container"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.session.Remove(req.Container); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintln(w, "removed")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func testServer(t *testing.T) (*Server, *workload.Workload) {
+	t.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 3, AntiAffinitySelf: true},
+		{ID: "db", Demand: resource.Cores(8, 16384), Replicas: 1, AntiAffinityApps: []string{"web"}},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	return New(sess, w, cl), w
+}
+
+func do(t *testing.T, s *Server, method, path string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rec := do(t, s, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestPlaceAndAssignments(t *testing.T) {
+	s, _ := testServer(t)
+	rec := do(t, s, http.MethodPost, "/place",
+		`{"containers":["web/0","web/1","web/2","db/0"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("place = %d: %s", rec.Code, rec.Body)
+	}
+	var pr placeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Placed != 4 || len(pr.Undeployed) != 0 {
+		t.Fatalf("placeResponse = %+v", pr)
+	}
+
+	rec = do(t, s, http.MethodGet, "/assignments", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("assignments = %d", rec.Code)
+	}
+	var entries []assignmentEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Sorted by container and machine names resolved.
+	if entries[0].Container != "db/0" || entries[0].MachineID == "" {
+		t.Errorf("entry[0] = %+v", entries[0])
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	s, _ := testServer(t)
+	if rec := do(t, s, http.MethodPost, "/place", `{"containers":["ghost/9"]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown container = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/place", `not json`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json = %d", rec.Code)
+	}
+	// Double placement conflicts.
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0"]}`)
+	if rec := do(t, s, http.MethodPost, "/place", `{"containers":["web/0"]}`); rec.Code != http.StatusConflict {
+		t.Errorf("double place = %d", rec.Code)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0"]}`)
+	if rec := do(t, s, http.MethodPost, "/remove", `{"container":"web/0"}`); rec.Code != http.StatusOK {
+		t.Errorf("remove = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, http.MethodPost, "/remove", `{"container":"web/0"}`); rec.Code != http.StatusConflict {
+		t.Errorf("double remove = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/remove", `bad`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json = %d", rec.Code)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","db/0"]}`)
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"aladdin_machines_total 4",
+		"aladdin_containers_placed 2",
+		"aladdin_cpu_milli_allocated 12000",
+		"aladdin_cpu_utilization_mean",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","web/1","web/2"]}`)
+	rec := do(t, s, http.MethodGet, "/explain?container=db/0", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain = %d: %s", rec.Code, rec.Body)
+	}
+	var e core.Explanation
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	// db conflicts with web on 3 of 4 machines; one stays free.
+	if !e.Placeable() {
+		t.Errorf("db should still be placeable: %+v", e)
+	}
+	if e.BlacklistRejected != 3 {
+		t.Errorf("BlacklistRejected = %d, want 3", e.BlacklistRejected)
+	}
+	if rec := do(t, s, http.MethodGet, "/explain", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing param = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/explain?container=ghost/0", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown container = %d", rec.Code)
+	}
+}
+
+func TestHealthzDetectsCorruption(t *testing.T) {
+	// Manually violate the cluster behind the session's back: healthz
+	// must notice via the audit.
+	w := workload.MustNew([]*workload.App{
+		{ID: "spread", Demand: resource.Cores(2, 2048), Replicas: 2, AntiAffinitySelf: true},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 2, MachinesPerRack: 2, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	s := New(sess, w, cl)
+	do(t, s, http.MethodPost, "/place", `{"containers":["spread/0","spread/1"]}`)
+
+	// Forge a violating state by swapping the assignment map directly
+	// (the map is shared by design).
+	asg := sess.Assignment()
+	asg["spread/1"] = asg["spread/0"]
+	rec := do(t, s, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("healthz should fail on violation, got %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("violation")) {
+		t.Errorf("body = %s", rec.Body)
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/stats"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// OnlineConfig drives the event-driven simulation: applications
+// arrive over a simulated timeline, run for their (long-lived)
+// durations and depart, exercising Aladdin's Session API the way a
+// production cluster would.
+type OnlineConfig struct {
+	Workload *workload.Workload
+	Machines int
+	Options  core.Options
+	// Seed drives arrival spacing and durations.
+	Seed int64
+	// MeanInterarrival is the mean gap between application arrivals
+	// in simulated time; defaults to 1s.
+	MeanInterarrival time.Duration
+	// MeanLifetime is the mean application lifetime; LLA lifetimes
+	// range "from hours to months" — pick relative to interarrival to
+	// set the steady-state load.  Defaults to 100× the interarrival.
+	MeanLifetime time.Duration
+	// Phases shapes the arrival rate over time (diurnal patterns,
+	// flash-sale bursts): the application sequence is split into
+	// len(Phases) equal segments and segment i arrives Phases[i]
+	// times faster than the base rate.  Empty means a flat rate.
+	// Example: {1, 8, 1} — the middle third is an 8× burst (the
+	// 11.11 scenario of §I).
+	Phases []float64
+}
+
+// OnlineMetrics summarises an online run.
+type OnlineMetrics struct {
+	// Arrived / Departed / Rejected count applications.
+	Arrived, Departed int
+	// RejectedContainers counts containers that could not be placed
+	// at their arrival instant.
+	RejectedContainers int
+	// TotalContainers counts all containers submitted.
+	TotalContainers int
+	// BatchLatency is the distribution of per-batch scheduling
+	// latencies (real time spent in Place).
+	BatchLatency *stats.CDF
+	// StreamP50/StreamP99 are streaming (P²) estimates of the same
+	// latencies in microseconds — O(1) space, what a production
+	// scheduler manager would export as metrics.
+	StreamP50, StreamP99 float64
+	// PeakUsedMachines is the high-water mark of used machines.
+	PeakUsedMachines int
+	// PeakUtilization is the high-water mark of mean CPU utilisation.
+	PeakUtilization float64
+	// Migrations and Preemptions accumulate over the run.
+	Migrations, Preemptions int
+	// Violations counts audit findings over the whole run (always 0
+	// for a correct Aladdin).
+	Violations int
+}
+
+// event is an arrival or departure in simulated time.
+type event struct {
+	at      time.Duration
+	arrive  *workload.App
+	departs []string // container IDs leaving
+	seq     int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// RunOnline executes the event-driven simulation.
+func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("sim: online: nil workload")
+	}
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("sim: online: machine count %d must be positive", cfg.Machines)
+	}
+	interarrival := cfg.MeanInterarrival
+	if interarrival <= 0 {
+		interarrival = time.Second
+	}
+	lifetime := cfg.MeanLifetime
+	if lifetime <= 0 {
+		lifetime = 100 * interarrival
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cluster := topology.New(topology.Config{
+		Machines: cfg.Machines,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	session := core.NewSession(cfg.Options, cfg.Workload, cluster)
+
+	// Build the arrival schedule: one event per application,
+	// exponential-ish interarrival (deterministic via seed).
+	var h eventHeap
+	now := time.Duration(0)
+	seq := 0
+	apps := cfg.Workload.Apps()
+	rate := func(i int) float64 {
+		if len(cfg.Phases) == 0 {
+			return 1
+		}
+		phase := i * len(cfg.Phases) / max(1, len(apps))
+		if phase >= len(cfg.Phases) {
+			phase = len(cfg.Phases) - 1
+		}
+		if cfg.Phases[phase] <= 0 {
+			return 1
+		}
+		return cfg.Phases[phase]
+	}
+	for i, app := range apps {
+		gap := rng.ExpFloat64() * float64(interarrival) / rate(i)
+		now += time.Duration(gap)
+		h.pushEvent(event{at: now, arrive: app, seq: seq})
+		seq++
+	}
+	heap.Init(&h)
+
+	m := &OnlineMetrics{}
+	var latencies []float64
+	p50, err := stats.NewQuantile(0.5)
+	if err != nil {
+		return nil, err
+	}
+	p99, err := stats.NewQuantile(0.99)
+	if err != nil {
+		return nil, err
+	}
+	byApp := make(map[string][]*workload.Container)
+	for _, c := range cfg.Workload.Containers() {
+		byApp[c.App] = append(byApp[c.App], c)
+	}
+
+	for h.Len() > 0 {
+		e := h.popEvent()
+		if e.arrive != nil {
+			batch := byApp[e.arrive.ID]
+			m.Arrived++
+			m.TotalContainers += len(batch)
+			res, err := session.Place(batch)
+			if err != nil {
+				return nil, err
+			}
+			us := float64(res.Elapsed.Microseconds())
+			latencies = append(latencies, us)
+			p50.Observe(us)
+			p99.Observe(us)
+			m.RejectedContainers += len(res.Undeployed)
+			m.Migrations += res.Migrations
+			m.Preemptions += res.Preemptions
+			// Departure event for the deployed containers.
+			var ids []string
+			undep := make(map[string]bool, len(res.Undeployed))
+			for _, id := range res.Undeployed {
+				undep[id] = true
+			}
+			for _, c := range batch {
+				if !undep[c.ID] {
+					ids = append(ids, c.ID)
+				}
+			}
+			sort.Strings(ids)
+			if len(ids) > 0 {
+				life := time.Duration(rng.ExpFloat64() * float64(lifetime))
+				h.pushEvent(event{at: e.at + life, departs: ids, seq: seq})
+				seq++
+			}
+			if used := cluster.UsedMachines(); used > m.PeakUsedMachines {
+				m.PeakUsedMachines = used
+			}
+			if _, mean, _ := cluster.UtilizationRange(); mean > m.PeakUtilization {
+				m.PeakUtilization = mean
+			}
+		} else {
+			for _, id := range e.departs {
+				// A container may have been preempted (and stranded)
+				// after its initial placement; departures of unplaced
+				// containers are no-ops.
+				if _, ok := session.Assignment()[id]; !ok {
+					continue
+				}
+				if err := session.Remove(id); err != nil {
+					return nil, fmt.Errorf("sim: online departure: %w", err)
+				}
+			}
+			m.Departed++
+		}
+	}
+	m.Violations = len(session.Audit())
+	m.BatchLatency = stats.NewCDF(latencies)
+	m.StreamP50 = p50.Value()
+	m.StreamP99 = p99.Value()
+	return m, nil
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/trace"
+)
+
+func TestRunOnlineBasic(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 400)) // ~65 apps wait: factor 400 -> ~32 apps
+	m, err := RunOnline(OnlineConfig{
+		Workload: w,
+		Machines: 96,
+		Options:  core.DefaultOptions(),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrived != len(w.Apps()) {
+		t.Errorf("Arrived = %d, want %d", m.Arrived, len(w.Apps()))
+	}
+	if m.TotalContainers != w.NumContainers() {
+		t.Errorf("TotalContainers = %d, want %d", m.TotalContainers, w.NumContainers())
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0", m.Violations)
+	}
+	if m.BatchLatency == nil || m.BatchLatency.Len() != m.Arrived {
+		t.Error("BatchLatency should have one sample per arrival")
+	}
+	// Streaming estimates are structural-sane: ordered and inside the
+	// observed range.  (Exact agreement is checked in the stats
+	// package with large noise-free samples; latencies here are a few
+	// dozen jittery integer microseconds.)
+	if m.StreamP99 < m.StreamP50 {
+		t.Errorf("p99 %v < p50 %v", m.StreamP99, m.StreamP50)
+	}
+	if m.StreamP50 < m.BatchLatency.Min() || m.StreamP50 > m.BatchLatency.Max() {
+		t.Errorf("StreamP50 %v outside observed range [%v, %v]",
+			m.StreamP50, m.BatchLatency.Min(), m.BatchLatency.Max())
+	}
+	if m.PeakUsedMachines <= 0 || m.PeakUsedMachines > 96 {
+		t.Errorf("PeakUsedMachines = %d", m.PeakUsedMachines)
+	}
+	if m.PeakUtilization <= 0 || m.PeakUtilization > 1 {
+		t.Errorf("PeakUtilization = %v", m.PeakUtilization)
+	}
+}
+
+func TestRunOnlineDeterministic(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(3, 400))
+	run := func() *OnlineMetrics {
+		m, err := RunOnline(OnlineConfig{
+			Workload: w, Machines: 96, Options: core.DefaultOptions(), Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.RejectedContainers != b.RejectedContainers ||
+		a.PeakUsedMachines != b.PeakUsedMachines ||
+		a.Migrations != b.Migrations {
+		t.Errorf("online run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunOnlineDeparturesFreeCapacity(t *testing.T) {
+	// With lifetimes much shorter than the arrival horizon, a small
+	// cluster absorbs a workload far larger than its capacity.
+	w := trace.MustGenerate(trace.Scaled(42, 200)) // ~500 containers
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         48, // far below the ~117 batch minimum
+		Options:          core.DefaultOptions(),
+		Seed:             5,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     3 * time.Second, // churn: ~3 apps alive at once
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Departed == 0 {
+		t.Error("expected departures")
+	}
+	frac := float64(m.RejectedContainers) / float64(m.TotalContainers)
+	if frac > 0.25 {
+		t.Errorf("rejected fraction %.2f too high for a churning cluster", frac)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d", m.Violations)
+	}
+}
+
+func TestRunOnlineBurstPhases(t *testing.T) {
+	// A burst phase concentrates arrivals, raising the peak machine
+	// high-water mark versus a flat arrival rate with heavy churn.
+	w := trace.MustGenerate(trace.Scaled(42, 200))
+	base := OnlineConfig{
+		Workload:         w,
+		Machines:         192,
+		Options:          core.DefaultOptions(),
+		Seed:             3,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     2 * time.Second,
+	}
+	flat, err := RunOnline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := base
+	burst.Phases = []float64{1, 50, 1}
+	bursty, err := RunOnline(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.PeakUsedMachines <= flat.PeakUsedMachines {
+		t.Errorf("burst peak %d should exceed flat peak %d",
+			bursty.PeakUsedMachines, flat.PeakUsedMachines)
+	}
+	if bursty.Violations != 0 || flat.Violations != 0 {
+		t.Error("violations in online runs")
+	}
+}
+
+func TestRunOnlineValidation(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 400))
+	if _, err := RunOnline(OnlineConfig{Machines: 8}); err == nil {
+		t.Error("nil workload should fail")
+	}
+	if _, err := RunOnline(OnlineConfig{Workload: w}); err == nil {
+		t.Error("zero machines should fail")
+	}
+}

@@ -1,0 +1,236 @@
+// Package sim is the replay engine of the evaluation: it drives any
+// scheduler over a workload and cluster, collects the metrics the
+// paper's figures report, and runs parameter sweeps (cluster sizes,
+// arrival orders, scheduler configurations) — in parallel across
+// configurations, since each run owns its cluster.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/parallel"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/stats"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// Metrics captures everything the paper's figures need from one run.
+type Metrics struct {
+	// Scheduler is the configuration name.
+	Scheduler string
+	// Order is the arrival characteristic used.
+	Order workload.ArrivalOrder
+	// Machines is the cluster size offered.
+	Machines int
+
+	// Total and Deployed are container counts; Undeployed = Total -
+	// Deployed.
+	Total, Deployed int
+	// UndeployedFraction is the Fig. 9 "constraint violations (%)"
+	// metric (the paper counts undeployed containers).
+	UndeployedFraction float64
+	// ViolationsWithin / ViolationsAcross / Inversions are audited
+	// constraint violations (Fig. 9e's ratio numerator is the
+	// anti-affinity ones).
+	ViolationsWithin, ViolationsAcross, Inversions int
+	// UndeployedAntiAffinity counts undeployed containers whose app
+	// carries an anti-affinity constraint — the denominator
+	// attribution for Fig. 9(e): a constrained app that could not be
+	// placed failed because of its constraints.
+	UndeployedAntiAffinity int
+	// ViolatingContainers counts distinct containers involved in at
+	// least one violating pair — a more interpretable size than the
+	// (quadratic) pair count when a scheduler stacks many conflicting
+	// containers on one machine.
+	ViolatingContainers int
+	// UsedMachines is num(sched) of Equation 10.
+	UsedMachines int
+	// Utilization is the Fig. 11 CPU utilisation range over used
+	// machines.
+	Utilization stats.Range
+	// Latency is Equation 11's per-container average latency.
+	Latency time.Duration
+	// Elapsed is the total wall-clock scheduling time (Fig. 13a).
+	Elapsed time.Duration
+	// Migrations and Preemptions (Fig. 13b); Consolidations are the
+	// machine-draining moves of the final efficiency sweep.
+	Migrations, Preemptions, Consolidations int
+	// WorkUnits is the scheduler's deterministic effort counter
+	// (zero for schedulers that do not report one).
+	WorkUnits int64
+}
+
+// TotalViolations sums the audited violations.
+func (m Metrics) TotalViolations() int {
+	return m.ViolationsWithin + m.ViolationsAcross + m.Inversions
+}
+
+// AntiAffinityRatio implements Fig. 9(e): the share of constraint
+// failures attributable to anti-affinity.  A constraint failure is
+// either an audited violation or an undeployed container; it counts
+// as anti-affinity when it is an anti-affinity violation or an
+// undeployed container of a constrained app.  Returns 0 when there
+// are no failures.
+func (m Metrics) AntiAffinityRatio() float64 {
+	undeployed := m.Total - m.Deployed
+	t := m.TotalViolations() + undeployed
+	if t == 0 {
+		return 0
+	}
+	aa := m.ViolationsWithin + m.ViolationsAcross + m.UndeployedAntiAffinity
+	return float64(aa) / float64(t)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Scheduler sched.Scheduler
+	Workload  *workload.Workload
+	Machines  int
+	// MachinesPerRack / RacksPerCluster default to the topology
+	// package defaults when zero.
+	MachinesPerRack int
+	RacksPerCluster int
+	// Capacity defaults to the paper's 32 CPU / 64 GB machines.
+	Capacity resource.Vector
+	Order    workload.ArrivalOrder
+}
+
+// Run executes one simulation and returns its metrics.  The cluster
+// is created fresh, so runs are independent and parallelisable.
+func Run(cfg Config) (Metrics, error) {
+	if cfg.Scheduler == nil {
+		return Metrics{}, fmt.Errorf("sim: nil scheduler")
+	}
+	if cfg.Workload == nil {
+		return Metrics{}, fmt.Errorf("sim: nil workload")
+	}
+	if cfg.Machines <= 0 {
+		return Metrics{}, fmt.Errorf("sim: machine count %d must be positive", cfg.Machines)
+	}
+	capacity := cfg.Capacity
+	if capacity.Zero() {
+		capacity = resource.Cores(32, 64*1024)
+	}
+	cluster := topology.New(topology.Config{
+		Machines:        cfg.Machines,
+		MachinesPerRack: cfg.MachinesPerRack,
+		RacksPerCluster: cfg.RacksPerCluster,
+		Capacity:        capacity,
+	})
+	arrivals := cfg.Workload.Arrange(cfg.Order)
+	res, err := cfg.Scheduler.Schedule(cfg.Workload, cluster, arrivals)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("sim: %s: %w", cfg.Scheduler.Name(), err)
+	}
+	if err := res.Verify(cfg.Workload, cluster); err != nil {
+		return Metrics{}, fmt.Errorf("sim: %s: inconsistent result: %w", cfg.Scheduler.Name(), err)
+	}
+	return collect(cfg, cluster, res), nil
+}
+
+func collect(cfg Config, cluster *topology.Cluster, res *sched.Result) Metrics {
+	vs := res.ViolationSummary()
+	lo, mean, hi := cluster.UtilizationRange()
+	violating := make(map[string]bool)
+	for _, v := range res.Violations {
+		violating[v.ContainerA] = true
+		violating[v.ContainerB] = true
+	}
+	undeployedAA := 0
+	for _, id := range res.Undeployed {
+		for i := len(id) - 1; i >= 0; i-- {
+			if id[i] == '/' {
+				if app := cfg.Workload.App(id[:i]); app != nil && app.HasConstraints() {
+					undeployedAA++
+				}
+				break
+			}
+		}
+	}
+	return Metrics{
+		Scheduler:              res.Scheduler,
+		Order:                  cfg.Order,
+		Machines:               cfg.Machines,
+		Total:                  res.Total,
+		Deployed:               res.Deployed(),
+		UndeployedFraction:     res.UndeployedFraction(),
+		ViolationsWithin:       vs.Within,
+		ViolationsAcross:       vs.Across,
+		Inversions:             vs.Inversions,
+		UndeployedAntiAffinity: undeployedAA,
+		ViolatingContainers:    len(violating),
+		UsedMachines:           cluster.UsedMachines(),
+		Utilization:            stats.Range{Min: lo, Mean: mean, Max: hi},
+		Latency:                res.LatencyPerContainer(),
+		Elapsed:                res.Elapsed,
+		Migrations:             res.Migrations,
+		Preemptions:            res.Preemptions,
+		Consolidations:         res.Consolidations,
+		WorkUnits:              res.WorkUnits,
+	}
+}
+
+// RunAll executes every configuration, in parallel (each run builds
+// its own cluster).  Results are positionally aligned with configs;
+// the first error (if any) is returned alongside the successful
+// results.
+func RunAll(configs []Config, workers int) ([]Metrics, error) {
+	out := make([]Metrics, len(configs))
+	errs := make([]error, len(configs))
+	parallel.ForEach(len(configs), workers, func(i int) {
+		out[i], errs[i] = Run(configs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// SweepOrders runs one scheduler across the four arrival orders of
+// §V.C/§V.D.
+func SweepOrders(s sched.Scheduler, w *workload.Workload, machines int, workers int) ([]Metrics, error) {
+	orders := workload.AllArrivalOrders()
+	configs := make([]Config, len(orders))
+	for i, o := range orders {
+		configs[i] = Config{Scheduler: s, Workload: w, Machines: machines, Order: o}
+	}
+	return RunAll(configs, workers)
+}
+
+// SweepMachines runs one scheduler across cluster sizes (Fig. 12/13's
+// x axis).
+func SweepMachines(s sched.Scheduler, w *workload.Workload, sizes []int, order workload.ArrivalOrder, workers int) ([]Metrics, error) {
+	configs := make([]Config, len(sizes))
+	for i, n := range sizes {
+		configs[i] = Config{Scheduler: s, Workload: w, Machines: n, Order: order}
+	}
+	return RunAll(configs, workers)
+}
+
+// Efficiency implements Equation 10 over a set of runs: for each run,
+// num(i)/min(num) − 1, keyed by position.  Runs that used zero
+// machines yield 0.
+func Efficiency(ms []Metrics) []float64 {
+	min := 0
+	for _, m := range ms {
+		if m.UsedMachines > 0 && (min == 0 || m.UsedMachines < min) {
+			min = m.UsedMachines
+		}
+	}
+	out := make([]float64, len(ms))
+	if min == 0 {
+		return out
+	}
+	for i, m := range ms {
+		if m.UsedMachines == 0 {
+			continue
+		}
+		out[i] = float64(m.UsedMachines)/float64(min) - 1
+	}
+	return out
+}

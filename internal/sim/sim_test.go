@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/gokube"
+	"aladdin/internal/resource"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+func smallWorkload() *workload.Workload {
+	return workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 4096), Replicas: 4, AntiAffinitySelf: true},
+		{ID: "db", Demand: resource.Cores(8, 8192), Replicas: 2},
+	})
+}
+
+func TestRunBasics(t *testing.T) {
+	m, err := Run(Config{
+		Scheduler: core.NewDefault(),
+		Workload:  smallWorkload(),
+		Machines:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total != 6 || m.Deployed != 6 {
+		t.Errorf("Total/Deployed = %d/%d", m.Total, m.Deployed)
+	}
+	if m.UndeployedFraction != 0 {
+		t.Errorf("UndeployedFraction = %v", m.UndeployedFraction)
+	}
+	if m.TotalViolations() != 0 {
+		t.Errorf("violations = %d", m.TotalViolations())
+	}
+	if m.UsedMachines < 4 {
+		t.Errorf("UsedMachines = %d, want >= 4 (anti-affinity spread)", m.UsedMachines)
+	}
+	if m.Utilization.Max <= 0 {
+		t.Error("utilisation range should be populated")
+	}
+	if m.Machines != 8 || m.Scheduler == "" {
+		t.Errorf("metadata: %+v", m)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := smallWorkload()
+	if _, err := Run(Config{Workload: w, Machines: 4}); err == nil {
+		t.Error("nil scheduler should fail")
+	}
+	if _, err := Run(Config{Scheduler: core.NewDefault(), Machines: 4}); err == nil {
+		t.Error("nil workload should fail")
+	}
+	if _, err := Run(Config{Scheduler: core.NewDefault(), Workload: w}); err == nil {
+		t.Error("zero machines should fail")
+	}
+}
+
+func TestAntiAffinityRatio(t *testing.T) {
+	m := Metrics{ViolationsWithin: 6, ViolationsAcross: 1, Inversions: 3}
+	if got := m.AntiAffinityRatio(); got != 0.7 {
+		t.Errorf("AntiAffinityRatio = %v", got)
+	}
+	if (Metrics{}).AntiAffinityRatio() != 0 {
+		t.Error("no violations should give ratio 0")
+	}
+}
+
+func TestRunAllParallel(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(3, 300))
+	configs := []Config{
+		{Scheduler: core.NewDefault(), Workload: w, Machines: 160},
+		{Scheduler: gokube.NewDefault(), Workload: w, Machines: 160},
+		{Scheduler: core.NewDefault(), Workload: w, Machines: 160, Order: workload.OrderCHP},
+	}
+	ms, err := RunAll(configs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("results = %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.Total != w.NumContainers() {
+			t.Errorf("run %d: total %d", i, m.Total)
+		}
+	}
+	if ms[2].Order != workload.OrderCHP {
+		t.Error("order not preserved")
+	}
+}
+
+func TestRunAllPropagatesError(t *testing.T) {
+	w := smallWorkload()
+	configs := []Config{
+		{Scheduler: core.NewDefault(), Workload: w, Machines: 8},
+		{Scheduler: core.NewDefault(), Workload: w, Machines: 0}, // invalid
+	}
+	if _, err := RunAll(configs, 2); err == nil {
+		t.Error("invalid config error should propagate")
+	}
+}
+
+func TestSweepOrders(t *testing.T) {
+	w := smallWorkload()
+	ms, err := SweepOrders(core.NewDefault(), w, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("orders = %d", len(ms))
+	}
+	seen := map[workload.ArrivalOrder]bool{}
+	for _, m := range ms {
+		seen[m.Order] = true
+	}
+	for _, o := range workload.AllArrivalOrders() {
+		if !seen[o] {
+			t.Errorf("order %v missing", o)
+		}
+	}
+}
+
+func TestSweepMachines(t *testing.T) {
+	w := smallWorkload()
+	sizes := []int{4, 8, 16}
+	ms, err := SweepMachines(core.NewDefault(), w, sizes, workload.OrderSubmission, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m.Machines != sizes[i] {
+			t.Errorf("size %d != %d", m.Machines, sizes[i])
+		}
+	}
+}
+
+func TestEfficiencyEquation10(t *testing.T) {
+	ms := []Metrics{
+		{UsedMachines: 9242},
+		{UsedMachines: 10477},
+		{UsedMachines: 0}, // failed/empty run
+	}
+	eff := Efficiency(ms)
+	if eff[0] != 0 {
+		t.Errorf("best scheduler efficiency = %v, want 0", eff[0])
+	}
+	want := float64(10477)/9242 - 1
+	if diff := eff[1] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("eff[1] = %v, want %v", eff[1], want)
+	}
+	if eff[2] != 0 {
+		t.Errorf("zero-machine run efficiency = %v", eff[2])
+	}
+	if all := Efficiency([]Metrics{{}, {}}); all[0] != 0 || all[1] != 0 {
+		t.Error("all-zero runs should give zero efficiencies")
+	}
+}

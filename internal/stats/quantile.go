@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile is a streaming quantile estimator using the P² algorithm
+// (Jain & Chlamtac, 1985): it tracks a single quantile in O(1) space
+// without storing observations — the right tool for long online
+// simulations where batch latencies arrive forever.
+type Quantile struct {
+	p     float64
+	count int
+	// Five markers: heights q and positions n, plus desired positions
+	// np and increments dn.
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+	// init buffers the first five observations.
+	init []float64
+}
+
+// NewQuantile builds an estimator for the p-th quantile, p in (0,1).
+func NewQuantile(p float64) (*Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("stats: quantile p %v out of (0,1)", p)
+	}
+	return &Quantile{p: p, init: make([]float64, 0, 5)}, nil
+}
+
+// Observe adds one sample.
+func (e *Quantile) Observe(x float64) {
+	e.count++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.n[i] = float64(i + 1)
+			}
+			p := e.p
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	// Find cell k such that q[k] <= x < q[k+1]; adjust extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+	// Adjust interior markers with the parabolic (P²) formula,
+	// falling back to linear when the parabola would cross a
+	// neighbour.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := math.Copysign(1, d)
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+func (e *Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+s)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-s)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Value returns the current quantile estimate.  With fewer than five
+// observations it falls back to the exact order statistic.
+func (e *Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if len(e.init) < 5 {
+		tmp := make([]float64, len(e.init))
+		copy(tmp, e.init)
+		sort.Float64s(tmp)
+		idx := int(math.Ceil(e.p*float64(len(tmp)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return tmp[idx]
+	}
+	return e.q[2]
+}
+
+// Count returns the number of observations.
+func (e *Quantile) Count() int { return e.count }

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewQuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewQuantile(p); err == nil {
+			t.Errorf("p=%v should be rejected", p)
+		}
+	}
+	if _, err := NewQuantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileSmallCounts(t *testing.T) {
+	e, _ := NewQuantile(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Error("empty estimator should read 0")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Errorf("single sample median = %v", e.Value())
+	}
+	e.Observe(20)
+	e.Observe(30)
+	// exact median of {10,20,30} with nearest rank = 20
+	if e.Value() != 20 {
+		t.Errorf("median of 3 = %v", e.Value())
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, _ := NewQuantile(0.5)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64() * 100
+		e.Observe(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	exact := all[len(all)/2]
+	if math.Abs(e.Value()-exact) > 2.0 {
+		t.Errorf("P² median %v vs exact %v", e.Value(), exact)
+	}
+}
+
+func TestQuantileP99SkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, _ := NewQuantile(0.99)
+	var all []float64
+	for i := 0; i < 50000; i++ {
+		// Exponential-ish latencies.
+		x := rng.ExpFloat64() * 10
+		e.Observe(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	exact := all[int(0.99*float64(len(all)))]
+	rel := math.Abs(e.Value()-exact) / exact
+	if rel > 0.15 {
+		t.Errorf("P² p99 %v vs exact %v (rel err %.2f)", e.Value(), exact, rel)
+	}
+	if e.Count() != 50000 {
+		t.Errorf("Count = %d", e.Count())
+	}
+}
+
+func TestQuantileMonotoneInputs(t *testing.T) {
+	e, _ := NewQuantile(0.9)
+	for i := 1; i <= 1000; i++ {
+		e.Observe(float64(i))
+	}
+	v := e.Value()
+	if v < 850 || v > 950 {
+		t.Errorf("p90 of 1..1000 = %v, want ~900", v)
+	}
+}
+
+func TestQuantileConstantInput(t *testing.T) {
+	e, _ := NewQuantile(0.5)
+	for i := 0; i < 100; i++ {
+		e.Observe(42)
+	}
+	if e.Value() != 42 {
+		t.Errorf("constant stream median = %v", e.Value())
+	}
+}

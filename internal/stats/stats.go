@@ -1,0 +1,220 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: CDFs, histograms, percentiles and utilisation-range
+// summaries matching the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(samples []int) *CDF {
+	s := make([]float64, len(samples))
+	for i, v := range samples {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x) in [0,1].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 100 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.sorted[rank-1]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Points returns up to n evenly spaced (x, P(X≤x)) pairs for
+// plotting, always including the extremes.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(1, n-1)
+		x := c.sorted[idx]
+		out = append(out, [2]float64{x, float64(idx+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+// Histogram counts samples into fixed-width buckets.
+type Histogram struct {
+	lo, width float64
+	counts    []int
+	total     int
+}
+
+// NewHistogram builds a histogram over [lo, hi) with the given number
+// of buckets.  Samples outside the range clamp to the edge buckets.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: buckets must be positive, got %d", buckets)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: hi %v must exceed lo %v", hi, lo)
+	}
+	return &Histogram{
+		lo:     lo,
+		width:  (hi - lo) / float64(buckets),
+		counts: make([]int, buckets),
+	}, nil
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	idx := int((x - h.lo) / h.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Render draws a text bar chart of the histogram, one line per
+// bucket, scaled to width columns.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%10.1f | %s %d\n", h.BucketLow(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Range summarises min/mean/max of a float series, the form of the
+// paper's Fig. 11 utilisation ranges.
+type Range struct {
+	Min, Mean, Max float64
+}
+
+// NewRange computes the range summary (zero Range when empty).
+func NewRange(samples []float64) Range {
+	if len(samples) == 0 {
+		return Range{}
+	}
+	r := Range{Min: samples[0], Max: samples[0]}
+	sum := 0.0
+	for _, v := range samples {
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+		sum += v
+	}
+	r.Mean = sum / float64(len(samples))
+	return r
+}
+
+// String renders "min..max (mean)" with percentages.
+func (r Range) String() string {
+	return fmt.Sprintf("%.0f%%..%.0f%% (mean %.0f%%)", r.Min*100, r.Max*100, r.Mean*100)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+)
+
+func TestNewHeterogeneous(t *testing.T) {
+	cl, err := NewHeterogeneous(HeteroConfig{
+		Classes: []MachineClass{
+			{Name: "big", Count: 10, Capacity: resource.Cores(64, 128*1024)},
+			{Name: "std", Count: 20, Capacity: resource.Cores(32, 64*1024)},
+			{Name: "old", Count: 5, Capacity: resource.Cores(16, 32*1024)},
+		},
+		MachinesPerRack: 8,
+		RacksPerCluster: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() != 35 {
+		t.Fatalf("Size = %d", cl.Size())
+	}
+	classes := cl.Classes()
+	if len(classes) != 3 {
+		t.Errorf("Classes = %d, want 3", len(classes))
+	}
+	// Racks never mix classes.
+	for _, rname := range cl.Racks() {
+		rack := cl.Rack(rname)
+		if len(rack.Machines) == 0 {
+			t.Fatalf("empty rack %s", rname)
+		}
+		first := cl.Machine(rack.Machines[0]).Capacity()
+		for _, mid := range rack.Machines {
+			if cl.Machine(mid).Capacity() != first {
+				t.Errorf("rack %s mixes machine classes", rname)
+			}
+		}
+		if len(rack.Machines) > 8 {
+			t.Errorf("rack %s holds %d machines, cap 8", rname, len(rack.Machines))
+		}
+	}
+	// Machine IDs remain dense and ordered.
+	for i, m := range cl.Machines() {
+		if int(m.ID) != i {
+			t.Fatalf("machine %d has ID %d", i, m.ID)
+		}
+	}
+}
+
+func TestNewHeterogeneousValidation(t *testing.T) {
+	if _, err := NewHeterogeneous(HeteroConfig{}); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := NewHeterogeneous(HeteroConfig{
+		Classes: []MachineClass{{Name: "x", Count: 0, Capacity: resource.Cores(1, 1)}},
+	}); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := NewHeterogeneous(HeteroConfig{
+		Classes: []MachineClass{{Name: "x", Count: 1}},
+	}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestHeterogeneousDefaults(t *testing.T) {
+	cl, err := NewHeterogeneous(HeteroConfig{
+		Classes: []MachineClass{{Name: "a", Count: 90, Capacity: resource.Cores(32, 65536)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// default 40 per rack -> 3 racks
+	if got := len(cl.Racks()); got != 3 {
+		t.Errorf("racks = %d, want 3", got)
+	}
+}
+
+func TestClassesHomogeneous(t *testing.T) {
+	cl := New(AlibabaConfig(5))
+	if got := len(cl.Classes()); got != 1 {
+		t.Errorf("Classes = %d, want 1", got)
+	}
+}

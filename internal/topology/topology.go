@@ -1,0 +1,311 @@
+// Package topology models the physical cluster: machines grouped into
+// racks, racks grouped into (sub-)clusters.  These are the N, R and G
+// vertex tiers of Aladdin's flow network (§III.A); introducing the
+// aggregate tiers reduces the edge count from O(|T|·|N|) to
+// O(|T| + |A|·|R| + |N|).
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"aladdin/internal/resource"
+)
+
+// MachineID identifies one machine; IDs are dense indexes into the
+// cluster's machine slice so schedulers can use them as array offsets.
+type MachineID int
+
+// Invalid is the MachineID returned when no machine qualifies.
+const Invalid MachineID = -1
+
+// Machine is a single host.  Machines track their own allocation so a
+// scheduler can ask "does this container fit" in O(1).
+type Machine struct {
+	ID      MachineID
+	Name    string
+	Rack    string
+	Cluster string
+
+	capacity resource.Vector
+	used     resource.Vector
+
+	// containers maps container IDs placed on this machine to their
+	// demand so deallocation restores exactly what allocation took.
+	containers map[string]resource.Vector
+}
+
+// NewMachine builds an empty machine with the given capacity.
+func NewMachine(id MachineID, name, rack, cluster string, capacity resource.Vector) *Machine {
+	return &Machine{
+		ID:         id,
+		Name:       name,
+		Rack:       rack,
+		Cluster:    cluster,
+		capacity:   capacity,
+		containers: make(map[string]resource.Vector),
+	}
+}
+
+// Capacity returns the machine's total resources.
+func (m *Machine) Capacity() resource.Vector { return m.capacity }
+
+// Used returns the resources currently allocated.
+func (m *Machine) Used() resource.Vector { return m.used }
+
+// Free returns capacity minus used.
+func (m *Machine) Free() resource.Vector { return m.capacity.Sub(m.used) }
+
+// NumContainers returns how many containers are placed here.
+func (m *Machine) NumContainers() int { return len(m.containers) }
+
+// Hosts reports whether the named container is placed on this machine.
+func (m *Machine) Hosts(containerID string) bool {
+	_, ok := m.containers[containerID]
+	return ok
+}
+
+// Allocations returns a copy of the container→demand map.
+func (m *Machine) Allocations() map[string]resource.Vector {
+	out := make(map[string]resource.Vector, len(m.containers))
+	for id, d := range m.containers {
+		out[id] = d
+	}
+	return out
+}
+
+// ContainerIDs returns the IDs of hosted containers in sorted order.
+func (m *Machine) ContainerIDs() []string {
+	ids := make([]string, 0, len(m.containers))
+	for id := range m.containers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Fits reports whether a demand fits into the remaining free space.
+// This is the linear half of Equation 6.
+func (m *Machine) Fits(demand resource.Vector) bool {
+	return demand.Fits(m.Free())
+}
+
+// Allocate places a container with the given demand.  It returns an
+// error if the container is already present or the demand does not
+// fit; the machine is unchanged on error.
+func (m *Machine) Allocate(containerID string, demand resource.Vector) error {
+	if _, ok := m.containers[containerID]; ok {
+		return fmt.Errorf("topology: container %q already on machine %q", containerID, m.Name)
+	}
+	if !m.Fits(demand) {
+		return fmt.Errorf("topology: container %q (%s) does not fit on %q (free %s)",
+			containerID, demand, m.Name, m.Free())
+	}
+	m.containers[containerID] = demand
+	m.used = m.used.Add(demand)
+	return nil
+}
+
+// Release removes a container, returning its demand.  It returns an
+// error if the container is not present.
+func (m *Machine) Release(containerID string) (resource.Vector, error) {
+	demand, ok := m.containers[containerID]
+	if !ok {
+		return resource.Vector{}, fmt.Errorf("topology: container %q not on machine %q", containerID, m.Name)
+	}
+	delete(m.containers, containerID)
+	m.used = m.used.Sub(demand)
+	return demand, nil
+}
+
+// Reset removes every container.
+func (m *Machine) Reset() {
+	m.containers = make(map[string]resource.Vector)
+	m.used = resource.Vector{}
+}
+
+// Utilization returns mean used/capacity across dimensions.
+func (m *Machine) Utilization() float64 {
+	return resource.Utilization(m.used, m.capacity)
+}
+
+// CPUUtilization returns used/capacity on the CPU dimension only.
+func (m *Machine) CPUUtilization() float64 {
+	return resource.CPUUtilization(m.used, m.capacity)
+}
+
+// Rack groups machines that share a top-of-rack switch.
+type Rack struct {
+	Name     string
+	Cluster  string
+	Machines []MachineID
+}
+
+// SubCluster groups racks (the G tier of the flow network).
+type SubCluster struct {
+	Name  string
+	Racks []string
+}
+
+// Cluster is the full machine inventory.
+type Cluster struct {
+	machines []*Machine
+	racks    map[string]*Rack
+	subs     map[string]*SubCluster
+	rackOrd  []string
+	subOrd   []string
+}
+
+// Config describes a homogeneous cluster layout.
+type Config struct {
+	// Machines is the total machine count.
+	Machines int
+	// MachinesPerRack controls rack sizing; defaults to 40 (a common
+	// production rack size) when zero.
+	MachinesPerRack int
+	// RacksPerCluster controls sub-cluster sizing; defaults to 25.
+	RacksPerCluster int
+	// Capacity is per-machine capacity.  The paper's machines are
+	// homogeneous 32 CPU / 64 GB.
+	Capacity resource.Vector
+}
+
+// AlibabaConfig returns the paper's evaluation cluster shape at the
+// given machine count: homogeneous 32-core / 64 GB machines.
+func AlibabaConfig(machines int) Config {
+	return Config{
+		Machines: machines,
+		Capacity: resource.Cores(32, 64*1024),
+	}
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) *Cluster {
+	perRack := cfg.MachinesPerRack
+	if perRack <= 0 {
+		perRack = 40
+	}
+	perCluster := cfg.RacksPerCluster
+	if perCluster <= 0 {
+		perCluster = 25
+	}
+	c := &Cluster{
+		racks: make(map[string]*Rack),
+		subs:  make(map[string]*SubCluster),
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		rackIdx := i / perRack
+		subIdx := rackIdx / perCluster
+		rackName := fmt.Sprintf("rack-%04d", rackIdx)
+		subName := fmt.Sprintf("cluster-%02d", subIdx)
+		m := NewMachine(MachineID(i), fmt.Sprintf("machine-%05d", i), rackName, subName, cfg.Capacity)
+		c.machines = append(c.machines, m)
+
+		rack, ok := c.racks[rackName]
+		if !ok {
+			rack = &Rack{Name: rackName, Cluster: subName}
+			c.racks[rackName] = rack
+			c.rackOrd = append(c.rackOrd, rackName)
+			sub, ok := c.subs[subName]
+			if !ok {
+				sub = &SubCluster{Name: subName}
+				c.subs[subName] = sub
+				c.subOrd = append(c.subOrd, subName)
+			}
+			sub.Racks = append(sub.Racks, rackName)
+		}
+		rack.Machines = append(rack.Machines, m.ID)
+	}
+	return c
+}
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns the machine with the given ID, or nil if out of
+// range.
+func (c *Cluster) Machine(id MachineID) *Machine {
+	if id < 0 || int(id) >= len(c.machines) {
+		return nil
+	}
+	return c.machines[id]
+}
+
+// Machines returns all machines in ID order.  The returned slice is
+// shared; callers must not mutate it.
+func (c *Cluster) Machines() []*Machine { return c.machines }
+
+// Racks returns rack names in creation order.
+func (c *Cluster) Racks() []string { return c.rackOrd }
+
+// Rack returns the named rack, or nil.
+func (c *Cluster) Rack(name string) *Rack { return c.racks[name] }
+
+// SubClusters returns sub-cluster names in creation order.
+func (c *Cluster) SubClusters() []string { return c.subOrd }
+
+// SubCluster returns the named sub-cluster, or nil.
+func (c *Cluster) SubCluster(name string) *SubCluster { return c.subs[name] }
+
+// Reset clears every machine's allocation.
+func (c *Cluster) Reset() {
+	for _, m := range c.machines {
+		m.Reset()
+	}
+}
+
+// UsedMachines counts machines hosting at least one container.  This
+// is the num(sched) metric of Equation 10.
+func (c *Cluster) UsedMachines() int {
+	n := 0
+	for _, m := range c.machines {
+		if m.NumContainers() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalUsed sums allocated resources over all machines.
+func (c *Cluster) TotalUsed() resource.Vector {
+	var total resource.Vector
+	for _, m := range c.machines {
+		total = total.Add(m.Used())
+	}
+	return total
+}
+
+// TotalCapacity sums capacity over all machines.
+func (c *Cluster) TotalCapacity() resource.Vector {
+	var total resource.Vector
+	for _, m := range c.machines {
+		total = total.Add(m.Capacity())
+	}
+	return total
+}
+
+// UtilizationRange returns (min, mean, max) CPU utilisation over
+// machines that host at least one container, the statistic plotted in
+// Fig. 11.  When no machine is used, all three are zero.
+func (c *Cluster) UtilizationRange() (lo, mean, hi float64) {
+	used := 0
+	lo = 1.0
+	for _, m := range c.machines {
+		if m.NumContainers() == 0 {
+			continue
+		}
+		u := m.CPUUtilization()
+		if u < lo {
+			lo = u
+		}
+		if u > hi {
+			hi = u
+		}
+		mean += u
+		used++
+	}
+	if used == 0 {
+		return 0, 0, 0
+	}
+	return lo, mean / float64(used), hi
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+// csvHeader is the column layout of the CSV trace format — the shape
+// of the public Alibaba cluster-data CSV dumps, adapted to the LLA
+// fields this repository models.
+var csvHeader = []string{
+	"app_id", "cpu_milli", "mem_mb", "replicas", "priority",
+	"anti_affinity_self", "anti_affinity_apps",
+}
+
+// WriteCSV serialises the workload as CSV with a header row.
+// Across-app anti-affinity partners are ';'-joined in one column.
+func WriteCSV(w io.Writer, wl *workload.Workload) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, a := range wl.Apps() {
+		rec := []string{
+			a.ID,
+			strconv.FormatInt(a.Demand.Dim(resource.CPU), 10),
+			strconv.FormatInt(a.Demand.Dim(resource.Memory), 10),
+			strconv.Itoa(a.Replicas),
+			strconv.Itoa(int(a.Priority)),
+			strconv.FormatBool(a.AntiAffinitySelf),
+			strings.Join(a.AntiAffinityApps, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: csv app %s: %w", a.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*workload.Workload, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: csv: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var apps []*workload.App
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		cpu, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d cpu: %w", line, err)
+		}
+		mem, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d mem: %w", line, err)
+		}
+		reps, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d replicas: %w", line, err)
+		}
+		prio, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d priority: %w", line, err)
+		}
+		self, err := strconv.ParseBool(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d anti_affinity_self: %w", line, err)
+		}
+		var partners []string
+		if rec[6] != "" {
+			partners = strings.Split(rec[6], ";")
+		}
+		apps = append(apps, &workload.App{
+			ID:               rec[0],
+			Demand:           resource.Milli(cpu, mem),
+			Replicas:         reps,
+			Priority:         workload.Priority(prio),
+			AntiAffinitySelf: self,
+			AntiAffinityApps: partners,
+		})
+	}
+	return workload.New(apps)
+}

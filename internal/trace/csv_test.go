@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := MustGenerate(Scaled(19, 200))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumContainers() != w.NumContainers() {
+		t.Fatalf("containers %d != %d", back.NumContainers(), w.NumContainers())
+	}
+	for i, a := range w.Apps() {
+		b := back.Apps()[i]
+		if a.ID != b.ID || a.Demand != b.Demand || a.Replicas != b.Replicas ||
+			a.Priority != b.Priority || a.AntiAffinitySelf != b.AntiAffinitySelf ||
+			len(a.AntiAffinityApps) != len(b.AntiAffinityApps) {
+			t.Fatalf("app %s differs after CSV round trip", a.ID)
+		}
+	}
+	// Anti-affinity semantics preserved symmetric-closure-wise.
+	for _, a := range w.Apps() {
+		for _, p := range w.AntiAffinePartners(a.ID) {
+			if !back.AntiAffine(a.ID, p) {
+				t.Fatalf("lost %s~%s", a.ID, p)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "x,y,z,a,b,c,d\n"},
+		{"bad cpu", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,x,1,1,0,false,\n"},
+		{"bad mem", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,x,1,0,false,\n"},
+		{"bad replicas", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,1,x,0,false,\n"},
+		{"bad priority", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,1,1,x,false,\n"},
+		{"bad bool", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,1,1,0,maybe,\n"},
+		{"unknown partner", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,1,1,0,false,ghost\n"},
+		{"wrong columns", "app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\na,1,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCSVPartnersColumn(t *testing.T) {
+	in := `app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps
+a,1000,1024,2,0,true,
+b,2000,2048,1,2,false,a
+c,500,512,3,1,false,a;b
+`
+	w, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.AntiAffine("a", "b") || !w.AntiAffine("a", "c") || !w.AntiAffine("b", "c") {
+		t.Error("partner parsing lost pairs")
+	}
+	if !w.AntiAffine("a", "a") {
+		t.Error("self flag lost")
+	}
+}

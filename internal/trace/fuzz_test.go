@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the JSONL parser never panics and that anything it
+// accepts round-trips losslessly.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, MustGenerate(Scaled(1, 800))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("# just a comment\n")
+	f.Add(`{"id":"a","cpu_milli":1000,"mem_mb":1,"replicas":1,"priority":0}`)
+	f.Add(`{"id":"a","replicas":-1}`)
+	f.Add("{\"id\":\"a\"}\n{\"id\":\"a\"}\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, w); err != nil {
+			t.Fatalf("accepted workload failed to serialise: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted workload failed: %v", err)
+		}
+		if back.NumContainers() != w.NumContainers() {
+			t.Fatalf("round trip changed container count: %d != %d",
+				back.NumContainers(), w.NumContainers())
+		}
+	})
+}
+
+// FuzzReadCSV is the CSV analogue.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCSV(&seed, MustGenerate(Scaled(1, 800))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("app_id,cpu_milli,mem_mb,replicas,priority,anti_affinity_self,anti_affinity_apps\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, w); err != nil {
+			t.Fatalf("accepted workload failed to serialise: %v", err)
+		}
+		if _, err := ReadCSV(&buf); err != nil {
+			t.Fatalf("round trip of accepted workload failed: %v", err)
+		}
+	})
+}

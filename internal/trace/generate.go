@@ -1,0 +1,415 @@
+// Package trace synthesises and (de)serialises Alibaba-shaped LLA
+// workload traces.  The real trace is not distributable, so the
+// generator reproduces the statistical features the paper reports
+// (Fig. 8 and §V.A) from a seed:
+//
+//   - ~13,056 applications, ~100,000 containers in total;
+//   - 64% of LLAs have a single instance;
+//   - 85% of LLAs have fewer than 50 containers;
+//   - a heavy tail with a few LLAs above 2,000 containers;
+//   - ~70% of LLAs carry anti-affinity constraints, ~15% priority;
+//   - per-container demand capped at 16 CPU / 32 GB;
+//   - high-priority LLAs tend to have more instances and larger
+//     demands and conflict with thousands of containers (§V.A).
+//
+// Generation is deterministic for a given Config (including Seed) so
+// every experiment is reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+// Config controls the synthetic generator.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Apps is the number of applications (paper: 13,056).
+	Apps int
+	// TargetContainers approximately bounds total containers
+	// (paper: ~100,000); the replica sampler is calibrated so the
+	// total lands near this without truncating the distribution.
+	TargetContainers int
+	// AntiAffinityFraction of apps carry anti-affinity (paper: ~0.70).
+	AntiAffinityFraction float64
+	// PriorityFraction of apps have elevated priority (paper: ~0.15).
+	PriorityFraction float64
+	// MaxDemand caps per-container demand (paper: 16 CPU / 32 GB).
+	MaxDemand resource.Vector
+}
+
+// Alibaba returns the paper's full-scale workload configuration.
+func Alibaba(seed int64) Config {
+	return Config{
+		Seed:                 seed,
+		Apps:                 13056,
+		TargetContainers:     100000,
+		AntiAffinityFraction: 0.70,
+		PriorityFraction:     0.15,
+		MaxDemand:            resource.Cores(16, 32*1024),
+	}
+}
+
+// Scaled returns the Alibaba configuration shrunk by factor (e.g. 10
+// gives ~1,306 apps / ~10,000 containers), keeping all ratios.
+func Scaled(seed int64, factor int) Config {
+	cfg := Alibaba(seed)
+	if factor > 1 {
+		cfg.Apps /= factor
+		cfg.TargetContainers /= factor
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Apps <= 0 {
+		return fmt.Errorf("trace: Apps must be positive, got %d", c.Apps)
+	}
+	if c.TargetContainers < c.Apps {
+		return fmt.Errorf("trace: TargetContainers %d below Apps %d (every app needs one container)",
+			c.TargetContainers, c.Apps)
+	}
+	if c.AntiAffinityFraction < 0 || c.AntiAffinityFraction > 1 {
+		return fmt.Errorf("trace: AntiAffinityFraction %v out of [0,1]", c.AntiAffinityFraction)
+	}
+	if c.PriorityFraction < 0 || c.PriorityFraction > 1 {
+		return fmt.Errorf("trace: PriorityFraction %v out of [0,1]", c.PriorityFraction)
+	}
+	if c.MaxDemand.Zero() {
+		return fmt.Errorf("trace: MaxDemand must be non-zero")
+	}
+	return nil
+}
+
+// Generate synthesises a workload from the configuration.
+func Generate(cfg Config) (*workload.Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	apps := make([]*workload.App, cfg.Apps)
+	// Pre-assign priority classes so demand sampling can correlate
+	// with them (high-priority LLAs are bigger, §V.A).
+	numPriority := int(float64(cfg.Apps)*cfg.PriorityFraction + 0.5)
+	numHigh := numPriority / 3
+	for i := range apps {
+		prio := workload.PriorityLow
+		switch {
+		case i < numHigh:
+			prio = workload.PriorityHigh
+		case i < numPriority:
+			prio = workload.PriorityMid
+		}
+		apps[i] = &workload.App{
+			ID:       fmt.Sprintf("app-%05d", i),
+			Priority: prio,
+		}
+	}
+	// Shuffle so priority classes are interleaved in submission order.
+	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+
+	sampleReplicas(rng, apps, cfg)
+	sampleDemands(rng, apps, cfg)
+	sampleAntiAffinity(rng, apps, cfg)
+
+	return workload.New(apps)
+}
+
+// MustGenerate is Generate that panics on error, for tests/examples.
+func MustGenerate(cfg Config) *workload.Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// sampleReplicas draws per-app container counts matching Fig. 8(a):
+// 64% singles, a small-replica class, a mid class at and above 50
+// replicas (so ~90% of apps stay under 50, the paper reports 85%),
+// and a handful of giants.  Giant size scales with the trace target
+// (full scale: >2,000 replicas) so scaled-down traces stay feasible
+// on proportionally scaled-down clusters.
+//
+// Class calibration keeps the total near TargetContainers without a
+// global rescale: 0.64n singles + 0.27n small (mean ≈ 5.3) + ~0.09n
+// mid (mean ≈ 55) + giants (T/45 each) ≈ T when T/n ≈ 7.7 as in the
+// Alibaba trace.
+func sampleReplicas(rng *rand.Rand, apps []*workload.App, cfg Config) {
+	n := len(apps)
+	numSingle := int(0.64 * float64(n))
+	numGiant := n / 2000 // ~6 giants at full scale
+	if numGiant == 0 {
+		numGiant = 1
+	}
+	numSmall := int(0.27 * float64(n))
+	numMid := n - numSingle - numSmall - numGiant
+	if numMid < 0 {
+		numMid = 0
+	}
+	giantMin := cfg.TargetContainers / 50
+	giantMax := cfg.TargetContainers / 40
+	if giantMin < 2 {
+		giantMin = 2
+	}
+	if giantMax <= giantMin {
+		giantMax = giantMin + 1
+	}
+
+	type class struct {
+		count    int
+		min, max int
+	}
+	classes := []class{
+		{numSingle, 1, 1},
+		{numSmall, 2, 12},
+		{numMid, 50, 80},
+		{numGiant, giantMin, giantMax},
+	}
+	// Deal classes onto apps.  Priority apps preferentially receive
+	// the small multi-replica class (priority LLAs have more
+	// instances than the single-instance majority, §V.A) while the
+	// mid and giant spread-service classes go to the low-priority
+	// tail, keeping the workload feasible.
+	var prios, lows []*workload.App
+	for _, a := range apps {
+		if a.Priority > workload.PriorityLow {
+			prios = append(prios, a)
+		} else {
+			lows = append(lows, a)
+		}
+	}
+	draw := func(c class, a *workload.App) {
+		if c.min >= c.max {
+			a.Replicas = c.min
+			return
+		}
+		// Squared-uniform skew biases toward the low end of the
+		// class, matching the long-tailed CDF.
+		u := rng.Float64()
+		a.Replicas = c.min + int(u*u*float64(c.max-c.min))
+	}
+	// small class: priority apps first, then lows.
+	smallTargets := append(append([]*workload.App{}, prios...), lows...)
+	si := 0
+	for k := 0; k < classes[1].count && si < len(smallTargets); k++ {
+		draw(classes[1], smallTargets[si])
+		si++
+	}
+	// giant and mid classes: low-priority apps not yet assigned.
+	var rest []*workload.App
+	for _, a := range smallTargets[si:] {
+		rest = append(rest, a)
+	}
+	ri := 0
+	for _, cl := range []int{3, 2} {
+		c := classes[cl]
+		for k := 0; k < c.count && ri < len(rest); k++ {
+			draw(c, rest[ri])
+			ri++
+		}
+	}
+	// Everything left is a single.
+	for _, a := range rest[ri:] {
+		a.Replicas = 1
+	}
+}
+
+// sampleDemands draws per-container demand.  Most containers are
+// small (1–4 cores); high-priority apps skew large, up to the 16-core
+// / 32 GB cap.
+func sampleDemands(rng *rand.Rand, apps []*workload.App, cfg Config) {
+	maxCPU := cfg.MaxDemand.Dim(resource.CPU) / 1000
+	if maxCPU < 1 {
+		maxCPU = 1
+	}
+	for _, a := range apps {
+		var cores int64
+		switch a.Priority {
+		case workload.PriorityHigh:
+			// {4,8,16}: high-priority LLAs have the largest demands
+			// (§V.A); the 16-core (half-machine) containers are what
+			// break evenly-spreading schedulers once mean utilisation
+			// passes 50%.
+			r := rng.Intn(20)
+			switch {
+			case r < 6:
+				cores = 4
+			case r < 14:
+				cores = 8
+			default:
+				cores = 16
+			}
+		case workload.PriorityMid:
+			// {1,2,4,8} mean ≈ 2.7 cores.
+			r := rng.Intn(10)
+			switch {
+			case r < 3:
+				cores = 1
+			case r < 7:
+				cores = 2
+			case r < 9:
+				cores = 4
+			default:
+				cores = 8
+			}
+		default:
+			// {1,2,4,8} skewed low: mean ≈ 2 cores.
+			r := rng.Intn(10)
+			switch {
+			case r < 5:
+				cores = 1
+			case r < 8:
+				cores = 2
+			case r < 9:
+				cores = 4
+			default:
+				cores = 8
+			}
+		}
+		// Spread services with many replicas are small per replica;
+		// without this cap the workload would not fit the paper's
+		// cluster.
+		if a.Replicas >= 50 && cores > 2 {
+			cores = 2
+		}
+		if cores > maxCPU {
+			cores = maxCPU
+		}
+		// Memory tracks CPU at 2 GB per core, capped.
+		memMB := cores * 2048
+		if memMB > cfg.MaxDemand.Dim(resource.Memory) {
+			memMB = cfg.MaxDemand.Dim(resource.Memory)
+		}
+		a.Demand = resource.Cores(cores, 0).WithDim(resource.Memory, memMB)
+	}
+}
+
+// sampleAntiAffinity marks ~AntiAffinityFraction of apps with
+// constraints: multi-instance constrained apps get self anti-affinity
+// (spread for fault tolerance), and a subset also gets across-app
+// pairs; "several LLAs cannot be co-located with at least other 5,000
+// containers" — big high-priority apps get partners with many
+// containers.
+func sampleAntiAffinity(rng *rand.Rand, apps []*workload.App, cfg Config) {
+	n := len(apps)
+	numConstrained := int(float64(n)*cfg.AntiAffinityFraction + 0.5)
+	// Giants are always constrained: the paper observes that the LLAs
+	// conflicting with thousands of containers are exactly the large
+	// spread services (§V.A).
+	var constrained []*workload.App
+	inConstrained := make(map[string]bool, numConstrained)
+	for _, a := range apps {
+		if a.Replicas >= 200 {
+			constrained = append(constrained, a)
+			inConstrained[a.ID] = true
+		}
+	}
+	for _, a := range apps {
+		if len(constrained) >= numConstrained {
+			break
+		}
+		if !inConstrained[a.ID] {
+			constrained = append(constrained, a)
+			inConstrained[a.ID] = true
+		}
+	}
+	for _, a := range constrained {
+		if a.Replicas > 1 {
+			a.AntiAffinitySelf = true
+		}
+	}
+	// Across-app pairs: ~20% of constrained apps pick 1–3 partners
+	// among other constrained apps.
+	for i, a := range constrained {
+		if rng.Float64() >= 0.20 {
+			continue
+		}
+		pairs := 1 + rng.Intn(3)
+		seen := map[string]bool{}
+		for k := 0; k < pairs; k++ {
+			j := rng.Intn(len(constrained))
+			if j == i {
+				continue
+			}
+			other := constrained[j]
+			if seen[other.ID] {
+				continue
+			}
+			seen[other.ID] = true
+			a.AntiAffinityApps = append(a.AntiAffinityApps, other.ID)
+		}
+		sort.Strings(a.AntiAffinityApps)
+	}
+	// Ensure single-instance constrained apps still carry at least an
+	// across-app edge so the 70% constraint fraction holds.
+	for i, a := range constrained {
+		if a.AntiAffinitySelf || len(a.AntiAffinityApps) > 0 {
+			continue
+		}
+		j := (i + 1) % len(constrained)
+		if constrained[j].ID != a.ID {
+			a.AntiAffinityApps = append(a.AntiAffinityApps, constrained[j].ID)
+		}
+	}
+
+	// Hot apps (§V.A): "several LLAs cannot be co-located with at
+	// least other 5,000 containers, and these applications usually
+	// have higher priorities and larger resource requirements."
+	// Link a handful of high-priority apps against the biggest
+	// spread services so their conflict sets cover a few percent of
+	// all containers.
+	var spreaders []*workload.App
+	for _, a := range constrained {
+		if a.Replicas >= 50 {
+			spreaders = append(spreaders, a)
+		}
+	}
+	sort.Slice(spreaders, func(i, j int) bool {
+		if spreaders[i].Replicas != spreaders[j].Replicas {
+			return spreaders[i].Replicas > spreaders[j].Replicas
+		}
+		return spreaders[i].ID < spreaders[j].ID
+	})
+	if len(spreaders) == 0 {
+		return
+	}
+	numHot := n / 200
+	if numHot < 2 {
+		numHot = 2
+	}
+	hot := 0
+	for _, a := range apps {
+		if hot >= numHot {
+			break
+		}
+		if a.Priority != workload.PriorityHigh {
+			continue
+		}
+		links := 2 + rng.Intn(2)
+		if links > len(spreaders) {
+			links = len(spreaders)
+		}
+		seen := map[string]bool{}
+		for _, p := range a.AntiAffinityApps {
+			seen[p] = true
+		}
+		for k := 0; k < links; k++ {
+			p := spreaders[(hot+k)%len(spreaders)]
+			if p.ID == a.ID || seen[p.ID] {
+				continue
+			}
+			seen[p.ID] = true
+			a.AntiAffinityApps = append(a.AntiAffinityApps, p.ID)
+		}
+		sort.Strings(a.AntiAffinityApps)
+		hot++
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+// appRecord is the JSON-lines on-disk form of one application.
+type appRecord struct {
+	ID               string   `json:"id"`
+	CPUMilli         int64    `json:"cpu_milli"`
+	MemMB            int64    `json:"mem_mb"`
+	Replicas         int      `json:"replicas"`
+	Priority         int      `json:"priority"`
+	AntiAffinitySelf bool     `json:"anti_affinity_self,omitempty"`
+	AntiAffinityApps []string `json:"anti_affinity_apps,omitempty"`
+}
+
+// Write serialises the workload as JSON lines, one application per
+// line — the same shape as the public Alibaba cluster-data dumps
+// (one record per entity, streamable).
+func Write(w io.Writer, wl *workload.Workload) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, a := range wl.Apps() {
+		rec := appRecord{
+			ID:               a.ID,
+			CPUMilli:         a.Demand.Dim(resource.CPU),
+			MemMB:            a.Demand.Dim(resource.Memory),
+			Replicas:         a.Replicas,
+			Priority:         int(a.Priority),
+			AntiAffinitySelf: a.AntiAffinitySelf,
+			AntiAffinityApps: a.AntiAffinityApps,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("trace: encode app %s: %w", a.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace back into a workload.
+func Read(r io.Reader) (*workload.Workload, error) {
+	var apps []*workload.App
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec appRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		apps = append(apps, &workload.App{
+			ID:               rec.ID,
+			Demand:           resource.Milli(rec.CPUMilli, rec.MemMB),
+			Replicas:         rec.Replicas,
+			Priority:         workload.Priority(rec.Priority),
+			AntiAffinitySelf: rec.AntiAffinitySelf,
+			AntiAffinityApps: rec.AntiAffinityApps,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return workload.New(apps)
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero apps", func(c *Config) { c.Apps = 0 }, false},
+		{"target below apps", func(c *Config) { c.TargetContainers = c.Apps - 1 }, false},
+		{"bad anti fraction", func(c *Config) { c.AntiAffinityFraction = 1.5 }, false},
+		{"negative anti fraction", func(c *Config) { c.AntiAffinityFraction = -0.1 }, false},
+		{"bad prio fraction", func(c *Config) { c.PriorityFraction = 2 }, false},
+		{"zero demand", func(c *Config) { c.MaxDemand = resource.Vector{} }, false},
+	}
+	for _, tc := range cases {
+		cfg := Alibaba(1)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGenerateMatchesPaperShape(t *testing.T) {
+	// Scale 10: ~1,305 apps, ~10,000 containers.
+	w := MustGenerate(Scaled(42, 10))
+	s := w.ComputeStats()
+
+	if s.Apps < 1200 || s.Apps > 1400 {
+		t.Errorf("Apps = %d, want ~1306", s.Apps)
+	}
+	if s.Containers < 8000 || s.Containers > 13000 {
+		t.Errorf("Containers = %d, want ~10000", s.Containers)
+	}
+	singleFrac := float64(s.SingleInstanceApps) / float64(s.Apps)
+	if singleFrac < 0.55 || singleFrac > 0.72 {
+		t.Errorf("single-instance fraction = %.2f, want ~0.64", singleFrac)
+	}
+	under50 := float64(s.AppsUnder50) / float64(s.Apps)
+	if under50 < 0.78 || under50 > 0.93 {
+		t.Errorf("under-50 fraction = %.2f, want ~0.85", under50)
+	}
+	// The heavy tail scales with the trace: at scale 10 the giants sit
+	// near TargetContainers/45 ≈ 220 replicas.
+	maxReps := 0
+	for _, a := range w.Apps() {
+		if a.Replicas > maxReps {
+			maxReps = a.Replicas
+		}
+	}
+	if maxReps < 150 {
+		t.Errorf("largest app = %d replicas, want >= 150 (scaled heavy tail)", maxReps)
+	}
+	antiFrac := float64(s.AntiAffinityApps) / float64(s.Apps)
+	if antiFrac < 0.62 || antiFrac > 0.78 {
+		t.Errorf("anti-affinity fraction = %.2f, want ~0.70", antiFrac)
+	}
+	prioFrac := float64(s.PriorityApps) / float64(s.Apps)
+	if prioFrac < 0.10 || prioFrac > 0.20 {
+		t.Errorf("priority fraction = %.2f, want ~0.15", prioFrac)
+	}
+	if !s.MaxDemand.Fits(resource.Cores(16, 32*1024)) {
+		t.Errorf("MaxDemand = %v exceeds the 16c/32GB cap", s.MaxDemand)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Scaled(7, 40))
+	b := MustGenerate(Scaled(7, 40))
+	if a.NumContainers() != b.NumContainers() {
+		t.Fatal("same seed must give same container count")
+	}
+	for i, app := range a.Apps() {
+		other := b.Apps()[i]
+		if app.ID != other.ID || app.Replicas != other.Replicas ||
+			app.Demand != other.Demand || app.Priority != other.Priority ||
+			app.AntiAffinitySelf != other.AntiAffinitySelf {
+			t.Fatalf("app %d differs between identical seeds", i)
+		}
+	}
+	c := MustGenerate(Scaled(8, 40))
+	diff := false
+	for i := range a.Apps() {
+		if a.Apps()[i].Replicas != c.Apps()[i].Replicas ||
+			a.Apps()[i].Demand != c.Apps()[i].Demand {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different workloads")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail validation")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on invalid config")
+		}
+	}()
+	MustGenerate(Config{})
+}
+
+func TestScaled(t *testing.T) {
+	full := Alibaba(1)
+	s := Scaled(1, 10)
+	if s.Apps != full.Apps/10 || s.TargetContainers != full.TargetContainers/10 {
+		t.Errorf("Scaled: %+v", s)
+	}
+	if one := Scaled(1, 1); one.Apps != full.Apps {
+		t.Error("factor 1 should be identity")
+	}
+	if zero := Scaled(1, 0); zero.Apps != full.Apps {
+		t.Error("factor 0 should be identity")
+	}
+}
+
+func TestPriorityAppsAreBigger(t *testing.T) {
+	w := MustGenerate(Scaled(3, 10))
+	var hiCPU, loCPU, hi, lo int64
+	for _, a := range w.Apps() {
+		if a.Priority == workload.PriorityHigh {
+			hiCPU += a.Demand.Dim(resource.CPU)
+			hi++
+		} else if a.Priority == workload.PriorityLow {
+			loCPU += a.Demand.Dim(resource.CPU)
+			lo++
+		}
+	}
+	if hi == 0 || lo == 0 {
+		t.Fatal("both classes should exist")
+	}
+	if hiCPU/hi <= loCPU/lo {
+		t.Errorf("high-priority mean demand %d not above low %d (§V.A)", hiCPU/hi, loCPU/lo)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := MustGenerate(Scaled(11, 80))
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumContainers() != w.NumContainers() {
+		t.Fatalf("round trip container count %d != %d", back.NumContainers(), w.NumContainers())
+	}
+	for i, a := range w.Apps() {
+		b := back.Apps()[i]
+		if a.ID != b.ID || a.Demand != b.Demand || a.Replicas != b.Replicas ||
+			a.Priority != b.Priority || a.AntiAffinitySelf != b.AntiAffinitySelf ||
+			len(a.AntiAffinityApps) != len(b.AntiAffinityApps) {
+			t.Fatalf("app %s differs after round trip", a.ID)
+		}
+	}
+	// Constraint semantics preserved.
+	for _, a := range w.Apps() {
+		for _, p := range w.AntiAffinePartners(a.ID) {
+			if !back.AntiAffine(a.ID, p) {
+				t.Fatalf("lost anti-affinity %s~%s in round trip", a.ID, p)
+			}
+		}
+	}
+}
+
+func TestReadSkipsBlanksAndComments(t *testing.T) {
+	in := `# comment
+{"id":"a","cpu_milli":1000,"mem_mb":1024,"replicas":2,"priority":0}
+
+{"id":"b","cpu_milli":2000,"mem_mb":2048,"replicas":1,"priority":2,"anti_affinity_apps":["a"]}
+`
+	w, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Apps()) != 2 || w.NumContainers() != 3 {
+		t.Errorf("apps=%d containers=%d", len(w.Apps()), w.NumContainers())
+	}
+	if !w.AntiAffine("a", "b") {
+		t.Error("across-app constraint lost")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Valid JSON but invalid workload (duplicate IDs).
+	dup := `{"id":"a","cpu_milli":1,"mem_mb":1,"replicas":1,"priority":0}
+{"id":"a","cpu_milli":1,"mem_mb":1,"replicas":1,"priority":0}`
+	if _, err := Read(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate app IDs should fail workload validation")
+	}
+}
+
+func TestConflictHeavyAppsExist(t *testing.T) {
+	// §V.A: several LLAs conflict with thousands of containers.  At
+	// scale 10 we expect at least one app with conflict degree in the
+	// hundreds (the giants carry self anti-affinity by construction).
+	w := MustGenerate(Scaled(42, 10))
+	maxDeg := 0
+	for _, a := range w.Apps() {
+		if d := w.ConflictDegree(a.ID); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 150 {
+		t.Errorf("max conflict degree = %d, want >= 150 at scale 10", maxDeg)
+	}
+}
+
+func TestFullScaleHeavyTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	w := MustGenerate(Alibaba(42))
+	s := w.ComputeStats()
+	if s.AppsOver2000 < 1 {
+		t.Errorf("AppsOver2000 = %d, want >= 1 at full scale (Fig. 8a tail)", s.AppsOver2000)
+	}
+	if s.Apps != 13056 {
+		t.Errorf("Apps = %d, want 13056", s.Apps)
+	}
+	if s.Containers < 85000 || s.Containers > 120000 {
+		t.Errorf("Containers = %d, want ~100000", s.Containers)
+	}
+	// Feasibility: total CPU demand must fit the 10k-machine cluster
+	// with headroom for anti-affinity spreading.
+	totalCores := s.TotalDemand.Dim(resource.CPU) / 1000
+	if totalCores > 10000*32*85/100 {
+		t.Errorf("total demand %d cores exceeds 85%% of the 10k-machine cluster", totalCores)
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import "sort"
+
+// ArrivalOrder names the four container-arrival characteristics of
+// the evaluation (§V.C, §V.D): priority-first orders and
+// anti-affinity-degree orders.
+type ArrivalOrder int
+
+const (
+	// OrderSubmission keeps the trace's native order.
+	OrderSubmission ArrivalOrder = iota
+	// OrderCHP: containers with high priorities first.
+	OrderCHP
+	// OrderCLP: containers with low priorities first.
+	OrderCLP
+	// OrderCLA: containers with a large number of anti-affinity
+	// constraints first.
+	OrderCLA
+	// OrderCSA: containers with a small number of anti-affinity
+	// constraints first.
+	OrderCSA
+	// OrderInterleaved emulates massive simultaneous submission: one
+	// container per application per wave, round-robin, so every
+	// application's containers are in flight concurrently (the
+	// "augment capabilities by 100× on 11.11" scenario of §I).
+	OrderInterleaved
+)
+
+// String returns the paper's abbreviation for the order.
+func (o ArrivalOrder) String() string {
+	switch o {
+	case OrderSubmission:
+		return "submission"
+	case OrderCHP:
+		return "CHP"
+	case OrderCLP:
+		return "CLP"
+	case OrderCLA:
+		return "CLA"
+	case OrderCSA:
+		return "CSA"
+	case OrderInterleaved:
+		return "interleaved"
+	default:
+		return "unknown"
+	}
+}
+
+// AllArrivalOrders lists the four experimental orders (not
+// OrderSubmission) in the sequence the paper's figures use.
+func AllArrivalOrders() []ArrivalOrder {
+	return []ArrivalOrder{OrderCHP, OrderCLP, OrderCLA, OrderCSA}
+}
+
+// Arrange returns the workload's containers sorted by the given
+// arrival order.  Sorting is stable with container ID as the final
+// tiebreak so every run over the same workload is deterministic.
+func (w *Workload) Arrange(order ArrivalOrder) []*Container {
+	cs := make([]*Container, len(w.containers))
+	copy(cs, w.containers)
+	switch order {
+	case OrderSubmission:
+		return cs
+	case OrderInterleaved:
+		out := cs[:0:0]
+		for wave := 0; len(out) < len(cs); wave++ {
+			for _, a := range w.apps {
+				if wave < a.Replicas {
+					out = append(out, w.containers[w.appOffset[a.ID]+wave])
+				}
+			}
+		}
+		return out
+	case OrderCHP:
+		sort.SliceStable(cs, func(i, j int) bool {
+			if cs[i].Priority != cs[j].Priority {
+				return cs[i].Priority > cs[j].Priority
+			}
+			return cs[i].ID < cs[j].ID
+		})
+	case OrderCLP:
+		sort.SliceStable(cs, func(i, j int) bool {
+			if cs[i].Priority != cs[j].Priority {
+				return cs[i].Priority < cs[j].Priority
+			}
+			return cs[i].ID < cs[j].ID
+		})
+	case OrderCLA, OrderCSA:
+		deg := make(map[string]int, len(w.apps))
+		for _, a := range w.apps {
+			deg[a.ID] = w.ConflictDegree(a.ID)
+		}
+		sort.SliceStable(cs, func(i, j int) bool {
+			di, dj := deg[cs[i].App], deg[cs[j].App]
+			if di != dj {
+				if order == OrderCLA {
+					return di > dj
+				}
+				return di < dj
+			}
+			return cs[i].ID < cs[j].ID
+		})
+	}
+	return cs
+}
