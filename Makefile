@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full pre-merge gate: build, vet, and the complete test
+# suite under the race detector (the parallel sub-cluster sweep makes
+# -race load-bearing, not optional).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench records the per-container placement cost (ns/container) at the
+# small and medium cluster scales as JSON lines in BENCH_search.json,
+# plus the medium scale with the naive scan as the A/B baseline.
+bench:
+	rm -f BENCH_search.json
+	$(GO) run ./cmd/aladdin-sim -machines 384 -factor 50 -bench-out BENCH_search.json -bench-label small
+	$(GO) run ./cmd/aladdin-sim -machines 1024 -factor 50 -bench-out BENCH_search.json -bench-label medium
+	$(GO) run ./cmd/aladdin-sim -machines 1024 -factor 50 -naive-search -bench-out BENCH_search.json -bench-label medium-naive
+	@cat BENCH_search.json
+
+clean:
+	rm -f BENCH_search.json

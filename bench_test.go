@@ -202,14 +202,31 @@ func BenchmarkAblationWeights(b *testing.B) {
 }
 
 // BenchmarkAladdinPerContainer measures the core scheduler's
-// per-container placement cost on a mid-sized trace.
+// per-container placement cost (Equation 11's latency) on a ~2000
+// container trace at two cluster scales, plus the medium scale with
+// the indexed search swapped for the retained naive scan
+// (Options.NaiveSearch) as the in-binary A/B baseline.
 func BenchmarkAladdinPerContainer(b *testing.B) {
 	w := trace.MustGenerate(trace.Scaled(42, 50)) // ~2000 containers
-	s := core.NewDefault()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := runSched(b, s, w, 384, workload.OrderSubmission)
-		b.ReportMetric(float64(m.Latency.Nanoseconds()), "ns/container")
+	for _, sc := range []struct {
+		name     string
+		machines int
+		naive    bool
+	}{
+		{"small", 384, false},
+		{"medium", 1024, false},
+		{"medium-naive", 1024, true},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.NaiveSearch = sc.naive
+			s := core.New(opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := runSched(b, s, w, sc.machines, workload.OrderSubmission)
+				b.ReportMetric(float64(m.Latency.Nanoseconds()), "ns/container")
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +43,10 @@ func main() {
 		wbase     = flag.Int64("wbase", 16, "Aladdin priority weight base (16/32/64/128)")
 		noIL      = flag.Bool("no-il", false, "disable Aladdin isomorphism limiting")
 		noDL      = flag.Bool("no-dl", false, "disable Aladdin depth limiting")
+		naive     = flag.Bool("naive-search", false, "use Aladdin's retained naive machine scan instead of the capacity index")
 		explain   = flag.Int("explain", 0, "diagnose up to N undeployed containers after the run")
+		benchOut  = flag.String("bench-out", "", "append a JSON benchmark record to this file")
+		benchTag  = flag.String("bench-label", "", "label for the -bench-out record (default scheduler/machines)")
 	)
 	flag.Parse()
 
@@ -54,7 +58,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	s, err := buildScheduler(*schedName, *reschd, *weightsCS, *wbase, *noIL, *noDL)
+	s, err := buildScheduler(*schedName, *reschd, *weightsCS, *wbase, *noIL, *noDL, *naive)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +86,13 @@ func main() {
 		m.Latency.Round(time.Microsecond), m.Elapsed.Round(time.Millisecond))
 	fmt.Printf("migrations:      %d\n", m.Migrations)
 	fmt.Printf("preemptions:     %d\n", m.Preemptions)
+	fmt.Printf("summary:         %s\n", summarize(m))
+
+	if *benchOut != "" {
+		if err := writeBenchRecord(*benchOut, *benchTag, m); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *explain > 0 && m.Deployed < m.Total {
 		// Re-run deterministically to obtain the live cluster state,
@@ -103,6 +114,66 @@ func main() {
 			fmt.Printf("  %s\n", e)
 		}
 	}
+}
+
+// summarize condenses a run into the one-line placement-latency
+// summary: scheduling throughput and search effort per container.
+func summarize(m sim.Metrics) string {
+	perSec := 0.0
+	if m.Latency > 0 {
+		perSec = float64(time.Second) / float64(m.Latency)
+	}
+	explored := 0.0
+	if m.Total > 0 {
+		explored = float64(m.WorkUnits) / float64(m.Total)
+	}
+	return fmt.Sprintf("%.0f containers/sec, %.1f explored/container", perSec, explored)
+}
+
+// benchRecord is one JSON line of -bench-out: the per-container
+// placement cost plus enough context to interpret it.
+type benchRecord struct {
+	Label                string  `json:"label"`
+	Scheduler            string  `json:"scheduler"`
+	Machines             int     `json:"machines"`
+	Containers           int     `json:"containers"`
+	NsPerContainer       int64   `json:"ns_per_container"`
+	ContainersPerSec     float64 `json:"containers_per_sec"`
+	ExploredPerContainer float64 `json:"explored_per_container"`
+}
+
+func writeBenchRecord(path, label string, m sim.Metrics) error {
+	if label == "" {
+		label = fmt.Sprintf("%s/%d", m.Scheduler, m.Machines)
+	}
+	perSec := 0.0
+	if m.Latency > 0 {
+		perSec = float64(time.Second) / float64(m.Latency)
+	}
+	explored := 0.0
+	if m.Total > 0 {
+		explored = float64(m.WorkUnits) / float64(m.Total)
+	}
+	rec := benchRecord{
+		Label:                label,
+		Scheduler:            m.Scheduler,
+		Machines:             m.Machines,
+		Containers:           m.Total,
+		NsPerContainer:       m.Latency.Nanoseconds(),
+		ContainersPerSec:     perSec,
+		ExploredPerContainer: explored,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintln(f, string(line))
+	return err
 }
 
 func loadWorkload(path string, seed int64, factor int) (*workload.Workload, error) {
@@ -134,13 +205,14 @@ func parseOrder(name string) (workload.ArrivalOrder, error) {
 	}
 }
 
-func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noIL, noDL bool) (sched.Scheduler, error) {
+func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noIL, noDL, naive bool) (sched.Scheduler, error) {
 	switch strings.ToLower(name) {
 	case "aladdin":
 		opts := core.DefaultOptions()
 		opts.WeightBase = wbase
 		opts.IsomorphismLimiting = !noIL
 		opts.DepthLimiting = !noDL
+		opts.NaiveSearch = naive
 		return core.New(opts), nil
 	case "gokube":
 		return gokube.NewDefault(), nil

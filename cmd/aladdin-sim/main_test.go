@@ -5,6 +5,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"encoding/json"
+	"strings"
+	"time"
+
+	"aladdin/internal/sim"
 	"aladdin/internal/trace"
 	"aladdin/internal/workload"
 )
@@ -39,7 +44,7 @@ func TestBuildScheduler(t *testing.T) {
 		"firmament-octopus": "Firmament-OCTOPUS(4)",
 	}
 	for in, want := range names {
-		s, err := buildScheduler(in, 4, "1,1,0.5", 32, false, false)
+		s, err := buildScheduler(in, 4, "1,1,0.5", 32, false, false, false)
 		if err != nil {
 			t.Fatalf("buildScheduler(%q): %v", in, err)
 		}
@@ -47,11 +52,11 @@ func TestBuildScheduler(t *testing.T) {
 			t.Errorf("buildScheduler(%q).Name() = %q, want %q", in, s.Name(), want)
 		}
 	}
-	if _, err := buildScheduler("bogus", 1, "1,1,1", 16, false, false); err == nil {
+	if _, err := buildScheduler("bogus", 1, "1,1,1", 16, false, false, false); err == nil {
 		t.Error("bogus scheduler should fail")
 	}
 	// Aladdin variant flags.
-	s, err := buildScheduler("aladdin", 1, "1,1,1", 64, true, true)
+	s, err := buildScheduler("aladdin", 1, "1,1,1", 64, true, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,5 +106,56 @@ func TestLoadWorkload(t *testing.T) {
 	}
 	if _, err := loadWorkload(filepath.Join(dir, "missing.jsonl"), 0, 0); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := sim.Metrics{Total: 100, Latency: 2 * time.Microsecond, WorkUnits: 420}
+	got := summarize(m)
+	want := "500000 containers/sec, 4.2 explored/container"
+	if got != want {
+		t.Errorf("summarize = %q, want %q", got, want)
+	}
+	// Zero-latency and empty runs must not divide by zero.
+	if got := summarize(sim.Metrics{}); got != "0 containers/sec, 0.0 explored/container" {
+		t.Errorf("empty summarize = %q", got)
+	}
+}
+
+func TestWriteBenchRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	m := sim.Metrics{
+		Scheduler: "Aladdin(16)+IL+DL",
+		Machines:  384,
+		Total:     965,
+		Latency:   2502 * time.Nanosecond,
+		WorkUnits: 4052,
+	}
+	// Two appends → two JSON lines; the second carries the default label.
+	if err := writeBenchRecord(path, "small", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchRecord(path, "", m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %d: %q", len(lines), string(data))
+	}
+	var recs [2]benchRecord
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &recs[i]); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if recs[0].Label != "small" || recs[0].NsPerContainer != 2502 || recs[0].Machines != 384 {
+		t.Errorf("first record = %+v", recs[0])
+	}
+	if recs[1].Label != "Aladdin(16)+IL+DL/384" {
+		t.Errorf("default label = %q", recs[1].Label)
 	}
 }

@@ -62,14 +62,49 @@ type Assignment map[string]topology.MachineID
 // "constraint violations" metrics of Fig. 9.  Each offending pair is
 // reported once.
 func AuditAntiAffinity(w *workload.Workload, asg Assignment) []Violation {
-	// Group containers by machine.
-	byMachine := make(map[topology.MachineID][]*workload.Container)
+	// Resolve the constraint structure to app ordinals once: only
+	// containers of constrained apps (self anti-affinity or a partner
+	// in the symmetric closure) can participate in a violation, and
+	// the per-pair test becomes an integer-set probe instead of a
+	// string-pair hash.
+	apps := w.Apps()
+	selfAnti := make([]bool, len(apps))
+	constrained := make([]bool, len(apps))
+	pairs := make(map[uint64]bool)
+	for i, a := range apps {
+		selfAnti[i] = a.AntiAffinitySelf
+		partners := w.AntiAffinePartners(a.ID)
+		constrained[i] = a.AntiAffinitySelf || len(partners) > 0
+		for _, p := range partners {
+			if j := w.AppIndex(p); i < j {
+				pairs[uint64(i)<<32|uint64(j)] = true
+			}
+		}
+	}
+	pairKey := func(i, j int) uint64 {
+		if i > j {
+			i, j = j, i
+		}
+		return uint64(i)<<32 | uint64(j)
+	}
+
+	// Group constrained containers by machine, remembering app
+	// ordinals so the pair scan never touches strings.
+	type placed struct {
+		c   *workload.Container
+		app int
+	}
+	byMachine := make(map[topology.MachineID][]placed)
 	for _, c := range w.Containers() {
+		ai := w.AppIndex(c.App)
+		if ai < 0 || !constrained[ai] {
+			continue
+		}
 		m, ok := asg[c.ID]
 		if !ok || m == topology.Invalid {
 			continue
 		}
-		byMachine[m] = append(byMachine[m], c)
+		byMachine[m] = append(byMachine[m], placed{c: c, app: ai})
 	}
 	machines := make([]topology.MachineID, 0, len(byMachine))
 	for m := range byMachine {
@@ -80,21 +115,21 @@ func AuditAntiAffinity(w *workload.Workload, asg Assignment) []Violation {
 	var out []Violation
 	for _, m := range machines {
 		cs := byMachine[m]
-		sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+		sort.Slice(cs, func(i, j int) bool { return cs[i].c.ID < cs[j].c.ID })
 		for i := 0; i < len(cs); i++ {
 			for j := i + 1; j < len(cs); j++ {
 				a, b := cs[i], cs[j]
-				if a.App == b.App {
-					if w.AntiAffine(a.App, a.App) {
+				if a.app == b.app {
+					if selfAnti[a.app] {
 						out = append(out, Violation{
 							Kind: AntiAffinityWithin, Machine: m,
-							ContainerA: a.ID, ContainerB: b.ID,
+							ContainerA: a.c.ID, ContainerB: b.c.ID,
 						})
 					}
-				} else if w.AntiAffine(a.App, b.App) {
+				} else if pairs[pairKey(a.app, b.app)] {
 					out = append(out, Violation{
 						Kind: AntiAffinityAcross, Machine: m,
-						ContainerA: a.ID, ContainerB: b.ID,
+						ContainerA: a.c.ID, ContainerB: b.c.ID,
 					})
 				}
 			}

@@ -80,7 +80,7 @@ func Explain(w *workload.Workload, cluster *topology.Cluster, asg constraint.Ass
 			bl.Place(m, c)
 		}
 	}
-	agg := newAggregates(cluster)
+	agg := newAggregates(cluster, DefaultOptions())
 
 	e := &Explanation{Container: containerID, Chosen: topology.Invalid}
 	for _, gname := range cluster.SubClusters() {

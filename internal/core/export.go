@@ -37,11 +37,11 @@ func ExportNetworkDOT(out io.Writer, w *workload.Workload, cluster *topology.Clu
 	names := make(map[flow.NodeID]string, n.g.NumNodes())
 	names[n.source] = "s"
 	names[n.sink] = "t"
-	for app, node := range n.appNode {
-		names[node] = "A:" + app
+	for i, a := range w.Apps() {
+		names[n.appNode[i]] = "A:" + a.ID
 	}
-	for sub, node := range n.subNode {
-		names[node] = "G:" + sub
+	for i, sub := range cluster.SubClusters() {
+		names[n.subNode[i]] = "G:" + sub
 	}
 	// Rack and machine nodes are the From/To endpoints of their arcs.
 	for _, rname := range cluster.Racks() {
@@ -52,8 +52,8 @@ func ExportNetworkDOT(out io.Writer, w *workload.Workload, cluster *topology.Clu
 		arc := n.g.Arc(n.ntArc[m.ID])
 		names[arc.From] = "N:" + m.Name
 	}
-	for _, c := range w.Containers() {
-		arc := n.g.Arc(n.srcArc[c.ID])
+	for i, c := range w.Containers() {
+		arc := n.g.Arc(n.srcArc[i])
 		names[arc.To] = "T:" + c.ID
 	}
 	return flow.WriteDOT(out, n.g, func(v flow.NodeID) string {

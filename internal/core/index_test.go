@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+)
+
+// idxFixture builds a cluster with a deterministic pseudo-random
+// occupancy and an index maintained incrementally through every
+// mutation, so tests can compare it against ground truth.
+func idxFixture(t *testing.T, machines int, seed int64) (*topology.Cluster, *capIndex) {
+	t.Helper()
+	cl := topology.New(topology.Config{
+		Machines:        machines,
+		MachinesPerRack: 4,
+		RacksPerCluster: 4,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+	x := newCapIndex(cl)
+	rng := rand.New(rand.NewSource(seed))
+	next := 0
+	for i := 0; i < machines*3; i++ {
+		mid := topology.MachineID(rng.Intn(machines))
+		m := cl.Machine(mid)
+		if rng.Intn(4) == 0 && m.NumContainers() > 0 {
+			ids := m.ContainerIDs()
+			if _, err := m.Release(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			d := resource.Cores(int64(1+rng.Intn(8)), int64(1+rng.Intn(8))*1024)
+			if m.Fits(d) {
+				if err := m.Allocate(fmt.Sprintf("c-%d", next), d); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+		}
+		x.update(mid)
+	}
+	return cl, x
+}
+
+// TestCapIndexIncrementalMatchesRebuild mutates machines through a
+// long pseudo-random allocate/release sequence, maintaining the index
+// incrementally, then verifies every node equals the from-scratch
+// rebuild — the invariant the scheduler's safety valve assumes it is
+// merely re-asserting.
+func TestCapIndexIncrementalMatchesRebuild(t *testing.T) {
+	cl, x := idxFixture(t, 48, 7)
+	fresh := newCapIndex(cl)
+	for i := range x.nodes {
+		if x.nodes[i] != fresh.nodes[i] {
+			t.Fatalf("node %d drifted: incremental %+v, rebuilt %+v", i, x.nodes[i], fresh.nodes[i])
+		}
+	}
+}
+
+// TestCapIndexRangeMaxFree checks the rack and sub-cluster range
+// queries against a direct scan of machine state.
+func TestCapIndexRangeMaxFree(t *testing.T) {
+	cl, x := idxFixture(t, 48, 11)
+	for _, rname := range cl.Racks() {
+		var want resource.Vector
+		for _, mid := range cl.Rack(rname).Machines {
+			want = want.Max(cl.Machine(mid).Free())
+		}
+		if got := x.rangeMaxFree(x.tr.RackSpan[rname]); got != want {
+			t.Fatalf("rack %s: rangeMaxFree %s, scan %s", rname, got, want)
+		}
+	}
+	for _, gname := range cl.SubClusters() {
+		var want resource.Vector
+		for _, rname := range cl.SubCluster(gname).Racks {
+			for _, mid := range cl.Rack(rname).Machines {
+				want = want.Max(cl.Machine(mid).Free())
+			}
+		}
+		if got := x.rangeMaxFree(x.tr.SubSpan[gname]); got != want {
+			t.Fatalf("sub-cluster %s: rangeMaxFree %s, scan %s", gname, got, want)
+		}
+	}
+}
+
+// TestCapIndexFirstFitMatchesScan compares the tree descent against a
+// brute-force first-fit over the traversal, across demand sizes and
+// both occupancy views.
+func TestCapIndexFirstFitMatchesScan(t *testing.T) {
+	cl, x := idxFixture(t, 48, 13)
+	accept := func(topology.MachineID) bool { return true }
+	for cpu := int64(1); cpu <= 32; cpu += 3 {
+		demand := resource.Cores(cpu, cpu*1024)
+		for _, usedOnly := range []bool{false, true} {
+			want := topology.Invalid
+			for _, mid := range x.tr.Order {
+				m := cl.Machine(mid)
+				if usedOnly && m.NumContainers() == 0 {
+					continue
+				}
+				if m.Fits(demand) {
+					want = mid
+					break
+				}
+			}
+			visit := accept
+			if usedOnly {
+				visit = func(mid topology.MachineID) bool {
+					return cl.Machine(mid).NumContainers() > 0
+				}
+			}
+			if got := x.firstFit(x.all(), demand, usedOnly, visit); got != want {
+				t.Fatalf("firstFit(cpu=%d, usedOnly=%v) = %d, want %d", cpu, usedOnly, got, want)
+			}
+		}
+	}
+}
+
+// TestCapIndexBestFitMatchesScan compares the branch-and-bound best
+// fit against a brute-force minimum of (leftover CPU, machine ID).
+func TestCapIndexBestFitMatchesScan(t *testing.T) {
+	cl, x := idxFixture(t, 48, 17)
+	for cpu := int64(1); cpu <= 32; cpu += 3 {
+		demand := resource.Cores(cpu, cpu*1024)
+		want := topology.Invalid
+		var wantLeft int64 = 1<<62 - 1
+		for _, mid := range x.tr.Order {
+			m := cl.Machine(mid)
+			if !m.Fits(demand) {
+				continue
+			}
+			left := m.Free().Dim(resource.CPU) - cpu
+			if left < wantLeft || (left == wantLeft && mid < want) {
+				want, wantLeft = mid, left
+			}
+		}
+		st := newBestFitState()
+		x.bestFit(x.all(), demand, false, func(topology.MachineID) bool { return true }, &st)
+		if st.id != want {
+			t.Fatalf("bestFit(cpu=%d) = %d, want %d", cpu, st.id, want)
+		}
+	}
+}

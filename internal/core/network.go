@@ -16,25 +16,44 @@ import (
 // dimension) while the multidimensional and non-linear parts of the
 // capacity function — memory fit and blacklists — are enforced by the
 // search (search.go) before a path is augmented.
+//
+// All per-placement state is ordinal-indexed: app and sub-cluster
+// names resolve to dense indices once at construction, containers to
+// their app-major workload ordinal, so assembling a path costs one
+// string-map lookup (the app's ordinal) and five slice reads instead
+// of a map probe per tier.
 type network struct {
 	g      *flow.Graph
 	source flow.NodeID
 	sink   flow.NodeID
 
-	// Arc indexes for path assembly, by tier.
-	srcArc map[string]int // container ID -> s→T arc
-	taArc  map[string]int // container ID -> T→A arc
-	agArc  map[string]int // appID|sub -> A→G arc (created lazily)
-	grArc  map[string]int // rack name -> G→R arc
-	rnArc  []int          // machine ID -> R→N arc
-	ntArc  []int          // machine ID -> N→t arc
+	// Ordinal tables, fixed at construction.
+	appOrd  map[string]int // app ID -> ordinal in workload order
+	appBase []int          // app ordinal -> first container ordinal
+	subOrd  map[string]int // sub-cluster name -> ordinal
+	numSubs int
 
-	appNode map[string]flow.NodeID
-	subNode map[string]flow.NodeID
+	appNode []flow.NodeID // by app ordinal
+	subNode []flow.NodeID // by sub-cluster ordinal
+
+	// Arc indexes for path assembly, by tier.
+	srcArc []int // container ordinal -> s→T arc
+	taArc  []int // container ordinal -> T→A arc
+	// agArc[appOrd*numSubs+subOrd] is the A→G arc index plus one
+	// (created lazily; zero marks an absent arc).
+	agArc []int
+	grArc map[string]int // rack name -> G→R arc (export and tests)
+	// grArcOf mirrors grArc per machine so the hot path never touches
+	// the rack-name map.
+	grArcOf []int // machine ID -> its rack's G→R arc
+	subOf   []int // machine ID -> its sub-cluster's ordinal
+	rnArc   []int // machine ID -> R→N arc
+	ntArc   []int // machine ID -> N→t arc
 
 	// units memoises the flow units (CPU milli, min 1) each placed
-	// container pushed, so migrations can cancel exactly that flow.
-	units map[string]int64
+	// container pushed, by container ordinal, so migrations can cancel
+	// exactly that flow.  Units are ≥ 1, so zero marks "not placed".
+	units []int64
 
 	cluster *topology.Cluster
 }
@@ -54,41 +73,60 @@ func flowUnits(c *workload.Container) int64 {
 // buildNetwork constructs the tiered graph for a workload/cluster
 // pair.
 func buildNetwork(w *workload.Workload, cluster *topology.Cluster) *network {
+	apps := w.Apps()
+	subs := cluster.SubClusters()
 	n := &network{
 		g:       flow.NewGraph(0),
-		srcArc:  make(map[string]int, w.NumContainers()),
-		taArc:   make(map[string]int, w.NumContainers()),
-		agArc:   make(map[string]int),
-		grArc:   make(map[string]int),
+		appOrd:  make(map[string]int, len(apps)),
+		appBase: make([]int, len(apps)),
+		subOrd:  make(map[string]int, len(subs)),
+		numSubs: len(subs),
+		appNode: make([]flow.NodeID, len(apps)),
+		subNode: make([]flow.NodeID, len(subs)),
+		srcArc:  make([]int, w.NumContainers()),
+		taArc:   make([]int, w.NumContainers()),
+		agArc:   make([]int, len(apps)*len(subs)),
+		grArc:   make(map[string]int, len(cluster.Racks())),
+		grArcOf: make([]int, cluster.Size()),
+		subOf:   make([]int, cluster.Size()),
 		rnArc:   make([]int, cluster.Size()),
 		ntArc:   make([]int, cluster.Size()),
-		appNode: make(map[string]flow.NodeID, len(w.Apps())),
-		subNode: make(map[string]flow.NodeID),
-		units:   make(map[string]int64),
+		units:   make([]int64, w.NumContainers()),
 		cluster: cluster,
 	}
 	g := n.g
+	// Node and arc counts are known up front (A→G arcs materialise
+	// lazily; reserve one per app as a working estimate).
+	g.Grow(2+len(apps)+len(subs)+len(cluster.Racks())+cluster.Size()+w.NumContainers(),
+		len(cluster.Racks())+2*cluster.Size()+2*w.NumContainers()+len(apps))
 	n.source = g.AddNode()
 	n.sink = g.AddNode()
 
 	// Application tier.
-	for _, a := range w.Apps() {
-		n.appNode[a.ID] = g.AddNode()
+	base := 0
+	for i, a := range apps {
+		n.appOrd[a.ID] = i
+		n.appBase[i] = base
+		base += a.Replicas
+		n.appNode[i] = g.AddNode()
 	}
 	// Sub-cluster (G) tier.
-	for _, name := range cluster.SubClusters() {
-		n.subNode[name] = g.AddNode()
+	for i, name := range subs {
+		n.subOrd[name] = i
+		n.subNode[i] = g.AddNode()
 	}
 	// Rack (R) tier and machine (N) tier.
-	rackNode := make(map[string]flow.NodeID, len(cluster.Racks()))
 	for _, rname := range cluster.Racks() {
 		rack := cluster.Rack(rname)
 		rn := g.AddNode()
-		rackNode[rname] = rn
-		n.grArc[rname] = g.MustAddArc(n.subNode[rack.Cluster], rn, infiniteCap, 0)
+		sub := n.subOrd[rack.Cluster]
+		gr := g.MustAddArc(n.subNode[sub], rn, infiniteCap, 0)
+		n.grArc[rname] = gr
 		for _, mid := range rack.Machines {
 			m := cluster.Machine(mid)
 			mn := g.AddNode()
+			n.grArcOf[mid] = gr
+			n.subOf[mid] = sub
 			n.rnArc[mid] = g.MustAddArc(rn, mn, infiniteCap, 0)
 			cap := m.Capacity().Dim(resource.CPU)
 			if cap < 1 {
@@ -99,55 +137,74 @@ func buildNetwork(w *workload.Workload, cluster *topology.Cluster) *network {
 	}
 	// Container (T) tier: s→T with capacity = demand (c(s,Ti) of
 	// Equation 6), T→A infinite.
-	for _, c := range w.Containers() {
+	for i, c := range w.Containers() {
 		tn := g.AddNode()
-		n.srcArc[c.ID] = g.MustAddArc(n.source, tn, flowUnits(c), 0)
-		n.taArc[c.ID] = g.MustAddArc(tn, n.appNode[c.App], infiniteCap, 0)
+		n.srcArc[i] = g.MustAddArc(n.source, tn, flowUnits(c), 0)
+		n.taArc[i] = g.MustAddArc(tn, n.appNode[n.appOrd[c.App]], infiniteCap, 0)
 	}
 	return n
 }
 
-// arcAG returns (creating on first use) the A→G arc for an app and
-// sub-cluster.  Lazy creation keeps the A×G product sparse: only
-// pairs actually used by placements materialise.
-func (n *network) arcAG(appID, sub string) int {
-	key := appID + "|" + sub
-	if idx, ok := n.agArc[key]; ok {
-		return idx
+// ctOrd resolves a container to its app-major workload ordinal — the
+// single string-map lookup on the path-assembly hot path.
+func (n *network) ctOrd(c *workload.Container) (app, ct int, err error) {
+	ao, ok := n.appOrd[c.App]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unknown app %q", c.App)
 	}
-	idx := n.g.MustAddArc(n.appNode[appID], n.subNode[sub], infiniteCap, 0)
-	n.agArc[key] = idx
+	return ao, n.appBase[ao] + c.Index, nil
+}
+
+// arcAG returns (creating on first use) the A→G arc for an app and
+// sub-cluster, by ordinal.  Lazy creation keeps the A×G product
+// sparse in the graph: only pairs actually used by placements
+// materialise as arcs.
+func (n *network) arcAGOrd(app, sub int) int {
+	slot := app*n.numSubs + sub
+	if idx := n.agArc[slot]; idx != 0 {
+		return idx - 1
+	}
+	idx := n.g.MustAddArc(n.appNode[app], n.subNode[sub], infiniteCap, 0)
+	n.agArc[slot] = idx + 1
 	return idx
 }
 
+// arcAG is the by-name view of arcAGOrd, for tests and tooling.
+func (n *network) arcAG(appID, sub string) int {
+	return n.arcAGOrd(n.appOrd[appID], n.subOrd[sub])
+}
+
 // pathFor assembles the arc path s→T→A→G→R→N→t for placing container
-// c on machine m.
-func (n *network) pathFor(c *workload.Container, m topology.MachineID) ([]int, error) {
-	machine := n.cluster.Machine(m)
-	if machine == nil {
-		return nil, fmt.Errorf("core: unknown machine %d", m)
+// c on machine m into the caller's buffer (no allocation).
+func (n *network) pathFor(c *workload.Container, m topology.MachineID, path *[6]int) error {
+	if int(m) < 0 || int(m) >= len(n.rnArc) {
+		return fmt.Errorf("core: unknown machine %d", m)
 	}
-	return []int{
-		n.srcArc[c.ID],
-		n.taArc[c.ID],
-		n.arcAG(c.App, machine.Cluster),
-		n.grArc[machine.Rack],
-		n.rnArc[m],
-		n.ntArc[m],
-	}, nil
+	ao, ct, err := n.ctOrd(c)
+	if err != nil {
+		return err
+	}
+	path[0] = n.srcArc[ct]
+	path[1] = n.taArc[ct]
+	path[2] = n.arcAGOrd(ao, n.subOf[m])
+	path[3] = n.grArcOf[m]
+	path[4] = n.rnArc[m]
+	path[5] = n.ntArc[m]
+	return nil
 }
 
 // augment pushes the container's flow along its path to machine m.
 func (n *network) augment(c *workload.Container, m topology.MachineID) error {
-	path, err := n.pathFor(c, m)
-	if err != nil {
+	var path [6]int
+	if err := n.pathFor(c, m, &path); err != nil {
 		return err
 	}
 	u := flowUnits(c)
-	if err := flow.AugmentPath(n.g, path, u); err != nil {
+	if err := flow.AugmentPath(n.g, path[:], u); err != nil {
 		return fmt.Errorf("core: augment %s on machine %d: %w", c.ID, m, err)
 	}
-	n.units[c.ID] = u
+	_, ct, _ := n.ctOrd(c)
+	n.units[ct] = u
 	return nil
 }
 
@@ -155,22 +212,26 @@ func (n *network) augment(c *workload.Container, m topology.MachineID) error {
 // migration and preemption).  Cancelling pushes the same units along
 // the residual twins in reverse order, which is a valid t→s path.
 func (n *network) cancel(c *workload.Container, m topology.MachineID) error {
-	u, ok := n.units[c.ID]
-	if !ok {
-		return fmt.Errorf("core: cancel %s: no recorded flow", c.ID)
-	}
-	path, err := n.pathFor(c, m)
+	_, ct, err := n.ctOrd(c)
 	if err != nil {
 		return err
 	}
-	rev := make([]int, 0, len(path))
-	for i := len(path) - 1; i >= 0; i-- {
-		rev = append(rev, path[i]^1)
+	u := n.units[ct]
+	if u == 0 {
+		return fmt.Errorf("core: cancel %s: no recorded flow", c.ID)
 	}
-	if err := flow.AugmentPath(n.g, rev, u); err != nil {
+	var path [6]int
+	if err := n.pathFor(c, m, &path); err != nil {
+		return err
+	}
+	var rev [6]int
+	for i := range path {
+		rev[len(path)-1-i] = path[i] ^ 1
+	}
+	if err := flow.AugmentPath(n.g, rev[:], u); err != nil {
 		return fmt.Errorf("core: cancel %s on machine %d: %w", c.ID, m, err)
 	}
-	delete(n.units, c.ID)
+	n.units[ct] = 0
 	return nil
 }
 

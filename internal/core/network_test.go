@@ -120,7 +120,7 @@ func TestAggregatesTrackFreeSpace(t *testing.T) {
 		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
 		Capacity: resource.Cores(32, 64*1024),
 	})
-	agg := newAggregates(cl)
+	agg := newAggregates(cl, DefaultOptions())
 	rack := cl.Machine(0).Rack
 	if !agg.rackAdmits(rack, resource.Cores(32, 64*1024)) {
 		t.Error("fresh rack should admit a full-machine demand")
@@ -167,20 +167,3 @@ func TestExclusionRules(t *testing.T) {
 	}
 }
 
-func TestILCacheGenerations(t *testing.T) {
-	il := newILCache()
-	if il.skip("a") {
-		t.Error("fresh cache should not skip")
-	}
-	il.note("a")
-	if !il.skip("a") {
-		t.Error("noted app should skip")
-	}
-	if il.skip("b") {
-		t.Error("other apps unaffected")
-	}
-	il.bump()
-	if il.skip("a") {
-		t.Error("bump should invalidate")
-	}
-}

@@ -48,6 +48,21 @@ type Options struct {
 	// reproducing the priority-inversion failure of the unweighted
 	// maximum-flow theory (Fig. 3a).
 	DisableWeights bool
+	// NaiveSearch disables the residual-capacity index and restores
+	// the full linear scan over sub-clusters → racks → machines.
+	// Kept for A/B benchmarking (BenchmarkSearchIndexed) and as the
+	// oracle the indexed search is validated against: under DL both
+	// searches produce byte-identical placements, without DL they
+	// produce identical undeployed sets.
+	NaiveSearch bool
+	// DebugChecks enables paranoid invariant checking: every
+	// incremental aggregate update is cross-checked against the naive
+	// recompute, panicking on drift.  Slow; meant for tests.
+	DebugChecks bool
+	// IndexRebuildEvery is the search index's full-rebuild safety
+	// valve period, in machine updates; 0 means the default (32768),
+	// negative disables periodic rebuilds.
+	IndexRebuildEvery int
 	// GangScheduling makes application placement all-or-nothing: if
 	// any container of an application cannot be placed, the whole
 	// application is rolled back and undeployed.  Container groups of

@@ -38,13 +38,56 @@ type run struct {
 	blacklist *constraint.Blacklist
 	search    *searcher
 
-	assignment     constraint.Assignment
+	// asg is the live assignment, keyed by container ordinal (Invalid =
+	// undeployed).  place/unplace are the scheduler's innermost
+	// mutations; a slice write keeps them free of string hashing.  The
+	// ID-keyed map views hand out materialise on demand.
+	asg            []topology.MachineID
+	asgMap         constraint.Assignment
+	requeues       []int
 	byID           map[string]*workload.Container
-	requeues       map[string]int
 	migrations     int
 	consolidations int
 	preempts       int
 	inversions     []constraint.Violation
+}
+
+// newRun builds the mutable state for one scheduling context.
+func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run {
+	r := &run{
+		opts:      opts,
+		w:         w,
+		cluster:   cluster,
+		net:       buildNetwork(w, cluster),
+		ladder:    constraint.NewWeightLadder(w, opts.WeightBase),
+		blacklist: constraint.NewBlacklist(w, cluster.Size()),
+		asg:       make([]topology.MachineID, w.NumContainers()),
+		requeues:  make([]int, w.NumContainers()),
+		byID:      make(map[string]*workload.Container, w.NumContainers()),
+	}
+	for i := range r.asg {
+		r.asg[i] = topology.Invalid
+	}
+	for _, c := range w.Containers() {
+		r.byID[c.ID] = c
+	}
+	r.search = newSearcher(opts, cluster, r.blacklist)
+	return r
+}
+
+// assignmentMap materialises the ID-keyed view of the assignment.
+// The map is cached until the next place/unplace, so repeated reads
+// between mutations share one map (sessions hand it out by design).
+func (r *run) assignmentMap() constraint.Assignment {
+	if r.asgMap == nil {
+		r.asgMap = make(constraint.Assignment)
+		for _, c := range r.w.Containers() {
+			if m := r.asg[c.Ord]; m != topology.Invalid {
+				r.asgMap[c.ID] = m
+			}
+		}
+	}
+	return r.asgMap
 }
 
 // Schedule implements sched.Scheduler.  Containers are processed in
@@ -53,27 +96,7 @@ type run struct {
 // augmenting path exists.
 func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
 	start := time.Now()
-	r := &run{
-		opts:       s.opts,
-		w:          w,
-		cluster:    cluster,
-		net:        buildNetwork(w, cluster),
-		ladder:     constraint.NewWeightLadder(w, s.opts.WeightBase),
-		blacklist:  constraint.NewBlacklist(w, cluster.Size()),
-		assignment: make(constraint.Assignment, len(arrivals)),
-		byID:       make(map[string]*workload.Container, w.NumContainers()),
-		requeues:   make(map[string]int),
-	}
-	for _, c := range w.Containers() {
-		r.byID[c.ID] = c
-	}
-	r.search = &searcher{
-		opts:      s.opts,
-		cluster:   cluster,
-		agg:       newAggregates(cluster),
-		blacklist: r.blacklist,
-		il:        newILCache(),
-	}
+	r := newRun(s.opts, w, cluster)
 
 	queue := make([]*workload.Container, len(arrivals))
 	copy(queue, arrivals)
@@ -154,7 +177,7 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 
 	res := &sched.Result{
 		Scheduler:      s.Name(),
-		Assignment:     r.assignment,
+		Assignment:     r.assignmentMap(),
 		Undeployed:     undeployed,
 		Violations:     r.inversions,
 		Migrations:     r.migrations,
@@ -168,8 +191,11 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 }
 
 // place deploys a container on a machine, updating every view of the
-// state: machine allocation, blacklist, flow network, aggregates and
-// the IL generation of the machine.
+// state: machine allocation, blacklist, flow network, and — via
+// agg.update — the search index and rack/sub-cluster aggregates.
+// Every mutation path (direct placement, migration, defragmentation,
+// consolidation drains, preemption evictions, gang withdrawals)
+// funnels through place/unplace, so the index can never go stale.
 func (r *run) place(c *workload.Container, m topology.MachineID) error {
 	machine := r.cluster.Machine(m)
 	if err := machine.Allocate(c.ID, c.Demand); err != nil {
@@ -183,8 +209,9 @@ func (r *run) place(c *workload.Container, m topology.MachineID) error {
 		return err
 	}
 	r.blacklist.Place(m, c)
-	r.assignment[c.ID] = m
-	r.search.agg.update(m)
+	r.asg[c.Ord] = m
+	r.asgMap = nil
+	r.search.noteUpdate(m)
 	return nil
 }
 
@@ -198,8 +225,9 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 		return err
 	}
 	r.blacklist.Release(m, c)
-	delete(r.assignment, c.ID)
-	r.search.agg.update(m)
+	r.asg[c.Ord] = topology.Invalid
+	r.asgMap = nil
+	r.search.noteUpdate(m)
 	r.search.il.bump()
 	return nil
 }
@@ -338,8 +366,8 @@ func (r *run) enforceGangs(undeployed []string) []string {
 		if !broken[c.App] {
 			continue
 		}
-		m, ok := r.assignment[c.ID]
-		if !ok {
+		m := r.asg[c.Ord]
+		if m == topology.Invalid {
 			continue
 		}
 		if err := r.unplace(c, m); err != nil {
@@ -356,6 +384,14 @@ func (r *run) enforceGangs(undeployed []string) []string {
 // drain rolls back.  Consolidation never opens an empty machine, so
 // each successful drain strictly reduces the used-machine count.
 func (r *run) consolidate() {
+	// Drains are deterministic in cluster/blacklist/flow state, and a
+	// failed drain rolls back exactly, so state advances only when a
+	// drain succeeds.  epoch counts successes; a machine whose drain
+	// failed at the current epoch would fail identically if retried,
+	// so later passes skip it until some drain lands.
+	epoch := 0
+	failedAt := make(map[topology.MachineID]int)
+	memo := make(map[drainKey]topology.MachineID)
 	for pass := 0; pass < 2; pass++ {
 		// Lightest machines first: cheapest to drain.
 		type lm struct {
@@ -377,8 +413,17 @@ func (r *run) consolidate() {
 		})
 		drained := false
 		for _, cand := range light {
-			if r.drain(cand.m) {
+			if e, ok := failedAt[cand.m]; ok && e == epoch {
+				continue
+			}
+			// The memo shares feasibility prechecks across attempts: it
+			// too stays valid until the next successful drain.
+			if r.drain(cand.m, memo) {
 				drained = true
+				epoch++
+				clear(memo)
+			} else {
+				failedAt[cand.m] = epoch
 			}
 		}
 		if !drained {
@@ -387,9 +432,17 @@ func (r *run) consolidate() {
 	}
 }
 
+// drainKey classifies a resident for the drain feasibility precheck:
+// two containers of the same app with the same demand see identical
+// search outcomes, so one lookup answers for the whole class.
+type drainKey struct {
+	app    int
+	demand resource.Vector
+}
+
 // drain attempts to move every container off machine m into other
 // used machines; returns whether the machine was emptied.
-func (r *run) drain(m topology.MachineID) bool {
+func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) bool {
 	machine := r.cluster.Machine(m)
 	var cs []*workload.Container
 	for _, id := range machine.ContainerIDs() {
@@ -401,6 +454,34 @@ func (r *run) drain(m topology.MachineID) bool {
 	}
 	if len(cs) == 0 {
 		return false
+	}
+	// Exact feasibility precheck.  Moves within a drain only shrink
+	// free space and grow blacklists on candidate destinations (m
+	// itself is excluded and skipEmpty freezes the used-machine set),
+	// so a resident with no feasible destination now cannot gain one
+	// mid-drain.  Bailing out here skips the move+rollback churn for
+	// machines that can never be emptied — the common case once the
+	// cluster is packed.  The memo caches the unexcluded search per
+	// (app, demand) class: a destination other than m itself proves
+	// feasibility for this drain too, and an Invalid result rules the
+	// class out everywhere until the next successful drain.
+	for _, c := range cs {
+		key := drainKey{app: r.w.AppIndex(c.App), demand: c.Demand}
+		dest, ok := memo[key]
+		if !ok {
+			dest = r.search.findMachine(c, exclusion{skipEmpty: true})
+			memo[key] = dest
+		}
+		if dest == topology.Invalid {
+			return false
+		}
+		if dest == m {
+			// The memoised destination is the machine being drained;
+			// only an exact per-machine search can settle this class.
+			if r.search.findMachine(c, exclusion{machine: m, skipEmpty: true}) == topology.Invalid {
+				return false
+			}
+		}
 	}
 	type move struct {
 		c  *workload.Container
@@ -580,7 +661,7 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool)
 				}
 				// Evict victims that have requeue budget left.
 				for _, v := range victims {
-					if r.requeues[v.ID] >= r.opts.maxRequeues() {
+					if r.requeues[v.Ord] >= r.opts.maxRequeues() {
 						victims = nil
 						break
 					}
@@ -592,7 +673,7 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool)
 					if err := r.unplace(v, mid); err != nil {
 						panic(fmt.Sprintf("core: evict: %v", err))
 					}
-					r.requeues[v.ID]++
+					r.requeues[v.Ord]++
 					if v.Priority >= c.Priority {
 						// Only reachable with DisableWeights: a
 						// priority inversion the weighted flow would

@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"aladdin/internal/constraint"
 	"aladdin/internal/resource"
 	"aladdin/internal/sched"
 	"aladdin/internal/topology"
@@ -378,24 +377,7 @@ func TestScheduleFlowConservation(t *testing.T) {
 	w := trace.MustGenerate(trace.Scaled(9, 300))
 	cl := smallCluster(48)
 	s := NewDefault()
-	r := &run{
-		opts:       s.opts,
-		w:          w,
-		cluster:    cl,
-		net:        buildNetwork(w, cl),
-		ladder:     constraint.NewWeightLadder(w, s.opts.WeightBase),
-		blacklist:  constraint.NewBlacklist(w, cl.Size()),
-		assignment: make(constraint.Assignment),
-		byID:       make(map[string]*workload.Container),
-		requeues:   make(map[string]int),
-	}
-	for _, c := range w.Containers() {
-		r.byID[c.ID] = c
-	}
-	r.search = &searcher{
-		opts: s.opts, cluster: cl, agg: newAggregates(cl),
-		blacklist: r.blacklist, il: newILCache(),
-	}
+	r := newRun(s.opts, w, cl)
 	var placedFlow int64
 	for _, c := range w.Containers() {
 		m := r.search.findMachine(c, noExclusion)
@@ -416,7 +398,7 @@ func TestScheduleFlowConservation(t *testing.T) {
 	// Unplace a few and re-check.
 	n := 0
 	for _, c := range w.Containers() {
-		if m, ok := r.assignment[c.ID]; ok {
+		if m := r.asg[c.Ord]; m != topology.Invalid {
 			if err := r.unplace(c, m); err != nil {
 				t.Fatal(err)
 			}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"aladdin/internal/constraint"
+	"aladdin/internal/parallel"
 	"aladdin/internal/resource"
 	"aladdin/internal/topology"
 	"aladdin/internal/workload"
@@ -12,60 +15,166 @@ import (
 // tiers' residual capacities: if a demand does not fit a rack's
 // maximum free vector, no path through that rack exists and the whole
 // subtree is pruned — the latency win of the tiered network (§III.A).
+//
+// Maintenance is incremental: a machine update touches one leaf of
+// the capacity index and re-reads the owning rack's and sub-cluster's
+// range maxima, O(log machines) total, instead of recomputing the
+// whole rack.  A periodic full rebuild (the safety valve) resyncs the
+// index from live machine state, and DebugChecks cross-checks every
+// incremental result against the naive recompute.
 type aggregates struct {
 	cluster     *topology.Cluster
+	idx         *capIndex
 	rackMaxFree map[string]resource.Vector
 	subMaxFree  map[string]resource.Vector
+
+	// subNames is the sub-cluster sweep order (creation order): shard
+	// i of the parallel search owns subNames[i]'s traversal span.
+	subNames []string
+
+	// eager selects per-update map maintenance.  The indexed search
+	// answers rack/sub admission straight from the tree, so unless the
+	// naive scan (which probes rackAdmits per rack per container) or
+	// DebugChecks needs them fresh, the name-keyed maps are refreshed
+	// lazily on first read after a batch of updates.
+	eager bool
+	dirty bool
+
+	// naive restores the pre-index maintenance for Options.NaiveSearch:
+	// a machine update recomputes its whole rack (and the rack's
+	// sub-cluster) from machine state.  The A/B baseline must not
+	// inherit the index's O(log) maintenance, or the comparison only
+	// measures the scan.
+	naive bool
+
+	debugCheck   bool
+	updates      int
+	rebuildEvery int
 }
 
-func newAggregates(cluster *topology.Cluster) *aggregates {
+// defaultRebuildEvery is the safety-valve period: after this many
+// incremental updates the index and aggregates are rebuilt from
+// machine state, bounding any drift to one window.
+const defaultRebuildEvery = 1 << 15
+
+func newAggregates(cluster *topology.Cluster, opts Options) *aggregates {
+	rebuildEvery := opts.IndexRebuildEvery
+	if rebuildEvery == 0 {
+		rebuildEvery = defaultRebuildEvery
+	}
 	a := &aggregates{
-		cluster:     cluster,
-		rackMaxFree: make(map[string]resource.Vector, len(cluster.Racks())),
-		subMaxFree:  make(map[string]resource.Vector, len(cluster.SubClusters())),
+		cluster:      cluster,
+		idx:          newCapIndex(cluster),
+		rackMaxFree:  make(map[string]resource.Vector, len(cluster.Racks())),
+		subMaxFree:   make(map[string]resource.Vector, len(cluster.SubClusters())),
+		subNames:     cluster.SubClusters(),
+		eager:        opts.NaiveSearch || opts.DebugChecks,
+		naive:        opts.NaiveSearch,
+		debugCheck:   opts.DebugChecks,
+		rebuildEvery: rebuildEvery,
 	}
-	for _, rname := range cluster.Racks() {
-		a.recomputeRack(rname)
-	}
-	for _, gname := range cluster.SubClusters() {
-		a.recomputeSub(gname)
-	}
+	a.recomputeAll()
 	return a
 }
 
-func (a *aggregates) recomputeRack(rname string) {
+// recomputeAll derives every rack and sub-cluster aggregate from the
+// index.
+func (a *aggregates) recomputeAll() {
+	for _, rname := range a.cluster.Racks() {
+		a.rackMaxFree[rname] = a.idx.rangeMaxFree(a.idx.tr.RackSpan[rname])
+	}
+	for _, gname := range a.subNames {
+		a.subMaxFree[gname] = a.idx.rangeMaxFree(a.idx.tr.SubSpan[gname])
+	}
+}
+
+// naiveRackMaxFree is the ground-truth recompute: the component-wise
+// max over the rack's machines, read directly from machine state.
+func (a *aggregates) naiveRackMaxFree(rname string) resource.Vector {
 	rack := a.cluster.Rack(rname)
 	var maxFree resource.Vector
 	for _, mid := range rack.Machines {
 		maxFree = maxFree.Max(a.cluster.Machine(mid).Free())
 	}
-	a.rackMaxFree[rname] = maxFree
+	return maxFree
 }
 
-func (a *aggregates) recomputeSub(gname string) {
+// naiveSubMaxFree is the sub-cluster analogue, derived from the rack
+// aggregates.
+func (a *aggregates) naiveSubMaxFree(gname string) resource.Vector {
 	sub := a.cluster.SubCluster(gname)
 	var maxFree resource.Vector
 	for _, rname := range sub.Racks {
 		maxFree = maxFree.Max(a.rackMaxFree[rname])
 	}
-	a.subMaxFree[gname] = maxFree
+	return maxFree
 }
 
 // update refreshes aggregates after machine m's free vector changed.
 func (a *aggregates) update(m topology.MachineID) {
+	a.updates++
+	if a.naive {
+		// Pre-index baseline: recompute the owning rack and sub-cluster
+		// aggregates in full from machine state.  The index is not
+		// maintained (nothing reads it in naive mode).
+		machine := a.cluster.Machine(m)
+		a.rackMaxFree[machine.Rack] = a.naiveRackMaxFree(machine.Rack)
+		a.subMaxFree[machine.Cluster] = a.naiveSubMaxFree(machine.Cluster)
+		return
+	}
+	if a.rebuildEvery > 0 && a.updates%a.rebuildEvery == 0 {
+		// Safety valve: resync everything from live machine state.
+		a.idx.rebuild()
+		if a.eager {
+			a.recomputeAll()
+		} else {
+			a.dirty = true
+		}
+		return
+	}
+	a.idx.update(m)
+	if !a.eager {
+		a.dirty = true
+		return
+	}
 	machine := a.cluster.Machine(m)
-	a.recomputeRack(machine.Rack)
-	a.recomputeSub(machine.Cluster)
+	a.rackMaxFree[machine.Rack] = a.idx.rangeMaxFree(a.idx.tr.RackSpan[machine.Rack])
+	a.subMaxFree[machine.Cluster] = a.idx.rangeMaxFree(a.idx.tr.SubSpan[machine.Cluster])
+	if a.debugCheck {
+		a.crossCheck(machine.Rack, machine.Cluster)
+	}
+}
+
+// refresh brings the name-keyed maps up to date before a read in lazy
+// mode.
+func (a *aggregates) refresh() {
+	if a.dirty {
+		a.recomputeAll()
+		a.dirty = false
+	}
+}
+
+// crossCheck validates the incremental aggregates against the naive
+// recompute; a mismatch is an index-maintenance bug and panics.
+func (a *aggregates) crossCheck(rname, gname string) {
+	if want := a.naiveRackMaxFree(rname); a.rackMaxFree[rname] != want {
+		panic(fmt.Sprintf("core: aggregate drift on rack %s: incremental %s, naive %s", rname, a.rackMaxFree[rname], want))
+	}
+	if want := a.naiveSubMaxFree(gname); a.subMaxFree[gname] != want {
+		panic(fmt.Sprintf("core: aggregate drift on sub-cluster %s: incremental %s, naive %s", gname, a.subMaxFree[gname], want))
+	}
 }
 
 // rackAdmits reports whether some machine in the rack might fit the
 // demand (conservative per-dimension check).
 func (a *aggregates) rackAdmits(rname string, demand resource.Vector) bool {
+	a.refresh()
 	return demand.Fits(a.rackMaxFree[rname])
 }
 
 // subAdmits is the sub-cluster analogue.
 func (a *aggregates) subAdmits(gname string, demand resource.Vector) bool {
+	a.refresh()
 	return demand.Fits(a.subMaxFree[gname])
 }
 
@@ -106,7 +215,10 @@ func (il *ilCache) note(app string) {
 
 // searcher walks the tiered network looking for an augmenting path
 // for one container: the getShortestPath of Algorithm 1, with IL and
-// DL as the paper's two break conditions (lines 23–29).
+// DL as the paper's two break conditions (lines 23–29).  By default
+// it runs over the residual-capacity index; Options.NaiveSearch
+// restores the full linear scan, retained for A/B benchmarking and
+// as the oracle the indexed search is validated against.
 type searcher struct {
 	opts      Options
 	cluster   *topology.Cluster
@@ -115,8 +227,46 @@ type searcher struct {
 	il        *ilCache
 
 	// searchStats counts explored machine vertices, the "explored
-	// paths" driver of placement latency (§IV.A).
+	// paths" driver of placement latency (§IV.A).  The naive scan
+	// counts every non-excluded machine in admitting racks; the
+	// indexed search counts the candidates it actually visits (all of
+	// which admit the demand on resources), so both remain faithful
+	// effort counters for the IL/DL ablation.
 	explored int64
+
+	// hint resumes the unrestricted DL first-fit across consecutive
+	// same-app searches.  All containers of an app are isomorphic, so
+	// once a sibling's search has proven that every machine before
+	// traversal position hintPos rejects the app's (demand, blacklist
+	// ref), the next sibling's descent can start there — placements at
+	// positions ≥ hintPos cannot change the prefix's rejections, and
+	// any mutation before hintPos resets the hint (noteUpdate).
+	hintApp constraint.AppRef
+	hintPos int
+}
+
+// newSearcher wires a searcher with fresh aggregates, index and IL
+// state; shared by batch runs (scheduler.go) and sessions.
+func newSearcher(opts Options, cluster *topology.Cluster, blacklist *constraint.Blacklist) *searcher {
+	return &searcher{
+		opts:      opts,
+		cluster:   cluster,
+		agg:       newAggregates(cluster, opts),
+		blacklist: blacklist,
+		il:        newILCache(),
+		hintApp:   constraint.NoApp,
+	}
+}
+
+// noteUpdate refreshes the index and aggregates after machine m
+// changed.  A mutation inside the traversal prefix the sibling hint
+// has skipped could make a previously rejecting machine admit again,
+// so the hint is dropped; mutations at or after the hint cannot.
+func (s *searcher) noteUpdate(m topology.MachineID) {
+	s.agg.update(m)
+	if s.hintApp != constraint.NoApp && s.agg.idx.tr.Pos[m] < s.hintPos {
+		s.hintApp = constraint.NoApp
+	}
 }
 
 // exclusion restricts a search: skip one machine (the one a blocker
@@ -137,12 +287,119 @@ func (e exclusion) excludes(m topology.MachineID) bool {
 	return e.set != nil && e.set[m]
 }
 
+// parallelSweepMinMachines gates the parallel sub-cluster sweep: on
+// small clusters goroutine fan-out costs more than the scan it saves.
+const parallelSweepMinMachines = 512
+
+// sweepParallel reports whether exhaustive (no-DL / resource-fit)
+// searches should shard per sub-cluster across workers.
+func (s *searcher) sweepParallel() bool {
+	return len(s.agg.subNames) > 1 && s.cluster.Size() >= parallelSweepMinMachines
+}
+
 // findMachine returns the machine chosen for the container, or
 // Invalid when no feasible path exists.  With DL the first feasible
 // machine wins (first-fit in tier order); without it the search
-// exhausts the network and returns the best fit (minimum leftover
-// CPU), which is what an un-truncated augmenting search converges to.
+// exhausts the network and returns the best fit — minimum leftover
+// CPU, ties broken by machine ID — which is what an un-truncated
+// augmenting search converges to.
 func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.MachineID {
+	if s.opts.NaiveSearch {
+		return s.findMachineNaive(c, excl)
+	}
+	if s.opts.DepthLimiting {
+		return s.firstFitIndexed(c, excl)
+	}
+	return s.bestFitSweep(c, excl)
+}
+
+// admitVisit builds the leaf acceptance check shared by the indexed
+// searches: exclusions, consolidation's no-empty-machines rule, a
+// live resource-fit check and the blacklist.  The index already
+// guarantees the fit on its own view; re-checking against live
+// machine state gives the indexed search the same robustness to
+// out-of-band cluster mutations (pre-placed residents) that the
+// naive scan gets from checking machines directly.  The explored
+// counter is passed in so parallel shards can count without
+// contending.
+func (s *searcher) admitVisit(c *workload.Container, excl exclusion, explored *int64) func(topology.MachineID) bool {
+	ref := s.blacklist.Ref(c.App)
+	return func(mid topology.MachineID) bool {
+		if excl.excludes(mid) {
+			return false
+		}
+		*explored++
+		m := s.cluster.Machine(mid)
+		if excl.skipEmpty && m.NumContainers() == 0 {
+			return false
+		}
+		if !m.Fits(c.Demand) {
+			return false
+		}
+		return s.blacklist.AllowsRef(mid, ref)
+	}
+}
+
+// firstFitIndexed is the DL search over the index: the first machine
+// in tier-traversal order that admits the container, found without
+// visiting non-admitting subtrees.  Unrestricted searches resume from
+// the sibling hint when the app matches.
+func (s *searcher) firstFitIndexed(c *workload.Container, excl exclusion) topology.MachineID {
+	idx := s.agg.idx
+	span := idx.all()
+	ref := s.blacklist.Ref(c.App)
+	hintable := excl.machine == topology.Invalid && excl.set == nil &&
+		!excl.skipEmpty && ref != constraint.NoApp
+	if hintable && ref == s.hintApp {
+		span.Lo = s.hintPos
+	}
+	got := idx.firstFit(span, c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &s.explored))
+	if hintable {
+		s.hintApp = ref
+		if got != topology.Invalid {
+			s.hintPos = idx.tr.Pos[got]
+		} else {
+			// The whole remaining suffix rejects too; siblings can skip
+			// the scan outright until some prefix machine changes.
+			s.hintPos = len(idx.tr.Order)
+		}
+	}
+	return got
+}
+
+// bestFitSweep is the no-DL search over the index: a per-sub-cluster
+// branch-and-bound, fanned out across workers on large clusters and
+// merged deterministically — the incumbent order is (leftover CPU,
+// machine ID), so the result is identical to the serial scan for any
+// -cpu setting.
+func (s *searcher) bestFitSweep(c *workload.Container, excl exclusion) topology.MachineID {
+	idx := s.agg.idx
+	if !s.sweepParallel() {
+		st := newBestFitState()
+		idx.bestFit(idx.all(), c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &s.explored), &st)
+		return st.id
+	}
+	shards := make([]bestFitState, len(s.agg.subNames))
+	explored := make([]int64, len(s.agg.subNames))
+	parallel.ForEach(len(s.agg.subNames), 0, func(i int) {
+		span := idx.tr.SubSpan[s.agg.subNames[i]]
+		st := newBestFitState()
+		idx.bestFit(span, c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &explored[i]), &st)
+		shards[i] = st
+	})
+	best := newBestFitState()
+	for i, st := range shards {
+		s.explored += explored[i]
+		best.merge(st)
+	}
+	return best.id
+}
+
+// findMachineNaive is the retained full linear scan: every
+// sub-cluster → rack → machine in tier order, pruned only by the
+// rack/sub-cluster aggregates.
+func (s *searcher) findMachineNaive(c *workload.Container, excl exclusion) topology.MachineID {
+	ref := s.blacklist.Ref(c.App)
 	best := topology.Invalid
 	var bestLeft int64 = 1<<62 - 1
 	for _, gname := range s.cluster.SubClusters() {
@@ -165,7 +422,7 @@ func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.M
 				if !m.Fits(c.Demand) {
 					continue
 				}
-				if !s.blacklist.Allows(mid, c) {
+				if !s.blacklist.AllowsRef(mid, ref) {
 					continue
 				}
 				if s.opts.DepthLimiting {
@@ -174,7 +431,10 @@ func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.M
 					return mid
 				}
 				left := m.Free().Sub(c.Demand).Dim(resource.CPU)
-				if left < bestLeft {
+				// Explicit tie-break (leftover CPU, then machine ID)
+				// so the parallel indexed sweep provably matches the
+				// serial scan.
+				if left < bestLeft || (left == bestLeft && mid < best) {
 					best, bestLeft = mid, left
 				}
 			}
@@ -183,10 +443,61 @@ func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.M
 	return best
 }
 
-// findResourceFit is findMachine ignoring blacklists: used by
+// fitVisit is admitVisit without the blacklist: resource-only
+// admission for migration's candidate enumeration.
+func (s *searcher) fitVisit(c *workload.Container, excl exclusion, explored *int64) func(topology.MachineID) bool {
+	return func(mid topology.MachineID) bool {
+		if excl.excludes(mid) {
+			return false
+		}
+		*explored++
+		m := s.cluster.Machine(mid)
+		if excl.skipEmpty && m.NumContainers() == 0 {
+			return false
+		}
+		return m.Fits(c.Demand)
+	}
+}
+
+// findResourceFits is findMachine ignoring blacklists: used by
 // migration to locate machines where only anti-affinity blocks the
-// container.
+// container.  Results are in tier-traversal order, truncated at
+// limit (≤ 0 = unlimited).
 func (s *searcher) findResourceFits(c *workload.Container, excl exclusion, limit int) []topology.MachineID {
+	if s.opts.NaiveSearch {
+		return s.findResourceFitsNaive(c, excl, limit)
+	}
+	idx := s.agg.idx
+	if !s.sweepParallel() {
+		var out []topology.MachineID
+		idx.collectFits(idx.all(), c.Demand, excl.skipEmpty, s.fitVisit(c, excl, &s.explored), limit, &out)
+		return out
+	}
+	// Sharded per sub-cluster; each shard collects up to the full
+	// limit (any single shard may end up supplying every survivor),
+	// then shards merge in sub-cluster order so the concatenation is
+	// exactly the serial traversal order, truncated at limit.
+	shards := make([][]topology.MachineID, len(s.agg.subNames))
+	explored := make([]int64, len(s.agg.subNames))
+	parallel.ForEach(len(s.agg.subNames), 0, func(i int) {
+		span := idx.tr.SubSpan[s.agg.subNames[i]]
+		idx.collectFits(span, c.Demand, excl.skipEmpty, s.fitVisit(c, excl, &explored[i]), limit, &shards[i])
+	})
+	var out []topology.MachineID
+	for i, shard := range shards {
+		s.explored += explored[i]
+		for _, mid := range shard {
+			if limit > 0 && len(out) >= limit {
+				continue
+			}
+			out = append(out, mid)
+		}
+	}
+	return out
+}
+
+// findResourceFitsNaive is the retained linear enumeration.
+func (s *searcher) findResourceFitsNaive(c *workload.Container, excl exclusion, limit int) []topology.MachineID {
 	var out []topology.MachineID
 	for _, gname := range s.cluster.SubClusters() {
 		if !s.agg.subAdmits(gname, c.Demand) {
@@ -201,7 +512,11 @@ func (s *searcher) findResourceFits(c *workload.Container, excl exclusion, limit
 					continue
 				}
 				s.explored++
-				if !s.cluster.Machine(mid).Fits(c.Demand) {
+				m := s.cluster.Machine(mid)
+				if excl.skipEmpty && m.NumContainers() == 0 {
+					continue
+				}
+				if !m.Fits(c.Demand) {
 					continue
 				}
 				out = append(out, mid)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// benchFilledCluster builds a cluster and fills it with a real
+// scheduling run (including consolidation), so search benchmarks see
+// production-shaped occupancy rather than a synthetic fill.
+func benchFilledCluster(b *testing.B, machines int) *topology.Cluster {
+	b.Helper()
+	w := trace.MustGenerate(trace.Scaled(42, 50))
+	cl := topology.New(topology.AlibabaConfig(machines))
+	if _, err := NewDefault().Schedule(w, cl, w.Arrange(workload.OrderSubmission)); err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// benchProbeDemands are the demand shapes the probes cycle through:
+// the small/medium/large/max classes of the Alibaba distribution.
+var benchProbeDemands = []resource.Vector{
+	resource.Cores(1, 2*1024),
+	resource.Cores(4, 8*1024),
+	resource.Cores(8, 16*1024),
+	resource.Cores(16, 32*1024),
+}
+
+// BenchmarkSearchIndexed isolates the search layer: findMachine on a
+// pre-filled cluster, indexed versus the naive scan retained behind
+// Options.NaiveSearch.  Three searches are measured per mode:
+//
+//   - first-fit: the DL search every arrival runs;
+//   - first-fit/skipEmpty: consolidation's drain-precheck search,
+//     which must not open empty machines;
+//   - best-fit: the no-DL exhaustive search (naive scans the whole
+//     cluster; the index prunes by branch-and-bound).
+func BenchmarkSearchIndexed(b *testing.B) {
+	for _, sc := range []struct {
+		name     string
+		machines int
+	}{
+		{"small", 384},
+		{"medium", 1024},
+	} {
+		cl := benchFilledCluster(b, sc.machines)
+		bl := constraint.NewBlacklist(workload.MustNew(nil), cl.Size())
+		for _, mode := range []struct {
+			name string
+			opts func() Options
+		}{
+			{"indexed", DefaultOptions},
+			{"naive", func() Options {
+				o := DefaultOptions()
+				o.NaiveSearch = true
+				return o
+			}},
+		} {
+			for _, search := range []struct {
+				name  string
+				tweak func(*Options)
+				excl  exclusion
+			}{
+				{"first-fit", func(*Options) {}, noExclusion},
+				{"first-fit-skipEmpty", func(*Options) {}, exclusion{machine: topology.Invalid, skipEmpty: true}},
+				{"best-fit", func(o *Options) { o.DepthLimiting = false }, noExclusion},
+			} {
+				name := fmt.Sprintf("%s/%s/%s", sc.name, mode.name, search.name)
+				b.Run(name, func(b *testing.B) {
+					opts := mode.opts()
+					search.tweak(&opts)
+					s := newSearcher(opts, cl, bl)
+					probe := &workload.Container{ID: "probe/0", App: "probe"}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						probe.Demand = benchProbeDemands[i%len(benchProbeDemands)]
+						s.findMachine(probe, search.excl)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// scheduleWith runs one full batch with the given option tweak and
+// returns the result, with DebugChecks cross-validating the
+// incremental aggregates against the naive recompute throughout.
+func scheduleWith(t *testing.T, machines int, tweak func(*Options)) (*workload.Workload, map[string]topology.MachineID, []string) {
+	t.Helper()
+	w := trace.MustGenerate(trace.Scaled(42, 100)) // ~130 apps, ~1000 containers
+	cl := topology.New(topology.AlibabaConfig(machines))
+	opts := DefaultOptions()
+	opts.DebugChecks = true
+	tweak(&opts)
+	res, err := New(opts).Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := make(map[string]topology.MachineID, len(res.Assignment))
+	for id, m := range res.Assignment {
+		asg[id] = m
+	}
+	und := append([]string(nil), res.Undeployed...)
+	sort.Strings(und)
+	return w, asg, und
+}
+
+// TestIndexedMatchesNaiveDL is the A/B oracle for the DL (first-fit)
+// search: the indexed scheduler must produce byte-identical placements
+// to the retained naive scan on the same trace — same assignment for
+// every container, same undeployed set.  1024 machines puts the
+// cluster above the parallel-sweep threshold so the sharded paths are
+// exercised too.
+func TestIndexedMatchesNaiveDL(t *testing.T) {
+	_, gotAsg, gotUnd := scheduleWith(t, 1024, func(o *Options) {})
+	_, wantAsg, wantUnd := scheduleWith(t, 1024, func(o *Options) { o.NaiveSearch = true })
+
+	if len(gotAsg) != len(wantAsg) {
+		t.Fatalf("indexed deployed %d containers, naive %d", len(gotAsg), len(wantAsg))
+	}
+	for id, want := range wantAsg {
+		if got, ok := gotAsg[id]; !ok || got != want {
+			t.Fatalf("container %s: indexed machine %d, naive machine %d", id, gotAsg[id], want)
+		}
+	}
+	if len(gotUnd) != len(wantUnd) {
+		t.Fatalf("indexed undeployed %d, naive %d", len(gotUnd), len(wantUnd))
+	}
+	for i := range gotUnd {
+		if gotUnd[i] != wantUnd[i] {
+			t.Fatalf("undeployed[%d]: indexed %s, naive %s", i, gotUnd[i], wantUnd[i])
+		}
+	}
+}
+
+// TestIndexedMatchesNaiveNoDL is the no-DL analogue: with depth
+// limiting off the search is exhaustive (best fit by leftover CPU,
+// ties by machine ID), and the indexed branch-and-bound — including
+// its parallel sub-cluster sweep — must reach the same placements and
+// the same undeployed set as the serial scan for any GOMAXPROCS.
+func TestIndexedMatchesNaiveNoDL(t *testing.T) {
+	_, gotAsg, gotUnd := scheduleWith(t, 1024, func(o *Options) {
+		o.DepthLimiting = false
+	})
+	_, wantAsg, wantUnd := scheduleWith(t, 1024, func(o *Options) {
+		o.DepthLimiting = false
+		o.NaiveSearch = true
+	})
+
+	if len(gotUnd) != len(wantUnd) {
+		t.Fatalf("indexed undeployed %d, naive %d", len(gotUnd), len(wantUnd))
+	}
+	for i := range gotUnd {
+		if gotUnd[i] != wantUnd[i] {
+			t.Fatalf("undeployed[%d]: indexed %s, naive %s", i, gotUnd[i], wantUnd[i])
+		}
+	}
+	for id, want := range wantAsg {
+		if got, ok := gotAsg[id]; !ok || got != want {
+			t.Fatalf("container %s: indexed machine %d, naive machine %d", id, gotAsg[id], want)
+		}
+	}
+}
+
+// searchFixture builds a small two-rack cluster with a hand-placed
+// occupancy pattern and a searcher per mode, for white-box search
+// tests.  Machines 0 and 1 host a filler container each; the rest are
+// empty.
+func searchFixture(t *testing.T, tweak func(*Options)) (indexed, naive *searcher, cl *topology.Cluster) {
+	t.Helper()
+	cl = topology.New(topology.Config{
+		Machines:        8,
+		MachinesPerRack: 4,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+	for i, mid := range []topology.MachineID{0, 1} {
+		if err := cl.Machine(mid).Allocate(
+			workload.MustNew([]*workload.App{{ID: "filler", Replicas: 2, Demand: resource.Cores(8, 16*1024)}}).Containers()[i].ID,
+			resource.Cores(8, 16*1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl := constraint.NewBlacklist(workload.MustNew(nil), cl.Size())
+	mk := func(naiveMode bool) *searcher {
+		opts := DefaultOptions()
+		opts.NaiveSearch = naiveMode
+		tweak(&opts)
+		return newSearcher(opts, cl, bl)
+	}
+	return mk(false), mk(true), cl
+}
+
+// TestFindResourceFitsSkipEmpty is the regression test for the
+// migration-path bug where findResourceFits ignored
+// exclusion.skipEmpty and handed consolidation empty machines as
+// migration targets.  Both the indexed and naive enumerations must
+// honour the flag, and the limit must truncate in traversal order.
+func TestFindResourceFitsSkipEmpty(t *testing.T) {
+	indexed, naive, _ := searchFixture(t, func(*Options) {})
+	probe := &workload.Container{ID: "p/0", App: "p", Demand: resource.Cores(2, 4*1024)}
+
+	for _, tc := range []struct {
+		name string
+		s    *searcher
+	}{
+		{"indexed", indexed},
+		{"naive", naive},
+	} {
+		got := tc.s.findResourceFits(probe, exclusion{machine: topology.Invalid, skipEmpty: true}, 0)
+		want := []topology.MachineID{0, 1}
+		if len(got) != len(want) {
+			t.Fatalf("%s: skipEmpty fits = %v, want %v", tc.name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: skipEmpty fits = %v, want %v", tc.name, got, want)
+			}
+		}
+
+		// Without skipEmpty every machine fits; the limit truncates in
+		// traversal order.
+		got = tc.s.findResourceFits(probe, noExclusion, 3)
+		want = []topology.MachineID{0, 1, 2}
+		if len(got) != len(want) {
+			t.Fatalf("%s: limited fits = %v, want %v", tc.name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: limited fits = %v, want %v", tc.name, got, want)
+			}
+		}
+	}
+}
+
+// TestNoDLTieBreak pins the no-DL selection rule: minimum leftover
+// CPU, ties broken by the smaller machine ID.  Machines 0 and 1 have
+// identical (smallest) leftover after the fixture's fill, so machine
+// 0 must win in both modes; after it is excluded, machine 1 must.
+func TestNoDLTieBreak(t *testing.T) {
+	indexed, naive, _ := searchFixture(t, func(o *Options) { o.DepthLimiting = false })
+	probe := &workload.Container{ID: "p/0", App: "p", Demand: resource.Cores(2, 4*1024)}
+
+	for _, tc := range []struct {
+		name string
+		s    *searcher
+	}{
+		{"indexed", indexed},
+		{"naive", naive},
+	} {
+		if got := tc.s.findMachine(probe, noExclusion); got != 0 {
+			t.Fatalf("%s: best fit = %d, want machine 0 (tie on leftover broken by ID)", tc.name, got)
+		}
+		if got := tc.s.findMachine(probe, exclusion{machine: 0}); got != 1 {
+			t.Fatalf("%s: best fit with 0 excluded = %d, want machine 1", tc.name, got)
+		}
+	}
+}
+
+// TestILCacheGenerations pins the isomorphism-limiting cache's
+// generation semantics: a noted failure holds only while no capacity
+// has been released — bump (a release) re-enables the app, while
+// further placements (which never call bump) must not.
+func TestILCacheGenerations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ops  func(il *ilCache)
+		skip bool
+	}{
+		{"fresh cache skips nothing", func(il *ilCache) {}, false},
+		{"noted failure skips", func(il *ilCache) { il.note("a") }, true},
+		{"failure survives other apps' notes", func(il *ilCache) {
+			il.note("a")
+			il.note("b")
+		}, true},
+		{"release re-enables", func(il *ilCache) {
+			il.note("a")
+			il.bump()
+		}, false},
+		{"re-noted after release skips again", func(il *ilCache) {
+			il.note("a")
+			il.bump()
+			il.note("a")
+		}, true},
+		{"stale note from older generation does not skip", func(il *ilCache) {
+			il.note("a")
+			il.bump()
+			il.bump()
+		}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			il := newILCache()
+			tc.ops(il)
+			if got := il.skip("a"); got != tc.skip {
+				t.Fatalf("skip(a) = %v, want %v", got, tc.skip)
+			}
+		})
+	}
+}

@@ -36,33 +36,19 @@ func NewSession(opts Options, w *workload.Workload, cluster *topology.Cluster) *
 		cluster: cluster,
 		placed:  make(map[string]bool),
 	}
-	s.r = &run{
-		opts:       opts,
-		w:          w,
-		cluster:    cluster,
-		net:        buildNetwork(w, cluster),
-		ladder:     constraint.NewWeightLadder(w, opts.WeightBase),
-		blacklist:  constraint.NewBlacklist(w, cluster.Size()),
-		assignment: make(constraint.Assignment),
-		byID:       make(map[string]*workload.Container, w.NumContainers()),
-		requeues:   make(map[string]int),
-	}
-	for _, c := range w.Containers() {
-		s.r.byID[c.ID] = c
-	}
-	s.r.search = &searcher{
-		opts:      opts,
-		cluster:   cluster,
-		agg:       newAggregates(cluster),
-		blacklist: s.r.blacklist,
-		il:        newILCache(),
-	}
+	s.r = newRun(opts, w, cluster)
 	return s
 }
 
-// Assignment returns the live container→machine map.  The returned
-// map is the session's own; callers must not mutate it.
-func (s *Session) Assignment() constraint.Assignment { return s.r.assignment }
+// Assignment returns the container→machine map.  The map is shared
+// until the next placement change; callers must not mutate it.
+func (s *Session) Assignment() constraint.Assignment { return s.r.assignmentMap() }
+
+// Placed reports whether the container is currently deployed, in O(1).
+func (s *Session) Placed(containerID string) bool {
+	c := s.r.byID[containerID]
+	return c != nil && s.r.asg[c.Ord] != topology.Invalid
+}
 
 // Place schedules a batch of containers against the current state.
 // Each container must belong to the session's workload and not be
@@ -132,8 +118,10 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	// any requeued victims that landed back).
 	asg := make(constraint.Assignment)
 	for id := range batchSet {
-		if m, ok := r.assignment[id]; ok {
-			asg[id] = m
+		if c := r.byID[id]; c != nil {
+			if m := r.asg[c.Ord]; m != topology.Invalid {
+				asg[id] = m
+			}
 		}
 	}
 	for _, id := range undeployed {
@@ -167,8 +155,8 @@ func (s *Session) Remove(containerID string) error {
 	if c == nil {
 		return fmt.Errorf("core: session: unknown container %s", containerID)
 	}
-	m, ok := s.r.assignment[containerID]
-	if !ok {
+	m := s.r.asg[c.Ord]
+	if m == topology.Invalid {
 		return fmt.Errorf("core: session: container %s not placed", containerID)
 	}
 	if err := s.r.unplace(c, m); err != nil {
@@ -189,7 +177,7 @@ func (s *Session) Consolidate() int {
 // Audit re-checks the live placement for violations; a healthy
 // session always returns an empty slice.
 func (s *Session) Audit() []constraint.Violation {
-	return constraint.AuditAntiAffinity(s.w, s.r.assignment)
+	return constraint.AuditAntiAffinity(s.w, s.r.assignmentMap())
 }
 
 // FlowConservation verifies Equation 2 on the live network.

@@ -48,6 +48,22 @@ func NewGraph(n int) *Graph {
 // NumNodes returns the vertex count.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
+// Grow pre-allocates room for additional vertices and forward arcs
+// (each forward arc also stores its residual twin), so bulk network
+// construction avoids repeated slice growth.
+func (g *Graph) Grow(nodes, arcs int) {
+	if need := len(g.adj) + nodes; need > cap(g.adj) {
+		adj := make([][]int32, len(g.adj), need)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
+	if need := len(g.arcs) + 2*arcs; need > cap(g.arcs) {
+		as := make([]Arc, len(g.arcs), need)
+		copy(as, g.arcs)
+		g.arcs = as
+	}
+}
+
 // NumArcs returns the count of forward arcs (excluding residuals).
 func (g *Graph) NumArcs() int { return len(g.arcs) / 2 }
 

@@ -55,6 +55,13 @@ type Vector struct {
 // with a negative component.
 var ErrNegative = errors.New("resource: negative component")
 
+// NoCapacity is a sentinel strictly below every valid capacity: no
+// demand — not even the zero vector — Fits it.  It is the identity
+// element for Max-aggregation over free vectors, so aggregates over
+// empty machine sets (e.g. padding leaves of the search index, or the
+// "used machines only" view of an all-empty subtree) admit nothing.
+var NoCapacity = Vector{CPUMilli: -1, MemMB: -1}
+
 // Cores builds a vector from whole cores and MiB of memory.
 func Cores(cpu, memMB int64) Vector {
 	return Vector{CPUMilli: cpu * 1000, MemMB: memMB}

@@ -202,7 +202,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 				// A container may have been preempted (and stranded)
 				// after its initial placement; departures of unplaced
 				// containers are no-ops.
-				if _, ok := session.Assignment()[id]; !ok {
+				if !session.Placed(id) {
 					continue
 				}
 				if err := session.Remove(id); err != nil {

@@ -33,6 +33,11 @@ type Machine struct {
 	// containers maps container IDs placed on this machine to their
 	// demand so deallocation restores exactly what allocation took.
 	containers map[string]resource.Vector
+
+	// idsCache holds the sorted ContainerIDs result between
+	// allocation changes (nil = stale).  Migration-heavy passes read
+	// the hosted set far more often than they change it.
+	idsCache []string
 }
 
 // NewMachine builds an empty machine with the given capacity.
@@ -75,13 +80,18 @@ func (m *Machine) Allocations() map[string]resource.Vector {
 }
 
 // ContainerIDs returns the IDs of hosted containers in sorted order.
+// The slice is cached until the next Allocate/Release/Reset; callers
+// must not modify it.
 func (m *Machine) ContainerIDs() []string {
-	ids := make([]string, 0, len(m.containers))
-	for id := range m.containers {
-		ids = append(ids, id)
+	if m.idsCache == nil {
+		ids := make([]string, 0, len(m.containers))
+		for id := range m.containers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		m.idsCache = ids
 	}
-	sort.Strings(ids)
-	return ids
+	return m.idsCache
 }
 
 // Fits reports whether a demand fits into the remaining free space.
@@ -103,6 +113,14 @@ func (m *Machine) Allocate(containerID string, demand resource.Vector) error {
 	}
 	m.containers[containerID] = demand
 	m.used = m.used.Add(demand)
+	if m.idsCache != nil {
+		// Keep the cache sorted incrementally: one insertion beats
+		// re-sorting the whole list on the next read.
+		i := sort.SearchStrings(m.idsCache, containerID)
+		m.idsCache = append(m.idsCache, "")
+		copy(m.idsCache[i+1:], m.idsCache[i:])
+		m.idsCache[i] = containerID
+	}
 	return nil
 }
 
@@ -115,6 +133,11 @@ func (m *Machine) Release(containerID string) (resource.Vector, error) {
 	}
 	delete(m.containers, containerID)
 	m.used = m.used.Sub(demand)
+	if m.idsCache != nil {
+		if i := sort.SearchStrings(m.idsCache, containerID); i < len(m.idsCache) && m.idsCache[i] == containerID {
+			m.idsCache = append(m.idsCache[:i], m.idsCache[i+1:]...)
+		}
+	}
 	return demand, nil
 }
 
@@ -122,6 +145,7 @@ func (m *Machine) Release(containerID string) (resource.Vector, error) {
 func (m *Machine) Reset() {
 	m.containers = make(map[string]resource.Vector)
 	m.used = resource.Vector{}
+	m.idsCache = nil
 }
 
 // Utilization returns mean used/capacity across dimensions.
@@ -246,6 +270,55 @@ func (c *Cluster) SubClusters() []string { return c.subOrd }
 
 // SubCluster returns the named sub-cluster, or nil.
 func (c *Cluster) SubCluster(name string) *SubCluster { return c.subs[name] }
+
+// Span is a half-open [Lo, Hi) range of positions in a Traversal.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of positions in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Traversal fixes the canonical tier walk of the flow network —
+// sub-clusters in creation order, each sub-cluster's racks in order,
+// each rack's machines in order — as a flat machine sequence.  Racks
+// and sub-clusters are contiguous spans of that sequence, which is
+// what lets a single tournament tree over the traversal answer
+// per-rack, per-sub-cluster and whole-cluster residual-capacity
+// queries (internal/core's search index).
+type Traversal struct {
+	// Order maps position → machine, in tier walk order.
+	Order []MachineID
+	// Pos maps machine → position (the inverse of Order).
+	Pos []int
+	// RackSpan and SubSpan locate each rack / sub-cluster in Order.
+	RackSpan map[string]Span
+	SubSpan  map[string]Span
+}
+
+// Traverse materialises the canonical tier walk.  For clusters built
+// by New and NewHeterogeneous the traversal order equals machine-ID
+// order; the explicit mapping keeps index-based searchers correct for
+// any hand-built topology.
+func (c *Cluster) Traverse() Traversal {
+	tr := Traversal{
+		Order:    make([]MachineID, 0, len(c.machines)),
+		Pos:      make([]int, len(c.machines)),
+		RackSpan: make(map[string]Span, len(c.racks)),
+		SubSpan:  make(map[string]Span, len(c.subs)),
+	}
+	for _, gname := range c.subOrd {
+		subLo := len(tr.Order)
+		for _, rname := range c.subs[gname].Racks {
+			rackLo := len(tr.Order)
+			for _, mid := range c.racks[rname].Machines {
+				tr.Pos[mid] = len(tr.Order)
+				tr.Order = append(tr.Order, mid)
+			}
+			tr.RackSpan[rname] = Span{Lo: rackLo, Hi: len(tr.Order)}
+		}
+		tr.SubSpan[gname] = Span{Lo: subLo, Hi: len(tr.Order)}
+	}
+	return tr
+}
 
 // Reset clears every machine's allocation.
 func (c *Cluster) Reset() {

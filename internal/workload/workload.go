@@ -49,6 +49,10 @@ type Container struct {
 	App string
 	// Index is the container's ordinal within its application.
 	Index int
+	// Ord is the container's ordinal within its workload (containers
+	// are app-major), assigned by New.  Schedulers use it to key
+	// per-container state in slices instead of ID-keyed maps.
+	Ord int
 	// Demand is the resource requirement c_n of the submission.
 	Demand resource.Vector
 	// Priority is the submission's priority w_n.
@@ -97,8 +101,9 @@ func (a *App) HasConstraints() bool {
 // Workload is a batch of LLAs submitted together, the unit the
 // evaluation replays ("massive LLAs arrive simultaneously", §I).
 type Workload struct {
-	apps    []*App
-	appByID map[string]*App
+	apps     []*App
+	appByID  map[string]*App
+	appIndex map[string]int
 
 	containers []*Container
 	// appOffset locates each app's first container within containers
@@ -108,6 +113,12 @@ type Workload struct {
 	// antiPairs holds the symmetric closure of across-app
 	// anti-affinity as a set of canonical (a<b) pairs.
 	antiPairs map[[2]string]bool
+
+	// partners is the adjacency view of antiPairs, sorted per app —
+	// precomputed so AntiAffinePartners is O(degree) instead of
+	// O(all pairs) (it is called once per app when a scheduler builds
+	// its blacklist state).
+	partners map[string][]string
 }
 
 // New builds a workload from applications.  App IDs must be unique;
@@ -116,6 +127,7 @@ type Workload struct {
 func New(apps []*App) (*Workload, error) {
 	w := &Workload{
 		appByID:   make(map[string]*App, len(apps)),
+		appIndex:  make(map[string]int, len(apps)),
 		appOffset: make(map[string]int, len(apps)),
 		antiPairs: make(map[[2]string]bool),
 	}
@@ -133,6 +145,7 @@ func New(apps []*App) (*Workload, error) {
 			return nil, fmt.Errorf("workload: duplicate app id %q", a.ID)
 		}
 		w.appByID[a.ID] = a
+		w.appIndex[a.ID] = len(w.apps)
 		w.apps = append(w.apps, a)
 	}
 	for _, a := range apps {
@@ -146,7 +159,18 @@ func New(apps []*App) (*Workload, error) {
 			w.antiPairs[pairKey(a.ID, other)] = true
 		}
 		w.appOffset[a.ID] = len(w.containers)
-		w.containers = append(w.containers, a.Containers()...)
+		for _, c := range a.Containers() {
+			c.Ord = len(w.containers)
+			w.containers = append(w.containers, c)
+		}
+	}
+	w.partners = make(map[string][]string)
+	for pair := range w.antiPairs {
+		w.partners[pair[0]] = append(w.partners[pair[0]], pair[1])
+		w.partners[pair[1]] = append(w.partners[pair[1]], pair[0])
+	}
+	for _, ps := range w.partners {
+		sort.Strings(ps)
 	}
 	return w, nil
 }
@@ -165,6 +189,29 @@ func (w *Workload) Apps() []*App { return w.apps }
 
 // App returns the application with the given ID, or nil.
 func (w *Workload) App(id string) *App { return w.appByID[id] }
+
+// AppIndex returns the app's ordinal in submission order, or -1 when
+// unknown.  Ordinals let per-app state live in slices instead of
+// string-keyed maps on scheduler hot paths.
+func (w *Workload) AppIndex(id string) int {
+	if i, ok := w.appIndex[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumApps returns the application count.
+func (w *Workload) NumApps() int { return len(w.apps) }
+
+// HasAntiAffinity reports whether the app carries any anti-affinity
+// constraint under the symmetric closure: self anti-affinity, a
+// declared partner, or being another app's declared partner.
+func (w *Workload) HasAntiAffinity(appID string) bool {
+	if app := w.appByID[appID]; app != nil && app.AntiAffinitySelf {
+		return true
+	}
+	return len(w.partners[appID]) > 0
+}
 
 // Containers returns every container in app-major order.  The slice
 // is shared; callers must not mutate it.
@@ -189,16 +236,13 @@ func (w *Workload) AntiAffine(a, b string) bool {
 // declared the pair, both see each other as partners).  The result is
 // in deterministic (sorted) order.
 func (w *Workload) AntiAffinePartners(appID string) []string {
-	var partners []string
-	for pair := range w.antiPairs {
-		if pair[0] == appID {
-			partners = append(partners, pair[1])
-		} else if pair[1] == appID {
-			partners = append(partners, pair[0])
-		}
+	cached := w.partners[appID]
+	if len(cached) == 0 {
+		return nil
 	}
-	sort.Strings(partners)
-	return partners
+	out := make([]string, len(cached))
+	copy(out, cached)
+	return out
 }
 
 // ConflictDegree returns how many containers (across the whole
