@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "medium", "small | medium | full")
-		fig       = flag.String("fig", "all", "8 | 9 | 10 | 12 | 13 | ablation | hetero | scalability | all")
+		fig       = flag.String("fig", "all", "8 | 9 | 10 | 12 | 13 | ablation | hetero | availability | scalability | all")
 		out       = flag.String("out", "", "output file (default stdout)")
 		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
@@ -100,6 +100,13 @@ func run(scale experiments.Scale, fig string, w io.Writer) error {
 		return nil
 	case "hetero":
 		r, err := experiments.Hetero(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "availability":
+		r, err := experiments.Availability(scale)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,9 @@
 // day-in-the-life — applications arrive over time, live out their
 // long lifetimes and depart, while the scheduler keeps the flow
 // network, blacklists and machine state warm between batches.
+// Machine failures strike along the way (MTBF/MTTR knobs): residents
+// are evicted and re-placed through the normal pipeline, and the
+// constraint audit must stay clean throughout.
 //
 //	go run ./examples/online
 package main
@@ -32,6 +35,9 @@ func main() {
 		Seed:             7,
 		MeanInterarrival: time.Second,
 		MeanLifetime:     4 * time.Second,
+		// One machine dies every ~8 arrivals and repairs after ~5.
+		MTBF: 8 * time.Second,
+		MTTR: 5 * time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -46,6 +52,13 @@ func main() {
 	fmt.Printf("migrations:            %d, preemptions: %d\n", m.Migrations, m.Preemptions)
 	fmt.Printf("batch latency:         p50 %.0fµs, p99 %.0fµs, max %.0fµs\n",
 		m.BatchLatency.Percentile(50), m.BatchLatency.Percentile(99), m.BatchLatency.Max())
+	fmt.Printf("machine failures:      %d (repaired %d)\n", m.Failures, m.Recoveries)
+	fmt.Printf("evicted containers:    %d (re-placed %d, stranded %d)\n",
+		m.FailureEvicted, m.FailureReplaced, m.FailureStranded)
+	if m.FailureEvicted > 0 {
+		fmt.Printf("re-place latency:      p50 %.0fµs, p99 %.0fµs\n",
+			m.ReplaceLatency.Percentile(50), m.ReplaceLatency.Percentile(99))
+	}
 	if m.Violations != 0 {
 		log.Fatalf("constraint violations: %d", m.Violations)
 	}

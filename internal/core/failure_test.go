@@ -1,0 +1,293 @@
+package core
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+func TestFailMachineEvictsAndReplaces(t *testing.T) {
+	w := sessionWorkload()
+	cl := smallCluster(8)
+	s := NewSession(DefaultOptions(), w, cl)
+	for _, app := range []string{"web", "db", "batch"} {
+		if _, err := s.Place(appContainers(w, app)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asg := s.Assignment()
+	// Fail the machine hosting web/0.
+	target, ok := asg["web/0"]
+	if !ok {
+		t.Fatal("web/0 not placed")
+	}
+	residents := len(cl.Machine(target).ContainerIDs())
+	fr, err := s.FailMachine(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Evicted != residents {
+		t.Errorf("evicted %d, want %d residents", fr.Evicted, residents)
+	}
+	if fr.Replaced != fr.Evicted || len(fr.Stranded) != 0 {
+		t.Errorf("with 7 machines spare everything should re-place: %+v", fr)
+	}
+	if fr.Elapsed <= 0 {
+		t.Error("elapsed not stamped")
+	}
+	// The failed machine must be empty and hosting nothing.
+	if got := len(cl.Machine(target).ContainerIDs()); got != 0 {
+		t.Errorf("failed machine still hosts %d containers", got)
+	}
+	for id, m := range s.Assignment() {
+		if m == target {
+			t.Errorf("container %s still assigned to failed machine", id)
+		}
+	}
+	if vs := s.Audit(); len(vs) != 0 {
+		t.Errorf("violations after failure: %v", vs)
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Errorf("flow conservation after failure: %v", err)
+	}
+	// Down machines drop out of metrics-visible capacity.
+	if cl.DownMachines() != 1 {
+		t.Errorf("DownMachines = %d, want 1", cl.DownMachines())
+	}
+}
+
+func TestFailRecoverRoundTrip(t *testing.T) {
+	w := sessionWorkload()
+	cl := smallCluster(8)
+	s := NewSession(DefaultOptions(), w, cl)
+	for _, app := range []string{"web", "db", "batch"} {
+		if _, err := s.Place(appContainers(w, app)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placedBefore := len(s.Assignment())
+	if _, err := s.FailMachine(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverMachine(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.DownMachines() != 0 {
+		t.Errorf("DownMachines = %d after recovery, want 0", cl.DownMachines())
+	}
+	if !cl.Machine(0).Up() {
+		t.Error("machine 0 should be up")
+	}
+	if got := len(s.Assignment()); got != placedBefore {
+		t.Errorf("assignment size %d after round trip, want %d", got, placedBefore)
+	}
+	if vs := s.Audit(); len(vs) != 0 {
+		t.Errorf("violations after round trip: %v", vs)
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Errorf("flow conservation after round trip: %v", err)
+	}
+	// The recovered machine accepts placements again.
+	if err := s.Remove("batch/0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(appContainers(w, "batch")[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailMachineErrors(t *testing.T) {
+	w := sessionWorkload()
+	cl := smallCluster(4)
+	s := NewSession(DefaultOptions(), w, cl)
+	if _, err := s.FailMachine(99); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := s.RecoverMachine(99); err == nil {
+		t.Error("recovering unknown machine should fail")
+	}
+	if err := s.RecoverMachine(0); err == nil {
+		t.Error("recovering an up machine should fail")
+	}
+	if _, err := s.FailMachine(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FailMachine(0); err == nil {
+		t.Error("double failure should fail")
+	}
+	if err := s.RecoverMachine(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailMachinePriorityOrderUnderScarcity(t *testing.T) {
+	// Two machines.  pin (high) + filler (mid) pack the survivor to
+	// the last core; vip (high) and bulk (low) share the machine that
+	// fails.  Re-placement runs vip first (priority order): it can only
+	// land by preempting filler, after which the survivor holds pin +
+	// vip with 2 cores free — bulk has no preemptable victim left and
+	// strands, as does the collateral filler.
+	w := workload.MustNew([]*workload.App{
+		{ID: "pin", Demand: resource.Cores(6, 4096), Replicas: 1, Priority: workload.PriorityHigh},
+		{ID: "filler", Demand: resource.Cores(10, 8192), Replicas: 1, Priority: workload.PriorityMid},
+		{ID: "vip", Demand: resource.Cores(8, 8192), Replicas: 1, Priority: workload.PriorityHigh},
+		{ID: "bulk", Demand: resource.Cores(8, 8192), Replicas: 1, Priority: workload.PriorityLow},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 2, MachinesPerRack: 2, RacksPerCluster: 1,
+		Capacity: resource.Cores(16, 32*1024),
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	for _, app := range []string{"pin", "filler", "vip", "bulk"} {
+		if _, err := s.Place(appContainers(w, app)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asg := s.Assignment()
+	if asg["pin/0"] != asg["filler/0"] || asg["vip/0"] != asg["bulk/0"] || asg["pin/0"] == asg["vip/0"] {
+		t.Fatalf("setup: want {pin,filler} and {vip,bulk} on separate machines, got %v", asg)
+	}
+	fr, err := s.FailMachine(asg["vip/0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", fr.Evicted)
+	}
+	asg = s.Assignment()
+	if _, ok := asg["vip/0"]; !ok {
+		t.Errorf("high-priority vip must be re-placed first; result %+v, assignment %v", fr, asg)
+	}
+	if _, ok := asg["bulk/0"]; ok {
+		t.Errorf("low-priority bulk should be stranded on a full cluster; assignment %v", asg)
+	}
+	if fr.Replaced != 1 {
+		t.Errorf("replaced = %d, want 1 (vip only); result %+v", fr.Replaced, fr)
+	}
+	if fr.Preemptions == 0 {
+		t.Error("vip's rescue should have preempted filler")
+	}
+	if vs := s.Audit(); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownMachineExcludedFromSearch(t *testing.T) {
+	// All placements must avoid a down machine even when it has the
+	// most free capacity.
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 6},
+	})
+	cl := smallCluster(4)
+	s := NewSession(DefaultOptions(), w, cl)
+	if _, err := s.FailMachine(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Place(appContainers(w, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed on a 3-up-machine cluster: %v", res.Undeployed)
+	}
+	for id, m := range s.Assignment() {
+		if m == 0 {
+			t.Errorf("container %s placed on down machine", id)
+		}
+	}
+	// Direct allocation on a down machine is refused at the topology
+	// layer too.
+	if err := cl.Machine(0).Allocate("ghost", resource.Cores(1, 1)); err == nil {
+		t.Error("Allocate on a down machine should fail")
+	}
+}
+
+func TestFailMachineStrandsUnknownResidents(t *testing.T) {
+	// Residents pre-placed outside the workload universe die with the
+	// machine: no flow to cancel, nothing to re-place.
+	w := sessionWorkload()
+	cl := smallCluster(4)
+	if err := cl.Machine(2).Allocate("legacy/0", resource.Cores(2, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(DefaultOptions(), w, cl)
+	fr, err := s.FailMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Evicted != 1 || len(fr.Stranded) != 1 || fr.Stranded[0] != "legacy/0" {
+		t.Errorf("unknown resident should be evicted and stranded: %+v", fr)
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceRejectsDuplicateInBatch(t *testing.T) {
+	// Regression: a batch listing the same container twice must be
+	// rejected during validation — before the fix the second copy
+	// double-booked capacity because the "already placed" check only
+	// saw pre-batch state.
+	w := sessionWorkload()
+	cl := smallCluster(8)
+	s := NewSession(DefaultOptions(), w, cl)
+	web := appContainers(w, "web")
+	free := cl.Machine(0).Free()
+	res, err := s.Place([]*workload.Container{web[0], web[0]})
+	if err == nil {
+		t.Fatal("duplicate container in batch should fail validation")
+	}
+	if res != nil {
+		t.Errorf("validation failure must not return a result: %+v", res)
+	}
+	if _, ok := s.Assignment()["web/0"]; ok {
+		t.Error("nothing should be placed after validation failure")
+	}
+	if got := cl.Machine(0).Free(); got != free {
+		t.Errorf("machine usage changed by rejected batch: %v -> %v", free, got)
+	}
+}
+
+func TestPlacePartialResultOnMidBatchError(t *testing.T) {
+	// Regression: an internal r.place error mid-batch used to discard
+	// the Result, leaving the caller blind to what was already live on
+	// the cluster.  Force the error by allocating web/1's slot
+	// out-of-band after validation would pass: findMachine sees the
+	// space, r.place's Allocate then fails ("already on machine").
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 2, Priority: workload.PriorityHigh},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	if err := cl.Machine(0).Allocate("web/1", resource.Cores(4, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Place(appContainers(w, "web"))
+	if err == nil {
+		t.Fatal("mid-batch collision should surface an error")
+	}
+	if res == nil {
+		t.Fatal("mid-batch error must return the partial result")
+	}
+	if res.Deployed() != 1 {
+		t.Errorf("partial result should report 1 deployed, got %d", res.Deployed())
+	}
+	if len(res.Undeployed) != 1 || res.Undeployed[0] != "web/1" {
+		t.Errorf("partial result should report web/1 undeployed, got %v", res.Undeployed)
+	}
+	// The session view matches: web/0 live, web/1 not.
+	if !s.Placed("web/0") {
+		t.Error("web/0 should remain placed after the error")
+	}
+	if s.Placed("web/1") {
+		t.Error("web/1 should not be marked placed")
+	}
+}

@@ -43,13 +43,13 @@ type capIndex struct {
 	nodes []idxNode
 }
 
-// idxNode aggregates one subtree.  maxFree/minCPU cover every machine
-// in the subtree; the Used variants cover only machines hosting ≥ 1
-// container.  Empty sets hold resource.NoCapacity / MaxInt64 so they
-// admit nothing and never win a minimisation.  minID is the smallest
-// machine ID in the subtree (static): the best-fit tie-break is
-// (leftover CPU, then machine ID), so a subtree whose smallest ID
-// exceeds the incumbent's cannot win a tie and is pruned.
+// idxNode aggregates one subtree.  maxFree/minCPU cover every up
+// machine in the subtree; the Used variants cover only machines
+// hosting ≥ 1 container.  Empty sets hold resource.NoCapacity /
+// MaxInt64 so they admit nothing and never win a minimisation.  minID
+// is the smallest up-machine ID in the subtree: the best-fit
+// tie-break is (leftover CPU, then machine ID), so a subtree whose
+// smallest ID exceeds the incumbent's cannot win a tie and is pruned.
 type idxNode struct {
 	maxFree     resource.Vector
 	maxFreeUsed resource.Vector
@@ -78,19 +78,26 @@ func newCapIndex(cluster *topology.Cluster) *capIndex {
 }
 
 // leafValue derives the leaf node contents for traversal position p
-// from the machine's live state.
+// from the machine's live state.  Padding positions beyond the
+// machine count and down machines both collapse to the empty-subtree
+// sentinel: a failed machine has no residual capacity in any view, so
+// every search prunes it exactly like a hole in the traversal.
 func (x *capIndex) leafValue(p int) idxNode {
+	empty := idxNode{
+		maxFree:     resource.NoCapacity,
+		maxFreeUsed: resource.NoCapacity,
+		minCPU:      math.MaxInt64,
+		minCPUUsed:  math.MaxInt64,
+		minID:       noMachine,
+	}
 	if p >= len(x.tr.Order) {
-		return idxNode{
-			maxFree:     resource.NoCapacity,
-			maxFreeUsed: resource.NoCapacity,
-			minCPU:      math.MaxInt64,
-			minCPUUsed:  math.MaxInt64,
-			minID:       noMachine,
-		}
+		return empty
 	}
 	mid := x.tr.Order[p]
 	m := x.cluster.Machine(mid)
+	if !m.Up() {
+		return empty
+	}
 	free := m.Free()
 	nd := idxNode{
 		maxFree:     free,

@@ -166,4 +166,3 @@ func TestExclusionRules(t *testing.T) {
 		t.Error("noExclusion should exclude nothing")
 	}
 }
-

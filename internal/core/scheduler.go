@@ -403,6 +403,12 @@ func (r *run) consolidate() {
 			if m.NumContainers() == 0 {
 				continue
 			}
+			// A down machine mid-eviction is the failure path's to
+			// empty; draining it here would make rollback (re-placing
+			// onto the down machine) impossible.
+			if !m.Up() {
+				continue
+			}
 			light = append(light, lm{m: m.ID, used: m.Used().Dim(resource.CPU)})
 		}
 		sort.Slice(light, func(i, j int) bool {
@@ -537,6 +543,9 @@ func (r *run) tryDefrag(c *workload.Container) bool {
 	}
 	var targets []target
 	for _, m := range r.cluster.Machines() {
+		if !m.Up() {
+			continue
+		}
 		if !c.Demand.Fits(m.Capacity()) {
 			continue
 		}
@@ -649,7 +658,11 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool)
 	for _, gname := range r.cluster.SubClusters() {
 		for _, rname := range r.cluster.SubCluster(gname).Racks {
 			for _, mid := range r.cluster.Rack(rname).Machines {
-				if !c.Demand.Fits(r.cluster.Machine(mid).Capacity()) {
+				machine := r.cluster.Machine(mid)
+				if !machine.Up() {
+					continue
+				}
+				if !c.Demand.Fits(machine.Capacity()) {
 					continue
 				}
 				if !r.blacklist.Allows(mid, c) {

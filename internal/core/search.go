@@ -89,12 +89,18 @@ func (a *aggregates) recomputeAll() {
 }
 
 // naiveRackMaxFree is the ground-truth recompute: the component-wise
-// max over the rack's machines, read directly from machine state.
+// max over the rack's up machines, read directly from machine state.
+// Down machines contribute nothing, matching the index's empty-leaf
+// treatment.
 func (a *aggregates) naiveRackMaxFree(rname string) resource.Vector {
 	rack := a.cluster.Rack(rname)
 	var maxFree resource.Vector
 	for _, mid := range rack.Machines {
-		maxFree = maxFree.Max(a.cluster.Machine(mid).Free())
+		m := a.cluster.Machine(mid)
+		if !m.Up() {
+			continue
+		}
+		maxFree = maxFree.Max(m.Free())
 	}
 	return maxFree
 }

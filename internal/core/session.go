@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aladdin/internal/constraint"
@@ -51,8 +52,15 @@ func (s *Session) Placed(containerID string) bool {
 }
 
 // Place schedules a batch of containers against the current state.
-// Each container must belong to the session's workload and not be
-// currently placed.  The result covers only this batch.
+// Each container must belong to the session's workload, appear at
+// most once in the batch, and not be currently placed.  The result
+// covers only this batch.
+//
+// On an internal placement error the containers placed before the
+// error stay placed, and the partial Result is returned alongside the
+// error so callers (the HTTP /place handler, the online simulator)
+// can reconcile their view instead of silently diverging from the
+// live cluster state.
 func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	start := time.Now()
 	r := s.r
@@ -60,6 +68,7 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	exploredBefore := r.search.explored
 
 	queue := make([]*workload.Container, 0, len(batch))
+	batchSet := make(map[string]bool, len(batch))
 	for _, c := range batch {
 		if r.byID[c.ID] == nil {
 			return nil, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
@@ -67,52 +76,19 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 		if s.placed[c.ID] {
 			return nil, fmt.Errorf("core: session: container %s already placed", c.ID)
 		}
+		// The whole batch is validated before anything is placed, so a
+		// duplicate must be caught here: by the time the pipeline saw
+		// the second copy, the first would already be deployed and the
+		// per-batch "not currently placed" check above would have
+		// passed for both, double-booking the machine.
+		if batchSet[c.ID] {
+			return nil, fmt.Errorf("core: session: container %s appears more than once in batch", c.ID)
+		}
+		batchSet[c.ID] = true
 		queue = append(queue, c)
 	}
 
-	var undeployed []string
-	batchSet := make(map[string]bool, len(batch))
-	for _, c := range batch {
-		batchSet[c.ID] = true
-	}
-	for i := 0; i < len(queue); i++ {
-		c := queue[i]
-		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
-			undeployed = append(undeployed, c.ID)
-			continue
-		}
-		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
-			if err := r.place(c, m); err != nil {
-				return nil, err
-			}
-			s.placed[c.ID] = true
-			continue
-		}
-		if s.opts.Migration && r.tryMigration(c) {
-			s.placed[c.ID] = true
-			continue
-		}
-		if s.opts.Migration && r.tryDefrag(c) {
-			s.placed[c.ID] = true
-			continue
-		}
-		if s.opts.Preemption {
-			if victims, ok := r.tryPreemption(c); ok {
-				s.placed[c.ID] = true
-				for _, v := range victims {
-					// A victim from an earlier batch re-enters this
-					// batch's queue.
-					s.placed[v.ID] = false
-					queue = append(queue, v)
-				}
-				continue
-			}
-		}
-		if s.opts.IsomorphismLimiting {
-			r.search.il.note(c.App)
-		}
-		undeployed = append(undeployed, c.ID)
-	}
+	undeployed, err := s.placeQueue(queue)
 
 	// Per-batch assignment view: only this batch's containers (plus
 	// any requeued victims that landed back).
@@ -144,7 +120,65 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 			res.Total++ // requeued victim stranded in this round
 		}
 	}
-	return res, nil
+	return res, err
+}
+
+// placeQueue drives the normal placement pipeline — direct search,
+// migration, defragmentation, preemption — over a queue of
+// containers, re-queueing preemption victims behind the current tail,
+// and returns the IDs left undeployed.  It is the single path both
+// batch arrivals (Place) and failure re-placement (FailMachine) run
+// through, so every invariant (anti-affinity, priority safety, index
+// freshness) holds identically for both.
+//
+// On an internal placement error, processing stops: the remaining
+// queue is reported undeployed and the error returned.  Containers
+// placed before the error stay placed.
+func (s *Session) placeQueue(queue []*workload.Container) ([]string, error) {
+	r := s.r
+	var undeployed []string
+	for i := 0; i < len(queue); i++ {
+		c := queue[i]
+		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
+			undeployed = append(undeployed, c.ID)
+			continue
+		}
+		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
+			if err := r.place(c, m); err != nil {
+				for _, rest := range queue[i:] {
+					undeployed = append(undeployed, rest.ID)
+				}
+				return undeployed, err
+			}
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Migration && r.tryMigration(c) {
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Migration && r.tryDefrag(c) {
+			s.placed[c.ID] = true
+			continue
+		}
+		if s.opts.Preemption {
+			if victims, ok := r.tryPreemption(c); ok {
+				s.placed[c.ID] = true
+				for _, v := range victims {
+					// A victim from an earlier batch re-enters this
+					// batch's queue.
+					s.placed[v.ID] = false
+					queue = append(queue, v)
+				}
+				continue
+			}
+		}
+		if s.opts.IsomorphismLimiting {
+			r.search.il.note(c.App)
+		}
+		undeployed = append(undeployed, c.ID)
+	}
+	return undeployed, nil
 }
 
 // Remove handles a departure: the container's resources are released
@@ -163,6 +197,131 @@ func (s *Session) Remove(containerID string) error {
 		return err
 	}
 	s.placed[containerID] = false
+	return nil
+}
+
+// FailureResult summarises one FailMachine call.
+type FailureResult struct {
+	// Machine is the failed machine.
+	Machine topology.MachineID
+	// Evicted counts the containers resident at the moment of
+	// failure (including residents unknown to the workload).
+	Evicted int
+	// Replaced counts evicted containers the re-placement pipeline
+	// parked on other machines.
+	Replaced int
+	// Stranded lists the containers left undeployed: evicted
+	// residents with no feasible new home, residents unknown to the
+	// workload (they die with the machine), and any lower-priority
+	// collateral victims preempted during re-placement.
+	Stranded []string
+	// Migrations and Preemptions are the pipeline costs incurred to
+	// re-place the evicted residents.
+	Migrations, Preemptions int
+	// Elapsed is the wall-clock time of eviction plus re-placement —
+	// the re-placement latency a production cluster would alert on.
+	Elapsed time.Duration
+}
+
+// FailMachine models a machine loss: the machine is taken out of
+// service (the search index and all rescue passes stop considering
+// it), every resident's flow is cancelled and its resources and
+// blacklist entries released, and the evicted residents re-enter the
+// normal place → migrate → defragment → preempt pipeline in priority
+// order — highest first, so a displaced high-priority container is
+// never beaten to the remaining capacity by a lower-priority
+// neighbour from the same machine.  Containers with no feasible new
+// home are stranded (reported in the result) exactly like rejected
+// arrivals; they may be re-submitted later via Place.
+//
+// The session stays audit-clean across the call: anti-affinity and
+// priority invariants are enforced by the shared pipeline, and flow
+// conservation holds because every eviction cancels its flow before
+// any re-placement augments a new path.
+func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
+	start := time.Now()
+	r := s.r
+	machine := r.cluster.Machine(id)
+	if machine == nil {
+		return nil, fmt.Errorf("core: session: unknown machine %d", id)
+	}
+	if !machine.Up() {
+		return nil, fmt.Errorf("core: session: machine %s is already down", machine.Name)
+	}
+	machine.MarkDown()
+	r.search.noteUpdate(id)
+
+	migBefore, preBefore := r.migrations, r.preempts
+	res := &FailureResult{Machine: id}
+
+	// Snapshot the residents, then evict each: release the (down)
+	// machine's allocation, cancel the container's flow, clear its
+	// blacklist contributions and refresh the index — r.unplace is the
+	// same single mutation path every other eviction uses.
+	ids := append([]string(nil), machine.ContainerIDs()...)
+	var evicted []*workload.Container
+	for _, cid := range ids {
+		res.Evicted++
+		c := r.byID[cid]
+		if c == nil {
+			// A pre-placed resident unknown to the workload: it was
+			// never routed through the flow network, so there is
+			// nothing to cancel and nothing to re-place.
+			if _, err := machine.Release(cid); err != nil {
+				res.Elapsed = time.Since(start)
+				return res, err
+			}
+			r.search.noteUpdate(id)
+			res.Stranded = append(res.Stranded, cid)
+			continue
+		}
+		if err := r.unplace(c, id); err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+		s.placed[cid] = false
+		evicted = append(evicted, c)
+	}
+
+	// Highest priority first (ties: workload order) so the scarce
+	// remaining capacity goes to the containers whose weighted flows
+	// dominate, without needing preemption to fix the order up after
+	// the fact.
+	sort.Slice(evicted, func(i, j int) bool {
+		if evicted[i].Priority != evicted[j].Priority {
+			return evicted[i].Priority > evicted[j].Priority
+		}
+		return evicted[i].Ord < evicted[j].Ord
+	})
+	stranded, err := s.placeQueue(evicted)
+	res.Stranded = append(res.Stranded, stranded...)
+	for _, c := range evicted {
+		if s.placed[c.ID] {
+			res.Replaced++
+		}
+	}
+	res.Migrations = r.migrations - migBefore
+	res.Preemptions = r.preempts - preBefore
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// RecoverMachine returns a failed machine to service: its capacity
+// becomes visible to the search index again, and the isomorphism
+// cache is invalidated because reappearing capacity can make a
+// previously unplaceable application feasible.  Stranded containers
+// are not re-placed automatically; re-submit them via Place.
+func (s *Session) RecoverMachine(id topology.MachineID) error {
+	machine := s.r.cluster.Machine(id)
+	if machine == nil {
+		return fmt.Errorf("core: session: unknown machine %d", id)
+	}
+	if machine.Up() {
+		return fmt.Errorf("core: session: machine %s is not down", machine.Name)
+	}
+	machine.MarkUp()
+	s.r.search.noteUpdate(id)
+	s.r.search.il.bump()
 	return nil
 }
 

@@ -62,6 +62,13 @@ func RunAll(s Scale, w io.Writer) error {
 	}
 	writeTables(w, het)
 
+	fmt.Fprintln(w, "== Availability under machine failures ==")
+	av, err := Availability(s)
+	if err != nil {
+		return fmt.Errorf("availability: %w", err)
+	}
+	writeTables(w, av)
+
 	fmt.Fprintln(w, "== Scalability ==")
 	sc, err := Scalability(s)
 	if err != nil {

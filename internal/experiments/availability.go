@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/parallel"
+	"aladdin/internal/sim"
+)
+
+// AvailabilityRow is one failure-rate point of the availability sweep:
+// the online simulation runs with machine failures injected at the
+// given MTBF and reports how well the session absorbs them.
+type AvailabilityRow struct {
+	// MTBF is the cluster-wide mean time between machine failures, in
+	// units of the mean application interarrival (so 10 means one
+	// machine dies every ~10 arrivals).  Zero is the failure-free
+	// baseline.
+	MTBF float64
+	// Failures / Recoveries count applied events.
+	Failures, Recoveries int
+	// Evicted counts containers displaced by failures; Replaced of
+	// those found a new machine immediately.
+	Evicted, Replaced int
+	// SurvivalRate is Replaced/Evicted — the fraction of displaced
+	// containers the pipeline rescued (1.0 when nothing was evicted).
+	SurvivalRate float64
+	// ReplaceP50/ReplaceP99 are re-placement latency percentiles in
+	// microseconds (eviction plus re-placement per failure event).
+	ReplaceP50, ReplaceP99 float64
+	// Violations is the audit count over the whole run — must stay 0.
+	Violations int
+	// RejectedContainers counts arrival-time rejections (capacity lost
+	// to down machines shows up here too).
+	RejectedContainers int
+}
+
+// AvailabilityResult carries the failure-rate sweep.
+type AvailabilityResult struct {
+	Rows []AvailabilityRow
+}
+
+// Availability measures fault tolerance: the online simulation runs at
+// a fixed load while machine failures arrive at increasing rates, and
+// each point reports the container survival rate (evicted residents
+// re-placed immediately) and the re-placement latency distribution.
+// The invariant under test is that the session stays audit-clean at
+// every failure rate — fault handling reuses the same pipeline as
+// arrivals, so anti-affinity and priority safety cannot regress.
+func Availability(s Scale) (*AvailabilityResult, error) {
+	w := s.Workload()
+	interarrival := time.Second
+	// MTBF sweep in interarrival units; 0 = no failures (baseline).
+	mtbfs := []float64{0, 100, 30, 10, 3}
+
+	type cell struct {
+		m   *sim.OnlineMetrics
+		err error
+	}
+	cells := make([]cell, len(mtbfs))
+	parallel.ForEach(len(mtbfs), s.Workers, func(i int) {
+		cfg := sim.OnlineConfig{
+			Workload:         w,
+			Machines:         s.Machines,
+			Options:          core.DefaultOptions(),
+			Seed:             s.Seed,
+			MeanInterarrival: interarrival,
+			MTBF:             time.Duration(mtbfs[i] * float64(interarrival)),
+			MTTR:             10 * interarrival,
+		}
+		m, err := sim.RunOnline(cfg)
+		cells[i] = cell{m: m, err: err}
+	})
+
+	res := &AvailabilityResult{}
+	for i, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		m := c.m
+		survival := 1.0
+		if m.FailureEvicted > 0 {
+			survival = float64(m.FailureReplaced) / float64(m.FailureEvicted)
+		}
+		res.Rows = append(res.Rows, AvailabilityRow{
+			MTBF:               mtbfs[i],
+			Failures:           m.Failures,
+			Recoveries:         m.Recoveries,
+			Evicted:            m.FailureEvicted,
+			Replaced:           m.FailureReplaced,
+			SurvivalRate:       survival,
+			ReplaceP50:         m.ReplaceLatency.Percentile(50),
+			ReplaceP99:         m.ReplaceLatency.Percentile(99),
+			Violations:         m.Violations,
+			RejectedContainers: m.RejectedContainers,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the availability sweep.
+func (r *AvailabilityResult) Tables() []*Table {
+	t := &Table{
+		Title: "Availability: container survival and re-placement latency vs machine failure rate",
+		Header: []string{"MTBF (interarrivals)", "failures", "evicted", "replaced",
+			"survival", "replace p50 (µs)", "replace p99 (µs)", "violations"},
+	}
+	for _, row := range r.Rows {
+		mtbf := "∞ (baseline)"
+		if row.MTBF > 0 {
+			mtbf = fmt.Sprintf("%.0f", row.MTBF)
+		}
+		t.AddRow(mtbf, row.Failures, row.Evicted, row.Replaced,
+			fmt.Sprintf("%.1f%%", row.SurvivalRate*100),
+			fmt.Sprintf("%.0f", row.ReplaceP50),
+			fmt.Sprintf("%.0f", row.ReplaceP99),
+			row.Violations)
+	}
+	return []*Table{t}
+}

@@ -345,6 +345,43 @@ func TestHeteroExtension(t *testing.T) {
 	}
 }
 
+func TestAvailabilityClaims(t *testing.T) {
+	r, err := Availability(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d, want a sweep", len(r.Rows))
+	}
+	base := r.Rows[0]
+	if base.MTBF != 0 || base.Failures != 0 || base.Evicted != 0 {
+		t.Errorf("first row should be the failure-free baseline: %+v", base)
+	}
+	sawFailures := false
+	for _, row := range r.Rows {
+		// The headline invariant: fault handling never breaks a
+		// constraint, at any failure rate.
+		if row.Violations != 0 {
+			t.Errorf("MTBF %.0f: %d violations, want 0", row.MTBF, row.Violations)
+		}
+		if row.SurvivalRate < 0 || row.SurvivalRate > 1 {
+			t.Errorf("MTBF %.0f: survival %.2f out of range", row.MTBF, row.SurvivalRate)
+		}
+		if row.Failures > 0 {
+			sawFailures = true
+		}
+		if row.Evicted > 0 && row.ReplaceP99 < row.ReplaceP50 {
+			t.Errorf("MTBF %.0f: p99 %.0f < p50 %.0f", row.MTBF, row.ReplaceP99, row.ReplaceP50)
+		}
+	}
+	if !sawFailures {
+		t.Error("no failure rate in the sweep produced failures")
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("availability should render one table")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
 	tb.AddRow("x", 42)
@@ -387,7 +424,7 @@ func TestRunAllTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Fig 8(a)", "Fig 9(a)", "Fig 10", "Fig 11", "Fig 12", "Fig 13(a)", "Fig 13(b)", "Ablation"} {
+	for _, want := range []string{"Fig 8(a)", "Fig 9(a)", "Fig 10", "Fig 11", "Fig 12", "Fig 13(a)", "Fig 13(b)", "Ablation", "Availability"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// TestConcurrentHandlers hammers every mutating and reading endpoint
+// from parallel goroutines.  The Session is single-threaded by design;
+// the server's mutex is the only thing standing between concurrent
+// HTTP clients and state corruption, so this test exists to fail under
+// `go test -race` if any handler forgets to take it.
+func TestConcurrentHandlers(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(2, 2048), Replicas: 16},
+		{ID: "b", Demand: resource.Cores(4, 4096), Replicas: 8, AntiAffinitySelf: true},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 16, MachinesPerRack: 4, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	s := New(sess, w, cl)
+
+	send := func(method, path, body string) {
+		var rdr *strings.Reader
+		if body != "" {
+			rdr = strings.NewReader(body)
+		} else {
+			rdr = strings.NewReader("")
+		}
+		req := httptest.NewRequest(method, path, rdr)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		// Contention outcomes (409 on double place/remove, overlapping
+		// fails) are expected; data races and 500s are not.
+		if rec.Code == http.StatusInternalServerError {
+			t.Errorf("%s %s -> 500: %s", method, path, rec.Body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	const rounds = 8
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("a/%d", g*4+i%4)
+				send(http.MethodPost, "/place", fmt.Sprintf(`{"containers":[%q]}`, id))
+				send(http.MethodGet, "/metrics", "")
+				send(http.MethodPost, "/remove", fmt.Sprintf(`{"container":%q}`, id))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			id := fmt.Sprintf("b/%d", i)
+			send(http.MethodPost, "/place", fmt.Sprintf(`{"containers":[%q]}`, id))
+			send(http.MethodGet, "/assignments", "")
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m := i % 16
+			send(http.MethodPost, "/fail", fmt.Sprintf(`{"machine":%d}`, m))
+			send(http.MethodGet, "/healthz", "")
+			send(http.MethodPost, "/recover", fmt.Sprintf(`{"machine":%d}`, m))
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles the session must be internally coherent.
+	if err := sess.FlowConservation(); err != nil {
+		t.Errorf("flow conservation after concurrent load: %v", err)
+	}
+	if vs := sess.Audit(); len(vs) != 0 {
+		t.Errorf("violations after concurrent load: %v", vs)
+	}
+}

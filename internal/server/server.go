@@ -6,6 +6,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -50,6 +51,8 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /place", s.handlePlace)
 	s.mux.HandleFunc("POST /remove", s.handleRemove)
+	s.mux.HandleFunc("POST /fail", s.handleFail)
+	s.mux.HandleFunc("POST /recover", s.handleRecover)
 	return s
 }
 
@@ -82,6 +85,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "aladdin_machines_total %d\n", s.cluster.Size())
 	fmt.Fprintf(w, "aladdin_machines_used %d\n", used)
+	fmt.Fprintf(w, "aladdin_machines_down %d\n", s.cluster.DownMachines())
 	fmt.Fprintf(w, "aladdin_containers_placed %d\n", len(s.session.Assignment()))
 	fmt.Fprintf(w, "aladdin_cpu_milli_allocated %d\n", totalUsed.Dim(resource.CPU))
 	fmt.Fprintf(w, "aladdin_mem_mb_allocated %d\n", totalUsed.Dim(resource.Memory))
@@ -135,12 +139,17 @@ type placeRequest struct {
 	Containers []string `json:"containers"`
 }
 
-// placeResponse summarises one batch.
+// placeResponse summarises one batch.  Error is set when the batch
+// hit an internal placement error mid-way: the other fields then
+// describe the partial placement that is live on the cluster, so the
+// caller can reconcile instead of guessing what a bare 409 left
+// behind.
 type placeResponse struct {
 	Placed     int      `json:"placed"`
 	Undeployed []string `json:"undeployed,omitempty"`
 	Migrations int      `json:"migrations"`
 	ElapsedUS  int64    `json:"elapsed_us"`
+	Error      string   `json:"error,omitempty"`
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
@@ -162,7 +171,18 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.session.Place(batch)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		if res == nil {
+			// Validation failure: nothing was placed.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSONStatus(w, http.StatusConflict, placeResponse{
+			Placed:     res.Deployed(),
+			Undeployed: res.Undeployed,
+			Migrations: res.Migrations,
+			ElapsedUS:  res.Elapsed.Microseconds(),
+			Error:      err.Error(),
+		})
 		return
 	}
 	writeJSON(w, placeResponse{
@@ -193,11 +213,91 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "removed")
 }
 
+// machineRequest is the JSON body of /fail and /recover.
+type machineRequest struct {
+	Machine topology.MachineID `json:"machine"`
+}
+
+// failResponse reports one failure event's outcome.
+type failResponse struct {
+	Machine     topology.MachineID `json:"machine"`
+	Evicted     int                `json:"evicted"`
+	Replaced    int                `json:"replaced"`
+	Stranded    []string           `json:"stranded,omitempty"`
+	Migrations  int                `json:"migrations"`
+	Preemptions int                `json:"preemptions"`
+	ElapsedUS   int64              `json:"elapsed_us"`
+}
+
+// handleFail is the admin endpoint for taking a machine out of
+// service: residents are evicted and re-placed through the normal
+// pipeline; the response reports who moved and who was stranded.
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req machineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cluster.Machine(req.Machine) == nil {
+		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
+		return
+	}
+	res, err := s.session.FailMachine(req.Machine)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, failResponse{
+		Machine:     res.Machine,
+		Evicted:     res.Evicted,
+		Replaced:    res.Replaced,
+		Stranded:    res.Stranded,
+		Migrations:  res.Migrations,
+		Preemptions: res.Preemptions,
+		ElapsedUS:   res.Elapsed.Microseconds(),
+	})
+}
+
+// handleRecover returns a failed machine to service.
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	var req machineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cluster.Machine(req.Machine) == nil {
+		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
+		return
+	}
+	if err := s.session.RecoverMachine(req.Machine); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintln(w, "recovered")
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus encodes to a buffer before touching the response:
+// encoding directly into the ResponseWriter commits a 200 header (and
+// possibly a partial body) before an encode error can be reported, so
+// the error path would corrupt the response with a superfluous
+// WriteHeader instead of returning a clean 500.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
 }

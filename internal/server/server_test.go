@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -153,6 +154,110 @@ func TestExplainEndpoint(t *testing.T) {
 	}
 	if rec := do(t, s, http.MethodGet, "/explain?container=ghost/0", ""); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown container = %d", rec.Code)
+	}
+}
+
+func TestFailAndRecoverEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","web/1","web/2","db/0"]}`)
+
+	rec := do(t, s, http.MethodPost, "/fail", `{"machine":0}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fail = %d: %s", rec.Code, rec.Body)
+	}
+	var fr failResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Machine != 0 {
+		t.Errorf("failResponse.Machine = %d", fr.Machine)
+	}
+	if fr.Evicted != fr.Replaced+len(fr.Stranded) {
+		t.Errorf("fail ledger unbalanced: %+v", fr)
+	}
+
+	// The metrics and health surfaces reflect the failure.
+	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	if !strings.Contains(body, "aladdin_machines_down 1") {
+		t.Errorf("metrics missing down gauge:\n%s", body)
+	}
+	if rec := do(t, s, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Errorf("healthz after failure = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Error cases: double fail, unknown machine, bad body.
+	if rec := do(t, s, http.MethodPost, "/fail", `{"machine":0}`); rec.Code != http.StatusConflict {
+		t.Errorf("double fail = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/fail", `{"machine":99}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown machine = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/fail", `nope`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json = %d", rec.Code)
+	}
+
+	// Recover and verify the gauge resets.
+	if rec := do(t, s, http.MethodPost, "/recover", `{"machine":0}`); rec.Code != http.StatusOK {
+		t.Errorf("recover = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, http.MethodPost, "/recover", `{"machine":0}`); rec.Code != http.StatusConflict {
+		t.Errorf("double recover = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/recover", `{"machine":99}`); rec.Code != http.StatusNotFound {
+		t.Errorf("recover unknown machine = %d", rec.Code)
+	}
+	body = do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	if !strings.Contains(body, "aladdin_machines_down 0") {
+		t.Errorf("metrics down gauge should reset:\n%s", body)
+	}
+}
+
+func TestPlacePartialResultSurfaced(t *testing.T) {
+	// Regression: a mid-batch placement error used to answer a bare 409
+	// with no body, hiding which containers were already live.  Force
+	// the collision by allocating web/1's slot behind the session's
+	// back on every machine.
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 2},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	s := New(sess, w, cl)
+	if err := cl.Machine(0).Allocate("web/1", resource.Cores(4, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodPost, "/place", `{"containers":["web/0","web/1"]}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("partial place = %d, want 409", rec.Code)
+	}
+	var pr placeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatalf("partial place response must be JSON, got %q: %v", rec.Body, err)
+	}
+	if pr.Error == "" {
+		t.Error("partial place response missing error")
+	}
+	if pr.Placed != 1 || len(pr.Undeployed) != 1 {
+		t.Errorf("partial place response = %+v, want 1 placed / 1 undeployed", pr)
+	}
+}
+
+func TestWriteJSONEncodeErrorIsClean500(t *testing.T) {
+	// Regression: writeJSON used to stream the encoder straight into
+	// the ResponseWriter, so an encode error fired http.Error after the
+	// 200 header was already committed — a superfluous WriteHeader and
+	// a body mixing partial JSON with the error text.  Buffered
+	// encoding must produce a clean 500 instead.
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]any{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("encode error status = %d, want 500", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "{") {
+		t.Errorf("encode error body contains partial JSON: %q", rec.Body)
 	}
 }
 

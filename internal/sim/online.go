@@ -38,12 +38,30 @@ type OnlineConfig struct {
 	// Example: {1, 8, 1} — the middle third is an 8× burst (the
 	// 11.11 scenario of §I).
 	Phases []float64
+	// MTBF enables failure injection: machine failures arrive as a
+	// Poisson process over the whole cluster with this mean time
+	// between failures, up to the arrival horizon.  Each failure
+	// evicts the machine's residents through Session.FailMachine and
+	// schedules a repair.  Zero disables failures.
+	MTBF time.Duration
+	// MTTR is the mean time to repair a failed machine
+	// (Session.RecoverMachine returns its capacity to service after
+	// an exponential repair time).  Defaults to 10× the mean
+	// interarrival when failures are enabled.
+	MTTR time.Duration
 }
 
 // OnlineMetrics summarises an online run.
 type OnlineMetrics struct {
-	// Arrived / Departed / Rejected count applications.
+	// Arrived counts applications submitted; Departed counts
+	// applications that placed at least one container and later left.
+	// Every arrival is eventually accounted: Arrived = Departed +
+	// RejectedApps once the timeline drains.
 	Arrived, Departed int
+	// RejectedApps counts applications none of whose containers could
+	// be placed at arrival — they never enter the cluster, so they
+	// get no departure event.
+	RejectedApps int
 	// RejectedContainers counts containers that could not be placed
 	// at their arrival instant.
 	RejectedContainers int
@@ -62,16 +80,43 @@ type OnlineMetrics struct {
 	PeakUtilization float64
 	// Migrations and Preemptions accumulate over the run.
 	Migrations, Preemptions int
-	// Violations counts audit findings over the whole run (always 0
-	// for a correct Aladdin).
+	// Violations counts audit findings over the whole run — the
+	// placement is audited after every failure event and at drain —
+	// always 0 for a correct Aladdin.
 	Violations int
+	// Failures / Recoveries count machine failure and repair events
+	// actually applied (a failure drawn for an already-down machine
+	// is skipped).
+	Failures, Recoveries int
+	// FailureEvicted counts containers evicted by machine failures;
+	// FailureReplaced of those found a new machine immediately;
+	// FailureStranded were left undeployed (they stay out until their
+	// app departs — the availability cost of the failure).
+	FailureEvicted, FailureReplaced, FailureStranded int
+	// ReplaceLatency is the distribution of per-failure re-placement
+	// latencies in microseconds (real time spent evicting and
+	// re-placing; failures of empty machines are not sampled).
+	ReplaceLatency *stats.CDF
 }
 
-// event is an arrival or departure in simulated time.
+// eventKind discriminates timeline events.
+type eventKind int
+
+const (
+	kindArrive eventKind = iota
+	kindDepart
+	kindFail
+	kindRecover
+)
+
+// event is an arrival, departure, machine failure or machine repair
+// in simulated time.
 type event struct {
 	at      time.Duration
+	kind    eventKind
 	arrive  *workload.App
-	departs []string // container IDs leaving
+	departs []string           // container IDs leaving
+	machine topology.MachineID // fail/recover target
 	seq     int
 }
 
@@ -137,8 +182,33 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 	for i, app := range apps {
 		gap := rng.ExpFloat64() * float64(interarrival) / rate(i)
 		now += time.Duration(gap)
-		h.pushEvent(event{at: now, arrive: app, seq: seq})
+		h.pushEvent(event{at: now, kind: kindArrive, arrive: app, seq: seq})
 		seq++
+	}
+
+	// Failure timeline: a Poisson process over the arrival horizon,
+	// drawn from its own rng stream so enabling failures never
+	// perturbs the arrival/lifetime sequence of a given seed.  Each
+	// failure pre-schedules its repair.
+	if cfg.MTBF > 0 {
+		mttr := cfg.MTTR
+		if mttr <= 0 {
+			mttr = 10 * interarrival
+		}
+		frng := rand.New(rand.NewSource(cfg.Seed + 0x5f3759df))
+		ft := time.Duration(0)
+		for {
+			ft += time.Duration(frng.ExpFloat64() * float64(cfg.MTBF))
+			if ft >= now {
+				break
+			}
+			target := topology.MachineID(frng.Intn(cfg.Machines))
+			h.pushEvent(event{at: ft, kind: kindFail, machine: target, seq: seq})
+			seq++
+			repair := ft + time.Duration(frng.ExpFloat64()*float64(mttr))
+			h.pushEvent(event{at: repair, kind: kindRecover, machine: target, seq: seq})
+			seq++
+		}
 	}
 	heap.Init(&h)
 
@@ -157,9 +227,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		byApp[c.App] = append(byApp[c.App], c)
 	}
 
+	var replaceLat []float64
 	for h.Len() > 0 {
 		e := h.popEvent()
-		if e.arrive != nil {
+		switch e.kind {
+		case kindArrive:
 			batch := byApp[e.arrive.ID]
 			m.Arrived++
 			m.TotalContainers += len(batch)
@@ -174,7 +246,12 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			m.RejectedContainers += len(res.Undeployed)
 			m.Migrations += res.Migrations
 			m.Preemptions += res.Preemptions
-			// Departure event for the deployed containers.
+			// Departure event for the deployed containers.  An
+			// application that failed to place any container never
+			// entered the cluster: it is accounted as rejected right
+			// here, so Arrived = Departed + RejectedApps holds at
+			// drain instead of the fully-rejected apps silently
+			// vanishing from the departure ledger.
 			var ids []string
 			undep := make(map[string]bool, len(res.Undeployed))
 			for _, id := range res.Undeployed {
@@ -188,8 +265,10 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			sort.Strings(ids)
 			if len(ids) > 0 {
 				life := time.Duration(rng.ExpFloat64() * float64(lifetime))
-				h.pushEvent(event{at: e.at + life, departs: ids, seq: seq})
+				h.pushEvent(event{at: e.at + life, kind: kindDepart, departs: ids, seq: seq})
 				seq++
+			} else {
+				m.RejectedApps++
 			}
 			if used := cluster.UsedMachines(); used > m.PeakUsedMachines {
 				m.PeakUsedMachines = used
@@ -197,11 +276,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			if _, mean, _ := cluster.UtilizationRange(); mean > m.PeakUtilization {
 				m.PeakUtilization = mean
 			}
-		} else {
+		case kindDepart:
 			for _, id := range e.departs {
-				// A container may have been preempted (and stranded)
-				// after its initial placement; departures of unplaced
-				// containers are no-ops.
+				// A container may have been preempted or stranded by a
+				// machine failure after its initial placement;
+				// departures of unplaced containers are no-ops.
 				if !session.Placed(id) {
 					continue
 				}
@@ -210,10 +289,41 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 				}
 			}
 			m.Departed++
+		case kindFail:
+			// The drawn target may already be down (overlapping
+			// failures): skip — its paired repair will no-op too.
+			if !cluster.Machine(e.machine).Up() {
+				continue
+			}
+			fr, err := session.FailMachine(e.machine)
+			if err != nil {
+				return nil, fmt.Errorf("sim: online failure: %w", err)
+			}
+			m.Failures++
+			m.FailureEvicted += fr.Evicted
+			m.FailureReplaced += fr.Replaced
+			m.FailureStranded += len(fr.Stranded)
+			m.Migrations += fr.Migrations
+			m.Preemptions += fr.Preemptions
+			if fr.Evicted > 0 {
+				replaceLat = append(replaceLat, float64(fr.Elapsed.Microseconds()))
+			}
+			// The failure invariant: eviction re-placement never
+			// violates anti-affinity or priority.
+			m.Violations += len(session.Audit())
+		case kindRecover:
+			if cluster.Machine(e.machine).Up() {
+				continue // never failed, or an overlapping repair won
+			}
+			if err := session.RecoverMachine(e.machine); err != nil {
+				return nil, fmt.Errorf("sim: online recovery: %w", err)
+			}
+			m.Recoveries++
 		}
 	}
-	m.Violations = len(session.Audit())
+	m.Violations += len(session.Audit())
 	m.BatchLatency = stats.NewCDF(latencies)
+	m.ReplaceLatency = stats.NewCDF(replaceLat)
 	m.StreamP50 = p50.Value()
 	m.StreamP99 = p99.Value()
 	return m, nil

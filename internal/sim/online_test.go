@@ -127,6 +127,109 @@ func TestRunOnlineBurstPhases(t *testing.T) {
 	}
 }
 
+func TestRunOnlineArrivalLedgerBalances(t *testing.T) {
+	// Regression: fully-rejected applications used to vanish from the
+	// departure ledger — they got no departure event and no rejection
+	// count, so Arrived could never be reconciled against Departed.  On
+	// a tiny cluster some apps must be rejected outright, and the
+	// ledger must still balance at drain.
+	w := trace.MustGenerate(trace.Scaled(42, 200))
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         2, // far too small: many apps place nothing
+		Options:          core.DefaultOptions(),
+		Seed:             9,
+		MeanInterarrival: time.Second,
+		// Lifetimes far beyond the arrival horizon: the cluster fills
+		// once and later apps place nothing at all.
+		MeanLifetime: 1000 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RejectedApps == 0 {
+		t.Fatal("a 4-machine cluster must reject some applications outright")
+	}
+	if m.Arrived != m.Departed+m.RejectedApps {
+		t.Errorf("ledger unbalanced: Arrived %d != Departed %d + RejectedApps %d",
+			m.Arrived, m.Departed, m.RejectedApps)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d", m.Violations)
+	}
+}
+
+func TestRunOnlineWithFailures(t *testing.T) {
+	// Failure injection at a rate aggressive enough to guarantee
+	// events: the run must complete audit-clean with the failure
+	// ledger populated and every failure eventually repaired or left
+	// down at drain (Recoveries <= Failures).
+	w := trace.MustGenerate(trace.Scaled(42, 200))
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         64,
+		Options:          core.DefaultOptions(),
+		Seed:             5,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     5 * time.Second,
+		MTBF:             2 * time.Second,
+		MTTR:             3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures == 0 {
+		t.Fatal("MTBF of 2 interarrivals must produce failures")
+	}
+	if m.Recoveries > m.Failures {
+		t.Errorf("Recoveries %d > Failures %d", m.Recoveries, m.Failures)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0 — failure re-placement broke an invariant", m.Violations)
+	}
+	if m.FailureReplaced+m.FailureStranded != m.FailureEvicted {
+		t.Errorf("failure ledger unbalanced: %d replaced + %d stranded != %d evicted",
+			m.FailureReplaced, m.FailureStranded, m.FailureEvicted)
+	}
+	if m.Arrived != m.Departed+m.RejectedApps {
+		t.Errorf("arrival ledger unbalanced under failures: Arrived %d != Departed %d + RejectedApps %d",
+			m.Arrived, m.Departed, m.RejectedApps)
+	}
+	if m.FailureEvicted > 0 {
+		if m.ReplaceLatency == nil || m.ReplaceLatency.Len() == 0 {
+			t.Error("ReplaceLatency should have samples when containers were evicted")
+		}
+	}
+}
+
+func TestRunOnlineFailuresDontPerturbArrivals(t *testing.T) {
+	// The failure timeline draws from its own rng stream: enabling
+	// failures must not change which applications arrive when, so the
+	// arrival/total counters of a failure-free run are preserved.
+	w := trace.MustGenerate(trace.Scaled(42, 300))
+	base := OnlineConfig{
+		Workload: w, Machines: 96, Options: core.DefaultOptions(), Seed: 11,
+		MeanInterarrival: time.Second, MeanLifetime: 10 * time.Second,
+	}
+	clean, err := RunOnline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.MTBF = 3 * time.Second
+	injected, err := RunOnline(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Arrived != injected.Arrived || clean.TotalContainers != injected.TotalContainers {
+		t.Errorf("failure injection changed the arrival sequence: %d/%d vs %d/%d",
+			clean.Arrived, clean.TotalContainers, injected.Arrived, injected.TotalContainers)
+	}
+	if injected.Failures == 0 {
+		t.Error("expected failures to be injected")
+	}
+}
+
 func TestRunOnlineValidation(t *testing.T) {
 	w := trace.MustGenerate(trace.Scaled(42, 400))
 	if _, err := RunOnline(OnlineConfig{Machines: 8}); err == nil {

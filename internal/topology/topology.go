@@ -30,6 +30,12 @@ type Machine struct {
 	capacity resource.Vector
 	used     resource.Vector
 
+	// down marks a failed machine: it admits no placements until it
+	// is marked up again.  Residents are not evicted here — failure
+	// semantics (flow cancellation, re-placement) belong to the
+	// scheduler; topology only tracks availability.
+	down bool
+
 	// containers maps container IDs placed on this machine to their
 	// demand so deallocation restores exactly what allocation took.
 	containers map[string]resource.Vector
@@ -94,16 +100,33 @@ func (m *Machine) ContainerIDs() []string {
 	return m.idsCache
 }
 
+// Up reports whether the machine is in service.  Down machines admit
+// no placements; every search path treats them as having no residual
+// capacity.
+func (m *Machine) Up() bool { return !m.down }
+
+// MarkDown takes the machine out of service.  Idempotent; residents
+// stay allocated until the caller evicts them.
+func (m *Machine) MarkDown() { m.down = true }
+
+// MarkUp returns the machine to service.  Idempotent.
+func (m *Machine) MarkUp() { m.down = false }
+
 // Fits reports whether a demand fits into the remaining free space.
-// This is the linear half of Equation 6.
+// This is the linear half of Equation 6.  A down machine fits
+// nothing, which is what keeps every search path (indexed, naive,
+// migration, preemption) off failed hardware.
 func (m *Machine) Fits(demand resource.Vector) bool {
-	return demand.Fits(m.Free())
+	return !m.down && demand.Fits(m.Free())
 }
 
 // Allocate places a container with the given demand.  It returns an
-// error if the container is already present or the demand does not
-// fit; the machine is unchanged on error.
+// error if the machine is down, the container is already present or
+// the demand does not fit; the machine is unchanged on error.
 func (m *Machine) Allocate(containerID string, demand resource.Vector) error {
+	if m.down {
+		return fmt.Errorf("topology: machine %q is down", m.Name)
+	}
 	if _, ok := m.containers[containerID]; ok {
 		return fmt.Errorf("topology: container %q already on machine %q", containerID, m.Name)
 	}
@@ -325,6 +348,17 @@ func (c *Cluster) Reset() {
 	for _, m := range c.machines {
 		m.Reset()
 	}
+}
+
+// DownMachines counts machines currently out of service.
+func (c *Cluster) DownMachines() int {
+	n := 0
+	for _, m := range c.machines {
+		if !m.Up() {
+			n++
+		}
+	}
+	return n
 }
 
 // UsedMachines counts machines hosting at least one container.  This
