@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify lint fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,29 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint runs the project's static-analysis gate: gofmt, go vet, and the
+# aladdin-vet invariant analyzers (determinism, lockcheck, intcap,
+# errflow).  staticcheck and govulncheck run too when installed —
+# locally they are optional (no network to fetch them), in CI they are
+# installed and mandatory.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/aladdin-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
+
+# fuzz gives each invariant fuzz target a short budget beyond its
+# committed seed corpus; FUZZTIME=5m for a serious soak.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzPlace -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzFailRecover -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzIndexNaiveEquivalence -fuzztime=$(FUZZTIME)
 
 # bench records the per-container placement cost (ns/container) at the
 # small and medium cluster scales as JSON lines in BENCH_search.json,

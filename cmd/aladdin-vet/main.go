@@ -1,0 +1,79 @@
+// Command aladdin-vet is the repo's invariant multichecker: it loads
+// the named packages (default ./...) and applies the four
+// repo-specific analyzers — determinism, errflow, intcap, lockcheck —
+// from internal/analysis.  Exit status 1 means findings; fix the code
+// or, for a deliberate exception, annotate the line with the
+// analyzer's //aladdin:<marker> suppression comment and a reason.
+//
+// Usage:
+//
+//	aladdin-vet [-run name,name] [-list] [packages...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aladdin/internal/analysis"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aladdin-vet [-run name,name] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runFilter != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runFilter, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "aladdin-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aladdin-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aladdin-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aladdin-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

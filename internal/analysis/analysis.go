@@ -1,0 +1,167 @@
+// Package analysis is aladdin-vet's static-analysis substrate: a
+// self-contained re-implementation of the golang.org/x/tools
+// go/analysis contract (Analyzer, Pass, Diagnostic) on top of the
+// standard library only.  The build environment deliberately has no
+// module proxy access, so instead of depending on x/tools the loader
+// (load.go) shells out to `go list -export` and type-checks target
+// packages with go/types against the toolchain's export data — the
+// same pipeline go/packages drives under the hood.  Analyzers written
+// against this package are source-compatible with x/tools' API shape,
+// so they can migrate to the real multichecker wholesale if the
+// dependency ever becomes available.
+//
+// Repo-specific suppression convention: a diagnostic is silenced by a
+// `//aladdin:<marker>` comment on the same line, the line above, or in
+// the doc comment of the enclosing function declaration.  Each
+// analyzer documents its marker (e.g. determinism honours
+// //aladdin:nondeterministic-ok).  Markers always carry a reason after
+// the marker word; bare suppressions are still honoured but frowned on
+// in review.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.  The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by aladdin-vet -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic.  The loader's drivers install
+	// it; analyzers call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a diagnostic at pos unless a suppression comment
+// with the given marker covers it.  marker is the word after
+// "aladdin:" (e.g. "nondeterministic-ok"); an empty marker disables
+// suppression for this diagnostic.
+func (p *Pass) Reportf(pos token.Pos, marker, format string, args ...any) {
+	if marker != "" && p.Suppressed(pos, marker) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Suppressed reports whether a `//aladdin:<marker>` comment covers the
+// position: same line, the immediately preceding line, or the doc
+// comment of the enclosing function declaration.
+func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
+	want := "aladdin:" + marker
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, want) {
+				continue
+			}
+			cl := p.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	// Enclosing function declaration's doc comment.  Scan the raw
+	// comment list, not CommentGroup.Text(): //aladdin:marker parses as
+	// a comment directive and Text() strips directives.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		if fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the *ast.File containing pos.
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// diagnostics in (file, line, column) order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	sortDiagnostics(pkgs, diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer name,
+// using any package's file set (they all share one).
+func sortDiagnostics(pkgs []*Package, diags []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and compares its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-repo
+// framework.
+//
+// Fixture convention: each fixture is one directory of Go files under
+// the analyzer's testdata tree.  A line expecting diagnostics carries
+// a trailing comment of the form
+//
+//	expr() // want "regexp" "another regexp"
+//
+// Every diagnostic reported on that line must match one of the
+// regexps, and every regexp must be matched by at least one
+// diagnostic on that line; diagnostics on lines without a want
+// comment fail the test.  Lines proving the *absence* of a finding
+// simply carry no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aladdin/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads dir as a single fixture package, applies the analyzer and
+// compares diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	moduleDir := moduleRoot(t)
+	pkg, err := analysis.LoadDir(moduleDir, dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	got := make(map[string][]string) // "file:line" -> messages
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+
+	for key, patterns := range wants {
+		msgs := got[key]
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+			}
+			matched := false
+			for _, m := range msgs {
+				if re.MatchString(m) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: expected diagnostic matching %q, got %q", key, pat, msgs)
+			}
+		}
+		for _, m := range msgs {
+			matchedAny := false
+			for _, pat := range patterns {
+				if re, err := regexp.Compile(pat); err == nil && re.MatchString(m) {
+					matchedAny = true
+					break
+				}
+			}
+			if !matchedAny {
+				t.Errorf("%s: unexpected diagnostic %q (wants: %q)", key, m, patterns)
+			}
+		}
+	}
+	for key, msgs := range got {
+		if _, ok := wants[key]; !ok {
+			t.Errorf("%s: unexpected diagnostic(s) with no want comment: %q", key, msgs)
+		}
+	}
+}
+
+// collectWants scans the fixture package's own files for want
+// comments, keyed by "file:line".  It walks pkg.Files rather than the
+// whole FileSet: the gc importer registers dependency source
+// positions ($GOROOT/src/...) in the same FileSet and those files
+// need not exist on disk.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		base := filepath.Base(name)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			var patterns []string
+			for _, m := range wantRe.FindAllStringSubmatch(line[idx+len("// want "):], -1) {
+				pat, err := strconv.Unquote(`"` + m[1] + `"`)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string: %v", base, i+1, err)
+				}
+				patterns = append(patterns, pat)
+			}
+			if len(patterns) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted regexps", base, i+1)
+			}
+			wants[fmt.Sprintf("%s:%d", base, i+1)] = patterns
+		}
+	}
+	return wants
+}
+
+// moduleRoot walks up from this source file to the directory holding
+// go.mod, so fixtures load with the repo's module context regardless
+// of the test working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate module root")
+	}
+	dir := filepath.Dir(thisFile)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above analysistest")
+		}
+		dir = parent
+	}
+}

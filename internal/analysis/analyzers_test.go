@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aladdin/internal/analysis"
+	"aladdin/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "determinism"), analysis.Determinism)
+}
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "lockcheck"), analysis.Lockcheck)
+}
+
+func TestIntcap(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "intcap"), analysis.Intcap)
+}
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "errflow"), analysis.Errflow)
+}
+
+// TestAllRegistered pins the multichecker's analyzer set: a new
+// analyzer must be registered in All() to reach aladdin-vet and CI.
+func TestAllRegistered(t *testing.T) {
+	want := map[string]bool{
+		"determinism": true,
+		"errflow":     true,
+		"intcap":      true,
+		"lockcheck":   true,
+	}
+	got := analysis.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in All()", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

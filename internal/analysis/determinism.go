@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose behaviour must be a pure
+// function of their inputs: the scheduler core and flow substrate
+// (PR 1's index-vs-naive equivalence depends on byte-identical
+// placements), and the trace/sim replay paths (a seeded run must
+// reproduce bit-for-bit).  Wall-clock latency probes are allowed when
+// annotated //aladdin:nondeterministic-ok.
+var deterministicPkgs = []string{
+	"aladdin/internal/core",
+	"aladdin/internal/flow",
+	"aladdin/internal/trace",
+	"aladdin/internal/sim",
+}
+
+// nondetMarker is the determinism analyzer's suppression marker.
+const nondetMarker = "nondeterministic-ok"
+
+// Determinism flags sources of run-to-run nondeterminism inside the
+// deterministic packages:
+//
+//   - time.Now / time.Since calls (route them through the injectable
+//     clock; annotate the one legitimate wall-clock read);
+//   - top-level math/rand functions, which draw from the global,
+//     implicitly seeded source (construct a rand.New(rand.NewSource(
+//     seed)) stream instead — methods on *rand.Rand are fine);
+//   - bare panic(...) calls, which turn a recoverable invariant slip
+//     into a replay-killing crash (return a typed error instead;
+//     annotate debug-only oracles);
+//   - range over a map whose body lets iteration order escape
+//     (appends to a slice, early break/return, channel sends, float
+//     accumulation, or any non-builtin call) — placement decisions
+//     fed by map order differ between otherwise identical runs.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags time.Now, unseeded math/rand, bare panics and order-dependent map iteration in deterministic packages; " +
+		"suppress intentional sites with //aladdin:" + nondetMarker,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), deterministicPkgs) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkNondetCall flags time.Now/Since, global math/rand draws and
+// bare panics.
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fn]; ok {
+			if b, ok := obj.(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), nondetMarker,
+					"bare panic: a replay aborts instead of reporting a typed error (convert, or annotate a debug-only oracle)")
+			}
+		}
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fn.Sel]
+		if !ok {
+			return
+		}
+		f, ok := obj.(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods (e.g. on a seeded *rand.Rand) are fine
+		}
+		switch f.Pkg().Path() {
+		case "time":
+			if f.Name() == "Now" || f.Name() == "Since" {
+				pass.Reportf(call.Pos(), nondetMarker,
+					"wall-clock read time.%s in a deterministic package: inject a clock (core.Options.Clock)", f.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			switch f.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				// Constructors of explicitly seeded streams.
+			default:
+				pass.Reportf(call.Pos(), nondetMarker,
+					"global math/rand draw rand.%s: use an explicitly seeded *rand.Rand stream", f.Name())
+			}
+		}
+	}
+}
+
+// checkMapRange flags map iterations whose body is sensitive to
+// iteration order.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if reason := orderEscapes(pass, rng.Body); reason != "" {
+		pass.Reportf(rng.Pos(), nondetMarker,
+			"map iteration order escapes (%s): sort the keys first or prove order-independence with an annotation", reason)
+	}
+}
+
+// orderEscapes reports how a map-range body leaks iteration order, or
+// "" when every statement is order-independent (map/counter writes,
+// integer accumulation, pure index reads).
+func orderEscapes(pass *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	note := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				note("early break selects a map-order-dependent element")
+			}
+		case *ast.ReturnStmt:
+			note("early return selects a map-order-dependent element")
+		case *ast.SendStmt:
+			note("channel send in map order")
+		case *ast.CallExpr:
+			if r := callEscapes(pass, n); r != "" {
+				note(r)
+			}
+		case *ast.AssignStmt:
+			if r := assignEscapes(pass, n); r != "" {
+				note(r)
+			}
+		case *ast.FuncLit:
+			return false // deferred execution; orders there are its problem
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// callEscapes classifies a call inside a map-range body.  Builtins
+// with no observable ordering (len, cap, delete, min, max, and the
+// conversion-like make/new) are allowed; append and every other call
+// — whose side effects may well record ordering — are not.
+func callEscapes(pass *Pass, call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[fn]
+		if !ok {
+			return ""
+		}
+		switch o := obj.(type) {
+		case *types.Builtin:
+			switch o.Name() {
+			case "len", "cap", "delete", "min", "max", "make", "new", "copy":
+				return ""
+			case "append":
+				return "append in map order"
+			default:
+				return "call to " + o.Name() + " in map order"
+			}
+		case *types.TypeName:
+			return "" // conversion
+		default:
+			return "call to " + fn.Name + " in map order"
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fn.Sel]; ok {
+			if _, isType := obj.(*types.TypeName); isType {
+				return "" // conversion to a named type
+			}
+		}
+		return "call to " + fn.Sel.Name + " in map order"
+	default:
+		// Conversions like []byte(x) or calls through arbitrary
+		// expressions; treat type conversions as pure.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return ""
+		}
+		return "indirect call in map order"
+	}
+}
+
+// assignEscapes flags assignments that accumulate order-sensitively:
+// any compound assignment on a float (addition is not associative) and
+// plain assignment to a range-external slice via append is caught by
+// callEscapes already.
+func assignEscapes(pass *Pass, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			tv, ok := pass.TypesInfo.Types[lhs]
+			if !ok {
+				continue
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				return "float accumulation is order-sensitive"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errMarker is the errflow analyzer's suppression marker.
+const errMarker = "errcheck-ok"
+
+// errflowPkgs are the packages whose error returns carry placement
+// state: place/unplace/augment/cancel/checkpoint results there report
+// half-applied mutations, and discarding one desynchronises the
+// scheduler's views (machine allocations vs flow network vs index).
+var errflowPkgs = []string{
+	"aladdin/internal/core",
+	"aladdin/internal/server",
+	"aladdin/internal/sim",
+	"aladdin/internal/flow",
+	"aladdin/internal/trace",
+}
+
+// Errflow flags discarded errors on placement/unplace/checkpoint
+// paths: a call whose callee is defined in this module (or the
+// package under test) and whose final result is an error, used as a
+// bare statement, a go/defer statement, or assigned to blank.
+// Third-party and standard-library callees are exempt — the hazard
+// this analyzer polices is losing *scheduler state* errors, not
+// fmt.Fprintf's.  Suppress deliberate discards with
+// //aladdin:errcheck-ok.
+var Errflow = &Analyzer{
+	Name: "errflow",
+	Doc: "flags discarded errors from module-internal calls on placement/unplace/checkpoint paths; " +
+		"suppress deliberate discards with //aladdin:" + errMarker,
+	Run: runErrflow,
+}
+
+func runErrflow(pass *Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), errflowPkgs) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, "result discarded")
+				}
+				return false
+			case *ast.GoStmt:
+				checkDiscardedError(pass, n.Call, "result discarded by go statement")
+				return true
+			case *ast.DeferStmt:
+				checkDiscardedError(pass, n.Call, "result discarded by defer")
+				return true
+			case *ast.AssignStmt:
+				checkBlankedError(pass, n)
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDiscardedError reports a call statement that drops an error
+// result from a module-internal callee.
+func checkDiscardedError(pass *Pass, call *ast.CallExpr, how string) {
+	name, ok := errorReturningInternalCall(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), errMarker, "error from %s %s", name, how)
+}
+
+// checkBlankedError reports assignments that send a module-internal
+// error into the blank identifier.
+func checkBlankedError(pass *Pass, as *ast.AssignStmt) {
+	// Single-call multi-assign: x, _ := f().  The error is the last
+	// result by convention; flag only when its slot is blank.
+	if len(as.Rhs) == 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(as.Lhs) < 1 {
+			return
+		}
+		name, ok := errorReturningInternalCall(pass, call)
+		if !ok {
+			return
+		}
+		if isBlank(as.Lhs[len(as.Lhs)-1]) {
+			pass.Reportf(as.Pos(), errMarker, "error from %s assigned to blank", name)
+		}
+		return
+	}
+	// Parallel assignment: each RHS pairs with one LHS.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if name, ok := errorReturningInternalCall(pass, call); ok {
+				pass.Reportf(as.Pos(), errMarker, "error from %s assigned to blank", name)
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errorReturningInternalCall reports whether the call's callee is
+// declared in this module (or the package being analyzed) and its
+// last result is an error; it returns a printable callee name.
+func errorReturningInternalCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fn]
+		name = fn.Name
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fn.Sel]
+		name = fn.Sel.Name
+	default:
+		return "", false
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	pkg := f.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if pkg != pass.Pkg && !strings.HasPrefix(pkg.Path(), "aladdin/") {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return name, true
+}

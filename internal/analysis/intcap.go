@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatMarker is the intcap analyzer's suppression marker.
+const floatMarker = "float-ok"
+
+// intcapPkgs are the packages whose arithmetic feeds capacities,
+// demands and the tournament-tree aggregates.  All of that math is
+// exact int64 (milli-cores, MiB): one float rounding slip in an
+// aggregate would make the index's admission answers drift from the
+// machines' true residuals and corrupt placements silently.
+var intcapPkgs = []string{
+	"aladdin/internal/resource",
+	"aladdin/internal/core",
+}
+
+// Intcap bans floating-point arithmetic in resource/capacity math:
+// any +,-,*,/ binary expression or compound assignment whose operands
+// are floats, inside the capacity-math packages.  Reporting-only
+// ratios (utilisation percentages, dominant shares) are legitimate
+// float consumers; annotate those functions //aladdin:float-ok.
+var Intcap = &Analyzer{
+	Name: "intcap",
+	Doc: "bans floating-point arithmetic in resource/capacity math where rounding would corrupt integer aggregates; " +
+		"suppress reporting-only ratio code with //aladdin:" + floatMarker,
+	Run: runIntcap,
+}
+
+func runIntcap(pass *Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), intcapPkgs) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					if isFloat(pass, n.X) || isFloat(pass, n.Y) {
+						pass.Reportf(n.Pos(), floatMarker,
+							"floating-point %s in capacity math: use exact integer units (milli-cores, MiB)", n.Op)
+						return false // one report per expression tree
+					}
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					for _, lhs := range n.Lhs {
+						if isFloat(pass, lhs) {
+							pass.Reportf(n.Pos(), floatMarker,
+								"floating-point %s in capacity math: use exact integer units (milli-cores, MiB)", n.Tok)
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// basic type (or a named type whose underlying is one).
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns aladdin-vet's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Errflow, Intcap, Lockcheck}
+}

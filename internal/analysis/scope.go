@@ -1,0 +1,20 @@
+package analysis
+
+import "strings"
+
+// inScope reports whether a package path is covered by an analyzer
+// restricted to the given aladdin-internal package list.  Packages
+// outside the aladdin module (analysistest fixtures, which load under
+// synthetic import paths) are always in scope so fixtures exercise
+// the checks without masquerading as internal packages.
+func inScope(pkgPath string, scoped []string) bool {
+	if !strings.HasPrefix(pkgPath, "aladdin/") {
+		return true
+	}
+	for _, p := range scoped {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

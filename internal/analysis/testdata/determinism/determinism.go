@@ -1,0 +1,82 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: each `want` line is a finding the analyzer must report,
+// and every unannotated line proves a pattern it must stay silent on.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func annotatedClock() time.Time {
+	return time.Now() //aladdin:nondeterministic-ok fixture latency probe
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand draw rand.Intn"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6) // methods on a seeded stream are fine
+}
+
+func barePanic() {
+	panic("boom") // want "bare panic"
+}
+
+//aladdin:nondeterministic-ok Must-style constructor; inputs are static
+func annotatedPanic() {
+	panic("fine")
+}
+
+func orderedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "append in map order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func orderedBreak(m map[string]int) bool {
+	for range m { // want "early break"
+		break
+	}
+	return false
+}
+
+func orderedReturn(m map[string]int) string {
+	for k := range m { // want "early return"
+		return k
+	}
+	return ""
+}
+
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer accumulation commutes
+	}
+	return total
+}
+
+func counters(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map writes are order-independent
+	}
+	return out
+}
+
+func floatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "float accumulation"
+		sum += v
+	}
+	return sum
+}

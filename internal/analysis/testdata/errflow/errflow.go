@@ -1,0 +1,60 @@
+// Package errflow is the golden fixture for the errflow analyzer:
+// dropping a module-internal error is a finding; handling it, calling
+// error-free functions, or dropping a stdlib error is not.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mutate() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func value() int { return 1 }
+
+func discard() {
+	mutate() // want "error from mutate result discarded"
+}
+
+func blank() {
+	_ = mutate() // want "error from mutate assigned to blank"
+}
+
+func blankPair() {
+	n, _ := pair() // want "error from pair assigned to blank"
+	_ = n
+}
+
+func deferred() {
+	defer mutate() // want "discarded by defer"
+}
+
+func spawned() {
+	go mutate() // want "discarded by go statement"
+}
+
+func handled() error {
+	if err := mutate(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+func pure() int {
+	return value() // no error result: nothing to drop
+}
+
+func stdlib() {
+	fmt.Println("stdlib errors are another analyzer's problem")
+}
+
+func deliberate() {
+	mutate() //aladdin:errcheck-ok fixture: effect is best-effort
+}

@@ -1,0 +1,31 @@
+// Package intcap is the golden fixture for the intcap analyzer:
+// float arithmetic is banned in capacity math, integer math and
+// annotated reporting ratios pass.
+package intcap
+
+func badAvg(a, b int64) float64 {
+	return (float64(a) + float64(b)) / 2 // want "floating-point"
+}
+
+func intMath(a, b int64) int64 {
+	return (a + b) / 2 // exact integer units
+}
+
+// annotatedRatio is a reporting-only ratio.
+//
+//aladdin:float-ok reporting metric, not capacity accounting
+func annotatedRatio(num, den int64) float64 {
+	return float64(num) / float64(den)
+}
+
+func accumulate(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // want "floating-point"
+	}
+	return sum
+}
+
+func conversionOnly(a int64) float64 {
+	return float64(a) // a bare conversion is not arithmetic
+}

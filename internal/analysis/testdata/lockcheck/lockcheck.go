@@ -1,0 +1,47 @@
+// Package lockcheck is the golden fixture for the lockcheck analyzer.
+// Counter's n field is inferred guarded (Add touches it under the
+// lock), so exported methods must hold mu around every n access; name
+// is never touched under the lock and stays unguarded.
+package lockcheck
+
+import "sync"
+
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	name string
+}
+
+func (c *Counter) Add(delta int) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+func (c *Counter) Value() int {
+	return c.n // want "accesses mutex-guarded field"
+}
+
+func (c *Counter) SafeValue() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Name reads a field configured once at construction; it is never
+// accessed under the lock, so lock-free reads are legitimate.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// value is unexported: by convention it runs with the lock held.
+func (c *Counter) value() int {
+	return c.n
+}
+
+// Racy is a deliberate lock-free read for a metrics path.
+//
+//aladdin:lock-ok approximate metric; torn reads acceptable
+func (c *Counter) Racy() int {
+	return c.n
+}

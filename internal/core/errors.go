@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStateCorruption is the sentinel all CorruptionErrors wrap, so
+// callers can errors.Is their way to "the scheduler state is no
+// longer trustworthy" without matching on the specific rescue step.
+var ErrStateCorruption = errors.New("core: scheduler state corruption")
+
+// CorruptionError reports an unrecoverable divergence between the
+// scheduler's coordinated views (machine allocations, flow network,
+// blacklist, search index) discovered mid-rescue: a rollback or
+// restore step failed, so the state may be half-mutated.  These used
+// to be bare panics; they now surface as typed errors so a serving
+// process can fail the one request, alert, and keep its other state
+// queryable (the Auditor pinpoints what diverged).  A session that
+// returned a CorruptionError should be considered poisoned: drain it
+// and rebuild from the cluster's ground truth.
+type CorruptionError struct {
+	// Op names the rescue step that failed, e.g. "migration rollback".
+	Op string
+	// Err is the underlying placement/unplacement failure.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("core: state corruption during %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes both the sentinel and the underlying cause to
+// errors.Is/As.
+func (e *CorruptionError) Unwrap() []error { return []error{ErrStateCorruption, e.Err} }
+
+// corrupt wraps a rescue-step failure as a CorruptionError.
+func corrupt(op string, err error) error {
+	return &CorruptionError{Op: op, Err: err}
+}

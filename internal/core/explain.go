@@ -75,6 +75,10 @@ func Explain(w *workload.Workload, cluster *topology.Cluster, asg constraint.Ass
 		return nil, fmt.Errorf("core: explain: unknown container %q", containerID)
 	}
 	bl := constraint.NewBlacklist(w, cluster.Size())
+	// Blacklist reconstruction is order-independent: Place only
+	// accumulates per-machine conflict sets, so visiting the
+	// assignment in map order is safe.
+	//aladdin:nondeterministic-ok commutative set accumulation
 	for id, m := range asg {
 		if c := byID[id]; c != nil {
 			bl.Place(m, c)

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// The fuzz targets drive random operation sequences through a live
+// Session and run the full invariant Auditor after every step: any
+// sequence of place / remove / fail / recover operations must leave
+// the flow network, the search index and the assignment tables
+// mutually consistent, and must surface failures as errors — never as
+// panics or silent state corruption.
+//
+// Byte encoding: each input byte is one operation.  The low two bits
+// select the operation, the high six bits select its target (reduced
+// modulo the container or machine universe), so any byte string is a
+// valid schedule and the fuzzer's bit flips map to small schedule
+// edits.
+
+const fuzzOpBudget = 256 // cap schedule length so exhaustive audits stay fast
+
+// mustCleanAudit fails the fuzz run if the auditor finds violations.
+func mustCleanAudit(t *testing.T, s *Session, step int, op string) {
+	t.Helper()
+	if vs := s.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("step %d (%s): invariants broken: %v", step, op, vs)
+	}
+}
+
+// mustNotCorrupt allows domain errors (duplicate placement, failing a
+// down machine) but fails hard on state corruption.
+func mustNotCorrupt(t *testing.T, err error, step int, op string) {
+	t.Helper()
+	if err != nil && errors.Is(err, ErrStateCorruption) {
+		t.Fatalf("step %d (%s): state corruption: %v", step, op, err)
+	}
+}
+
+// FuzzPlace drives arbitrary interleavings of single-container
+// placements, departures, machine failures and repairs.
+func FuzzPlace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 4, 8, 12, 16, 20})                   // straight-line placements
+	f.Add([]byte{0, 4, 1, 5, 0, 4})                      // place, remove, re-place
+	f.Add([]byte{0, 4, 8, 2, 6, 3, 7, 0})                // placements around a failure and repair
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3, 254, 255, 253}) // duplicate ops and high ordinals
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzOpBudget {
+			data = data[:fuzzOpBudget]
+		}
+		w := sessionWorkload()
+		cl := smallCluster(8)
+		s := NewSession(DefaultOptions(), w, cl)
+		containers := w.Containers()
+		machines := cl.Machines()
+		for i, b := range data {
+			op, arg := int(b&3), int(b>>2)
+			switch op {
+			case 0:
+				c := containers[arg%len(containers)]
+				_, err := s.Place([]*workload.Container{c})
+				mustNotCorrupt(t, err, i, "place")
+				mustCleanAudit(t, s, i, "place")
+			case 1:
+				c := containers[arg%len(containers)]
+				if s.Placed(c.ID) {
+					mustNotCorrupt(t, s.Remove(c.ID), i, "remove")
+					mustCleanAudit(t, s, i, "remove")
+				}
+			case 2:
+				m := machines[arg%len(machines)]
+				if m.Up() {
+					_, err := s.FailMachine(m.ID)
+					mustNotCorrupt(t, err, i, "fail")
+					mustCleanAudit(t, s, i, "fail")
+				}
+			case 3:
+				m := machines[arg%len(machines)]
+				if !m.Up() {
+					mustNotCorrupt(t, s.RecoverMachine(m.ID), i, "recover")
+					mustCleanAudit(t, s, i, "recover")
+				}
+			}
+		}
+	})
+}
+
+// FuzzFailRecover starts from a fully-placed session and fuzzes only
+// the failure/repair schedule — the paths where eviction, re-placement
+// and index maintenance interact hardest.
+func FuzzFailRecover(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})                   // fail then repair one machine
+	f.Add([]byte{0, 2, 4, 1, 3, 5})       // overlapping failures, ordered repairs
+	f.Add([]byte{0, 0, 0, 1, 1, 1})       // repeated ops on one machine
+	f.Add([]byte{254, 255, 252, 253, 16}) // high machine ordinals
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzOpBudget {
+			data = data[:fuzzOpBudget]
+		}
+		w := sessionWorkload()
+		cl := smallCluster(8)
+		s := NewSession(DefaultOptions(), w, cl)
+		if _, err := s.Place(w.Containers()); err != nil {
+			t.Fatal(err)
+		}
+		machines := cl.Machines()
+		for i, b := range data {
+			m := machines[int(b>>1)%len(machines)]
+			if b&1 == 0 {
+				if !m.Up() {
+					continue
+				}
+				_, err := s.FailMachine(m.ID)
+				mustNotCorrupt(t, err, i, "fail")
+				mustCleanAudit(t, s, i, "fail")
+			} else {
+				if m.Up() {
+					continue
+				}
+				mustNotCorrupt(t, s.RecoverMachine(m.ID), i, "recover")
+				mustCleanAudit(t, s, i, "recover")
+			}
+		}
+		// Repair everything: the session must end audit-clean with all
+		// capacity back in service.
+		for _, m := range machines {
+			if !m.Up() {
+				if err := s.RecoverMachine(m.ID); err != nil {
+					t.Fatalf("final recovery of machine %d: %v", m.ID, err)
+				}
+			}
+		}
+		mustCleanAudit(t, s, len(data), "drain")
+	})
+}
+
+// FuzzIndexNaiveEquivalence runs the same fuzzed schedule against an
+// indexed session and a naive-scan session: under depth limiting the
+// two searches promise byte-identical placements, so after every
+// operation both the success/failure of the call and the full
+// assignment table must agree, and the indexed session must stay
+// audit-clean (which includes the index-vs-live cross-check).
+func FuzzIndexNaiveEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44}) // place everything
+	f.Add([]byte{0, 4, 1, 2, 6, 3, 7, 0, 4})                   // churn with a failure window
+	f.Add([]byte{255, 254, 253, 252, 0, 1, 2, 3})              // high ordinals
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzOpBudget {
+			data = data[:fuzzOpBudget]
+		}
+		naiveOpts := DefaultOptions()
+		naiveOpts.NaiveSearch = true
+		indexed := NewSession(DefaultOptions(), sessionWorkload(), smallCluster(8))
+		naive := NewSession(naiveOpts, sessionWorkload(), smallCluster(8))
+		sessions := []*Session{indexed, naive}
+		machineCount := indexed.r.cluster.Size()
+		for i, b := range data {
+			op, arg := int(b&3), int(b>>2)
+			var errs [2]error
+			for si, s := range sessions {
+				containers := s.w.Containers()
+				switch op {
+				case 0:
+					_, errs[si] = s.Place([]*workload.Container{containers[arg%len(containers)]})
+				case 1:
+					id := containers[arg%len(containers)].ID
+					if s.Placed(id) {
+						errs[si] = s.Remove(id)
+					}
+				case 2:
+					mid := topology.MachineID(arg % machineCount)
+					if s.r.cluster.Machine(mid).Up() {
+						_, errs[si] = s.FailMachine(mid)
+					}
+				case 3:
+					mid := topology.MachineID(arg % machineCount)
+					if !s.r.cluster.Machine(mid).Up() {
+						errs[si] = s.RecoverMachine(mid)
+					}
+				}
+				mustNotCorrupt(t, errs[si], i, "op")
+			}
+			if (errs[0] == nil) != (errs[1] == nil) {
+				t.Fatalf("step %d: indexed err %v, naive err %v", i, errs[0], errs[1])
+			}
+			ia, na := indexed.Assignment(), naive.Assignment()
+			if len(ia) != len(na) {
+				t.Fatalf("step %d: indexed placed %d containers, naive %d", i, len(ia), len(na))
+			}
+			for id, m := range ia {
+				if nm, ok := na[id]; !ok || nm != m {
+					t.Fatalf("step %d: container %s on machine %d indexed, %d naive", i, id, m, nm)
+				}
+			}
+			mustCleanAudit(t, indexed, i, "op")
+		}
+	})
+}

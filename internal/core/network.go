@@ -195,6 +195,10 @@ func (n *network) pathFor(c *workload.Container, m topology.MachineID, path *[6]
 
 // augment pushes the container's flow along its path to machine m.
 func (n *network) augment(c *workload.Container, m topology.MachineID) error {
+	_, ct, err := n.ctOrd(c)
+	if err != nil {
+		return err
+	}
 	var path [6]int
 	if err := n.pathFor(c, m, &path); err != nil {
 		return err
@@ -203,7 +207,6 @@ func (n *network) augment(c *workload.Container, m topology.MachineID) error {
 	if err := flow.AugmentPath(n.g, path[:], u); err != nil {
 		return fmt.Errorf("core: augment %s on machine %d: %w", c.ID, m, err)
 	}
-	_, ct, _ := n.ctOrd(c)
 	n.units[ct] = u
 	return nil
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Options configures an Aladdin scheduler instance.
@@ -63,6 +64,13 @@ type Options struct {
 	// valve period, in machine updates; 0 means the default (32768),
 	// negative disables periodic rebuilds.
 	IndexRebuildEvery int
+	// Clock supplies wall-clock readings for the latency metrics
+	// (Result.Elapsed, FailureResult.Elapsed); nil means time.Now.
+	// Placement decisions never read the clock — it exists so replay
+	// tests can inject a fixed clock and get bit-identical results,
+	// and so the determinism analyzer can prove the scheduler core
+	// has exactly one wall-clock read site.
+	Clock func() time.Time
 	// GangScheduling makes application placement all-or-nothing: if
 	// any container of an application cannot be placed, the whole
 	// application is rolled back and undeployed.  Container groups of
@@ -83,6 +91,16 @@ func DefaultOptions() Options {
 		Migration:           true,
 		Preemption:          true,
 	}
+}
+
+// now reads the injected clock, falling back to the system clock.
+// This is the scheduler core's only wall-clock read; it feeds latency
+// metrics exclusively, never placement decisions.
+func (o Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now() //aladdin:nondeterministic-ok latency metrics only; replaced by Options.Clock in replays
 }
 
 func (o Options) maxBlockers() int {

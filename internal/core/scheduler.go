@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"aladdin/internal/constraint"
 	"aladdin/internal/resource"
@@ -50,6 +49,19 @@ type run struct {
 	consolidations int
 	preempts       int
 	inversions     []constraint.Violation
+
+	// preemptLog records every eviction for the runtime Auditor's
+	// priority-ordering check: each entry must have victim priority
+	// strictly below the claimant's (§III.B) unless the DisableWeights
+	// ablation is on.
+	preemptLog []preemptEvent
+}
+
+// preemptEvent is one preemption eviction: claimant displaced victim
+// on machine.
+type preemptEvent struct {
+	claimant, victim *workload.Container
+	machine          topology.MachineID
 }
 
 // newRun builds the mutable state for one scheduling context.
@@ -95,7 +107,7 @@ func (r *run) assignmentMap() constraint.Assignment {
 // network, with migration and preemption invoked when no direct
 // augmenting path exists.
 func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
-	start := time.Now()
+	start := s.opts.now()
 	r := newRun(s.opts, w, cluster)
 
 	queue := make([]*workload.Container, len(arrivals))
@@ -116,14 +128,24 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 			}
 			continue
 		}
-		if s.opts.Migration && r.tryMigration(c) {
-			continue
-		}
-		if s.opts.Migration && r.tryDefrag(c) {
-			continue
+		if s.opts.Migration {
+			if ok, err := r.tryMigration(c); err != nil {
+				return nil, err
+			} else if ok {
+				continue
+			}
+			if ok, err := r.tryDefrag(c); err != nil {
+				return nil, err
+			} else if ok {
+				continue
+			}
 		}
 		if s.opts.Preemption {
-			if victims, ok := r.tryPreemption(c); ok {
+			victims, ok, err := r.tryPreemption(c)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				// Victims re-enter the queue after the current tail;
 				// their strictly lower priority bounds the recursion.
 				queue = append(queue, victims...)
@@ -141,7 +163,9 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 		// free space of used ones — the final step of minimising the
 		// number of used machines (§II.A's resource-efficiency
 		// objective).
-		r.consolidate()
+		if err := r.consolidate(); err != nil {
+			return nil, err
+		}
 
 		// Drained machines expose whole-machine gaps; containers that
 		// were stranded by fragmentation get one more try through the
@@ -160,7 +184,14 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 					}
 					continue
 				}
-				if r.tryMigration(c) || r.tryDefrag(c) {
+				if ok, err := r.tryMigration(c); err != nil {
+					return nil, err
+				} else if ok {
+					continue
+				}
+				if ok, err := r.tryDefrag(c); err != nil {
+					return nil, err
+				} else if ok {
 					continue
 				}
 				still = append(still, id)
@@ -172,7 +203,10 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 	if s.opts.GangScheduling {
 		// Applied last: the rescue passes above may have completed a
 		// partially-placed gang, and withdrawals must be final.
-		undeployed = r.enforceGangs(undeployed)
+		var err error
+		if undeployed, err = r.enforceGangs(undeployed); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &sched.Result{
@@ -183,7 +217,7 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 		Migrations:     r.migrations,
 		Consolidations: r.consolidations,
 		Preemptions:    r.preempts,
-		Elapsed:        time.Since(start),
+		Elapsed:        s.opts.now().Sub(start),
 		WorkUnits:      r.search.explored,
 	}
 	res.Finalize(w)
@@ -237,7 +271,7 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 // blocks it, and relocate the blocking containers elsewhere.  The
 // relocated containers stay deployed, so priority safety holds by
 // construction.
-func (r *run) tryMigration(c *workload.Container) bool {
+func (r *run) tryMigration(c *workload.Container) (bool, error) {
 	// Enumerate every machine the container fits on resource-wise,
 	// then try the ones with the fewest blockers first: lightly
 	// blocked machines clear cheapest, and under heavy anti-affinity
@@ -253,7 +287,7 @@ func (r *run) tryMigration(c *workload.Container) bool {
 		if r.blacklist.Allows(mid, c) {
 			// A direct path exists after all (state changed since the
 			// failed search); just take it.
-			return r.place(c, mid) == nil
+			return r.place(c, mid) == nil, nil
 		}
 		blockers := r.blockersOn(mid, c)
 		if len(blockers) == 0 || len(blockers) > r.opts.maxBlockers() {
@@ -272,11 +306,13 @@ func (r *run) tryMigration(c *workload.Container) bool {
 		if i >= maxAttempts {
 			break
 		}
-		if r.relocate(cd.blockers, cd.m, c) {
-			return true
+		if ok, err := r.relocate(cd.blockers, cd.m, c); err != nil {
+			return false, err
+		} else if ok {
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // blockersOn lists containers on machine m whose app conflicts with c.
@@ -296,63 +332,61 @@ func (r *run) blockersOn(m topology.MachineID, c *workload.Container) []*workloa
 }
 
 // relocate moves every blocker off machine m and places c there; on
-// any failure all moves are rolled back.
-func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *workload.Container) bool {
+// any failure all moves are rolled back.  A non-nil error means a
+// rollback or restore step itself failed and the scheduler state is
+// corrupt (see CorruptionError).
+func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *workload.Container) (bool, error) {
 	type move struct {
 		c        *workload.Container
 		from, to topology.MachineID
 	}
 	var done []move
-	rollback := func() {
+	rollback := func() error {
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				panic(fmt.Sprintf("core: rollback unplace: %v", err))
+				return corrupt("migration rollback unplace", err)
 			}
 			if err := r.place(mv.c, mv.from); err != nil {
-				panic(fmt.Sprintf("core: rollback replace: %v", err))
+				return corrupt("migration rollback replace", err)
 			}
 		}
+		return nil
 	}
 	for _, b := range blockers {
 		if err := r.unplace(b, m); err != nil {
-			rollback()
-			return false
+			return false, rollback()
 		}
 		dest := r.search.findMachine(b, exclusion{machine: m})
 		if dest == topology.Invalid {
 			// Put the blocker back and abandon this machine.
 			if err := r.place(b, m); err != nil {
-				panic(fmt.Sprintf("core: restore blocker: %v", err))
+				return false, corrupt("migration restore blocker", err)
 			}
-			rollback()
-			return false
+			return false, rollback()
 		}
 		if err := r.place(b, dest); err != nil {
 			if perr := r.place(b, m); perr != nil {
-				panic(fmt.Sprintf("core: restore blocker after failed move: %v", perr))
+				return false, corrupt("migration restore blocker after failed move", perr)
 			}
-			rollback()
-			return false
+			return false, rollback()
 		}
 		done = append(done, move{c: b, from: m, to: dest})
 	}
 	if !r.blacklist.Allows(m, c) || !r.cluster.Machine(m).Fits(c.Demand) {
-		rollback()
-		return false
+		return false, rollback()
 	}
 	if err := r.place(c, m); err != nil {
-		rollback()
-		return false
+		return false, rollback()
 	}
 	r.migrations += len(done)
-	return true
+	return true, nil
 }
 
 // enforceGangs applies all-or-nothing application semantics: every
 // placed container whose application has at least one undeployed
 // sibling is withdrawn and added to the undeployed set.
-func (r *run) enforceGangs(undeployed []string) []string {
+func (r *run) enforceGangs(undeployed []string) ([]string, error) {
 	broken := make(map[string]bool)
 	for _, id := range undeployed {
 		if c := r.byID[id]; c != nil {
@@ -360,7 +394,7 @@ func (r *run) enforceGangs(undeployed []string) []string {
 		}
 	}
 	if len(broken) == 0 {
-		return undeployed
+		return undeployed, nil
 	}
 	for _, c := range r.w.Containers() {
 		if !broken[c.App] {
@@ -371,11 +405,11 @@ func (r *run) enforceGangs(undeployed []string) []string {
 			continue
 		}
 		if err := r.unplace(c, m); err != nil {
-			panic(fmt.Sprintf("core: gang rollback: %v", err))
+			return nil, corrupt("gang rollback", err)
 		}
 		undeployed = append(undeployed, c.ID)
 	}
-	return undeployed
+	return undeployed, nil
 }
 
 // consolidate empties lightly-loaded machines by migrating every
@@ -383,7 +417,7 @@ func (r *run) enforceGangs(undeployed []string) []string {
 // drained when every container relocates successfully; otherwise the
 // drain rolls back.  Consolidation never opens an empty machine, so
 // each successful drain strictly reduces the used-machine count.
-func (r *run) consolidate() {
+func (r *run) consolidate() error {
 	// Drains are deterministic in cluster/blacklist/flow state, and a
 	// failed drain rolls back exactly, so state advances only when a
 	// drain succeeds.  epoch counts successes; a machine whose drain
@@ -424,7 +458,9 @@ func (r *run) consolidate() {
 			}
 			// The memo shares feasibility prechecks across attempts: it
 			// too stays valid until the next successful drain.
-			if r.drain(cand.m, memo) {
+			if ok, err := r.drain(cand.m, memo); err != nil {
+				return err
+			} else if ok {
 				drained = true
 				epoch++
 				clear(memo)
@@ -433,9 +469,10 @@ func (r *run) consolidate() {
 			}
 		}
 		if !drained {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // drainKey classifies a resident for the drain feasibility precheck:
@@ -447,19 +484,21 @@ type drainKey struct {
 }
 
 // drain attempts to move every container off machine m into other
-// used machines; returns whether the machine was emptied.
-func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) bool {
+// used machines; returns whether the machine was emptied.  A non-nil
+// error means a rollback or restore step itself failed and the
+// scheduler state is corrupt.
+func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) (bool, error) {
 	machine := r.cluster.Machine(m)
 	var cs []*workload.Container
 	for _, id := range machine.ContainerIDs() {
 		c := r.containerByID(id)
 		if c == nil {
-			return false // unknown resident: not movable
+			return false, nil // unknown resident: not movable
 		}
 		cs = append(cs, c)
 	}
 	if len(cs) == 0 {
-		return false
+		return false, nil
 	}
 	// Exact feasibility precheck.  Moves within a drain only shrink
 	// free space and grow blacklists on candidate destinations (m
@@ -479,13 +518,13 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 			memo[key] = dest
 		}
 		if dest == topology.Invalid {
-			return false
+			return false, nil
 		}
 		if dest == m {
 			// The memoised destination is the machine being drained;
 			// only an exact per-machine search can settle this class.
 			if r.search.findMachine(c, exclusion{machine: m, skipEmpty: true}) == topology.Invalid {
-				return false
+				return false, nil
 			}
 		}
 	}
@@ -494,41 +533,39 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 		to topology.MachineID
 	}
 	var done []move
-	rollback := func() {
+	rollback := func() error {
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				panic(fmt.Sprintf("core: drain rollback unplace: %v", err))
+				return corrupt("drain rollback unplace", err)
 			}
 			if err := r.place(mv.c, m); err != nil {
-				panic(fmt.Sprintf("core: drain rollback replace: %v", err))
+				return corrupt("drain rollback replace", err)
 			}
 		}
+		return nil
 	}
 	for _, c := range cs {
 		if err := r.unplace(c, m); err != nil {
-			rollback()
-			return false
+			return false, rollback()
 		}
 		dest := r.search.findMachine(c, exclusion{machine: m, skipEmpty: true})
 		if dest == topology.Invalid {
 			if err := r.place(c, m); err != nil {
-				panic(fmt.Sprintf("core: drain restore: %v", err))
+				return false, corrupt("drain restore", err)
 			}
-			rollback()
-			return false
+			return false, rollback()
 		}
 		if err := r.place(c, dest); err != nil {
 			if perr := r.place(c, m); perr != nil {
-				panic(fmt.Sprintf("core: drain restore after failed move: %v", perr))
+				return false, corrupt("drain restore after failed move", perr)
 			}
-			rollback()
-			return false
+			return false, rollback()
 		}
 		done = append(done, move{c: c, to: dest})
 	}
 	r.consolidations += len(done)
-	return true
+	return true, nil
 }
 
 // tryDefrag clears resource fragmentation (Fig. 7): when a container
@@ -536,7 +573,7 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 // migrate the smallest containers off such a machine until the
 // demand fits.  This is the "rescheduling incurs a cost ... bound to
 // the worst complexity" mechanism of §IV.D.
-func (r *run) tryDefrag(c *workload.Container) bool {
+func (r *run) tryDefrag(c *workload.Container) (bool, error) {
 	type target struct {
 		m    topology.MachineID
 		free int64
@@ -566,16 +603,20 @@ func (r *run) tryDefrag(c *workload.Container) bool {
 		if i >= maxAttempts {
 			break
 		}
-		if r.defragInto(tg.m, c) {
-			return true
+		if ok, err := r.defragInto(tg.m, c); err != nil {
+			return false, err
+		} else if ok {
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // defragInto moves the smallest containers off machine m until c
-// fits, then places c; everything rolls back on failure.
-func (r *run) defragInto(m topology.MachineID, c *workload.Container) bool {
+// fits, then places c; everything rolls back on failure.  A non-nil
+// error means a rollback or restore step itself failed and the
+// scheduler state is corrupt.
+func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, error) {
 	machine := r.cluster.Machine(m)
 	// Choose movers: smallest CPU first, skip nothing else — the
 	// relocation search enforces their constraints at the new homes.
@@ -597,16 +638,17 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) bool {
 		from, to topology.MachineID
 	}
 	var done []move
-	rollback := func() {
+	rollback := func() error {
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				panic(fmt.Sprintf("core: defrag rollback unplace: %v", err))
+				return corrupt("defrag rollback unplace", err)
 			}
 			if err := r.place(mv.c, mv.from); err != nil {
-				panic(fmt.Sprintf("core: defrag rollback replace: %v", err))
+				return corrupt("defrag rollback replace", err)
 			}
 		}
+		return nil
 	}
 	const maxMoves = 4
 	for _, mv := range movers {
@@ -617,43 +659,42 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) bool {
 			break
 		}
 		if err := r.unplace(mv, m); err != nil {
-			rollback()
-			return false
+			return false, rollback()
 		}
 		dest := r.search.findMachine(mv, exclusion{machine: m})
 		if dest == topology.Invalid {
 			if err := r.place(mv, m); err != nil {
-				panic(fmt.Sprintf("core: defrag restore: %v", err))
+				return false, corrupt("defrag restore", err)
 			}
 			continue // try the next mover
 		}
 		if err := r.place(mv, dest); err != nil {
 			if perr := r.place(mv, m); perr != nil {
-				panic(fmt.Sprintf("core: defrag restore after failed move: %v", perr))
+				return false, corrupt("defrag restore after failed move", perr)
 			}
 			continue
 		}
 		done = append(done, move{c: mv, from: m, to: dest})
 	}
 	if !c.Demand.Fits(machine.Free()) || !r.blacklist.Allows(m, c) {
-		rollback()
-		return false
+		return false, rollback()
 	}
 	if err := r.place(c, m); err != nil {
-		rollback()
-		return false
+		return false, rollback()
 	}
 	r.migrations += len(done)
-	return true
+	return true, nil
 }
 
 // tryPreemption evicts strictly-lower-priority containers to free
 // resources for c (§III.B: weighted flows mean a high-priority
 // container's placement dominates; the evicted victims re-queue).
-// Returns the victims to requeue and whether preemption succeeded.
-func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool) {
+// Returns the victims to requeue and whether preemption succeeded; a
+// non-nil error means an eviction or restore step failed and the
+// scheduler state is corrupt.
+func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool, error) {
 	if !r.opts.DisableWeights && c.Priority <= workload.PriorityLow {
-		return nil, false
+		return nil, false, nil
 	}
 	for _, gname := range r.cluster.SubClusters() {
 		for _, rname := range r.cluster.SubCluster(gname).Racks {
@@ -684,8 +725,9 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool)
 				}
 				for _, v := range victims {
 					if err := r.unplace(v, mid); err != nil {
-						panic(fmt.Sprintf("core: evict: %v", err))
+						return nil, false, corrupt("preemption evict", err)
 					}
+					r.preemptLog = append(r.preemptLog, preemptEvent{claimant: c, victim: v, machine: mid})
 					r.requeues[v.Ord]++
 					if v.Priority >= c.Priority {
 						// Only reachable with DisableWeights: a
@@ -701,17 +743,17 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool)
 					// Should not happen: we just freed enough.
 					for _, v := range victims {
 						if perr := r.place(v, mid); perr != nil {
-							panic(fmt.Sprintf("core: restore victim: %v", perr))
+							return nil, false, corrupt("preemption restore victim", perr)
 						}
 					}
-					return nil, false
+					return nil, false, nil
 				}
 				r.preempts += len(victims)
-				return victims, true
+				return victims, true, nil
 			}
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // pickVictims chooses the smallest set of strictly-lower-priority

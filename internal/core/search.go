@@ -161,7 +161,12 @@ func (a *aggregates) refresh() {
 }
 
 // crossCheck validates the incremental aggregates against the naive
-// recompute; a mismatch is an index-maintenance bug and panics.
+// recompute; a mismatch is an index-maintenance bug and panics.  The
+// panics are deliberate: crossCheck only runs under Options.DebugChecks
+// (a test-only oracle, never a serving configuration), and an
+// aggregate-drift bug has no runtime recovery.
+//
+//aladdin:nondeterministic-ok test-only debug oracle; panic is the point
 func (a *aggregates) crossCheck(rname, gname string) {
 	if want := a.naiveRackMaxFree(rname); a.rackMaxFree[rname] != want {
 		panic(fmt.Sprintf("core: aggregate drift on rack %s: incremental %s, naive %s", rname, a.rackMaxFree[rname], want))

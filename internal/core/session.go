@@ -62,7 +62,7 @@ func (s *Session) Placed(containerID string) bool {
 // can reconcile their view instead of silently diverging from the
 // live cluster state.
 func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
-	start := time.Now()
+	start := s.opts.now()
 	r := s.r
 	migBefore, preBefore := r.migrations, r.preempts
 	exploredBefore := r.search.explored
@@ -70,6 +70,9 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	queue := make([]*workload.Container, 0, len(batch))
 	batchSet := make(map[string]bool, len(batch))
 	for _, c := range batch {
+		if c == nil {
+			return nil, fmt.Errorf("core: session: nil container in batch")
+		}
 		if r.byID[c.ID] == nil {
 			return nil, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
 		}
@@ -110,7 +113,7 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 		Undeployed:  undeployed,
 		Migrations:  r.migrations - migBefore,
 		Preemptions: r.preempts - preBefore,
-		Elapsed:     time.Since(start),
+		Elapsed:     s.opts.now().Sub(start),
 		WorkUnits:   r.search.explored - exploredBefore,
 	}
 	// Total for this batch only.
@@ -153,16 +156,37 @@ func (s *Session) placeQueue(queue []*workload.Container) ([]string, error) {
 			s.placed[c.ID] = true
 			continue
 		}
-		if s.opts.Migration && r.tryMigration(c) {
-			s.placed[c.ID] = true
-			continue
-		}
-		if s.opts.Migration && r.tryDefrag(c) {
-			s.placed[c.ID] = true
-			continue
+		if s.opts.Migration {
+			ok, err := r.tryMigration(c)
+			if err != nil {
+				for _, rest := range queue[i:] {
+					undeployed = append(undeployed, rest.ID)
+				}
+				return undeployed, err
+			}
+			if ok {
+				s.placed[c.ID] = true
+				continue
+			}
+			if ok, err = r.tryDefrag(c); err != nil {
+				for _, rest := range queue[i:] {
+					undeployed = append(undeployed, rest.ID)
+				}
+				return undeployed, err
+			} else if ok {
+				s.placed[c.ID] = true
+				continue
+			}
 		}
 		if s.opts.Preemption {
-			if victims, ok := r.tryPreemption(c); ok {
+			victims, ok, err := r.tryPreemption(c)
+			if err != nil {
+				for _, rest := range queue[i:] {
+					undeployed = append(undeployed, rest.ID)
+				}
+				return undeployed, err
+			}
+			if ok {
 				s.placed[c.ID] = true
 				for _, v := range victims {
 					// A victim from an earlier batch re-enters this
@@ -239,7 +263,7 @@ type FailureResult struct {
 // conservation holds because every eviction cancels its flow before
 // any re-placement augments a new path.
 func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
-	start := time.Now()
+	start := s.opts.now()
 	r := s.r
 	machine := r.cluster.Machine(id)
 	if machine == nil {
@@ -268,7 +292,7 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 			// never routed through the flow network, so there is
 			// nothing to cancel and nothing to re-place.
 			if _, err := machine.Release(cid); err != nil {
-				res.Elapsed = time.Since(start)
+				res.Elapsed = s.opts.now().Sub(start)
 				return res, err
 			}
 			r.search.noteUpdate(id)
@@ -276,7 +300,7 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 			continue
 		}
 		if err := r.unplace(c, id); err != nil {
-			res.Elapsed = time.Since(start)
+			res.Elapsed = s.opts.now().Sub(start)
 			return res, err
 		}
 		s.placed[cid] = false
@@ -302,7 +326,7 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 	}
 	res.Migrations = r.migrations - migBefore
 	res.Preemptions = r.preempts - preBefore
-	res.Elapsed = time.Since(start)
+	res.Elapsed = s.opts.now().Sub(start)
 	return res, err
 }
 
@@ -327,10 +351,12 @@ func (s *Session) RecoverMachine(id topology.MachineID) error {
 
 // Consolidate runs the machine-draining pass on demand (e.g. during
 // off-peak hours) and returns the number of migrations it performed.
-func (s *Session) Consolidate() int {
+// A non-nil error is a CorruptionError: a drain's rollback failed and
+// the session state can no longer be trusted.
+func (s *Session) Consolidate() (int, error) {
 	before := s.r.consolidations
-	s.r.consolidate()
-	return s.r.consolidations - before
+	err := s.r.consolidate()
+	return s.r.consolidations - before, err
 }
 
 // Audit re-checks the live placement for violations; a healthy

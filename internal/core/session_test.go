@@ -79,6 +79,21 @@ func TestSessionRejectsDuplicatesAndUnknown(t *testing.T) {
 	if _, err := s.Place([]*workload.Container{ghost}); err == nil {
 		t.Error("unknown container should fail")
 	}
+	// Malformed requests must come back as errors, never crash the
+	// serving process: a nil entry and a same-batch duplicate.
+	if _, err := s.Place([]*workload.Container{web[1], nil}); err == nil {
+		t.Error("nil container in batch should fail")
+	}
+	if _, err := s.Place([]*workload.Container{web[1], web[1]}); err == nil {
+		t.Error("duplicate container within one batch should fail")
+	}
+	// The rejected batches must leave no partial state behind.
+	if s.Placed(web[1].ID) {
+		t.Error("rejected batch leaked a placement")
+	}
+	if vs := s.AuditInvariants(); len(vs) != 0 {
+		t.Errorf("rejected batches left violations: %v", vs)
+	}
 }
 
 func TestSessionRemoveAndReuse(t *testing.T) {
@@ -207,7 +222,11 @@ func TestSessionConsolidate(t *testing.T) {
 	// re-place on a fresh session instead: simpler — fragmented state
 	// arises naturally in bigger runs; here just assert Consolidate
 	// is a no-op on a packed cluster.
-	if moved := s.Consolidate(); moved != 0 {
+	moved, err := s.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
 		t.Errorf("consolidate on packed cluster moved %d", moved)
 	}
 	if vs := s.Audit(); len(vs) != 0 {

@@ -96,7 +96,9 @@ func (g *Graph) AddArc(from, to NodeID, capacity, cost int64) (int, error) {
 }
 
 // MustAddArc is AddArc that panics on error, for construction code
-// whose inputs are known valid.
+// whose inputs are known valid (the Must* convention).
+//
+//aladdin:nondeterministic-ok Must* constructor; inputs are static
 func (g *Graph) MustAddArc(from, to NodeID, capacity, cost int64) int {
 	idx, err := g.AddArc(from, to, capacity, cost)
 	if err != nil {

@@ -145,7 +145,10 @@ func NewAdaptor(cluster *topology.Cluster, bus *Bus) *Adaptor {
 }
 
 // Cluster exposes the underlying topology (read-side of the watch
-// API).
+// API).  The pointer is set once at construction and never reassigned,
+// so reading it without the mutex is safe.
+//
+//aladdin:lock-ok immutable after construction
 func (a *Adaptor) Cluster() *topology.Cluster { return a.cluster }
 
 // Binding returns the machine a container is bound to, if any.

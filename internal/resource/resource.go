@@ -161,7 +161,10 @@ func (v Vector) DominantShare(capacity Vector) float64 {
 
 // Utilization returns the mean utilisation of used against capacity
 // across dimensions, in [0,1].  Dimensions with zero capacity are
-// skipped.
+// skipped.  Floats are fine here: utilisation is a reporting metric,
+// never an allocation decision, so rounding cannot double-book.
+//
+//aladdin:float-ok reporting metric, not capacity accounting
 func Utilization(used, capacity Vector) float64 {
 	sum, n := 0.0, 0
 	if capacity.CPUMilli > 0 {
@@ -201,6 +204,10 @@ func Sum(vs []Vector) Vector {
 	return total
 }
 
+// ratio divides as float for the reporting helpers above; allocation
+// math stays integer.
+//
+//aladdin:float-ok reporting metric, not capacity accounting
 func ratio(num, den int64) float64 {
 	if den <= 0 {
 		if num > 0 {

@@ -49,6 +49,13 @@ type OnlineConfig struct {
 	// an exponential repair time).  Defaults to 10× the mean
 	// interarrival when failures are enabled.
 	MTTR time.Duration
+	// DeepAudit swaps the per-event anti-affinity audit for the full
+	// runtime invariant Auditor (Session.AuditInvariants): flow
+	// conservation per tier, index/aggregate consistency, assignment
+	// cross-checks and preemption ordering, checked after every
+	// failure and recovery event and again at drain.  Slower — meant
+	// for validation runs and fuzzing, not benchmarks.
+	DeepAudit bool
 }
 
 // OnlineMetrics summarises an online run.
@@ -227,6 +234,16 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		byApp[c.App] = append(byApp[c.App], c)
 	}
 
+	// audit returns the violation count for one checkpoint: the cheap
+	// anti-affinity audit by default, the full invariant Auditor under
+	// DeepAudit.
+	audit := func() int {
+		if cfg.DeepAudit {
+			return len(session.AuditInvariants())
+		}
+		return len(session.Audit())
+	}
+
 	var replaceLat []float64
 	for h.Len() > 0 {
 		e := h.popEvent()
@@ -310,7 +327,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			}
 			// The failure invariant: eviction re-placement never
 			// violates anti-affinity or priority.
-			m.Violations += len(session.Audit())
+			m.Violations += audit()
 		case kindRecover:
 			if cluster.Machine(e.machine).Up() {
 				continue // never failed, or an overlapping repair won
@@ -319,9 +336,12 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 				return nil, fmt.Errorf("sim: online recovery: %w", err)
 			}
 			m.Recoveries++
+			if cfg.DeepAudit {
+				m.Violations += audit()
+			}
 		}
 	}
-	m.Violations += len(session.Audit())
+	m.Violations += audit()
 	m.BatchLatency = stats.NewCDF(latencies)
 	m.ReplaceLatency = stats.NewCDF(replaceLat)
 	m.StreamP50 = p50.Value()

@@ -202,6 +202,34 @@ func TestRunOnlineWithFailures(t *testing.T) {
 	}
 }
 
+func TestRunOnlineDeepAudit(t *testing.T) {
+	// DeepAudit runs the full invariant Auditor (flow conservation,
+	// index/aggregate drift, assignment cross-checks, preemption
+	// ordering) after every failure and recovery: a correct scheduler
+	// survives an aggressive failure schedule with zero findings.
+	w := trace.MustGenerate(trace.Scaled(42, 120))
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         48,
+		Options:          core.DefaultOptions(),
+		Seed:             7,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     5 * time.Second,
+		MTBF:             2 * time.Second,
+		MTTR:             3 * time.Second,
+		DeepAudit:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures == 0 {
+		t.Fatal("MTBF of 2 interarrivals must produce failures")
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0 — deep audit found broken invariants", m.Violations)
+	}
+}
+
 func TestRunOnlineFailuresDontPerturbArrivals(t *testing.T) {
 	// The failure timeline draws from its own rng stream: enabling
 	// failures must not change which applications arrive when, so the

@@ -122,7 +122,10 @@ func Generate(cfg Config) (*workload.Workload, error) {
 	return workload.New(apps)
 }
 
-// MustGenerate is Generate that panics on error, for tests/examples.
+// MustGenerate is Generate that panics on error, for tests/examples
+// (the Must* convention).
+//
+//aladdin:nondeterministic-ok Must* constructor; inputs are static
 func MustGenerate(cfg Config) *workload.Workload {
 	w, err := Generate(cfg)
 	if err != nil {
