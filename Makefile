@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench clean
+.PHONY: build test verify lint fuzz bench cover allocguard clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,24 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "lint: govulncheck not installed, skipping"; fi
 
+# cover runs the suite with coverage and prints the per-package and
+# total summary.
+cover:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# allocguard verifies the disabled-observability fast paths stay
+# allocation-free: a nil-sink Tracer.Emit and nil-registry counter
+# must cost 0 allocs/op, so uninstrumented schedulers pay nothing.
+allocguard:
+	@out="$$($(GO) test ./internal/obs/ -run='^$$' -bench='BenchmarkTracerDisabled|BenchmarkCounterDisabled' -benchmem -benchtime=1000x)"; \
+	echo "$$out"; \
+	if echo "$$out" | grep -E '^Benchmark' | awk '{ if ($$(NF-1) != 0) exit 1 }'; then \
+		echo "allocguard: disabled paths are allocation-free"; \
+	else \
+		echo "allocguard: nil-sink path allocates!" >&2; exit 1; \
+	fi
+
 # fuzz gives each invariant fuzz target a short budget beyond its
 # committed seed corpus; FUZZTIME=5m for a serious soak.
 FUZZTIME ?= 10s
@@ -50,4 +68,4 @@ bench:
 	@cat BENCH_search.json
 
 clean:
-	rm -f BENCH_search.json
+	rm -f BENCH_search.json coverage.out

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"aladdin/internal/core"
+	"aladdin/internal/obs"
 	"aladdin/internal/server"
 	"aladdin/internal/topology"
 	"aladdin/internal/trace"
@@ -33,6 +34,7 @@ func main() {
 		machines  = flag.Int("machines", 256, "cluster size")
 		wbase     = flag.Int64("wbase", 16, "Aladdin priority weight base")
 		placeAll  = flag.Bool("place-all", false, "schedule the whole workload at startup")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -55,6 +57,8 @@ func main() {
 	cluster := topology.New(topology.AlibabaConfig(*machines))
 	opts := core.DefaultOptions()
 	opts.WeightBase = *wbase
+	reg := obs.NewRegistry()
+	opts.Metrics = reg // /metrics exposes the scheduler's phase histograms
 	session := core.NewSession(opts, w, cluster)
 
 	if *placeAll {
@@ -66,7 +70,11 @@ func main() {
 			res.Deployed(), res.Total, res.Migrations)
 	}
 
-	srv := server.New(session, w, cluster)
+	srvOpts := []server.Option{server.WithRegistry(reg)}
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
+	srv := server.New(session, w, cluster, srvOpts...)
 	fmt.Printf("aladdin-server: %d apps / %d containers, %d machines, listening on %s\n",
 		len(w.Apps()), w.NumContainers(), *machines, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))

@@ -23,6 +23,7 @@ import (
 	"aladdin/internal/firmament"
 	"aladdin/internal/gokube"
 	"aladdin/internal/medea"
+	"aladdin/internal/obs"
 	"aladdin/internal/sched"
 	"aladdin/internal/sim"
 	"aladdin/internal/topology"
@@ -47,6 +48,7 @@ func main() {
 		explain   = flag.Int("explain", 0, "diagnose up to N undeployed containers after the run")
 		benchOut  = flag.String("bench-out", "", "append a JSON benchmark record to this file")
 		benchTag  = flag.String("bench-label", "", "label for the -bench-out record (default scheduler/machines)")
+		metOut    = flag.String("metrics-out", "", "write a JSON metrics-registry snapshot to this file after the run")
 	)
 	flag.Parse()
 
@@ -58,9 +60,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	s, err := buildScheduler(*schedName, *reschd, *weightsCS, *wbase, *noIL, *noDL, *naive)
+	// With -metrics-out the run carries a metrics registry: Aladdin's
+	// core records its per-phase histograms into it directly; every
+	// scheduler additionally gets the scheduler-agnostic batch wrapper.
+	var reg *obs.Registry
+	if *metOut != "" {
+		reg = obs.NewRegistry()
+	}
+	s, err := buildScheduler(*schedName, *reschd, *weightsCS, *wbase, *noIL, *noDL, *naive, reg)
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		s = sched.Instrumented(s, reg)
 	}
 
 	m, err := sim.Run(sim.Config{
@@ -90,6 +102,11 @@ func main() {
 
 	if *benchOut != "" {
 		if err := writeBenchRecord(*benchOut, *benchTag, m); err != nil {
+			fatal(err)
+		}
+	}
+	if *metOut != "" {
+		if err := writeMetricsSnapshot(*metOut, reg); err != nil {
 			fatal(err)
 		}
 	}
@@ -176,6 +193,17 @@ func writeBenchRecord(path, label string, m sim.Metrics) error {
 	return err
 }
 
+// writeMetricsSnapshot dumps the registry as indented JSON — the same
+// shape /debug/vars serves on the live server.
+func writeMetricsSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteJSON(f)
+}
+
 func loadWorkload(path string, seed int64, factor int) (*workload.Workload, error) {
 	if path == "" {
 		return trace.Generate(trace.Scaled(seed, factor))
@@ -205,7 +233,7 @@ func parseOrder(name string) (workload.ArrivalOrder, error) {
 	}
 }
 
-func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noIL, noDL, naive bool) (sched.Scheduler, error) {
+func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noIL, noDL, naive bool, reg *obs.Registry) (sched.Scheduler, error) {
 	switch strings.ToLower(name) {
 	case "aladdin":
 		opts := core.DefaultOptions()
@@ -213,6 +241,7 @@ func buildScheduler(name string, reschd int, weightsCSV string, wbase int64, noI
 		opts.IsomorphismLimiting = !noIL
 		opts.DepthLimiting = !noDL
 		opts.NaiveSearch = naive
+		opts.Metrics = reg // nil when -metrics-out is unset
 		return core.New(opts), nil
 	case "gokube":
 		return gokube.NewDefault(), nil

@@ -44,7 +44,7 @@ func TestBuildScheduler(t *testing.T) {
 		"firmament-octopus": "Firmament-OCTOPUS(4)",
 	}
 	for in, want := range names {
-		s, err := buildScheduler(in, 4, "1,1,0.5", 32, false, false, false)
+		s, err := buildScheduler(in, 4, "1,1,0.5", 32, false, false, false, nil)
 		if err != nil {
 			t.Fatalf("buildScheduler(%q): %v", in, err)
 		}
@@ -52,11 +52,11 @@ func TestBuildScheduler(t *testing.T) {
 			t.Errorf("buildScheduler(%q).Name() = %q, want %q", in, s.Name(), want)
 		}
 	}
-	if _, err := buildScheduler("bogus", 1, "1,1,1", 16, false, false, false); err == nil {
+	if _, err := buildScheduler("bogus", 1, "1,1,1", 16, false, false, false, nil); err == nil {
 		t.Error("bogus scheduler should fail")
 	}
 	// Aladdin variant flags.
-	s, err := buildScheduler("aladdin", 1, "1,1,1", 64, true, true, false)
+	s, err := buildScheduler("aladdin", 1, "1,1,1", 64, true, true, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -287,5 +287,11 @@ func (a *Auditor) checkPreemptions() []AuditViolation {
 // subsumes Audit (which covers anti-affinity only) and is meant for
 // scheduling-round boundaries, failure-injection loops and fuzzing.
 func (s *Session) AuditInvariants() []AuditViolation {
-	return NewAuditor(s).Check()
+	if !s.r.met.on {
+		return NewAuditor(s).Check()
+	}
+	start := s.opts.now()
+	out := NewAuditor(s).Check()
+	s.r.met.auditLat.Observe(s.opts.now().Sub(start).Microseconds())
+	return out
 }

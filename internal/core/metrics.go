@@ -1,0 +1,110 @@
+package core
+
+import (
+	"aladdin/internal/obs"
+	"aladdin/internal/topology"
+)
+
+// coreMetrics bundles the scheduler's instrument handles.  It is held
+// by value; the zero value (all-nil handles, on=false) is the
+// disabled configuration — every record call is a nil-receiver no-op
+// and, because `on` also gates the phase clock reads, disabled
+// instrumentation adds no wall-clock reads to the hot path measured
+// in PR 1.
+type coreMetrics struct {
+	on bool
+
+	// Phase latency histograms, microseconds.
+	placeBatch *obs.Histogram
+	searchLat  *obs.Histogram
+	migLat     *obs.Histogram
+	preLat     *obs.Histogram
+	auditLat   *obs.Histogram
+	failLat    *obs.Histogram
+
+	// Search-path counters: IL cache outcomes, DL early cutoffs, and
+	// which search implementation answered.
+	ilHits        *obs.Counter
+	ilMisses      *obs.Counter
+	dlCutoffs     *obs.Counter
+	searchIndexed *obs.Counter
+	searchNaive   *obs.Counter
+
+	// Pipeline outcome counters.
+	placements     *obs.Counter
+	migrations     *obs.Counter
+	preemptions    *obs.Counter
+	consolidations *obs.Counter
+	corruptions    *obs.Counter
+	failures       *obs.Counter
+	recoveries     *obs.Counter
+
+	// Live-state gauges.
+	placedGauge  *obs.Gauge
+	machinesUp   *obs.Gauge
+	machinesDown *obs.Gauge
+}
+
+// newCoreMetrics registers the scheduler's metric families on reg; a
+// nil registry yields the disabled zero value.
+func newCoreMetrics(reg *obs.Registry) coreMetrics {
+	if reg == nil {
+		return coreMetrics{}
+	}
+	lat := obs.LatencyBucketsUS
+	return coreMetrics{
+		on: true,
+
+		placeBatch: reg.Histogram("aladdin_place_batch_duration_us", "wall-clock latency of one Place/Schedule batch, microseconds", lat),
+		searchLat:  reg.Histogram("aladdin_search_duration_us", "latency of one findMachine path search, microseconds", lat),
+		migLat:     reg.Histogram("aladdin_migration_duration_us", "latency of one migration/defragmentation rescue attempt, microseconds", lat),
+		preLat:     reg.Histogram("aladdin_preemption_duration_us", "latency of one preemption rescue attempt, microseconds", lat),
+		auditLat:   reg.Histogram("aladdin_audit_duration_us", "latency of one AuditInvariants pass, microseconds", lat),
+		failLat:    reg.Histogram("aladdin_fail_machine_duration_us", "eviction plus re-placement latency of one machine failure, microseconds", lat),
+
+		ilHits:        reg.Counter("aladdin_il_cache_hits_total", "searches skipped by the isomorphism-limiting cache"),
+		ilMisses:      reg.Counter("aladdin_il_cache_misses_total", "searches that ran because the IL cache had no valid entry"),
+		dlCutoffs:     reg.Counter("aladdin_dl_cutoffs_total", "searches truncated at the first feasible machine by depth limiting"),
+		searchIndexed: reg.Counter("aladdin_search_indexed_total", "path searches answered by the residual-capacity index"),
+		searchNaive:   reg.Counter("aladdin_search_naive_total", "path searches answered by the naive linear scan"),
+
+		placements:     reg.Counter("aladdin_placements_total", "augmenting paths routed (containers placed, including rescue re-placements)"),
+		migrations:     reg.Counter("aladdin_migrations_total", "containers relocated by migration and defragmentation"),
+		preemptions:    reg.Counter("aladdin_preemptions_total", "containers evicted by preemption"),
+		consolidations: reg.Counter("aladdin_consolidations_total", "containers relocated by consolidation drains"),
+		corruptions:    reg.Counter("aladdin_corruptions_total", "rollback failures that poisoned the scheduler state"),
+		failures:       reg.Counter("aladdin_machine_failures_total", "machines taken out of service by FailMachine"),
+		recoveries:     reg.Counter("aladdin_machine_recoveries_total", "machines returned to service by RecoverMachine"),
+
+		placedGauge:  reg.Gauge("aladdin_flow_containers_placed", "containers currently holding an augmenting path in the flow network"),
+		machinesUp:   reg.Gauge("aladdin_machines_up", "machines currently in service"),
+		machinesDown: reg.Gauge("aladdin_machines_down", "machines currently failed"),
+	}
+}
+
+// initGauges seeds the live-state gauges from cluster ground truth at
+// session/run construction.
+func (m coreMetrics) initGauges(cluster *topology.Cluster) {
+	if !m.on {
+		return
+	}
+	var up, down int64
+	for _, machine := range cluster.Machines() {
+		if machine.Up() {
+			up++
+		} else {
+			down++
+		}
+	}
+	m.machinesUp.Set(up)
+	m.machinesDown.Set(down)
+}
+
+// corrupt wraps a rescue-step failure as a CorruptionError, counting
+// it and emitting the corruption trace event first — a corrupted
+// session is exactly what an operator needs paged about.
+func (r *run) corrupt(op string, err error) error {
+	r.met.corruptions.Inc()
+	r.trc.Emit(obs.Event{Kind: obs.EvRollbackCorruption, Detail: op, Machine: -1})
+	return corrupt(op, err)
+}

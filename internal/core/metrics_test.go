@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aladdin/internal/obs"
+	"aladdin/internal/resource"
+	"aladdin/internal/workload"
+)
+
+// stepClock is a deterministic fake for Options.Clock: every read
+// advances by a fixed step, so any pair of reads with no reads in
+// between measures exactly one step.
+type stepClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *stepClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestPhaseHistogramsExactWithFakeClock drives a session whose every
+// container places directly (no rescue passes fire), under a clock
+// that steps 100µs per read.  With that workload the clock-read
+// schedule is fully determined: Place reads once at entry, findMachine
+// reads twice per container, Place reads once at exit.  Every search
+// observation must therefore be exactly one step, and the batch
+// histogram must hold exactly (2n+1) steps.
+func TestPhaseHistogramsExactWithFakeClock(t *testing.T) {
+	const step = 100 * time.Microsecond
+	clk := &stepClock{t: time.Unix(0, 0), step: step}
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Clock = clk.now
+	opts.Metrics = reg
+
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 4, Priority: workload.PriorityHigh},
+	})
+	cl := smallCluster(4)
+	s := NewSession(opts, w, cl)
+	res, err := s.Place(w.Containers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("undeployed: %v", res.Undeployed)
+	}
+
+	const n = 4 // containers, all placed by direct search
+	snap := reg.Snapshot()
+
+	search := snap.Histograms["aladdin_search_duration_us"]
+	if search.Count != n {
+		t.Fatalf("search observations = %d, want %d", search.Count, n)
+	}
+	if want := int64(n * step.Microseconds()); search.Sum != want {
+		t.Fatalf("search duration sum = %dµs, want %dµs (every search exactly one clock step)", search.Sum, want)
+	}
+	// 100µs lands precisely in the le=100 bucket of the shared ladder.
+	for i, bound := range search.Bounds {
+		if bound == step.Microseconds() && search.Counts[i] != n {
+			t.Fatalf("le=%d bucket holds %d, want all %d observations", bound, search.Counts[i], n)
+		}
+	}
+
+	batch := snap.Histograms["aladdin_place_batch_duration_us"]
+	if batch.Count != 1 {
+		t.Fatalf("batch observations = %d, want 1", batch.Count)
+	}
+	// Reads: 1 at entry + 2 per search + 1 at exit → elapsed spans
+	// 2n+1 steps between the first and last read.
+	if want := int64((2*n + 1) * step.Microseconds()); batch.Sum != want {
+		t.Fatalf("batch duration = %dµs, want %dµs", batch.Sum, want)
+	}
+
+	if got := snap.Counters["aladdin_search_indexed_total"]; got != n {
+		t.Fatalf("indexed searches = %d, want %d", got, n)
+	}
+	if got := snap.Counters["aladdin_search_naive_total"]; got != 0 {
+		t.Fatalf("naive searches = %d, want 0", got)
+	}
+	// DL is on and every search succeeded → every search cut off early.
+	if got := snap.Counters["aladdin_dl_cutoffs_total"]; got != n {
+		t.Fatalf("DL cutoffs = %d, want %d", got, n)
+	}
+	if got := snap.Counters["aladdin_placements_total"]; got != n {
+		t.Fatalf("placements = %d, want %d", got, n)
+	}
+	if got := snap.Gauges["aladdin_flow_containers_placed"]; got != n {
+		t.Fatalf("placed gauge = %d, want %d", got, n)
+	}
+	if got := snap.Gauges["aladdin_machines_up"]; got != 4 {
+		t.Fatalf("machines up = %d, want 4", got)
+	}
+}
+
+// TestILCacheCountersAndFailureMetrics covers the IL hit/miss split,
+// the audit-latency histogram, and the failure/recovery metrics.
+func TestILCacheCountersAndFailureMetrics(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0), step: 50 * time.Microsecond}
+	reg := obs.NewRegistry()
+	sink := &obs.SliceSink{}
+	opts := DefaultOptions()
+	opts.Migration = false
+	opts.Preemption = false
+	opts.Clock = clk.now
+	opts.Metrics = reg
+	opts.Tracer = obs.NewTracer(sink)
+
+	// A 1-machine cluster: the first oversized replica fails the
+	// search and primes the IL cache; the remaining siblings hit it.
+	w := workload.MustNew([]*workload.App{
+		{ID: "huge", Demand: resource.Cores(64, 128*1024), Replicas: 3},
+		{ID: "tiny", Demand: resource.Cores(1, 1024), Replicas: 1},
+	})
+	cl := smallCluster(1)
+	s := NewSession(opts, w, cl)
+	if _, err := s.Place(w.Containers()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["aladdin_il_cache_hits_total"]; got != 2 {
+		t.Fatalf("IL hits = %d, want 2 (two huge siblings skipped)", got)
+	}
+	// huge[0] and tiny both went through the search.
+	if got := snap.Counters["aladdin_il_cache_misses_total"]; got != 2 {
+		t.Fatalf("IL misses = %d, want 2", got)
+	}
+
+	if vs := s.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("audit violations: %v", vs)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Histograms["aladdin_audit_duration_us"].Count; got != 1 {
+		t.Fatalf("audit observations = %d, want 1", got)
+	}
+
+	mid := cl.Machines()[0].ID
+	if _, err := s.FailMachine(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverMachine(mid); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["aladdin_machine_failures_total"]; got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+	if got := snap.Counters["aladdin_machine_recoveries_total"]; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	if got := snap.Gauges["aladdin_machines_down"]; got != 0 {
+		t.Fatalf("machines down = %d, want 0 after recovery", got)
+	}
+	if got := snap.Histograms["aladdin_fail_machine_duration_us"].Count; got != 1 {
+		t.Fatalf("failure latency observations = %d, want 1", got)
+	}
+
+	if got := sink.Count(obs.EvFailMachine); got != 1 {
+		t.Fatalf("fail events = %d, want 1", got)
+	}
+	if got := sink.Count(obs.EvRecoverMachine); got != 1 {
+		t.Fatalf("recover events = %d, want 1", got)
+	}
+	if got := sink.Count(obs.EvPlaceStart); got != 1 {
+		t.Fatalf("place-start events = %d, want 1", got)
+	}
+	if got := sink.Count(obs.EvAugmentingPath); got < 1 {
+		t.Fatalf("augmenting-path events = %d, want >= 1", got)
+	}
+}
+
+// TestPreemptionAndCorruptionEvents checks the preemption counter,
+// latency histogram and trace events through a real eviction.
+func TestPreemptionAndCorruptionEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &obs.SliceSink{}
+	opts := DefaultOptions()
+	opts.Migration = false
+	opts.Metrics = reg
+	opts.Tracer = obs.NewTracer(sink)
+
+	// One machine, filled by low-priority containers; a high-priority
+	// arrival must preempt.
+	w := workload.MustNew([]*workload.App{
+		{ID: "low", Demand: resource.Cores(16, 32*1024), Replicas: 2, Priority: workload.PriorityLow},
+		{ID: "high", Demand: resource.Cores(16, 32*1024), Replicas: 1, Priority: workload.PriorityHigh},
+	})
+	cl := smallCluster(1)
+	s := NewSession(opts, w, cl)
+	if _, err := s.Place(appContainers(w, "low")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Place(appContainers(w, "high"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatalf("expected a preemption, got none (undeployed %v)", res.Undeployed)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["aladdin_preemptions_total"]; got != int64(res.Preemptions) {
+		t.Fatalf("preemption counter = %d, want %d", got, res.Preemptions)
+	}
+	if got := snap.Histograms["aladdin_preemption_duration_us"].Count; got < 1 {
+		t.Fatalf("preemption latency observations = %d, want >= 1", got)
+	}
+	if got := sink.Count(obs.EvPreempt); got != res.Preemptions {
+		t.Fatalf("preempt events = %d, want %d", got, res.Preemptions)
+	}
+	if got := snap.Counters["aladdin_corruptions_total"]; got != 0 {
+		t.Fatalf("corruption counter = %d, want 0 on a healthy run", got)
+	}
+}
+
+// TestDisabledInstrumentationAllocatesNothing is the satellite's
+// zero-cost guarantee at the core layer: with no registry and no
+// tracer attached, the record calls instrumented code makes are
+// nil-receiver no-ops with 0 allocations.
+func TestDisabledInstrumentationAllocatesNothing(t *testing.T) {
+	r := &run{} // zero coreMetrics, nil tracer: the disabled shape
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.met.searchLat.Observe(42)
+		r.met.ilHits.Inc()
+		r.met.placements.Inc()
+		r.met.placedGauge.Add(1)
+		r.trc.Emit(obs.Event{Kind: obs.EvAugmentingPath, Container: "web-0", Machine: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+// TestMetricsSharedAcrossSessionLifetime: a second batch through the
+// same session accumulates into the same registry families, and the
+// batch scheduler path (Schedule) records into a registry too.
+func TestMetricsSharedAcrossSessionLifetime(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Metrics = reg
+
+	w := sessionWorkload()
+	cl := smallCluster(8)
+	s := NewSession(opts, w, cl)
+	if _, err := s.Place(appContainers(w, "batch")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(appContainers(w, "web")); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["aladdin_place_batch_duration_us"].Count; got != 2 {
+		t.Fatalf("batch observations = %d, want 2", got)
+	}
+
+	reg2 := obs.NewRegistry()
+	opts2 := DefaultOptions()
+	opts2.Metrics = reg2
+	w2 := sessionWorkload()
+	cl2 := smallCluster(8)
+	if _, err := New(opts2).Schedule(w2, cl2, w2.Arrange(workload.OrderSubmission)); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := reg2.Snapshot()
+	if got := snap2.Histograms["aladdin_place_batch_duration_us"].Count; got != 1 {
+		t.Fatalf("Schedule batch observations = %d, want 1", got)
+	}
+	if snap2.Counters["aladdin_placements_total"] == 0 {
+		t.Fatalf("Schedule recorded no placements")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"aladdin/internal/obs"
 )
 
 // Options configures an Aladdin scheduler instance.
@@ -71,6 +73,16 @@ type Options struct {
 	// and so the determinism analyzer can prove the scheduler core
 	// has exactly one wall-clock read site.
 	Clock func() time.Time
+	// Metrics, when non-nil, receives the scheduler's phase-latency
+	// histograms, pipeline counters and live-state gauges (see
+	// internal/obs).  Nil disables instrumentation entirely: no
+	// registry lookups, no clock reads beyond the one per-batch
+	// Elapsed pair, no allocations on the search hot path.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured scheduler events
+	// (placements, preemptions, migrations, corruption, machine
+	// failures).  Nil is the zero-cost disabled tracer.
+	Tracer *obs.Tracer
 	// GangScheduling makes application placement all-or-nothing: if
 	// any container of an application cannot be placed, the whole
 	// application is rolled back and undeployed.  Container groups of

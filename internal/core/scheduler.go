@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"aladdin/internal/constraint"
+	"aladdin/internal/obs"
 	"aladdin/internal/resource"
 	"aladdin/internal/sched"
 	"aladdin/internal/topology"
@@ -36,6 +37,8 @@ type run struct {
 	ladder    *constraint.WeightLadder
 	blacklist *constraint.Blacklist
 	search    *searcher
+	met       coreMetrics
+	trc       *obs.Tracer
 
 	// asg is the live assignment, keyed by container ordinal (Invalid =
 	// undeployed).  place/unplace are the scheduler's innermost
@@ -84,6 +87,12 @@ func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run 
 		r.byID[c.ID] = c
 	}
 	r.search = newSearcher(opts, cluster, r.blacklist)
+	r.met = newCoreMetrics(opts.Metrics)
+	r.trc = opts.Tracer
+	// Assigned after construction so newSearcher's signature stays
+	// stable for the search benchmarks that build one directly.
+	r.search.met = r.met
+	r.met.initGauges(cluster)
 	return r
 }
 
@@ -109,6 +118,7 @@ func (r *run) assignmentMap() constraint.Assignment {
 func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*sched.Result, error) {
 	start := s.opts.now()
 	r := newRun(s.opts, w, cluster)
+	r.trc.Emit(obs.Event{Kind: obs.EvPlaceStart, Machine: -1, N: int64(len(arrivals))})
 
 	queue := make([]*workload.Container, len(arrivals))
 	copy(queue, arrivals)
@@ -118,9 +128,13 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 		// Isomorphism limiting (Fig. 5a): a sibling of this container
 		// already proved unplaceable and no capacity has been
 		// released since — the search cannot succeed, skip it.
-		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
-			undeployed = append(undeployed, c.ID)
-			continue
+		if s.opts.IsomorphismLimiting {
+			if r.search.il.skip(c.App) {
+				r.met.ilHits.Inc()
+				undeployed = append(undeployed, c.ID)
+				continue
+			}
+			r.met.ilMisses.Inc()
 		}
 		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
 			if err := r.place(c, m); err != nil {
@@ -220,6 +234,7 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 		Elapsed:        s.opts.now().Sub(start),
 		WorkUnits:      r.search.explored,
 	}
+	r.met.placeBatch.Observe(res.Elapsed.Microseconds())
 	res.Finalize(w)
 	return res, nil
 }
@@ -246,6 +261,9 @@ func (r *run) place(c *workload.Container, m topology.MachineID) error {
 	r.asg[c.Ord] = m
 	r.asgMap = nil
 	r.search.noteUpdate(m)
+	r.met.placements.Inc()
+	r.met.placedGauge.Add(1)
+	r.trc.Emit(obs.Event{Kind: obs.EvAugmentingPath, Container: c.ID, Machine: int64(m)})
 	return nil
 }
 
@@ -263,6 +281,7 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 	r.asgMap = nil
 	r.search.noteUpdate(m)
 	r.search.il.bump()
+	r.met.placedGauge.Add(-1)
 	return nil
 }
 
@@ -272,6 +291,16 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 // relocated containers stay deployed, so priority safety holds by
 // construction.
 func (r *run) tryMigration(c *workload.Container) (bool, error) {
+	if !r.met.on {
+		return r.tryMigrationInner(c)
+	}
+	start := r.opts.now()
+	ok, err := r.tryMigrationInner(c)
+	r.met.migLat.Observe(r.opts.now().Sub(start).Microseconds())
+	return ok, err
+}
+
+func (r *run) tryMigrationInner(c *workload.Container) (bool, error) {
 	// Enumerate every machine the container fits on resource-wise,
 	// then try the ones with the fewest blockers first: lightly
 	// blocked machines clear cheapest, and under heavy anti-affinity
@@ -345,10 +374,10 @@ func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				return corrupt("migration rollback unplace", err)
+				return r.corrupt("migration rollback unplace", err)
 			}
 			if err := r.place(mv.c, mv.from); err != nil {
-				return corrupt("migration rollback replace", err)
+				return r.corrupt("migration rollback replace", err)
 			}
 		}
 		return nil
@@ -361,13 +390,13 @@ func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *
 		if dest == topology.Invalid {
 			// Put the blocker back and abandon this machine.
 			if err := r.place(b, m); err != nil {
-				return false, corrupt("migration restore blocker", err)
+				return false, r.corrupt("migration restore blocker", err)
 			}
 			return false, rollback()
 		}
 		if err := r.place(b, dest); err != nil {
 			if perr := r.place(b, m); perr != nil {
-				return false, corrupt("migration restore blocker after failed move", perr)
+				return false, r.corrupt("migration restore blocker after failed move", perr)
 			}
 			return false, rollback()
 		}
@@ -380,6 +409,10 @@ func (r *run) relocate(blockers []*workload.Container, m topology.MachineID, c *
 		return false, rollback()
 	}
 	r.migrations += len(done)
+	r.met.migrations.Add(int64(len(done)))
+	for _, mv := range done {
+		r.trc.Emit(obs.Event{Kind: obs.EvMigrate, Container: c.ID, Victim: mv.c.ID, Machine: int64(mv.to), Detail: "migration"})
+	}
 	return true, nil
 }
 
@@ -405,7 +438,7 @@ func (r *run) enforceGangs(undeployed []string) ([]string, error) {
 			continue
 		}
 		if err := r.unplace(c, m); err != nil {
-			return nil, corrupt("gang rollback", err)
+			return nil, r.corrupt("gang rollback", err)
 		}
 		undeployed = append(undeployed, c.ID)
 	}
@@ -537,10 +570,10 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				return corrupt("drain rollback unplace", err)
+				return r.corrupt("drain rollback unplace", err)
 			}
 			if err := r.place(mv.c, m); err != nil {
-				return corrupt("drain rollback replace", err)
+				return r.corrupt("drain rollback replace", err)
 			}
 		}
 		return nil
@@ -552,19 +585,23 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 		dest := r.search.findMachine(c, exclusion{machine: m, skipEmpty: true})
 		if dest == topology.Invalid {
 			if err := r.place(c, m); err != nil {
-				return false, corrupt("drain restore", err)
+				return false, r.corrupt("drain restore", err)
 			}
 			return false, rollback()
 		}
 		if err := r.place(c, dest); err != nil {
 			if perr := r.place(c, m); perr != nil {
-				return false, corrupt("drain restore after failed move", perr)
+				return false, r.corrupt("drain restore after failed move", perr)
 			}
 			return false, rollback()
 		}
 		done = append(done, move{c: c, to: dest})
 	}
 	r.consolidations += len(done)
+	r.met.consolidations.Add(int64(len(done)))
+	for _, mv := range done {
+		r.trc.Emit(obs.Event{Kind: obs.EvMigrate, Victim: mv.c.ID, Machine: int64(mv.to), Detail: "drain"})
+	}
 	return true, nil
 }
 
@@ -572,8 +609,20 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 // fits no machine's free space but does fit some machine's capacity,
 // migrate the smallest containers off such a machine until the
 // demand fits.  This is the "rescheduling incurs a cost ... bound to
-// the worst complexity" mechanism of §IV.D.
+// the worst complexity" mechanism of §IV.D.  Its latency lands in the
+// migration histogram: defragmentation is the same relocate-to-admit
+// rescue, differing only in what blocks the claimant.
 func (r *run) tryDefrag(c *workload.Container) (bool, error) {
+	if !r.met.on {
+		return r.tryDefragInner(c)
+	}
+	start := r.opts.now()
+	ok, err := r.tryDefragInner(c)
+	r.met.migLat.Observe(r.opts.now().Sub(start).Microseconds())
+	return ok, err
+}
+
+func (r *run) tryDefragInner(c *workload.Container) (bool, error) {
 	type target struct {
 		m    topology.MachineID
 		free int64
@@ -642,10 +691,10 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 		for i := len(done) - 1; i >= 0; i-- {
 			mv := done[i]
 			if err := r.unplace(mv.c, mv.to); err != nil {
-				return corrupt("defrag rollback unplace", err)
+				return r.corrupt("defrag rollback unplace", err)
 			}
 			if err := r.place(mv.c, mv.from); err != nil {
-				return corrupt("defrag rollback replace", err)
+				return r.corrupt("defrag rollback replace", err)
 			}
 		}
 		return nil
@@ -664,13 +713,13 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 		dest := r.search.findMachine(mv, exclusion{machine: m})
 		if dest == topology.Invalid {
 			if err := r.place(mv, m); err != nil {
-				return false, corrupt("defrag restore", err)
+				return false, r.corrupt("defrag restore", err)
 			}
 			continue // try the next mover
 		}
 		if err := r.place(mv, dest); err != nil {
 			if perr := r.place(mv, m); perr != nil {
-				return false, corrupt("defrag restore after failed move", perr)
+				return false, r.corrupt("defrag restore after failed move", perr)
 			}
 			continue
 		}
@@ -683,6 +732,10 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 		return false, rollback()
 	}
 	r.migrations += len(done)
+	r.met.migrations.Add(int64(len(done)))
+	for _, mv := range done {
+		r.trc.Emit(obs.Event{Kind: obs.EvMigrate, Container: c.ID, Victim: mv.c.ID, Machine: int64(mv.to), Detail: "defrag"})
+	}
 	return true, nil
 }
 
@@ -693,6 +746,16 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 // non-nil error means an eviction or restore step failed and the
 // scheduler state is corrupt.
 func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool, error) {
+	if !r.met.on {
+		return r.tryPreemptionInner(c)
+	}
+	start := r.opts.now()
+	victims, ok, err := r.tryPreemptionInner(c)
+	r.met.preLat.Observe(r.opts.now().Sub(start).Microseconds())
+	return victims, ok, err
+}
+
+func (r *run) tryPreemptionInner(c *workload.Container) ([]*workload.Container, bool, error) {
 	if !r.opts.DisableWeights && c.Priority <= workload.PriorityLow {
 		return nil, false, nil
 	}
@@ -725,7 +788,7 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool,
 				}
 				for _, v := range victims {
 					if err := r.unplace(v, mid); err != nil {
-						return nil, false, corrupt("preemption evict", err)
+						return nil, false, r.corrupt("preemption evict", err)
 					}
 					r.preemptLog = append(r.preemptLog, preemptEvent{claimant: c, victim: v, machine: mid})
 					r.requeues[v.Ord]++
@@ -743,12 +806,16 @@ func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool,
 					// Should not happen: we just freed enough.
 					for _, v := range victims {
 						if perr := r.place(v, mid); perr != nil {
-							return nil, false, corrupt("preemption restore victim", perr)
+							return nil, false, r.corrupt("preemption restore victim", perr)
 						}
 					}
 					return nil, false, nil
 				}
 				r.preempts += len(victims)
+				r.met.preemptions.Add(int64(len(victims)))
+				for _, v := range victims {
+					r.trc.Emit(obs.Event{Kind: obs.EvPreempt, Container: c.ID, Victim: v.ID, Machine: int64(mid)})
+				}
 				return victims, true, nil
 			}
 		}

@@ -237,6 +237,11 @@ type searcher struct {
 	blacklist *constraint.Blacklist
 	il        *ilCache
 
+	// met carries the run's instrument handles (assigned by newRun
+	// after construction; the zero value is disabled).  findMachine
+	// times itself and classifies its outcome through it.
+	met coreMetrics
+
 	// searchStats counts explored machine vertices, the "explored
 	// paths" driver of placement latency (§IV.A).  The naive scan
 	// counts every non-excluded machine in admitting racks; the
@@ -315,6 +320,26 @@ func (s *searcher) sweepParallel() bool {
 // CPU, ties broken by machine ID — which is what an un-truncated
 // augmenting search converges to.
 func (s *searcher) findMachine(c *workload.Container, excl exclusion) topology.MachineID {
+	if !s.met.on {
+		return s.findMachineInner(c, excl)
+	}
+	start := s.opts.now()
+	m := s.findMachineInner(c, excl)
+	s.met.searchLat.Observe(s.opts.now().Sub(start).Microseconds())
+	if s.opts.NaiveSearch {
+		s.met.searchNaive.Inc()
+	} else {
+		s.met.searchIndexed.Inc()
+	}
+	if s.opts.DepthLimiting && m != topology.Invalid {
+		// DL truncated this search at the first feasible machine
+		// instead of sweeping for the global best fit.
+		s.met.dlCutoffs.Inc()
+	}
+	return m
+}
+
+func (s *searcher) findMachineInner(c *workload.Container, excl exclusion) topology.MachineID {
 	if s.opts.NaiveSearch {
 		return s.findMachineNaive(c, excl)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aladdin/internal/constraint"
+	"aladdin/internal/obs"
 	"aladdin/internal/sched"
 	"aladdin/internal/topology"
 	"aladdin/internal/workload"
@@ -64,6 +65,7 @@ func (s *Session) Placed(containerID string) bool {
 func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	start := s.opts.now()
 	r := s.r
+	r.trc.Emit(obs.Event{Kind: obs.EvPlaceStart, Machine: -1, N: int64(len(batch))})
 	migBefore, preBefore := r.migrations, r.preempts
 	exploredBefore := r.search.explored
 
@@ -116,6 +118,7 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 		Elapsed:     s.opts.now().Sub(start),
 		WorkUnits:   r.search.explored - exploredBefore,
 	}
+	r.met.placeBatch.Observe(res.Elapsed.Microseconds())
 	// Total for this batch only.
 	res.Total = len(batchSet)
 	for _, id := range undeployed {
@@ -142,9 +145,13 @@ func (s *Session) placeQueue(queue []*workload.Container) ([]string, error) {
 	var undeployed []string
 	for i := 0; i < len(queue); i++ {
 		c := queue[i]
-		if s.opts.IsomorphismLimiting && r.search.il.skip(c.App) {
-			undeployed = append(undeployed, c.ID)
-			continue
+		if s.opts.IsomorphismLimiting {
+			if r.search.il.skip(c.App) {
+				r.met.ilHits.Inc()
+				undeployed = append(undeployed, c.ID)
+				continue
+			}
+			r.met.ilMisses.Inc()
 		}
 		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
 			if err := r.place(c, m); err != nil {
@@ -274,6 +281,9 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 	}
 	machine.MarkDown()
 	r.search.noteUpdate(id)
+	r.met.failures.Inc()
+	r.met.machinesUp.Add(-1)
+	r.met.machinesDown.Add(1)
 
 	migBefore, preBefore := r.migrations, r.preempts
 	res := &FailureResult{Machine: id}
@@ -327,6 +337,8 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 	res.Migrations = r.migrations - migBefore
 	res.Preemptions = r.preempts - preBefore
 	res.Elapsed = s.opts.now().Sub(start)
+	r.met.failLat.Observe(res.Elapsed.Microseconds())
+	r.trc.Emit(obs.Event{Kind: obs.EvFailMachine, Machine: int64(id), N: int64(res.Evicted)})
 	return res, err
 }
 
@@ -346,6 +358,10 @@ func (s *Session) RecoverMachine(id topology.MachineID) error {
 	machine.MarkUp()
 	s.r.search.noteUpdate(id)
 	s.r.search.il.bump()
+	s.r.met.recoveries.Inc()
+	s.r.met.machinesUp.Add(1)
+	s.r.met.machinesDown.Add(-1)
+	s.r.trc.Emit(obs.Event{Kind: obs.EvRecoverMachine, Machine: int64(id)})
 	return nil
 }
 

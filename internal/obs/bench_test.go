@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// BenchmarkTracerDisabled is the CI alloc guard: emitting on a nil
+// tracer must be a no-op with 0 allocs/op, otherwise the PR 1 indexed
+// search hot path pays for disabled telemetry.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{
+			Kind:      EvAugmentingPath,
+			Container: "web-0",
+			Machine:   int64(i),
+			N:         1,
+		})
+	}
+}
+
+// BenchmarkCounterDisabled measures the nil-counter fast path used by
+// uninstrumented sessions.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the live (enabled) observation
+// cost: one binary search over ~20 bounds plus two atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "", LatencyBucketsUS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 1_000_000))
+	}
+}

@@ -1,0 +1,412 @@
+// Package obs is the scheduler's observability substrate: a
+// stdlib-only metrics registry (counters, gauges and fixed-bucket
+// histograms, all exact int64 — consistent with the intcap rule that
+// scheduler arithmetic never rounds) and a structured event tracer
+// for placement decisions.  Quincy-lineage schedulers (Firmament,
+// OSDI 2016) and production LLA schedulers (Medea, EuroSys 2018)
+// treat solver-phase timing and decision telemetry as first-class;
+// this package gives the repro the same substrate without pulling in
+// a client library.
+//
+// Everything is safe for concurrent use.  Metric handles are
+// nil-receiver tolerant: instrumented code holds possibly-nil
+// *Counter/*Gauge/*Histogram fields and calls them unconditionally —
+// with metrics disabled every call is a nil-check no-op that
+// allocates nothing, so the hot path does not pay for the telemetry
+// it is not emitting.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBucketsUS is the shared microsecond bucket ladder for phase
+// latency histograms: sub-microsecond searches land in the first
+// bucket, a pathological full-second batch in the last.
+var LatencyBucketsUS = []int64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000,
+}
+
+// Counter is a monotonically non-decreasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n; negative deltas are ignored so the counter stays
+// monotone (use a Gauge for values that go down).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket int64 histogram.  Bounds are inclusive
+// upper bounds in ascending order; one implicit overflow bucket
+// catches everything beyond the last bound.  The observation count is
+// derived from the bucket counts at snapshot time, so a snapshot
+// taken concurrently with writers always satisfies
+// count == sum(bucket counts).
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last = overflow
+	sum     atomic.Int64
+}
+
+// Observe records one value.  Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	// Binary search for the first bound >= v; linear would do for ~20
+	// buckets but the ladder length is caller-chosen.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot reads the histogram's state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// metricKind discriminates registered families.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is one registered metric: its metadata plus exactly one of
+// the three handles.
+type family struct {
+	name, help string
+	kind       metricKind
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition or a JSON snapshot.  Registration is idempotent:
+// re-registering a name of the same kind returns the existing handle
+// (the first registration's help text and buckets win), so every
+// scheduling run over a shared registry accumulates into the same
+// series.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register resolves or creates a family; a kind clash is a
+// programming error and panics.
+func (r *Registry) register(name, help string, kind metricKind) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		switch kind {
+		case kindCounter:
+			f.c = &Counter{}
+		case kindGauge:
+			f.g = &Gauge{}
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, not %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the named histogram, registering it on first use
+// with the given ascending bucket bounds (the overflow bucket is
+// implicit).  An existing registration keeps its original bounds.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.register(name, help, kindHistogram)
+	if f.h == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending at %d", name, i))
+			}
+		}
+		f.h = &Histogram{
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return f.h
+}
+
+// Has reports whether a metric of any kind is registered under name.
+func (r *Registry) Has(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.fams[name]
+	return ok
+}
+
+// sorted returns the families in name order (stable exposition).
+func (r *Registry) sorted() []*family {
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// HistogramSnapshot is a point-in-time histogram reading.  Counts are
+// per-bucket (non-cumulative); the last entry is the overflow bucket.
+// Count always equals the sum of Counts by construction.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank.  The
+// overflow bucket has no upper bound, so ranks landing there return
+// the last finite bound.  Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := seen + float64(c)
+		if next >= rank {
+			if i >= len(s.Bounds) {
+				return float64(s.Bounds[len(s.Bounds)-1])
+			}
+			lower := float64(0)
+			if i > 0 {
+				lower = float64(s.Bounds[i-1])
+			}
+			upper := float64(s.Bounds[i])
+			frac := (rank - seen) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		seen = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// Snapshot is a point-in-time reading of the whole registry,
+// JSON-marshalable for /debug/vars and -metrics-out dumps.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every metric.  Counters in successive snapshots are
+// monotone non-decreasing; each histogram satisfies count ==
+// sum(bucket counts) even while writers are concurrent.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.fams {
+		switch f.kind {
+		case kindCounter:
+			s.Counters[name] = f.c.Value()
+		case kindGauge:
+			s.Gauges[name] = f.g.Value()
+		case kindHistogram:
+			s.Histograms[name] = f.h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus renders the registry as Prometheus text exposition
+// (version 0.0.4): families in name order, each with # HELP and
+// # TYPE lines; histograms expose cumulative le buckets plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := r.sorted()
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		switch f.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			snap := f.h.snapshot()
+			var cum int64
+			for i, bound := range snap.Bounds {
+				cum += snap.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", f.name, bound, cum); err != nil {
+					return err
+				}
+			}
+			cum += snap.Counts[len(snap.Counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", f.name, snap.Sum, f.name, cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("arrivals_total", "arrivals")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("machines_up", "up machines")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	// Re-registration returns the same handle.
+	if r.Counter("arrivals_total", "different help") != c {
+		t.Fatalf("re-registration returned a new counter")
+	}
+	if !r.Has("arrivals_total") || r.Has("missing") {
+		t.Fatalf("Has misreported registration state")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(5)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil handles returned non-zero values")
+	}
+
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("y", "") != nil || r.Histogram("z", "", LatencyBucketsUS) != nil {
+		t.Fatalf("nil registry handed out live handles")
+	}
+	if r.Has("x") {
+		t.Fatalf("nil registry claims to have metrics")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 999, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["lat_us"]
+	// Bucket layout: [<=10, <=100, <=1000, overflow].
+	want := []int64{3, 2, 2, 2}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, c, want[i], snap.Counts)
+		}
+	}
+	if snap.Count != 9 {
+		t.Fatalf("count = %d, want 9", snap.Count)
+	}
+	wantSum := int64(0 + 0 + 10 + 11 + 100 + 999 + 1000 + 1001 + 1<<40)
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_us", "q", []int64{10, 20, 40})
+	// 10 observations spread evenly through the first bucket's range.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	snap := r.Snapshot().Histograms["q_us"]
+	if got := snap.Quantile(0.5); got <= 0 || got > 10 {
+		t.Fatalf("p50 = %v, want in (0, 10]", got)
+	}
+	if got, want := snap.Quantile(1.0), 10.0; got != want {
+		t.Fatalf("p100 = %v, want %v", got, want)
+	}
+	// Overflow-bucket ranks report the last finite bound.
+	h.Observe(1 << 30)
+	snap = r.Snapshot().Histograms["q_us"]
+	if got, want := snap.Quantile(1.0), 40.0; got != want {
+		t.Fatalf("p100 with overflow = %v, want %v", got, want)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(-2)
+	h := r.Histogram("c_us", "a histogram", []int64{1, 5})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		"# HELP a_gauge a gauge",
+		"# TYPE a_gauge gauge",
+		"a_gauge -2",
+		"# HELP b_total a counter",
+		"# TYPE b_total counter",
+		"b_total 3",
+		"# HELP c_us a histogram",
+		"# TYPE c_us histogram",
+		`c_us_bucket{le="1"} 1`,
+		`c_us_bucket{le="5"} 2`,
+		`c_us_bucket{le="+Inf"} 3`,
+		"c_us_sum 13",
+		"c_us_count 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	r.Histogram("h_us", "", []int64{1}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if snap.Counters["a_total"] != 7 {
+		t.Fatalf("counter through JSON = %d, want 7", snap.Counters["a_total"])
+	}
+	hs := snap.Histograms["h_us"]
+	if hs.Count != 1 || hs.Sum != 2 {
+		t.Fatalf("histogram through JSON = %+v", hs)
+	}
+}
+
+// TestSnapshotConsistencyUnderWriters is the property test from the
+// issue: snapshots taken concurrently with 8 writer goroutines must
+// be internally consistent — every histogram satisfies count ==
+// sum(bucket counts), counters are monotone across snapshots — and
+// after the writers join the totals are exact.
+func TestSnapshotConsistencyUnderWriters(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	h := r.Histogram("lat_us", "", LatencyBucketsUS)
+	g := r.Gauge("inflight", "")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(int64((w*perG + i) % 2_000_000))
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	close(start)
+
+	var prevCounter int64
+	for {
+		snap := r.Snapshot()
+		hs := snap.Histograms["lat_us"]
+		var bucketSum int64
+		for _, n := range hs.Counts {
+			bucketSum += n
+		}
+		if hs.Count != bucketSum {
+			t.Fatalf("histogram count %d != bucket sum %d", hs.Count, bucketSum)
+		}
+		if cur := snap.Counters["ops_total"]; cur < prevCounter {
+			t.Fatalf("counter went backwards: %d -> %d", prevCounter, cur)
+		} else {
+			prevCounter = cur
+		}
+		select {
+		case <-done:
+			final := r.Snapshot()
+			if got, want := final.Counters["ops_total"], int64(writers*perG); got != want {
+				t.Fatalf("final counter = %d, want %d", got, want)
+			}
+			if got, want := final.Histograms["lat_us"].Count, int64(writers*perG); got != want {
+				t.Fatalf("final histogram count = %d, want %d", got, want)
+			}
+			if got := final.Gauges["inflight"]; got != 0 {
+				t.Fatalf("final gauge = %d, want 0", got)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import "sync"
+
+// EventKind discriminates scheduler trace events.
+type EventKind uint8
+
+const (
+	// EvPlaceStart marks the start of a batch placement round; N is
+	// the batch size.
+	EvPlaceStart EventKind = iota
+	// EvAugmentingPath marks one container routed onto a machine
+	// (one augmenting path in the flow network).
+	EvAugmentingPath
+	// EvPreempt marks one victim container preempted to make room;
+	// Victim names it, Container names the beneficiary.
+	EvPreempt
+	// EvMigrate marks one resident container relocated; Machine is
+	// the destination.
+	EvMigrate
+	// EvRollbackCorruption marks a failed rollback: the session state
+	// is no longer trustworthy.  Detail carries the operation name.
+	EvRollbackCorruption
+	// EvFailMachine marks a machine taken out of service; N is the
+	// number of evicted residents.
+	EvFailMachine
+	// EvRecoverMachine marks a machine returned to service.
+	EvRecoverMachine
+)
+
+// String names the event kind for logs and JSON dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EvPlaceStart:
+		return "place_start"
+	case EvAugmentingPath:
+		return "augmenting_path"
+	case EvPreempt:
+		return "preempt"
+	case EvMigrate:
+		return "migrate"
+	case EvRollbackCorruption:
+		return "rollback_corruption"
+	case EvFailMachine:
+		return "fail_machine"
+	case EvRecoverMachine:
+		return "recover_machine"
+	}
+	return "unknown"
+}
+
+// Event is one structured scheduler decision.  It is passed by value
+// so emitting with no sink attached never escapes to the heap.
+type Event struct {
+	Kind EventKind
+	// Container is the subject container ID (beneficiary, for
+	// preemptions), empty when the event is machine-scoped.
+	Container string
+	// Victim is the displaced container for EvPreempt/EvMigrate.
+	Victim string
+	// Machine is the machine ordinal involved, -1 when not
+	// applicable.
+	Machine int64
+	// Detail is free-form context (operation name for corruption
+	// events).
+	Detail string
+	// N is an event-specific count (batch size, evictions).
+	N int64
+}
+
+// Sink receives events.  Implementations must be safe for concurrent
+// use if the tracer is shared across goroutines.
+type Sink interface {
+	Event(Event)
+}
+
+// Tracer fans scheduler events out to a sink.  A nil *Tracer is the
+// disabled tracer: Emit on it is a two-instruction no-op with zero
+// allocations (benchmarked by BenchmarkTracerDisabled and guarded in
+// CI), so instrumented code calls Emit unconditionally.
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer wraps a sink.  A nil sink yields a nil tracer so the
+// disabled fast path stays a single pointer check.
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether events reach a sink; callers can gate
+// expensive event construction (string formatting) on it.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit delivers the event to the sink, if any.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Event(e)
+}
+
+// SliceSink collects events in memory; handy for tests and for
+// post-run dumps.  Safe for concurrent use.
+type SliceSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event appends e.
+func (s *SliceSink) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of the collected events.
+func (s *SliceSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Count returns how many events of kind k were collected.
+func (s *SliceSink) Count(k EventKind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

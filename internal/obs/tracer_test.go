@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+func TestTracerDelivery(t *testing.T) {
+	sink := &SliceSink{}
+	tr := NewTracer(sink)
+	if !tr.Enabled() {
+		t.Fatalf("tracer with sink reports disabled")
+	}
+	tr.Emit(Event{Kind: EvPlaceStart, N: 3})
+	tr.Emit(Event{Kind: EvAugmentingPath, Container: "web-0", Machine: 2})
+	tr.Emit(Event{Kind: EvPreempt, Container: "web-0", Victim: "batch-1", Machine: 2})
+
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("collected %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != EvPlaceStart || evs[0].N != 3 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].Victim != "batch-1" {
+		t.Fatalf("event 2 victim = %q", evs[2].Victim)
+	}
+	if sink.Count(EvPreempt) != 1 || sink.Count(EvMigrate) != 0 {
+		t.Fatalf("Count miscounted")
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	tr := NewTracer(nil)
+	if tr != nil {
+		t.Fatalf("NewTracer(nil) = %v, want nil", tr)
+	}
+	if tr.Enabled() {
+		t.Fatalf("nil tracer reports enabled")
+	}
+	// Must not panic.
+	tr.Emit(Event{Kind: EvMigrate, Container: "x"})
+}
+
+func TestNilTracerEmitAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{
+			Kind:      EvAugmentingPath,
+			Container: "web-0",
+			Machine:   7,
+			N:         1,
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer Emit allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvPlaceStart:         "place_start",
+		EvAugmentingPath:     "augmenting_path",
+		EvPreempt:            "preempt",
+		EvMigrate:            "migrate",
+		EvRollbackCorruption: "rollback_corruption",
+		EvFailMachine:        "fail_machine",
+		EvRecoverMachine:     "recover_machine",
+		EventKind(99):        "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

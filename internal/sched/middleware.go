@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"aladdin/internal/obs"
 	"aladdin/internal/topology"
 	"aladdin/internal/workload"
 )
@@ -38,4 +39,53 @@ func (l *loggedScheduler) Schedule(w *workload.Workload, cluster *topology.Clust
 		l.inner.Name(), res.Total, res.Deployed(), len(res.Undeployed),
 		vs.Total(), res.Migrations, res.Consolidations, res.Preemptions, elapsed)
 	return res, nil
+}
+
+// Instrumented wraps any Scheduler so every Schedule call records
+// into the registry: a batch-latency histogram plus outcome counters.
+// It works scheduler-agnostically from the returned Result (no extra
+// clock reads — it reuses Result.Elapsed), so the baselines get the
+// same telemetry Aladdin's core emits natively; for Aladdin itself
+// prefer Options.Metrics, which adds the per-phase breakdown.
+func Instrumented(s Scheduler, reg *obs.Registry) Scheduler {
+	if reg == nil {
+		return s
+	}
+	return &instrumentedScheduler{
+		inner:       s,
+		batchLat:    reg.Histogram("sched_batch_duration_us", "wall-clock latency of one Schedule batch, microseconds", obs.LatencyBucketsUS),
+		batches:     reg.Counter("sched_batches_total", "Schedule calls"),
+		errors:      reg.Counter("sched_errors_total", "Schedule calls that returned an error"),
+		deployed:    reg.Counter("sched_containers_deployed_total", "containers successfully placed across all batches"),
+		undeployed:  reg.Counter("sched_containers_undeployed_total", "containers left unplaced across all batches"),
+		migrations:  reg.Counter("sched_migrations_total", "migrations reported across all batches"),
+		preemptions: reg.Counter("sched_preemptions_total", "preemptions reported across all batches"),
+		workUnits:   reg.Counter("sched_work_units_total", "scheduler effort units (explored vertices) across all batches"),
+	}
+}
+
+type instrumentedScheduler struct {
+	inner    Scheduler
+	batchLat *obs.Histogram
+
+	batches, errors, deployed, undeployed *obs.Counter
+	migrations, preemptions, workUnits    *obs.Counter
+}
+
+func (i *instrumentedScheduler) Name() string { return i.inner.Name() }
+
+func (i *instrumentedScheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, arrivals []*workload.Container) (*Result, error) {
+	res, err := i.inner.Schedule(w, cluster, arrivals)
+	i.batches.Inc()
+	if err != nil {
+		i.errors.Inc()
+		return res, err
+	}
+	i.batchLat.Observe(res.Elapsed.Microseconds())
+	i.deployed.Add(int64(res.Deployed()))
+	i.undeployed.Add(int64(len(res.Undeployed)))
+	i.migrations.Add(int64(res.Migrations))
+	i.preemptions.Add(int64(res.Preemptions))
+	i.workUnits.Add(res.WorkUnits)
+	return res, err
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"aladdin/internal/core"
+	"aladdin/internal/obs"
 	"aladdin/internal/resource"
 	"aladdin/internal/sched"
 	"aladdin/internal/topology"
@@ -56,5 +57,57 @@ func TestLoggedSchedulerError(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `error="kaput"`) {
 		t.Errorf("log = %q", buf.String())
+	}
+}
+
+func TestInstrumentedScheduler(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(4, 4096), Replicas: 2},
+	})
+	cl := topology.New(topology.AlibabaConfig(2))
+	reg := obs.NewRegistry()
+	s := sched.Instrumented(core.NewDefault(), reg)
+	if s.Name() != "Aladdin(16)+IL+DL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	res, err := s.Schedule(w, cl, w.Arrange(workload.OrderSubmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sched_batches_total"]; got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if got := snap.Counters["sched_containers_deployed_total"]; got != int64(res.Deployed()) {
+		t.Errorf("deployed counter = %d, want %d", got, res.Deployed())
+	}
+	if got := snap.Histograms["sched_batch_duration_us"].Count; got != 1 {
+		t.Errorf("batch latency observations = %d, want 1", got)
+	}
+	if got := snap.Counters["sched_work_units_total"]; got != res.WorkUnits {
+		t.Errorf("work units = %d, want %d", got, res.WorkUnits)
+	}
+	if got := snap.Counters["sched_errors_total"]; got != 0 {
+		t.Errorf("errors = %d, want 0", got)
+	}
+}
+
+func TestInstrumentedSchedulerErrorAndNilRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := sched.Instrumented(failingScheduler{}, reg)
+	if _, err := s.Schedule(nil, nil, nil); err == nil {
+		t.Fatal("error should propagate")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sched_errors_total"]; got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	if got := snap.Histograms["sched_batch_duration_us"].Count; got != 0 {
+		t.Errorf("failed batch recorded a latency observation")
+	}
+
+	inner := failingScheduler{}
+	if wrapped := sched.Instrumented(inner, nil); wrapped != inner {
+		t.Errorf("nil registry should return the scheduler unwrapped")
 	}
 }

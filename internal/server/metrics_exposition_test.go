@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/obs"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// stepClock advances a fixed amount on every reading, so every
+// duration the scheduler measures is an exact multiple of step and
+// the /metrics histograms are byte-for-byte reproducible.
+type stepClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *stepClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// instrumentedServer builds the testServer topology with a metrics
+// registry shared between the session and the HTTP layer, driven by a
+// deterministic fake clock.
+func instrumentedServer(t *testing.T) (*Server, *obs.Registry) {
+	t.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 3, AntiAffinitySelf: true},
+		{ID: "db", Demand: resource.Cores(8, 16384), Replicas: 1, AntiAffinityApps: []string{"web"}},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	opts := core.DefaultOptions()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	clk := &stepClock{t: time.Unix(0, 0).UTC(), step: 100 * time.Microsecond}
+	opts.Clock = clk.now
+	sess := core.NewSession(opts, w, cl)
+	return New(sess, w, cl, WithRegistry(reg)), reg
+}
+
+// promFamily is one metric family parsed back out of the exposition.
+type promFamily struct {
+	name    string
+	help    bool
+	typ     string
+	samples []promSample
+}
+
+// promSample is a single sample line.  le carries the bucket bound
+// for histogram _bucket samples and is empty otherwise.
+type promSample struct {
+	name  string
+	le    string
+	value float64
+}
+
+// parseExposition is a miniature parser for the Prometheus text
+// format (0.0.4), strict about the properties the scrape pipeline
+// relies on: every family announces # HELP then # TYPE before its
+// first sample, sample names belong to the announced family, and
+// values parse as numbers.
+func parseExposition(t *testing.T, body string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	var cur *promFamily
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate family %q", lineNo, name)
+			}
+			cur = &promFamily{name: name, help: true}
+			fams[name] = cur
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			if cur == nil || cur.name != name || !cur.help {
+				t.Fatalf("line %d: TYPE for %q not preceded by its HELP", lineNo, name)
+			}
+			cur.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+		nameAndLabels, valueStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, valueStr, err)
+		}
+		sample := promSample{name: nameAndLabels, value: value}
+		if name, labels, ok := strings.Cut(nameAndLabels, "{"); ok {
+			sample.name = name
+			le, found := strings.CutPrefix(strings.TrimSuffix(labels, "}"), `le="`)
+			if !found {
+				t.Fatalf("line %d: only le labels expected, got %q", lineNo, line)
+			}
+			sample.le = strings.TrimSuffix(le, `"`)
+		}
+		if cur == nil {
+			t.Fatalf("line %d: sample %q before any family", lineNo, line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(
+			sample.name, "_bucket"), "_sum"), "_count")
+		if sample.name != cur.name && base != cur.name {
+			t.Fatalf("line %d: sample %q under family %q", lineNo, sample.name, cur.name)
+		}
+		if cur.typ == "" {
+			t.Fatalf("line %d: sample %q before its TYPE line", lineNo, sample.name)
+		}
+		cur.samples = append(cur.samples, sample)
+	}
+	return fams
+}
+
+// checkHistogram asserts the cumulative-bucket invariants on a parsed
+// histogram family: non-decreasing bucket counts, a final le="+Inf"
+// bucket, and _count equal to the +Inf bucket.
+func checkHistogram(t *testing.T, f *promFamily) {
+	t.Helper()
+	var prev float64
+	var inf, count float64
+	var sawInf, sawCount, sawSum bool
+	for _, s := range f.samples {
+		switch {
+		case s.name == f.name+"_bucket":
+			if s.value < prev {
+				t.Errorf("%s: bucket le=%s count %v below previous %v", f.name, s.le, s.value, prev)
+			}
+			prev = s.value
+			if s.le == "+Inf" {
+				inf, sawInf = s.value, true
+			}
+		case s.name == f.name+"_sum":
+			sawSum = true
+		case s.name == f.name+"_count":
+			count, sawCount = s.value, true
+		}
+	}
+	if !sawInf || !sawCount || !sawSum {
+		t.Fatalf("%s: incomplete histogram (inf=%v count=%v sum=%v)", f.name, sawInf, sawCount, sawSum)
+	}
+	if inf != count {
+		t.Errorf("%s: le=+Inf bucket %v != count %v", f.name, inf, count)
+	}
+}
+
+// TestMetricsGoldenExposition drives a fully deterministic session
+// (seeded workload, fake clock) and compares the /metrics body
+// byte-for-byte against testdata/metrics.golden.  Run with -update to
+// regenerate after an intentional format change.
+func TestMetricsGoldenExposition(t *testing.T) {
+	s, _ := instrumentedServer(t)
+	if rec := do(t, s, http.MethodPost, "/place",
+		`{"containers":["web/0","web/1","web/2","db/0"]}`); rec.Code != http.StatusOK {
+		t.Fatalf("place = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, http.MethodPost, "/fail", `{"machine":0}`); rec.Code != http.StatusOK {
+		t.Fatalf("fail = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, http.MethodPost, "/recover", `{"machine":0}`); rec.Code != http.StatusOK {
+		t.Fatalf("recover = %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if ct := rec.Result().Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition format 0.0.4", ct)
+	}
+	got := rec.Body.Bytes()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from golden file:\n%s", diffLines(string(want), string(got)))
+	}
+
+	// Parse the body back and check structural validity plus the
+	// presence of every family the acceptance criteria name.
+	fams := parseExposition(t, string(got))
+	for _, name := range []string{
+		"aladdin_place_batch_duration_us",
+		"aladdin_search_duration_us",
+	} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("exposition missing histogram %q", name)
+		}
+		if f.typ != "histogram" {
+			t.Fatalf("%s type = %q", name, f.typ)
+		}
+		checkHistogram(t, f)
+	}
+	for _, name := range []string{
+		"aladdin_il_cache_hits_total", "aladdin_il_cache_misses_total",
+		"aladdin_preemptions_total", "aladdin_migrations_total",
+		"aladdin_corruptions_total",
+		"aladdin_machine_failures_total", "aladdin_machine_recoveries_total",
+	} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("exposition missing counter %q", name)
+		}
+		if f.typ != "counter" {
+			t.Errorf("%s type = %q, want counter", name, f.typ)
+		}
+	}
+	for _, name := range []string{"aladdin_machines_up", "aladdin_machines_down"} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("exposition missing gauge %q", name)
+		}
+		if f.typ != "gauge" {
+			t.Errorf("%s type = %q, want gauge", name, f.typ)
+		}
+		if len(f.samples) != 1 {
+			t.Fatalf("%s emitted %d samples, want exactly 1 (registry/appendix dedup)", name, len(f.samples))
+		}
+	}
+	// The failure round-trip left everything back up.
+	if v := fams["aladdin_machines_up"].samples[0].value; v != 4 {
+		t.Errorf("machines_up = %v, want 4", v)
+	}
+	if v := fams["aladdin_machines_down"].samples[0].value; v != 0 {
+		t.Errorf("machines_down = %v, want 0", v)
+	}
+	if v := fams["aladdin_machine_failures_total"].samples[0].value; v != 1 {
+		t.Errorf("failures_total = %v, want 1", v)
+	}
+	// Scrape-time appendix families coexist with the registry's.
+	for _, name := range []string{
+		"aladdin_machines_total", "aladdin_containers_placed",
+		"aladdin_cpu_utilization_mean",
+	} {
+		if fams[name] == nil {
+			t.Errorf("exposition missing scrape-time gauge %q", name)
+		}
+	}
+}
+
+// TestMetricsWithoutRegistryStillParses: the bare server (no registry
+// attached) serves only scrape-time gauges — still valid exposition.
+func TestMetricsWithoutRegistryStillParses(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","db/0"]}`)
+	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	fams := parseExposition(t, body)
+	if f := fams["aladdin_machines_total"]; f == nil || f.typ != "gauge" || f.samples[0].value != 4 {
+		t.Errorf("aladdin_machines_total = %+v", f)
+	}
+	if f := fams["aladdin_containers_placed"]; f == nil || f.samples[0].value != 2 {
+		t.Errorf("aladdin_containers_placed = %+v", f)
+	}
+	if fams["aladdin_place_batch_duration_us"] != nil {
+		t.Error("uninstrumented server should not expose scheduler histograms")
+	}
+}
+
+// TestHandlerContentTypes pins the Content-Type every handler commits
+// with its status line.  httptest snapshots headers at first write,
+// so a handler that sets the header after writing the body regresses
+// this test even though a casual curl would still show the header.
+func TestHandlerContentTypes(t *testing.T) {
+	s, _ := instrumentedServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","web/1","db/0"]}`)
+	cases := []struct {
+		method, path, body string
+		wantCode           int
+		wantCT             string
+	}{
+		{http.MethodGet, "/healthz", "", http.StatusOK, "text/plain; charset=utf-8"},
+		{http.MethodGet, "/metrics", "", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8"},
+		{http.MethodGet, "/debug/vars", "", http.StatusOK, "application/json"},
+		{http.MethodGet, "/assignments", "", http.StatusOK, "application/json"},
+		{http.MethodGet, "/explain?container=db/0", "", http.StatusOK, "application/json"},
+		{http.MethodPost, "/remove", `{"container":"web/1"}`, http.StatusOK, "text/plain; charset=utf-8"},
+		{http.MethodPost, "/fail", `{"machine":2}`, http.StatusOK, "application/json"},
+		{http.MethodPost, "/recover", `{"machine":2}`, http.StatusOK, "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path, tc.body)
+		res := rec.Result()
+		if rec.Code != tc.wantCode {
+			t.Errorf("%s %s = %d, want %d: %s", tc.method, tc.path, rec.Code, tc.wantCode, rec.Body)
+			continue
+		}
+		if ct := res.Header.Get("Content-Type"); ct != tc.wantCT {
+			t.Errorf("%s %s Content-Type = %q, want %q", tc.method, tc.path, ct, tc.wantCT)
+		}
+	}
+}
+
+// TestDebugVars decodes the JSON snapshot endpoint.
+func TestDebugVars(t *testing.T) {
+	s, _ := instrumentedServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0","web/1","web/2","db/0"]}`)
+	rec := do(t, s, http.MethodGet, "/debug/vars", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", rec.Code)
+	}
+	var vars varsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars.Metrics.Counters["aladdin_placements_total"]; got != 4 {
+		t.Errorf("placements counter = %d, want 4", got)
+	}
+	if vars.Cluster.Machines != 4 || vars.Cluster.ContainersPlaced != 4 {
+		t.Errorf("cluster vars = %+v", vars.Cluster)
+	}
+	if vars.Cluster.CPUMilli != 20000 {
+		t.Errorf("cpu allocated = %d, want 20000", vars.Cluster.CPUMilli)
+	}
+	h, ok := vars.Metrics.Histograms["aladdin_place_batch_duration_us"]
+	if !ok || h.Count != 1 {
+		t.Errorf("batch histogram = %+v", h)
+	}
+}
+
+// TestDebugVarsWithoutRegistry: the endpoint stays useful (cluster
+// block) with no registry attached.
+func TestDebugVarsWithoutRegistry(t *testing.T) {
+	s, _ := testServer(t)
+	do(t, s, http.MethodPost, "/place", `{"containers":["web/0"]}`)
+	rec := do(t, s, http.MethodGet, "/debug/vars", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", rec.Code)
+	}
+	var vars varsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Cluster.ContainersPlaced != 1 {
+		t.Errorf("cluster vars = %+v", vars.Cluster)
+	}
+}
+
+// TestPprofGatedByOption: profiling endpoints exist only with
+// WithPprof.
+func TestPprofGatedByOption(t *testing.T) {
+	s, _ := testServer(t)
+	if rec := do(t, s, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without option = %d, want 404", rec.Code)
+	}
+
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 1},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	sp := New(sess, w, cl, WithPprof())
+	if rec := do(t, sp, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", rec.Code)
+	}
+	if rec := do(t, sp, http.MethodGet, "/debug/pprof/cmdline", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d, want 200", rec.Code)
+	}
+}
+
+// diffLines renders a small line diff for golden mismatches.
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		}
+	}
+	return b.String()
+}

@@ -10,10 +10,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 
 	"aladdin/internal/core"
+	"aladdin/internal/obs"
 	"aladdin/internal/resource"
 	"aladdin/internal/topology"
 	"aladdin/internal/workload"
@@ -29,12 +31,38 @@ type Server struct {
 	cluster *topology.Cluster
 	byID    map[string]*workload.Container
 
+	// reg is the metrics registry behind /metrics and /debug/vars.
+	// Attach the same registry via core.Options.Metrics and the
+	// scheduler's phase histograms and pipeline counters appear in the
+	// exposition alongside the server's scrape-time cluster gauges.
+	// Nil leaves only the scrape-time gauges.
+	reg       *obs.Registry
+	withPprof bool
+
 	mux *http.ServeMux
+}
+
+// Option customises a Server at construction.
+type Option func(*Server)
+
+// WithRegistry attaches a metrics registry: /metrics renders its
+// families as Prometheus text exposition and /debug/vars serves its
+// JSON snapshot.  Pass the registry also carried by the session's
+// core.Options.Metrics to expose the scheduler's internals.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.  Off by
+// default: profiling endpoints expose heap contents and must be
+// opted into (cmd/aladdin-server gates it behind -pprof).
+func WithPprof() Option {
+	return func(s *Server) { s.withPprof = true }
 }
 
 // New builds a server over a session and the workload/cluster it
 // manages.
-func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster) *Server {
+func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster, opts ...Option) *Server {
 	s := &Server{
 		session: session,
 		w:       w,
@@ -44,15 +72,26 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster)
 	for _, c := range w.Containers() {
 		s.byID[c.ID] = c
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /place", s.handlePlace)
 	s.mux.HandleFunc("POST /remove", s.handleRemove)
 	s.mux.HandleFunc("POST /fail", s.handleFail)
 	s.mux.HandleFunc("POST /recover", s.handleRecover)
+	if s.withPprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -72,26 +111,95 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, fmt.Sprintf("%d constraint violations live", len(vs)), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics renders Prometheus-style text metrics.
+// handleMetrics renders Prometheus text exposition (format 0.0.4):
+// the attached registry's families first — the scheduler's phase
+// histograms and event counters when the session shares a registry —
+// then scrape-time gauges derived from the live cluster state.  The
+// scrape-time block skips any family the registry already owns, so a
+// core-maintained gauge (aladdin_machines_down) is never emitted
+// twice with conflicting values.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	s.reg.WritePrometheus(&buf) //aladdin:errcheck-ok bytes.Buffer writes cannot fail (nil registry: no-op)
+	s.writeClusterMetrics(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// writeClusterMetrics appends gauges recomputed from cluster ground
+// truth at scrape time.  They need no registry plumbing and stay
+// correct even when the scheduler runs uninstrumented.
+func (s *Server) writeClusterMetrics(buf *bytes.Buffer) {
 	used := s.cluster.UsedMachines()
 	lo, mean, hi := s.cluster.UtilizationRange()
 	totalUsed := s.cluster.TotalUsed()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "aladdin_machines_total %d\n", s.cluster.Size())
-	fmt.Fprintf(w, "aladdin_machines_used %d\n", used)
-	fmt.Fprintf(w, "aladdin_machines_down %d\n", s.cluster.DownMachines())
-	fmt.Fprintf(w, "aladdin_containers_placed %d\n", len(s.session.Assignment()))
-	fmt.Fprintf(w, "aladdin_cpu_milli_allocated %d\n", totalUsed.Dim(resource.CPU))
-	fmt.Fprintf(w, "aladdin_mem_mb_allocated %d\n", totalUsed.Dim(resource.Memory))
-	fmt.Fprintf(w, "aladdin_cpu_utilization_min %.4f\n", lo)
-	fmt.Fprintf(w, "aladdin_cpu_utilization_mean %.4f\n", mean)
-	fmt.Fprintf(w, "aladdin_cpu_utilization_max %.4f\n", hi)
+	intGauge := func(name, help string, v int64) {
+		if s.reg.Has(name) {
+			return
+		}
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	floatGauge := func(name, help string, v float64) {
+		if s.reg.Has(name) {
+			return
+		}
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %.4f\n", name, help, name, name, v)
+	}
+	intGauge("aladdin_machines_total", "machines in the cluster topology", int64(s.cluster.Size()))
+	intGauge("aladdin_machines_used", "machines hosting at least one container", int64(used))
+	intGauge("aladdin_machines_down", "machines currently marked failed", int64(s.cluster.DownMachines()))
+	intGauge("aladdin_containers_placed", "containers with a live assignment", int64(len(s.session.Assignment())))
+	intGauge("aladdin_cpu_milli_allocated", "millicores allocated across the cluster", totalUsed.Dim(resource.CPU))
+	intGauge("aladdin_mem_mb_allocated", "memory MB allocated across the cluster", totalUsed.Dim(resource.Memory))
+	floatGauge("aladdin_cpu_utilization_min", "lowest per-machine CPU utilization among used machines", lo)
+	floatGauge("aladdin_cpu_utilization_mean", "mean per-machine CPU utilization among used machines", mean)
+	floatGauge("aladdin_cpu_utilization_max", "highest per-machine CPU utilization among used machines", hi)
+}
+
+// varsResponse is the JSON body of /debug/vars: the full registry
+// snapshot plus the same cluster-derived summary /metrics appends.
+type varsResponse struct {
+	Metrics obs.Snapshot `json:"metrics"`
+	Cluster clusterVars  `json:"cluster"`
+}
+
+type clusterVars struct {
+	Machines         int     `json:"machines"`
+	MachinesUsed     int     `json:"machines_used"`
+	MachinesDown     int     `json:"machines_down"`
+	ContainersPlaced int     `json:"containers_placed"`
+	CPUMilli         int64   `json:"cpu_milli_allocated"`
+	MemMB            int64   `json:"mem_mb_allocated"`
+	UtilizationMin   float64 `json:"cpu_utilization_min"`
+	UtilizationMean  float64 `json:"cpu_utilization_mean"`
+	UtilizationMax   float64 `json:"cpu_utilization_max"`
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo, mean, hi := s.cluster.UtilizationRange()
+	totalUsed := s.cluster.TotalUsed()
+	writeJSON(w, varsResponse{
+		Metrics: s.reg.Snapshot(),
+		Cluster: clusterVars{
+			Machines:         s.cluster.Size(),
+			MachinesUsed:     s.cluster.UsedMachines(),
+			MachinesDown:     s.cluster.DownMachines(),
+			ContainersPlaced: len(s.session.Assignment()),
+			CPUMilli:         totalUsed.Dim(resource.CPU),
+			MemMB:            totalUsed.Dim(resource.Memory),
+			UtilizationMin:   lo,
+			UtilizationMean:  mean,
+			UtilizationMax:   hi,
+		},
+	})
 }
 
 // assignmentEntry is the JSON row of /assignments.
@@ -210,6 +318,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "removed")
 }
 
@@ -277,6 +386,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "recovered")
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aladdin/internal/core"
+	"aladdin/internal/obs"
 	"aladdin/internal/resource"
 	"aladdin/internal/stats"
 	"aladdin/internal/topology"
@@ -77,10 +78,16 @@ type OnlineMetrics struct {
 	// BatchLatency is the distribution of per-batch scheduling
 	// latencies (real time spent in Place).
 	BatchLatency *stats.CDF
-	// StreamP50/StreamP99 are streaming (P²) estimates of the same
-	// latencies in microseconds — O(1) space, what a production
-	// scheduler manager would export as metrics.
+	// StreamP50/StreamP99 are the same latencies in microseconds as a
+	// production scheduler manager would export them: read back from
+	// the obs registry's batch-latency histogram (O(1) space,
+	// bucket-interpolated — what a Prometheus scrape of /metrics
+	// yields), replacing the earlier ad-hoc P² estimator plumbing.
 	StreamP50, StreamP99 float64
+	// Snapshot is the full metrics-registry reading at drain: every
+	// phase histogram, pipeline counter and gauge the core recorded
+	// during the run (aladdin-sim -metrics-out dumps it as JSON).
+	Snapshot obs.Snapshot
 	// PeakUsedMachines is the high-water mark of used machines.
 	PeakUsedMachines int
 	// PeakUtilization is the high-water mark of mean CPU utilisation.
@@ -165,6 +172,12 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		Machines: cfg.Machines,
 		Capacity: resource.Cores(32, 64*1024),
 	})
+	// Every online run is instrumented: the registry feeds the
+	// streaming quantiles and the drain snapshot.  Callers may inject
+	// their own registry via Options.Metrics to aggregate across runs.
+	if cfg.Options.Metrics == nil {
+		cfg.Options.Metrics = obs.NewRegistry()
+	}
 	session := core.NewSession(cfg.Options, cfg.Workload, cluster)
 
 	// Build the arrival schedule: one event per application,
@@ -221,14 +234,6 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 
 	m := &OnlineMetrics{}
 	var latencies []float64
-	p50, err := stats.NewQuantile(0.5)
-	if err != nil {
-		return nil, err
-	}
-	p99, err := stats.NewQuantile(0.99)
-	if err != nil {
-		return nil, err
-	}
 	byApp := make(map[string][]*workload.Container)
 	for _, c := range cfg.Workload.Containers() {
 		byApp[c.App] = append(byApp[c.App], c)
@@ -256,10 +261,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			if err != nil {
 				return nil, err
 			}
-			us := float64(res.Elapsed.Microseconds())
-			latencies = append(latencies, us)
-			p50.Observe(us)
-			p99.Observe(us)
+			latencies = append(latencies, float64(res.Elapsed.Microseconds()))
 			m.RejectedContainers += len(res.Undeployed)
 			m.Migrations += res.Migrations
 			m.Preemptions += res.Preemptions
@@ -344,7 +346,9 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 	m.Violations += audit()
 	m.BatchLatency = stats.NewCDF(latencies)
 	m.ReplaceLatency = stats.NewCDF(replaceLat)
-	m.StreamP50 = p50.Value()
-	m.StreamP99 = p99.Value()
+	m.Snapshot = cfg.Options.Metrics.Snapshot()
+	batchHist := m.Snapshot.Histograms["aladdin_place_batch_duration_us"]
+	m.StreamP50 = batchHist.Quantile(0.5)
+	m.StreamP99 = batchHist.Quantile(0.99)
 	return m, nil
 }
