@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzPlace -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzFailRecover -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzIndexNaiveEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/checkpoint/ -run='^$$' -fuzz=FuzzCheckpointRead -fuzztime=$(FUZZTIME)
 
 # bench records the per-container placement cost (ns/container) at the
 # small and medium cluster scales as JSON lines in BENCH_search.json,

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 
+	"aladdin/internal/checkpoint"
 	"aladdin/internal/core"
 	"aladdin/internal/obs"
 	"aladdin/internal/server"
@@ -35,8 +36,13 @@ func main() {
 		wbase     = flag.Int64("wbase", 16, "Aladdin priority weight base")
 		placeAll  = flag.Bool("place-all", false, "schedule the whole workload at startup")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		ckptPath  = flag.String("checkpoint", "", "default snapshot file for POST /checkpoint")
+		restoreIn = flag.String("restore", "", "warm-restart from this v2 snapshot at startup (cluster comes from the snapshot; -machines is ignored)")
 	)
 	flag.Parse()
+	if *restoreIn != "" && *placeAll {
+		log.Fatal("-restore and -place-all are mutually exclusive: the snapshot already holds the placement")
+	}
 
 	var w *workload.Workload
 	var err error
@@ -54,12 +60,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cluster := topology.New(topology.AlibabaConfig(*machines))
 	opts := core.DefaultOptions()
 	opts.WeightBase = *wbase
 	reg := obs.NewRegistry()
 	opts.Metrics = reg // /metrics exposes the scheduler's phase histograms
-	session := core.NewSession(opts, w, cluster)
+
+	var cluster *topology.Cluster
+	var session *core.Session
+	if *restoreIn != "" {
+		snap, err := checkpoint.ReadFile(*restoreIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session, cluster, err = snap.Restore(opts, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored from %s: %d machines (%d down), %d placements, %d undeployed\n",
+			*restoreIn, cluster.Size(), cluster.DownMachines(),
+			len(snap.Placements), len(snap.Undeployed))
+	} else {
+		cluster = topology.New(topology.AlibabaConfig(*machines))
+		session = core.NewSession(opts, w, cluster)
+	}
 
 	if *placeAll {
 		res, err := session.Place(w.Arrange(workload.OrderInterleaved))
@@ -74,8 +97,11 @@ func main() {
 	if *pprofOn {
 		srvOpts = append(srvOpts, server.WithPprof())
 	}
+	if *ckptPath != "" {
+		srvOpts = append(srvOpts, server.WithCheckpointPath(*ckptPath))
+	}
 	srv := server.New(session, w, cluster, srvOpts...)
 	fmt.Printf("aladdin-server: %d apps / %d containers, %d machines, listening on %s\n",
-		len(w.Apps()), w.NumContainers(), *machines, *addr)
+		len(w.Apps()), w.NumContainers(), cluster.Size(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

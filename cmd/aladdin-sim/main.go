@@ -49,8 +49,31 @@ func main() {
 		benchOut  = flag.String("bench-out", "", "append a JSON benchmark record to this file")
 		benchTag  = flag.String("bench-label", "", "label for the -bench-out record (default scheduler/machines)")
 		metOut    = flag.String("metrics-out", "", "write a JSON metrics-registry snapshot to this file after the run")
+		ckptOut   = flag.String("checkpoint", "", "session mode: write a v2 session snapshot to this file after placing")
+		restoreIn = flag.String("restore", "", "session mode: warm-restart from this v2 snapshot instead of a fresh cluster")
+		appsN     = flag.Int("apps", 0, "session mode: place only the first N applications (0 = all)")
+		assignOut = flag.String("assign-out", "", "session mode: write the final assignment as JSON to this file")
 	)
 	flag.Parse()
+
+	// Any checkpoint/restore flag switches to session mode: an
+	// incremental per-application-batch run over the Session API, the
+	// CLI surface for warm-restart experiments.
+	if *ckptOut != "" || *restoreIn != "" || *appsN > 0 || *assignOut != "" {
+		if strings.ToLower(*schedName) != "aladdin" {
+			fatal(fmt.Errorf("session mode (-checkpoint/-restore/-apps/-assign-out) supports only -scheduler aladdin"))
+		}
+		if err := runSession(sessionConfig{
+			traceFile: *traceFile, seed: *seed, factor: *factor,
+			machines: *machines, wbase: *wbase,
+			noIL: *noIL, noDL: *noDL, naive: *naive,
+			restoreIn: *restoreIn, ckptOut: *ckptOut,
+			assignOut: *assignOut, appsN: *appsN, metOut: *metOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	w, err := loadWorkload(*traceFile, *seed, *factor)
 	if err != nil {

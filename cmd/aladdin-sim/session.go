@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"aladdin/internal/checkpoint"
+	"aladdin/internal/core"
+	"aladdin/internal/obs"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// sessionConfig carries the -checkpoint/-restore session-mode flags.
+type sessionConfig struct {
+	traceFile string
+	seed      int64
+	factor    int
+	machines  int
+	wbase     int64
+	noIL      bool
+	noDL      bool
+	naive     bool
+	restoreIn string
+	ckptOut   string
+	assignOut string
+	appsN     int
+	metOut    string
+}
+
+// assignmentFile is the deterministic JSON -assign-out writes: the
+// byte-diffable artifact the CI round-trip compares between a full
+// run and a checkpoint/restore split of the same trace.
+type assignmentFile struct {
+	Placements []checkpoint.Placement `json:"placements"`
+	Undeployed []string               `json:"undeployed,omitempty"`
+}
+
+// runSession drives an incremental session placing one batch per
+// application — the same batch boundaries whether the trace runs in
+// one process or is split by a checkpoint/restore, which is what
+// makes the final assignments byte-identical: preemption victims
+// requeue behind the current batch's tail, so batch boundaries are
+// part of the schedule.
+func runSession(cfg sessionConfig) error {
+	w, err := loadWorkload(cfg.traceFile, cfg.seed, cfg.factor)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.WeightBase = cfg.wbase
+	opts.IsomorphismLimiting = !cfg.noIL
+	opts.DepthLimiting = !cfg.noDL
+	opts.NaiveSearch = cfg.naive
+	var reg *obs.Registry
+	if cfg.metOut != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+
+	// An application counts as submitted once any of its containers is
+	// placed or in the undeployed ledger; a resumed run skips those
+	// apps and continues with the rest of the trace.
+	appOf := make(map[string]string, w.NumContainers())
+	byApp := make(map[string][]*workload.Container, len(w.Apps()))
+	for _, c := range w.Containers() {
+		appOf[c.ID] = c.App
+		byApp[c.App] = append(byApp[c.App], c)
+	}
+
+	var session *core.Session
+	submitted := make(map[string]bool)
+	if cfg.restoreIn != "" {
+		snap, err := checkpoint.ReadFile(cfg.restoreIn)
+		if err != nil {
+			return err
+		}
+		sess, cluster, err := snap.Restore(opts, w)
+		if err != nil {
+			return err
+		}
+		session = sess
+		st := sess.ExportState()
+		for id := range st.Assignment {
+			submitted[appOf[id]] = true
+		}
+		for _, id := range st.Undeployed {
+			submitted[appOf[id]] = true
+		}
+		fmt.Printf("restored from %s: %d machines (%d down), %d placements, %d undeployed, %d apps already submitted\n",
+			cfg.restoreIn, cluster.Size(), cluster.DownMachines(),
+			len(st.Assignment), len(st.Undeployed), len(submitted))
+	} else {
+		cluster := topology.New(topology.AlibabaConfig(cfg.machines))
+		session = core.NewSession(opts, w, cluster)
+	}
+
+	apps := w.Apps()
+	limit := len(apps)
+	if cfg.appsN > 0 && cfg.appsN < limit {
+		limit = cfg.appsN
+	}
+	placedApps := 0
+	for _, a := range apps[:limit] {
+		if submitted[a.ID] {
+			continue
+		}
+		if _, err := session.Place(byApp[a.ID]); err != nil {
+			return fmt.Errorf("place %s: %w", a.ID, err)
+		}
+		placedApps++
+	}
+
+	st := session.ExportState()
+	fmt.Printf("session: %d/%d apps placed this run, %d containers deployed, %d undeployed\n",
+		placedApps, limit, len(st.Assignment), len(st.Undeployed))
+	if vs := session.AuditInvariants(); len(vs) != 0 {
+		return fmt.Errorf("session audit found %d violations (first: %v)", len(vs), vs[0])
+	}
+
+	if cfg.ckptOut != "" {
+		snap, err := checkpoint.CaptureSession(session)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.WriteFile(cfg.ckptOut, snap); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint: %s (%d machines, %d placements, %d undeployed)\n",
+			cfg.ckptOut, len(snap.Machines), len(snap.Placements), len(snap.Undeployed))
+	}
+	if cfg.assignOut != "" {
+		if err := writeAssignment(cfg.assignOut, st); err != nil {
+			return err
+		}
+		fmt.Printf("assignment: %s\n", cfg.assignOut)
+	}
+	if cfg.metOut != "" {
+		if err := writeMetricsSnapshot(cfg.metOut, reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAssignment dumps the session state in a deterministic order so
+// two equivalent runs produce byte-identical files.
+func writeAssignment(path string, st *core.SessionState) error {
+	out := assignmentFile{
+		Placements: make([]checkpoint.Placement, 0, len(st.Assignment)),
+		Undeployed: st.Undeployed,
+	}
+	for id, m := range st.Assignment {
+		out.Placements = append(out.Placements, checkpoint.Placement{Container: id, Machine: m})
+	}
+	sort.Slice(out.Placements, func(i, j int) bool {
+		return out.Placements[i].Container < out.Placements[j].Container
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -7,6 +7,16 @@
 // reference (its trace must be preserved alongside, which the paper's
 // CM/MM split also implies: the scheduler manager snapshots only the
 // assignment state).
+//
+// Two formats exist.  The v1 Snapshot (Capture/Restore) is the legacy
+// cluster-level format: homogeneous capacities only, no machine
+// availability, no session ledgers — readable but no longer written
+// by anything in this repo.  The v2 SessionSnapshot
+// (CaptureSession/SessionSnapshot.Restore) is the warm-restart
+// format: per-machine capacities and down state, the session's
+// undeployed and requeue ledgers, a layout block that is validated —
+// never defaulted — on restore, a content checksum, and atomic
+// write-temp-then-rename persistence (WriteFile).
 package checkpoint
 
 import (
@@ -45,6 +55,11 @@ type Placement struct {
 
 // Capture snapshots a homogeneous cluster and an assignment.  The
 // cluster's layout parameters are recovered from its structure.
+//
+// The v1 format cannot record machine availability, so capturing a
+// cluster with any machine down is refused outright: restoring such a
+// snapshot would bring every machine back up and silently resurrect
+// failed hardware.  Use CaptureSession (the v2 format) instead.
 func Capture(cluster *topology.Cluster, asg constraint.Assignment) (*Snapshot, error) {
 	if cluster.Size() == 0 {
 		return nil, fmt.Errorf("checkpoint: empty cluster")
@@ -54,6 +69,10 @@ func Capture(cluster *topology.Cluster, asg constraint.Assignment) (*Snapshot, e
 	for _, m := range cluster.Machines() {
 		if m.Capacity() != m0.Capacity() {
 			return nil, fmt.Errorf("checkpoint: v%d format requires a homogeneous cluster (machine %s differs)",
+				FormatVersion, m.Name)
+		}
+		if !m.Up() {
+			return nil, fmt.Errorf("checkpoint: v%d format cannot record down machine %s; use CaptureSession",
 				FormatVersion, m.Name)
 		}
 	}
@@ -104,6 +123,30 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if s.Machines <= 0 {
 		return nil, fmt.Errorf("checkpoint: invalid machine count %d", s.Machines)
 	}
+	// Layout parameters feed topology.New, which silently substitutes
+	// defaults for non-positive values — a snapshot with a zeroed
+	// layout would restore onto a topology with different rack
+	// boundaries and different anti-affinity semantics.  Reject here.
+	if s.MachinesPerRack <= 0 {
+		return nil, fmt.Errorf("checkpoint: invalid machines_per_rack %d", s.MachinesPerRack)
+	}
+	if s.RacksPerCluster <= 0 {
+		return nil, fmt.Errorf("checkpoint: invalid racks_per_cluster %d", s.RacksPerCluster)
+	}
+	if s.CapacityCPU <= 0 || s.CapacityMem <= 0 {
+		return nil, fmt.Errorf("checkpoint: invalid machine capacity (%d CPU milli, %d mem MB)",
+			s.CapacityCPU, s.CapacityMem)
+	}
+	seen := make(map[string]bool, len(s.Placements))
+	for _, p := range s.Placements {
+		if p.Container == "" {
+			return nil, fmt.Errorf("checkpoint: placement with empty container ID")
+		}
+		if seen[p.Container] {
+			return nil, fmt.Errorf("checkpoint: duplicate placement for container %s", p.Container)
+		}
+		seen[p.Container] = true
+	}
 	return &s, nil
 }
 
@@ -126,6 +169,12 @@ func (s *Snapshot) Restore(w *workload.Workload) (*topology.Cluster, constraint.
 		c := byID[p.Container]
 		if c == nil {
 			return nil, nil, fmt.Errorf("checkpoint: container %s not in workload", p.Container)
+		}
+		// Defend against duplicates even for snapshots that bypassed
+		// Read: a second Allocate for the same ID would overwrite
+		// asg[c.ID] and leak the first machine's capacity.
+		if _, dup := asg[c.ID]; dup {
+			return nil, nil, fmt.Errorf("checkpoint: duplicate placement for container %s", c.ID)
 		}
 		machine := cluster.Machine(p.Machine)
 		if machine == nil {

@@ -1,0 +1,290 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// liveSession builds a session mid-trace: half the apps placed, two
+// machines failed (evictions stranded in the undeployed ledger), on a
+// heterogeneous cluster — everything the v1 format cannot hold.
+func liveSession(t *testing.T) (*core.Session, *workload.Workload, [][]*workload.Container) {
+	t.Helper()
+	w := trace.MustGenerate(trace.Scaled(13, 300))
+	cl, err := topology.NewHeterogeneous(topology.HeteroConfig{
+		MachinesPerRack: 8, RacksPerCluster: 3,
+		Classes: []topology.MachineClass{
+			{Name: "big", Count: 24, Capacity: resource.Cores(32, 64*1024)},
+			{Name: "small", Count: 24, Capacity: resource.Cores(16, 32*1024)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]*workload.Container
+	for _, a := range w.Apps() {
+		var b []*workload.Container
+		for _, c := range w.Containers() {
+			if c.App == a.ID {
+				b = append(b, c)
+			}
+		}
+		batches = append(batches, b)
+	}
+	s := core.NewSession(core.DefaultOptions(), w, cl)
+	for _, b := range batches[:len(batches)/2] {
+		if _, err := s.Place(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []topology.MachineID{2, 30} {
+		if _, err := s.FailMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, w, batches
+}
+
+// TestSessionSnapshotRoundTrip captures a live heterogeneous session
+// with down machines, round-trips it through JSON, restores, and
+// requires byte-identical subsequent scheduling versus the session
+// that never restarted.
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	s, w, batches := liveSession(t)
+	snap, err := CaptureSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSession(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, snap) {
+		t.Fatal("snapshot changed across encode/decode")
+	}
+	restored, cl2, err := back.Restore(core.DefaultOptions(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []topology.MachineID{2, 30} {
+		if cl2.Machine(id).Up() {
+			t.Fatalf("machine %d should restore down", id)
+		}
+	}
+	if !reflect.DeepEqual(restored.ExportState(), s.ExportState()) {
+		t.Fatal("restored state differs from captured session")
+	}
+	// Replay the remaining batches on both timelines.
+	for _, b := range batches[len(batches)/2:] {
+		if _, err := s.Place(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Place(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(restored.ExportState(), s.ExportState()) {
+		t.Fatal("restored session diverged on subsequent batches")
+	}
+	if vs := restored.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("restored session violations: %v", vs)
+	}
+}
+
+func TestSessionSnapshotWriteFile(t *testing.T) {
+	s, w, _ := liveSession(t)
+	snap, err := CaptureSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := back.Restore(core.DefaultOptions(), w); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory should hold only the snapshot, got %d entries", len(entries))
+	}
+	// A flipped byte fails the checksum.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(raw, []byte(`"capacity_mem_mb": 65536`), []byte(`"capacity_mem_mb": 65537`), 1)
+	if bytes.Equal(raw, bad) {
+		t.Fatal("corruption edit did not apply")
+	}
+	if _, err := ReadSession(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted snapshot should fail")
+	}
+}
+
+func TestReadSessionValidation(t *testing.T) {
+	machines := `"machines": [{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}]`
+	layout := `"layout": {"machines_per_rack": 1, "racks_per_cluster": 1}`
+	cases := map[string]string{
+		"empty":           ``,
+		"wrong version":   `{"version": 1, ` + layout + `, ` + machines + `}`,
+		"unknown field":   `{"version": 2, ` + layout + `, ` + machines + `, "extra": 1}`,
+		"no machines":     `{"version": 2, ` + layout + `, "machines": []}`,
+		"zero layout":     `{"version": 2, "layout": {"machines_per_rack": 0, "racks_per_cluster": 1}, ` + machines + `}`,
+		"layout mismatch": `{"version": 2, "layout": {"machines_per_rack": 9, "racks_per_cluster": 1}, ` + machines + `}`,
+		"sub mismatch":    `{"version": 2, "layout": {"machines_per_rack": 1, "racks_per_cluster": 4}, ` + machines + `}`,
+		"empty name": `{"version": 2, ` + layout + `, "machines": [
+			{"name": "", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}]}`,
+		"dup machine": `{"version": 2, "layout": {"machines_per_rack": 2, "racks_per_cluster": 1}, "machines": [
+			{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024},
+			{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}]}`,
+		"zero capacity": `{"version": 2, ` + layout + `, "machines": [
+			{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 0, "capacity_mem_mb": 1024}]}`,
+		"rack in two subs": `{"version": 2, "layout": {"machines_per_rack": 2, "racks_per_cluster": 1}, "machines": [
+			{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024},
+			{"name": "m1", "rack": "r0", "cluster": "g1", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}]}`,
+		"dup placement": `{"version": 2, ` + layout + `, ` + machines + `,
+			"placements": [{"container": "a/0", "machine": 0}, {"container": "a/0", "machine": 0}]}`,
+		"placement out of range": `{"version": 2, ` + layout + `, ` + machines + `,
+			"placements": [{"container": "a/0", "machine": 7}]}`,
+		"placement on down": `{"version": 2, ` + layout + `, "machines": [
+			{"name": "m0", "rack": "r0", "cluster": "g0", "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024, "down": true}],
+			"placements": [{"container": "a/0", "machine": 0}]}`,
+		"placed and undeployed": `{"version": 2, ` + layout + `, ` + machines + `,
+			"placements": [{"container": "a/0", "machine": 0}], "undeployed": ["a/0"]}`,
+		"dup undeployed": `{"version": 2, ` + layout + `, ` + machines + `, "undeployed": ["a/0", "a/0"]}`,
+		"zero requeue": `{"version": 2, ` + layout + `, ` + machines + `,
+			"requeues": [{"container": "a/0", "count": 0}]}`,
+		"dup requeue": `{"version": 2, ` + layout + `, ` + machines + `,
+			"requeues": [{"container": "a/0", "count": 1}, {"container": "a/0", "count": 2}]}`,
+		"bad checksum": `{"version": 2, "checksum": "deadbeef", ` + layout + `, ` + machines + `}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadSession(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: input should fail", name)
+		}
+	}
+	// A checksum-free snapshot (hand-written) is accepted.
+	ok := `{"version": 2, ` + layout + `, ` + machines + `}`
+	if _, err := ReadSession(strings.NewReader(ok)); err != nil {
+		t.Errorf("checksum-free snapshot should parse: %v", err)
+	}
+}
+
+// --- v1 regression tests: each failed on pre-PR code. ---
+
+// TestReadRejectsDefaultableLayout: v1 Restore feeds layout values
+// into topology.New, which substitutes defaults (40 machines/rack, 25
+// racks/cluster) for non-positive input — a zeroed layout silently
+// restored onto a topology with different anti-affinity boundaries.
+func TestReadRejectsDefaultableLayout(t *testing.T) {
+	cases := []string{
+		`{"version": 1, "machines": 4, "machines_per_rack": 0, "racks_per_cluster": 2, "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}`,
+		`{"version": 1, "machines": 4, "machines_per_rack": -2, "racks_per_cluster": 2, "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}`,
+		`{"version": 1, "machines": 4, "machines_per_rack": 2, "racks_per_cluster": 0, "capacity_cpu_milli": 1000, "capacity_mem_mb": 1024}`,
+		`{"version": 1, "machines": 4, "machines_per_rack": 2, "racks_per_cluster": 2, "capacity_cpu_milli": 0, "capacity_mem_mb": 1024}`,
+		`{"version": 1, "machines": 4, "machines_per_rack": 2, "racks_per_cluster": 2, "capacity_cpu_milli": 1000, "capacity_mem_mb": 0}`,
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+// TestV1LayoutRoundTripEquality: a captured snapshot restores onto a
+// cluster with identical rack/sub-cluster boundaries, not defaults.
+func TestV1LayoutRoundTripEquality(t *testing.T) {
+	w, cl, asg := scheduled(t)
+	snap, err := Capture(cl, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, _, err := back.Restore(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl2.Racks(), cl.Racks(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rack set diverged: %v != %v", got, want)
+	}
+	for _, r := range cl.Racks() {
+		if got, want := cl2.Rack(r).Machines, cl.Rack(r).Machines; !reflect.DeepEqual(got, want) {
+			t.Fatalf("rack %s machines diverged: %v != %v", r, got, want)
+		}
+	}
+	if got, want := cl2.SubClusters(), cl.SubClusters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sub-cluster set diverged: %v != %v", got, want)
+	}
+}
+
+// TestRejectsDuplicatePlacements: pre-PR, a snapshot placing the same
+// container on two machines passed Restore — the second Allocate
+// overwrote asg[c.ID] and leaked the first machine's capacity.
+func TestRejectsDuplicatePlacements(t *testing.T) {
+	in := `{"version": 1, "machines": 4, "machines_per_rack": 2, "racks_per_cluster": 2,
+		"capacity_cpu_milli": 32000, "capacity_mem_mb": 65536,
+		"placements": [{"container": "web/0", "machine": 0}, {"container": "web/0", "machine": 1}]}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("duplicate placements should fail Read")
+	}
+	// Restore defends independently of Read.
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(1, 1024), Replicas: 1},
+	})
+	snap := &Snapshot{
+		Version: 1, Machines: 4, MachinesPerRack: 2, RacksPerCluster: 2,
+		CapacityCPU: 32000, CapacityMem: 65536,
+		Placements: []Placement{
+			{Container: "web/0", Machine: 0},
+			{Container: "web/0", Machine: 1},
+		},
+	}
+	if _, _, err := snap.Restore(w); err == nil {
+		t.Error("duplicate placements should fail Restore")
+	}
+}
+
+// TestCaptureRefusesDownMachines: pre-PR, Capture ignored up/down
+// state and Restore brought every machine back up — a failed machine
+// silently resurrected by a warm restart.
+func TestCaptureRefusesDownMachines(t *testing.T) {
+	_, cl, asg := scheduled(t)
+	cl.Machine(5).MarkDown()
+	if _, err := Capture(cl, asg); err == nil {
+		t.Error("capture with a down machine should fail in the v1 format")
+	}
+	cl.Machine(5).MarkUp()
+	if _, err := Capture(cl, asg); err != nil {
+		t.Errorf("capture should succeed once the machine recovers: %v", err)
+	}
+}

@@ -5,6 +5,12 @@ import (
 	"fmt"
 )
 
+// ErrUnknownContainer marks lookups of a container ID absent from
+// the workload universe.  Callers (the HTTP /explain handler) use it
+// to distinguish a caller mistake (not found) from an internal
+// failure, which must not be collapsed into the same status.
+var ErrUnknownContainer = errors.New("core: unknown container")
+
 // ErrStateCorruption is the sentinel all CorruptionErrors wrap, so
 // callers can errors.Is their way to "the scheduler state is no
 // longer trustworthy" without matching on the specific rescue step.

@@ -72,7 +72,7 @@ func Explain(w *workload.Workload, cluster *topology.Cluster, asg constraint.Ass
 		}
 	}
 	if target == nil {
-		return nil, fmt.Errorf("core: explain: unknown container %q", containerID)
+		return nil, fmt.Errorf("core: explain: %w %q", ErrUnknownContainer, containerID)
 	}
 	bl := constraint.NewBlacklist(w, cluster.Size())
 	// Blacklist reconstruction is order-independent: Place only

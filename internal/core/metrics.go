@@ -21,6 +21,7 @@ type coreMetrics struct {
 	preLat     *obs.Histogram
 	auditLat   *obs.Histogram
 	failLat    *obs.Histogram
+	restoreLat *obs.Histogram
 
 	// Search-path counters: IL cache outcomes, DL early cutoffs, and
 	// which search implementation answered.
@@ -38,6 +39,7 @@ type coreMetrics struct {
 	corruptions    *obs.Counter
 	failures       *obs.Counter
 	recoveries     *obs.Counter
+	restores       *obs.Counter
 
 	// Live-state gauges.
 	placedGauge  *obs.Gauge
@@ -61,6 +63,7 @@ func newCoreMetrics(reg *obs.Registry) coreMetrics {
 		preLat:     reg.Histogram("aladdin_preemption_duration_us", "latency of one preemption rescue attempt, microseconds", lat),
 		auditLat:   reg.Histogram("aladdin_audit_duration_us", "latency of one AuditInvariants pass, microseconds", lat),
 		failLat:    reg.Histogram("aladdin_fail_machine_duration_us", "eviction plus re-placement latency of one machine failure, microseconds", lat),
+		restoreLat: reg.Histogram("aladdin_restore_duration_us", "latency of one RestoreSession warm restart, microseconds", lat),
 
 		ilHits:        reg.Counter("aladdin_il_cache_hits_total", "searches skipped by the isomorphism-limiting cache"),
 		ilMisses:      reg.Counter("aladdin_il_cache_misses_total", "searches that ran because the IL cache had no valid entry"),
@@ -75,6 +78,7 @@ func newCoreMetrics(reg *obs.Registry) coreMetrics {
 		corruptions:    reg.Counter("aladdin_corruptions_total", "rollback failures that poisoned the scheduler state"),
 		failures:       reg.Counter("aladdin_machine_failures_total", "machines taken out of service by FailMachine"),
 		recoveries:     reg.Counter("aladdin_machine_recoveries_total", "machines returned to service by RecoverMachine"),
+		restores:       reg.Counter("aladdin_restores_total", "sessions rebuilt from a checkpoint by RestoreSession"),
 
 		placedGauge:  reg.Gauge("aladdin_flow_containers_placed", "containers currently holding an augmenting path in the flow network"),
 		machinesUp:   reg.Gauge("aladdin_machines_up", "machines currently in service"),

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// SessionState is the portable state of a live Session: everything a
+// warm restart needs beyond the cluster topology and the workload
+// universe (which are checkpointed alongside — the snapshot stores
+// the topology, the workload travels by reference as its trace).
+//
+// The scheduler's derived structures — the flow network, the
+// tournament-tree index, rack/sub-cluster aggregates and blacklists —
+// are deliberately absent: RestoreSession rebuilds them by replaying
+// the assignment through the same place path live scheduling uses, so
+// they can never disagree with the captured ground truth.  The IL
+// cache and the sibling search hint restore cold; both are pure memos
+// whose absence changes explored-vertex counts but never placement
+// outcomes.
+type SessionState struct {
+	// Assignment maps every currently-placed container to its machine.
+	Assignment constraint.Assignment
+	// Undeployed lists containers that were submitted but are not
+	// currently placed — arrival rejections, preemption strandings and
+	// failure evictions awaiting re-submission.  Sorted.
+	Undeployed []string
+	// Requeues records the consumed preemption re-queue budget for
+	// containers that have been evicted at least once; omitting it
+	// would let a restored session preempt a victim past its budget.
+	Requeues map[string]int
+}
+
+// Cluster returns the session's live cluster topology.
+func (s *Session) Cluster() *topology.Cluster { return s.cluster }
+
+// Workload returns the session's workload universe.
+func (s *Session) Workload() *workload.Workload { return s.w }
+
+// Options returns the options the session was built with.
+func (s *Session) Options() Options { return s.opts }
+
+// ExportState captures the session's portable state.  The returned
+// value shares nothing with the session; it stays valid across
+// subsequent scheduling.
+func (s *Session) ExportState() *SessionState {
+	st := &SessionState{
+		Assignment: make(constraint.Assignment, len(s.placed)),
+		Requeues:   make(map[string]int),
+	}
+	for id, m := range s.r.assignmentMap() {
+		st.Assignment[id] = m
+	}
+	// Sorted immediately below, so visit order cannot escape.
+	//aladdin:nondeterministic-ok output sorted before return
+	for id, placed := range s.placed {
+		if !placed {
+			st.Undeployed = append(st.Undeployed, id)
+		}
+	}
+	sort.Strings(st.Undeployed)
+	for _, c := range s.w.Containers() {
+		if n := s.r.requeues[c.Ord]; n > 0 {
+			st.Requeues[c.ID] = n
+		}
+	}
+	return st
+}
+
+// RestoreSession rebuilds a live Session from a checkpointed state:
+// the cluster must be a fresh (allocation-free) topology — typically
+// topology.FromSpecs over the snapshot's machine specs, with failed
+// machines already marked down — and the workload must be the same
+// universe the state was captured from.  Every placement is replayed
+// through the scheduler's single place path, so the flow network,
+// blacklists, tournament-tree index and aggregates are rebuilt
+// exactly as live scheduling would have left them; a restored session
+// and a never-restarted one given the same subsequent batches produce
+// identical assignments.
+//
+// Restore is strict: unknown containers, machines out of range or
+// down, double placements, and containers listed both placed and
+// undeployed all fail with an error rather than restoring a silently
+// diverged state.
+func RestoreSession(opts Options, w *workload.Workload, cluster *topology.Cluster, st *SessionState) (*Session, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: restore: nil state")
+	}
+	var start time.Time
+	if opts.Metrics != nil {
+		start = opts.now()
+	}
+	s := NewSession(opts, w, cluster)
+	r := s.r
+
+	// Deterministic replay in workload (ordinal) order.  The final
+	// state is order-independent — flows, blacklist sets and aggregates
+	// all commute — but a fixed order keeps restores reproducible for
+	// debugging.
+	for _, c := range w.Containers() {
+		m, ok := st.Assignment[c.ID]
+		if !ok {
+			continue
+		}
+		machine := cluster.Machine(m)
+		if machine == nil {
+			return nil, fmt.Errorf("core: restore: container %s assigned to unknown machine %d", c.ID, m)
+		}
+		if !machine.Up() {
+			return nil, fmt.Errorf("core: restore: container %s assigned to down machine %s", c.ID, machine.Name)
+		}
+		if err := r.place(c, m); err != nil {
+			return nil, fmt.Errorf("core: restore: %w", err)
+		}
+		s.placed[c.ID] = true
+	}
+	// Pure validation sweep: which offending container the error names
+	// may vary with map order, but whether an error is returned cannot.
+	//aladdin:nondeterministic-ok error-path-only selection
+	for id := range st.Assignment {
+		if r.byID[id] == nil {
+			return nil, fmt.Errorf("core: restore: container %s not in workload universe", id)
+		}
+	}
+	for _, id := range st.Undeployed {
+		c := r.byID[id]
+		if c == nil {
+			return nil, fmt.Errorf("core: restore: undeployed container %s not in workload universe", id)
+		}
+		if s.placed[id] {
+			return nil, fmt.Errorf("core: restore: container %s both placed and undeployed", id)
+		}
+		s.placed[id] = false
+	}
+	// Distinct ordinals: the writes commute, and which entry an error
+	// names may vary with map order but not whether one is returned.
+	//aladdin:nondeterministic-ok commutative writes, error-path-only selection
+	for id, n := range st.Requeues {
+		c := r.byID[id]
+		if c == nil {
+			return nil, fmt.Errorf("core: restore: requeue ledger references unknown container %s", id)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("core: restore: container %s has negative requeue count %d", id, n)
+		}
+		r.requeues[c.Ord] = n
+	}
+	if r.met.on {
+		r.met.restoreLat.Observe(opts.now().Sub(start).Microseconds())
+		r.met.restores.Inc()
+	}
+	return s, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/trace"
+	"aladdin/internal/workload"
+)
+
+// appBatches splits the workload into per-app batches in app order —
+// the batch boundaries a warm restart must preserve, because
+// preemption victims requeue behind the current batch's tail.
+func appBatches(w *workload.Workload) [][]*workload.Container {
+	var out [][]*workload.Container
+	for _, a := range w.Apps() {
+		out = append(out, appContainers(w, a.ID))
+	}
+	return out
+}
+
+// assertSameSessionState fails the test unless both sessions hold an
+// identical assignment, undeployed ledger and requeue ledger, and
+// both pass the invariant audit.
+func assertSameSessionState(t *testing.T, want, got *Session) {
+	t.Helper()
+	ws, gs := want.ExportState(), got.ExportState()
+	if !reflect.DeepEqual(ws.Assignment, gs.Assignment) {
+		t.Fatalf("assignments diverge:\n never-restarted: %v\n restored: %v", ws.Assignment, gs.Assignment)
+	}
+	if !reflect.DeepEqual(ws.Undeployed, gs.Undeployed) {
+		t.Fatalf("undeployed ledgers diverge:\n never-restarted: %v\n restored: %v", ws.Undeployed, gs.Undeployed)
+	}
+	if !reflect.DeepEqual(ws.Requeues, gs.Requeues) {
+		t.Fatalf("requeue ledgers diverge:\n never-restarted: %v\n restored: %v", ws.Requeues, gs.Requeues)
+	}
+	if vs := want.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("never-restarted session violations: %v", vs)
+	}
+	if vs := got.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("restored session violations: %v", vs)
+	}
+	if err := got.FlowConservation(); err != nil {
+		t.Fatalf("restored session flow conservation: %v", err)
+	}
+}
+
+// TestRestoreSessionEquivalence is the tentpole proof: checkpoint a
+// session mid-trace, restore it into a fresh Session, replay the
+// remaining batches on both, and require byte-identical outcomes.
+func TestRestoreSessionEquivalence(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(7, 300))
+	batches := appBatches(w)
+	split := len(batches) / 2
+
+	ref := NewSession(DefaultOptions(), w, smallCluster(48))
+	for _, b := range batches {
+		if _, err := ref.Place(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := NewSession(DefaultOptions(), w, smallCluster(48))
+	for _, b := range batches[:split] {
+		if _, err := warm.Place(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := warm.ExportState()
+	fresh, err := topology.FromSpecs(warm.Cluster().Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(DefaultOptions(), w, fresh, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restored state matches the captured state before any new work.
+	if !reflect.DeepEqual(restored.ExportState(), st) {
+		t.Fatal("restored state differs from captured state")
+	}
+	for _, b := range batches[split:] {
+		if _, err := restored.Place(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameSessionState(t, ref, restored)
+}
+
+// TestRestoreSessionEquivalenceWithFailures checkpoints while failed
+// machines are live (down at capture), restores, then recovers on
+// both timelines and keeps scheduling — outcomes must stay identical.
+func TestRestoreSessionEquivalenceWithFailures(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(11, 300))
+	batches := appBatches(w)
+	split := len(batches) / 2
+	failed := []topology.MachineID{3, 17}
+
+	run := func(restart bool) *Session {
+		s := NewSession(DefaultOptions(), w, smallCluster(48))
+		for _, b := range batches[:split] {
+			if _, err := s.Place(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range failed {
+			if _, err := s.FailMachine(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if restart {
+			st := s.ExportState()
+			fresh, err := topology.FromSpecs(s.Cluster().Specs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range failed {
+				if fresh.Machine(id).Up() {
+					t.Fatalf("machine %d should restore down", id)
+				}
+			}
+			s, err = RestoreSession(DefaultOptions(), w, fresh, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range batches[split : split+len(batches[split:])/2] {
+			if _, err := s.Place(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range failed {
+			if err := s.RecoverMachine(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range batches[split+len(batches[split:])/2:] {
+			if _, err := s.Place(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	assertSameSessionState(t, run(false), run(true))
+}
+
+// TestExportStateCapturesRequeues forces a cross-batch preemption and
+// verifies the consumed requeue budget survives a restore — without
+// it, a restored session could preempt a victim past its budget.
+func TestExportStateCapturesRequeues(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "hog", Demand: resource.Cores(12, 8192), Replicas: 1, Priority: workload.PriorityLow},
+		{ID: "vip", Demand: resource.Cores(10, 8192), Replicas: 1, Priority: workload.PriorityHigh},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 1, MachinesPerRack: 1, RacksPerCluster: 1,
+		Capacity: resource.Cores(16, 32*1024),
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	if _, err := s.Place(appContainers(w, "hog")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(appContainers(w, "vip")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ExportState()
+	if st.Requeues["hog/0"] == 0 {
+		t.Fatalf("preempted hog should have consumed requeue budget, got %v", st.Requeues)
+	}
+	if len(st.Undeployed) != 1 || st.Undeployed[0] != "hog/0" {
+		t.Fatalf("undeployed = %v, want [hog/0]", st.Undeployed)
+	}
+	fresh, err := topology.FromSpecs(cl.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(DefaultOptions(), w, fresh, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.ExportState(), st) {
+		t.Fatal("requeue ledger lost across restore")
+	}
+}
+
+func TestRestoreSessionValidation(t *testing.T) {
+	w := sessionWorkload()
+	good := func() *SessionState {
+		return &SessionState{
+			Assignment: map[string]topology.MachineID{"web/0": 0},
+		}
+	}
+	fresh := func() *topology.Cluster { return smallCluster(4) }
+
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), nil); err == nil {
+		t.Error("nil state should fail")
+	}
+
+	st := good()
+	st.Assignment["web/0"] = 999
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("unknown machine should fail")
+	}
+
+	st = good()
+	st.Assignment["ghost/0"] = 0
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("unknown container should fail")
+	}
+
+	st = good()
+	cl := fresh()
+	cl.Machine(0).MarkDown()
+	if _, err := RestoreSession(DefaultOptions(), w, cl, st); err == nil {
+		t.Error("placement on down machine should fail")
+	}
+
+	st = good()
+	st.Undeployed = []string{"web/0"}
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("placed+undeployed overlap should fail")
+	}
+
+	st = good()
+	st.Undeployed = []string{"ghost/1"}
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("unknown undeployed container should fail")
+	}
+
+	st = good()
+	st.Requeues = map[string]int{"web/1": -1}
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("negative requeue count should fail")
+	}
+
+	st = good()
+	st.Requeues = map[string]int{"ghost/2": 1}
+	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
+		t.Error("unknown requeue container should fail")
+	}
+}

@@ -140,9 +140,17 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 // On an internal placement error, processing stops: the remaining
 // queue is reported undeployed and the error returned.  Containers
 // placed before the error stay placed.
-func (s *Session) placeQueue(queue []*workload.Container) ([]string, error) {
+func (s *Session) placeQueue(queue []*workload.Container) (undeployed []string, err error) {
+	// Every container left undeployed was submitted: record it in the
+	// session ledger (on every return path) so a checkpoint captures
+	// arrival rejections too, not only preemption/failure strandings —
+	// a warm restart must know not to re-attempt them.
+	defer func() {
+		for _, id := range undeployed {
+			s.placed[id] = false
+		}
+	}()
 	r := s.r
-	var undeployed []string
 	for i := 0; i < len(queue); i++ {
 		c := queue[i]
 		if s.opts.IsomorphismLimiting {

@@ -8,12 +8,16 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"sync"
 
+	"aladdin/internal/checkpoint"
+	"aladdin/internal/constraint"
 	"aladdin/internal/core"
 	"aladdin/internal/obs"
 	"aladdin/internal/resource"
@@ -39,6 +43,14 @@ type Server struct {
 	reg       *obs.Registry
 	withPprof bool
 
+	// ckptPath is the default destination for POST /checkpoint when
+	// the request names none (WithCheckpointPath).
+	ckptPath string
+
+	// explain is the diagnosis seam, core.Explain in production; tests
+	// inject failures to exercise the handler's internal-error path.
+	explain func(w *workload.Workload, cluster *topology.Cluster, asg constraint.Assignment, containerID string) (*core.Explanation, error)
+
 	mux *http.ServeMux
 }
 
@@ -60,6 +72,12 @@ func WithPprof() Option {
 	return func(s *Server) { s.withPprof = true }
 }
 
+// WithCheckpointPath sets the default snapshot file for
+// POST /checkpoint requests that name no path of their own.
+func WithCheckpointPath(path string) Option {
+	return func(s *Server) { s.ckptPath = path }
+}
+
 // New builds a server over a session and the workload/cluster it
 // manages.
 func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster, opts ...Option) *Server {
@@ -68,6 +86,7 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster,
 		w:       w,
 		cluster: cluster,
 		byID:    make(map[string]*workload.Container, w.NumContainers()),
+		explain: core.Explain,
 	}
 	for _, c := range w.Containers() {
 		s.byID[c.ID] = c
@@ -85,6 +104,8 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster,
 	s.mux.HandleFunc("POST /remove", s.handleRemove)
 	s.mux.HandleFunc("POST /fail", s.handleFail)
 	s.mux.HandleFunc("POST /recover", s.handleRecover)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /restore", s.handleRestore)
 	if s.withPprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -234,9 +255,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, err := core.Explain(s.w, s.cluster, s.session.Assignment(), id)
+	e, err := s.explain(s.w, s.cluster, s.session.Assignment(), id)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		// Only "that container does not exist" is the caller's mistake;
+		// anything else is an internal failure and must say so — a 404
+		// here would send an operator hunting for a typo in a container
+		// ID while the scheduler is broken.
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrUnknownContainer) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	writeJSON(w, e)
@@ -388,6 +417,117 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "recovered")
+}
+
+// checkpointRequest is the JSON body of /checkpoint; an empty body is
+// allowed.
+type checkpointRequest struct {
+	// Path overrides the server's configured checkpoint file.  With
+	// neither, the snapshot itself is returned inline.
+	Path string `json:"path,omitempty"`
+}
+
+// checkpointResponse summarises a snapshot written to disk.
+type checkpointResponse struct {
+	Path       string `json:"path"`
+	Machines   int    `json:"machines"`
+	Placements int    `json:"placements"`
+	Undeployed int    `json:"undeployed"`
+}
+
+// handleCheckpoint captures the live session as a v2 snapshot.  With
+// a destination path (request body or WithCheckpointPath) the
+// snapshot is written crash-safely and a summary returned; without
+// one the snapshot JSON itself is the response, so an operator can
+// checkpoint a diskless server through curl alone.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req checkpointRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := checkpoint.CaptureSession(s.session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.ckptPath
+	}
+	if path == "" {
+		writeJSON(w, snap)
+		return
+	}
+	if err := checkpoint.WriteFile(path, snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, checkpointResponse{
+		Path:       path,
+		Machines:   len(snap.Machines),
+		Placements: len(snap.Placements),
+		Undeployed: len(snap.Undeployed),
+	})
+}
+
+// restoreRequest is the JSON body of /restore: a snapshot file path
+// or the snapshot inline (exactly one).
+type restoreRequest struct {
+	Path     string          `json:"path,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}
+
+// restoreResponse summarises the restored session.
+type restoreResponse struct {
+	Machines   int `json:"machines"`
+	Placed     int `json:"placed"`
+	Undeployed int `json:"undeployed"`
+}
+
+// handleRestore replaces the live session with one rebuilt from a v2
+// snapshot.  The workload universe is the server's own: a snapshot
+// captured against a different trace fails validation rather than
+// restoring a diverged state.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var req restoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var snap *checkpoint.SessionSnapshot
+	var err error
+	switch {
+	case len(req.Snapshot) > 0 && req.Path != "":
+		http.Error(w, "give either path or snapshot, not both", http.StatusBadRequest)
+		return
+	case len(req.Snapshot) > 0:
+		snap, err = checkpoint.ReadSession(bytes.NewReader(req.Snapshot))
+	case req.Path != "":
+		snap, err = checkpoint.ReadFile(req.Path)
+	default:
+		http.Error(w, "missing path or snapshot", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, cluster, err := snap.Restore(s.session.Options(), s.w)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.session, s.cluster = sess, cluster
+	writeJSON(w, restoreResponse{
+		Machines:   cluster.Size(),
+		Placed:     len(sess.Assignment()),
+		Undeployed: len(snap.Undeployed),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"aladdin/internal/checkpoint"
 	"aladdin/internal/core"
 	"aladdin/internal/obs"
 	"aladdin/internal/resource"
@@ -57,6 +58,19 @@ type OnlineConfig struct {
 	// failure and recovery event and again at drain.  Slower — meant
 	// for validation runs and fuzzing, not benchmarks.
 	DeepAudit bool
+	// CheckpointPath enables crash-safe checkpointing: the session is
+	// snapshotted (v2 format, atomic write) to this file at drain, and
+	// additionally per the two knobs below.  Empty disables all
+	// checkpointing.
+	CheckpointPath string
+	// CheckpointEvery checkpoints on the first event at or after each
+	// multiple of this simulated-time interval.  Zero disables
+	// periodic checkpoints.
+	CheckpointEvery time.Duration
+	// CheckpointOnFailure checkpoints immediately after every machine
+	// failure event — the moments a warm restart is most likely to be
+	// needed from.
+	CheckpointOnFailure bool
 }
 
 // OnlineMetrics summarises an online run.
@@ -111,6 +125,9 @@ type OnlineMetrics struct {
 	// latencies in microseconds (real time spent evicting and
 	// re-placing; failures of empty machines are not sampled).
 	ReplaceLatency *stats.CDF
+	// Checkpoints counts session snapshots written during the run
+	// (periodic, on-failure and the drain checkpoint).
+	Checkpoints int
 }
 
 // eventKind discriminates timeline events.
@@ -157,6 +174,9 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 	}
 	if cfg.Machines <= 0 {
 		return nil, fmt.Errorf("sim: online: machine count %d must be positive", cfg.Machines)
+	}
+	if (cfg.CheckpointEvery > 0 || cfg.CheckpointOnFailure) && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("sim: online: checkpointing enabled without a checkpoint path")
 	}
 	interarrival := cfg.MeanInterarrival
 	if interarrival <= 0 {
@@ -249,6 +269,24 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		return len(session.Audit())
 	}
 
+	// writeCheckpoint snapshots the live session crash-safely; wired
+	// to the periodic interval, failure events and the drain below.
+	writeCheckpoint := func() error {
+		snap, err := checkpoint.CaptureSession(session)
+		if err != nil {
+			return fmt.Errorf("sim: online checkpoint: %w", err)
+		}
+		if err := checkpoint.WriteFile(cfg.CheckpointPath, snap); err != nil {
+			return fmt.Errorf("sim: online checkpoint: %w", err)
+		}
+		m.Checkpoints++
+		return nil
+	}
+	var nextCkpt time.Duration
+	if cfg.CheckpointEvery > 0 {
+		nextCkpt = cfg.CheckpointEvery
+	}
+
 	var replaceLat []float64
 	for h.Len() > 0 {
 		e := h.popEvent()
@@ -330,6 +368,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			// The failure invariant: eviction re-placement never
 			// violates anti-affinity or priority.
 			m.Violations += audit()
+			if cfg.CheckpointOnFailure {
+				if err := writeCheckpoint(); err != nil {
+					return nil, err
+				}
+			}
 		case kindRecover:
 			if cluster.Machine(e.machine).Up() {
 				continue // never failed, or an overlapping repair won
@@ -341,6 +384,21 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			if cfg.DeepAudit {
 				m.Violations += audit()
 			}
+		}
+		// Periodic checkpoint: fire on the first event at or past each
+		// interval boundary (simulated time advances only at events).
+		if cfg.CheckpointEvery > 0 && e.at >= nextCkpt {
+			if err := writeCheckpoint(); err != nil {
+				return nil, err
+			}
+			for nextCkpt <= e.at {
+				nextCkpt += cfg.CheckpointEvery
+			}
+		}
+	}
+	if cfg.CheckpointPath != "" {
+		if err := writeCheckpoint(); err != nil {
+			return nil, err
 		}
 	}
 	m.Violations += audit()

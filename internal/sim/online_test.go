@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"path/filepath"
 	"testing"
 	"time"
 
+	"aladdin/internal/checkpoint"
 	"aladdin/internal/core"
 	"aladdin/internal/trace"
 )
@@ -276,5 +278,58 @@ func TestRunOnlineValidation(t *testing.T) {
 	}
 	if _, err := RunOnline(OnlineConfig{Workload: w}); err == nil {
 		t.Error("zero machines should fail")
+	}
+}
+
+func TestRunOnlineCheckpointing(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 400))
+	path := filepath.Join(t.TempDir(), "online.json")
+	m, err := RunOnline(OnlineConfig{
+		Workload:            w,
+		Machines:            96,
+		Options:             core.DefaultOptions(),
+		Seed:                7,
+		MTBF:                5 * time.Second,
+		CheckpointPath:      path,
+		CheckpointEvery:     2 * time.Second,
+		CheckpointOnFailure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the drain checkpoint plus one per failure, and the file
+	// on disk is a valid v2 snapshot restoring against the same trace.
+	if m.Checkpoints < 1+m.Failures {
+		t.Errorf("Checkpoints = %d, want >= %d", m.Checkpoints, 1+m.Failures)
+	}
+	snap, err := checkpoint.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _, err := snap.Restore(core.DefaultOptions(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := sess.AuditInvariants(); len(vs) != 0 {
+		t.Errorf("restored drain session violations: %v", vs)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0", m.Violations)
+	}
+}
+
+func TestRunOnlineCheckpointValidation(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 800))
+	if _, err := RunOnline(OnlineConfig{
+		Workload: w, Machines: 8, Options: core.DefaultOptions(),
+		CheckpointEvery: time.Second,
+	}); err == nil {
+		t.Error("CheckpointEvery without a path should fail")
+	}
+	if _, err := RunOnline(OnlineConfig{
+		Workload: w, Machines: 8, Options: core.DefaultOptions(),
+		CheckpointOnFailure: true,
+	}); err == nil {
+		t.Error("CheckpointOnFailure without a path should fail")
 	}
 }

@@ -266,6 +266,97 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// MachineSpec describes one machine for FromSpecs: an explicit
+// (name, rack, sub-cluster, capacity, availability) tuple.  Machine
+// IDs are assigned densely in spec order, so a spec list captured
+// from a live cluster in ID order rebuilds the identical topology —
+// including rack boundaries that New's arithmetic layout cannot
+// express (NewHeterogeneous starts a fresh rack per machine class).
+type MachineSpec struct {
+	Name    string
+	Rack    string
+	Cluster string
+	// Capacity is the machine's total resources.
+	Capacity resource.Vector
+	// Down marks the machine out of service at construction.
+	Down bool
+}
+
+// FromSpecs rebuilds a cluster from explicit machine specs — the
+// restore path of a checkpoint.  Racks and sub-clusters are created
+// in first-seen order, exactly as New and NewHeterogeneous do, so a
+// spec list read off a live cluster in machine-ID order reproduces
+// the same traversal order (and therefore the same scheduling
+// decisions).  Validation rejects empty or duplicate machine names,
+// empty rack/sub-cluster names, negative or zero capacities, and a
+// rack claimed by two different sub-clusters.
+func FromSpecs(specs []MachineSpec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: no machine specs")
+	}
+	c := &Cluster{
+		racks: make(map[string]*Rack),
+		subs:  make(map[string]*SubCluster),
+	}
+	seen := make(map[string]bool, len(specs))
+	for i, sp := range specs {
+		if sp.Name == "" || sp.Rack == "" || sp.Cluster == "" {
+			return nil, fmt.Errorf("topology: spec %d: empty name, rack or cluster", i)
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("topology: duplicate machine name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Capacity.CPUMilli < 0 || sp.Capacity.MemMB < 0 {
+			return nil, fmt.Errorf("topology: machine %q has negative capacity %s", sp.Name, sp.Capacity)
+		}
+		if sp.Capacity.Zero() {
+			return nil, fmt.Errorf("topology: machine %q has zero capacity", sp.Name)
+		}
+		m := NewMachine(MachineID(i), sp.Name, sp.Rack, sp.Cluster, sp.Capacity)
+		if sp.Down {
+			m.MarkDown()
+		}
+		c.machines = append(c.machines, m)
+
+		rack, ok := c.racks[sp.Rack]
+		if !ok {
+			rack = &Rack{Name: sp.Rack, Cluster: sp.Cluster}
+			c.racks[sp.Rack] = rack
+			c.rackOrd = append(c.rackOrd, sp.Rack)
+			sub, ok := c.subs[sp.Cluster]
+			if !ok {
+				sub = &SubCluster{Name: sp.Cluster}
+				c.subs[sp.Cluster] = sub
+				c.subOrd = append(c.subOrd, sp.Cluster)
+			}
+			sub.Racks = append(sub.Racks, sp.Rack)
+		} else if rack.Cluster != sp.Cluster {
+			return nil, fmt.Errorf("topology: rack %q claimed by sub-clusters %q and %q",
+				sp.Rack, rack.Cluster, sp.Cluster)
+		}
+		rack.Machines = append(rack.Machines, m.ID)
+	}
+	return c, nil
+}
+
+// Specs captures the cluster as a FromSpecs input, in machine-ID
+// order: FromSpecs(c.Specs()) rebuilds an empty copy of the same
+// topology (allocations are not part of a spec).
+func (c *Cluster) Specs() []MachineSpec {
+	out := make([]MachineSpec, len(c.machines))
+	for i, m := range c.machines {
+		out[i] = MachineSpec{
+			Name:     m.Name,
+			Rack:     m.Rack,
+			Cluster:  m.Cluster,
+			Capacity: m.Capacity(),
+			Down:     !m.Up(),
+		}
+	}
+	return out
+}
+
 // Size returns the number of machines.
 func (c *Cluster) Size() int { return len(c.machines) }
 

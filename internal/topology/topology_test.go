@@ -274,3 +274,96 @@ func TestQuickAllocationInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFromSpecsRoundTrip(t *testing.T) {
+	// A homogeneous cluster rebuilds identically from its own specs.
+	orig := New(Config{Machines: 90, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 65536)})
+	orig.Machine(7).MarkDown()
+	back, err := FromSpecs(orig.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTopology(t, orig, back)
+	if back.Machine(7).Up() {
+		t.Error("down state not restored")
+	}
+	if back.DownMachines() != 1 {
+		t.Errorf("DownMachines = %d, want 1", back.DownMachines())
+	}
+}
+
+func TestFromSpecsHeterogeneousRoundTrip(t *testing.T) {
+	// NewHeterogeneous breaks racks at class boundaries; layout
+	// arithmetic cannot reproduce that, specs must.
+	orig, err := NewHeterogeneous(HeteroConfig{
+		MachinesPerRack: 4,
+		Classes: []MachineClass{
+			{Name: "big", Count: 6, Capacity: resource.Cores(64, 128*1024)},
+			{Name: "small", Count: 5, Capacity: resource.Cores(16, 32*1024)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSpecs(orig.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTopology(t, orig, back)
+}
+
+func assertSameTopology(t *testing.T, a, b *Cluster) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("size %d != %d", b.Size(), a.Size())
+	}
+	for i := 0; i < a.Size(); i++ {
+		ma, mb := a.Machine(MachineID(i)), b.Machine(MachineID(i))
+		if ma.Name != mb.Name || ma.Rack != mb.Rack || ma.Cluster != mb.Cluster ||
+			ma.Capacity() != mb.Capacity() {
+			t.Fatalf("machine %d differs: %+v vs %+v", i, ma, mb)
+		}
+	}
+	ta, tb := a.Traverse(), b.Traverse()
+	if len(ta.Order) != len(tb.Order) {
+		t.Fatalf("traversal length differs")
+	}
+	for i := range ta.Order {
+		if ta.Order[i] != tb.Order[i] {
+			t.Fatalf("traversal position %d: %d vs %d", i, ta.Order[i], tb.Order[i])
+		}
+	}
+	if len(a.Racks()) != len(b.Racks()) || len(a.SubClusters()) != len(b.SubClusters()) {
+		t.Fatalf("rack/sub-cluster counts differ")
+	}
+	for i, rn := range a.Racks() {
+		if b.Racks()[i] != rn {
+			t.Fatalf("rack order differs at %d: %s vs %s", i, rn, b.Racks()[i])
+		}
+	}
+}
+
+func TestFromSpecsValidation(t *testing.T) {
+	good := MachineSpec{Name: "m0", Rack: "r0", Cluster: "c0", Capacity: resource.Cores(1, 1024)}
+	cases := []struct {
+		name  string
+		specs []MachineSpec
+	}{
+		{"empty", nil},
+		{"no name", []MachineSpec{{Rack: "r0", Cluster: "c0", Capacity: good.Capacity}}},
+		{"no rack", []MachineSpec{{Name: "m0", Cluster: "c0", Capacity: good.Capacity}}},
+		{"no cluster", []MachineSpec{{Name: "m0", Rack: "r0", Capacity: good.Capacity}}},
+		{"duplicate name", []MachineSpec{good, good}},
+		{"zero capacity", []MachineSpec{{Name: "m0", Rack: "r0", Cluster: "c0"}}},
+		{"negative capacity", []MachineSpec{{Name: "m0", Rack: "r0", Cluster: "c0",
+			Capacity: resource.Milli(-1, 10)}}},
+		{"rack in two clusters", []MachineSpec{good,
+			{Name: "m1", Rack: "r0", Cluster: "c1", Capacity: good.Capacity}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromSpecs(tc.specs); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
