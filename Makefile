@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench cover allocguard clean
+.PHONY: build test verify lint fuzz bench bench-smoke cover allocguard clean
 
 build:
 	$(GO) build ./...
@@ -37,17 +37,28 @@ cover:
 	$(GO) test -cover -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# allocguard verifies the disabled-observability fast paths stay
-# allocation-free: a nil-sink Tracer.Emit and nil-registry counter
-# must cost 0 allocs/op, so uninstrumented schedulers pay nothing.
+# allocguard verifies the allocation-free fast paths stay that way:
+# the disabled-observability seams (a nil-sink Tracer.Emit and
+# nil-registry counter must cost 0 allocs/op, so uninstrumented
+# schedulers pay nothing) and the scheduler core itself (a warm
+# Session.Place/Remove cycle must run entirely out of session scratch
+# — see TestSessionPlaceZeroAlloc for the same contract as a test).
 allocguard:
 	@out="$$($(GO) test ./internal/obs/ -run='^$$' -bench='BenchmarkTracerDisabled|BenchmarkCounterDisabled' -benchmem -benchtime=1000x)"; \
 	echo "$$out"; \
 	if echo "$$out" | grep -E '^Benchmark' | awk '{ if ($$(NF-1) != 0) exit 1 }'; then \
-		echo "allocguard: disabled paths are allocation-free"; \
+		echo "allocguard: disabled obs paths are allocation-free"; \
 	else \
 		echo "allocguard: nil-sink path allocates!" >&2; exit 1; \
 	fi
+	@out="$$($(GO) test ./internal/core/ -run='^$$' -bench='BenchmarkSessionPlace' -benchmem -benchtime=2000x)"; \
+	echo "$$out"; \
+	if echo "$$out" | grep -E '^Benchmark' | awk '{ if ($$(NF-1) != 0) exit 1 }'; then \
+		echo "allocguard: Session.Place hot path is allocation-free"; \
+	else \
+		echo "allocguard: Session.Place allocates!" >&2; exit 1; \
+	fi
+	$(GO) test ./internal/core/ -run='^TestSessionPlaceZeroAlloc$$' -count=1
 
 # fuzz gives each invariant fuzz target a short budget beyond its
 # committed seed corpus; FUZZTIME=5m for a serious soak.
@@ -59,14 +70,41 @@ fuzz:
 	$(GO) test ./internal/checkpoint/ -run='^$$' -fuzz=FuzzCheckpointRead -fuzztime=$(FUZZTIME)
 
 # bench records the per-container placement cost (ns/container) at the
-# small and medium cluster scales as JSON lines in BENCH_search.json,
-# plus the medium scale with the naive scan as the A/B baseline.
+# small (384), medium (1,024) and large (10,000 machines, ~100k
+# containers) cluster scales as JSON lines in BENCH_search.json, plus
+# the medium and large scales with the naive scan as A/B baselines.
+# BENCHREPS repeats each deterministic run and keeps the fastest,
+# stripping cold-process noise from the recorded figures.
+BENCHREPS ?= 5
 bench:
 	rm -f BENCH_search.json
-	$(GO) run ./cmd/aladdin-sim -machines 384 -factor 50 -bench-out BENCH_search.json -bench-label small
-	$(GO) run ./cmd/aladdin-sim -machines 1024 -factor 50 -bench-out BENCH_search.json -bench-label medium
-	$(GO) run ./cmd/aladdin-sim -machines 1024 -factor 50 -naive-search -bench-out BENCH_search.json -bench-label medium-naive
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 384 -factor 50 -bench-out BENCH_search.json -bench-label small
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 1024 -factor 50 -bench-out BENCH_search.json -bench-label medium
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 1024 -factor 50 -naive-search -bench-out BENCH_search.json -bench-label medium-naive
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -bench-out BENCH_search.json -bench-label large
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -naive-search -bench-out BENCH_search.json -bench-label large-naive
 	@cat BENCH_search.json
 
+# bench-smoke is the CI regression tripwire: re-measure the small
+# preset and fail if ns/container regressed more than 25% against the
+# committed BENCH_search.json row.  Small keeps the job fast; the 25%
+# margin plus a higher repetition count absorbs shared-runner noise
+# (the CI job is additionally non-blocking — see
+# .github/workflows/ci.yml).
+SMOKEREPS ?= 15
+bench-smoke:
+	@$(GO) run ./cmd/aladdin-sim -reps $(SMOKEREPS) -machines 384 -factor 50 -bench-out BENCH_smoke.json -bench-label small
+	@base="$$(grep '"label":"small"' BENCH_search.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
+	now="$$(grep '"label":"small"' BENCH_smoke.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
+	rm -f BENCH_smoke.json; \
+	if [ -z "$$base" ] || [ -z "$$now" ]; then \
+		echo "bench-smoke: missing small row (baseline or fresh run)" >&2; exit 1; fi; \
+	echo "bench-smoke: small ns/container now=$$now baseline=$$base"; \
+	if [ "$$now" -gt $$((base * 125 / 100)) ]; then \
+		echo "bench-smoke: regression >25% vs committed BENCH_search.json" >&2; exit 1; \
+	else \
+		echo "bench-smoke: within budget"; \
+	fi
+
 clean:
-	rm -f BENCH_search.json coverage.out
+	rm -f BENCH_search.json BENCH_smoke.json coverage.out

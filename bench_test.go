@@ -202,22 +202,38 @@ func BenchmarkAblationWeights(b *testing.B) {
 }
 
 // BenchmarkAladdinPerContainer measures the core scheduler's
-// per-container placement cost (Equation 11's latency) on a ~2000
-// container trace at two cluster scales, plus the medium scale with
+// per-container placement cost (Equation 11's latency) at three
+// cluster scales — small (384 machines, ~2k containers), medium
+// (1,024 machines, ~2k containers) and large (10,000 machines, ~100k
+// containers, the paper's production scale) — plus each scale with
 // the indexed search swapped for the retained naive scan
-// (Options.NaiveSearch) as the in-binary A/B baseline.
+// (Options.NaiveSearch) as the in-binary A/B baseline.  The same
+// tiers drive `make bench` via cmd/aladdin-sim, which appends them as
+// JSON rows to BENCH_search.json.
 func BenchmarkAladdinPerContainer(b *testing.B) {
-	w := trace.MustGenerate(trace.Scaled(42, 50)) // ~2000 containers
+	workloads := map[int]*workload.Workload{}
+	scaled := func(factor int) *workload.Workload {
+		if w := workloads[factor]; w != nil {
+			return w
+		}
+		w := trace.MustGenerate(trace.Scaled(42, factor))
+		workloads[factor] = w
+		return w
+	}
 	for _, sc := range []struct {
 		name     string
 		machines int
+		factor   int
 		naive    bool
 	}{
-		{"small", 384, false},
-		{"medium", 1024, false},
-		{"medium-naive", 1024, true},
+		{"small", 384, 50, false},
+		{"medium", 1024, 50, false},
+		{"medium-naive", 1024, 50, true},
+		{"large", 10000, 1, false},
+		{"large-naive", 10000, 1, true},
 	} {
 		b.Run(sc.name, func(b *testing.B) {
+			w := scaled(sc.factor)
 			opts := core.DefaultOptions()
 			opts.NaiveSearch = sc.naive
 			s := core.New(opts)

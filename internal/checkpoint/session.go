@@ -76,6 +76,13 @@ type SessionSnapshot struct {
 	// Requeues is the consumed preemption re-queue budget, sorted by
 	// container ID.
 	Requeues []RequeueCount `json:"requeues,omitempty"`
+	// ILFailed lists applications the isomorphism-limiting cache had
+	// proven unplaceable at capture time, sorted.  Restoring it warms
+	// the memo so the first post-restore batch pays no re-miss storm;
+	// the entries stay valid because the restored cluster state is
+	// exactly the captured one.  Optional: snapshots from before this
+	// field (or hand-written ones) restore with a cold cache.
+	ILFailed []string `json:"il_failed,omitempty"`
 }
 
 // CaptureSession snapshots a live session: topology (including down
@@ -129,6 +136,7 @@ func CaptureSession(s *core.Session) (*SessionSnapshot, error) {
 	sort.Slice(snap.Requeues, func(i, j int) bool {
 		return snap.Requeues[i].Container < snap.Requeues[j].Container
 	})
+	snap.ILFailed = append(snap.ILFailed, st.ILFailed...)
 	return snap, nil
 }
 
@@ -291,6 +299,16 @@ func ReadSession(r io.Reader) (*SessionSnapshot, error) {
 			return nil, fmt.Errorf("checkpoint: container %s has non-positive requeue count %d", rq.Container, rq.Count)
 		}
 	}
+	seenIL := make(map[string]bool, len(s.ILFailed))
+	for _, app := range s.ILFailed {
+		if app == "" {
+			return nil, fmt.Errorf("checkpoint: empty app ID in IL cache ledger")
+		}
+		if seenIL[app] {
+			return nil, fmt.Errorf("checkpoint: duplicate IL cache entry %s", app)
+		}
+		seenIL[app] = true
+	}
 	return &s, nil
 }
 
@@ -318,6 +336,7 @@ func (s *SessionSnapshot) Restore(opts core.Options, w *workload.Workload) (*cor
 		Assignment: make(map[string]topology.MachineID, len(s.Placements)),
 		Undeployed: append([]string(nil), s.Undeployed...),
 		Requeues:   make(map[string]int, len(s.Requeues)),
+		ILFailed:   append([]string(nil), s.ILFailed...),
 	}
 	for _, p := range s.Placements {
 		if _, dup := st.Assignment[p.Container]; dup {

@@ -156,7 +156,13 @@ func (b *Blacklist) dec(m topology.MachineID, app AppRef) {
 // including the app itself when it has self anti-affinity — joins the
 // machine's blacklist (the d = {T1} → blacklist update of §III.C).
 func (b *Blacklist) Place(m topology.MachineID, c *workload.Container) {
-	app := b.Ref(c.App)
+	b.PlaceRef(m, b.Ref(c.App))
+}
+
+// PlaceRef is Place with the app ordinal already resolved — the form
+// the scheduler's mutation funnel uses so deploying a container does
+// not re-hash its app ID.
+func (b *Blacklist) PlaceRef(m topology.MachineID, app AppRef) {
 	if app == NoApp {
 		return
 	}
@@ -170,7 +176,11 @@ func (b *Blacklist) Place(m topology.MachineID, c *workload.Container) {
 
 // Release undoes a Place for the container on the machine.
 func (b *Blacklist) Release(m topology.MachineID, c *workload.Container) {
-	app := b.Ref(c.App)
+	b.ReleaseRef(m, b.Ref(c.App))
+}
+
+// ReleaseRef is Release with the app ordinal already resolved.
+func (b *Blacklist) ReleaseRef(m topology.MachineID, app AppRef) {
 	if app == NoApp {
 		return
 	}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// allocFixture builds a session with ample headroom so every Place
+// goes through the direct search → place path (no migration, no
+// preemption), which is the steady-state hot path the zero-alloc
+// guarantee covers.  Anti-affinity is included on purpose: the
+// blacklist bookkeeping (PlaceRef/ReleaseRef) is part of that path
+// and must be allocation-free too.
+func allocFixture() (*Session, []*workload.Container) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: 4, Priority: workload.PriorityHigh, AntiAffinitySelf: true},
+		{ID: "batch", Demand: resource.Cores(2, 4096), Replicas: 8, Priority: workload.PriorityLow},
+	})
+	cl := topology.New(topology.Config{
+		Machines:        16,
+		MachinesPerRack: 4,
+		RacksPerCluster: 2,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	return s, w.Containers()
+}
+
+// TestSessionPlaceZeroAlloc is the allocguard contract for the
+// scheduler core: after warm-up, a steady-state Place/Remove cycle
+// performs zero heap allocations.  Every piece of per-batch state —
+// the queue, the undeployed buffer, the result assignment map, the
+// batch-membership epochs, the searcher's visitor structs and fit
+// buffers, the per-machine resident lists — must come from reusable
+// session scratch, not fresh allocation.
+func TestSessionPlaceZeroAlloc(t *testing.T) {
+	s, cs := allocFixture()
+	batch := make([]*workload.Container, len(cs))
+	copy(batch, cs)
+	cycle := func() {
+		res, err := s.Place(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Undeployed) != 0 {
+			t.Fatalf("undeployed in ample cluster: %v", res.Undeployed)
+		}
+		for _, c := range batch {
+			if err := s.Remove(c.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm-up: grow every scratch buffer (queue, fit buffers, map
+	// buckets, resident lists) to its steady-state capacity.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if got := testing.AllocsPerRun(20, cycle); got != 0 {
+		t.Fatalf("steady-state Place/Remove cycle allocates: got %v allocs/run, want 0", got)
+	}
+}
+
+// BenchmarkSessionPlace measures the full session hot path — one
+// batch placement plus the matching departures — and reports
+// allocs/op so the allocguard make target can assert it stays zero.
+func BenchmarkSessionPlace(b *testing.B) {
+	s, cs := allocFixture()
+	batch := make([]*workload.Container, len(cs))
+	copy(batch, cs)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Place(batch); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range batch {
+			if err := s.Remove(c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Place(batch); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range batch {
+			if err := s.Remove(c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -127,7 +127,7 @@ func (a *Auditor) checkFlows() []AuditViolation {
 			continue
 		}
 		units := r.net.units[ct]
-		srcFlow := r.net.g.Arc(r.net.srcArc[ct]).Flow()
+		srcFlow := r.net.g.Arc(int(r.net.srcArc[ct])).Flow()
 		if m := r.asg[c.Ord]; m == topology.Invalid {
 			if units != 0 || srcFlow != 0 {
 				out = append(out, AuditViolation{AuditTierFlow, fmt.Sprintf(
@@ -145,7 +145,7 @@ func (a *Auditor) checkFlows() []AuditViolation {
 		}
 	}
 	for _, m := range r.cluster.Machines() {
-		if got := r.net.g.Arc(r.net.ntArc[m.ID]).Flow(); got != perMachine[m.ID] {
+		if got := r.net.g.Arc(int(r.net.ntArc[m.ID])).Flow(); got != perMachine[m.ID] {
 			out = append(out, AuditViolation{AuditTierFlow, fmt.Sprintf(
 				"machine %d N→t flow %d, placed container units %d", m.ID, got, perMachine[m.ID])})
 		}

@@ -51,7 +51,7 @@ func TestAuditorDetectsBrokenConservation(t *testing.T) {
 	s, w := auditSession(t)
 	c := appContainers(w, "web")[0]
 	m := placedMachine(t, s, c)
-	if err := flow.AugmentPath(s.r.net.g, []int{s.r.net.ntArc[m]}, 1); err != nil {
+	if err := flow.AugmentPath(s.r.net.g, []int{int(s.r.net.ntArc[m])}, 1); err != nil {
 		t.Fatal(err)
 	}
 	vs := s.AuditInvariants()

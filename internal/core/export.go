@@ -49,11 +49,11 @@ func ExportNetworkDOT(out io.Writer, w *workload.Workload, cluster *topology.Clu
 		names[arc.To] = "R:" + rname
 	}
 	for _, m := range cluster.Machines() {
-		arc := n.g.Arc(n.ntArc[m.ID])
+		arc := n.g.Arc(int(n.ntArc[m.ID]))
 		names[arc.From] = "N:" + m.Name
 	}
 	for i, c := range w.Containers() {
-		arc := n.g.Arc(n.srcArc[i])
+		arc := n.g.Arc(int(n.srcArc[i]))
 		names[arc.To] = "T:" + c.ID
 	}
 	return flow.WriteDOT(out, n.g, func(v flow.NodeID) string {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"aladdin/internal/constraint"
 	"aladdin/internal/topology"
 	"aladdin/internal/workload"
 )
@@ -139,12 +140,80 @@ func FuzzFailRecover(f *testing.F) {
 	})
 }
 
+// checkOrdinalViews asserts that the dense ordinal tables and the
+// string-keyed boundary views of a session never disagree: every
+// container's cached app ref matches a fresh workload lookup, the
+// ordinal-keyed assignment matches the exported ID-keyed map and the
+// topology layer's hosting state, each machine's resident-ordinal
+// list mirrors its container set, and the network's per-machine arc
+// and sub-cluster tables match their name-keyed construction maps.
+func checkOrdinalViews(t *testing.T, s *Session, step int) {
+	t.Helper()
+	r := s.r
+	all := s.w.Containers()
+	asgMap := s.Assignment()
+	placed := 0
+	for _, c := range all {
+		if got, want := r.search.refs[c.Ord], constraint.AppRef(s.w.AppIndex(c.App)); got != want {
+			t.Fatalf("step %d: container %s: cached app ref %d, workload lookup %d", step, c.ID, got, want)
+		}
+		m := r.asg[c.Ord]
+		em, ok := asgMap[c.ID]
+		if (m != topology.Invalid) != ok || (ok && em != m) {
+			t.Fatalf("step %d: container %s: ordinal assignment %d, exported (%v, %d)", step, c.ID, m, ok, em)
+		}
+		if m != topology.Invalid {
+			placed++
+			if !r.cluster.Machine(m).Hosts(c.ID) {
+				t.Fatalf("step %d: container %s assigned to machine %d but not hosted there", step, c.ID, m)
+			}
+		}
+	}
+	if placed != len(asgMap) {
+		t.Fatalf("step %d: %d placed ordinals, %d exported assignments", step, placed, len(asgMap))
+	}
+	for mid := 0; mid < r.cluster.Size(); mid++ {
+		m := topology.MachineID(mid)
+		res := r.residents[m]
+		if got, want := len(res), r.cluster.Machine(m).NumContainers(); got != want {
+			t.Fatalf("step %d: machine %d: %d residents, topology hosts %d", step, mid, got, want)
+		}
+		for j, ord := range res {
+			if j > 0 && res[j-1] >= ord {
+				t.Fatalf("step %d: machine %d: residents not in ascending ordinal order: %v", step, mid, res)
+			}
+			if r.asg[ord] != m {
+				t.Fatalf("step %d: machine %d: resident %s assigned to %d", step, mid, all[ord].ID, r.asg[ord])
+			}
+		}
+	}
+	n := r.net
+	for _, c := range all {
+		if got, want := int(n.appOf[c.Ord]), n.appOrd[c.App]; got != want {
+			t.Fatalf("step %d: container %s: appOf %d, appOrd map %d", step, c.ID, got, want)
+		}
+	}
+	for _, rname := range r.cluster.Racks() {
+		rack := r.cluster.Rack(rname)
+		for _, mid := range rack.Machines {
+			if got, want := int(n.grArcOf[mid]), n.grArc[rname]; got != want {
+				t.Fatalf("step %d: machine %d: grArcOf %d, grArc map %d", step, mid, got, want)
+			}
+			if got, want := int(n.subOf[mid]), n.subOrd[rack.Cluster]; got != want {
+				t.Fatalf("step %d: machine %d: subOf %d, subOrd map %d", step, mid, got, want)
+			}
+		}
+	}
+}
+
 // FuzzIndexNaiveEquivalence runs the same fuzzed schedule against an
 // indexed session and a naive-scan session: under depth limiting the
 // two searches promise byte-identical placements, so after every
 // operation both the success/failure of the call and the full
 // assignment table must agree, and the indexed session must stay
-// audit-clean (which includes the index-vs-live cross-check).
+// audit-clean (which includes the index-vs-live cross-check).  Both
+// sessions' dense ordinal tables must additionally keep agreeing with
+// their string-keyed export views after every step (checkOrdinalViews).
 func FuzzIndexNaiveEquivalence(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44}) // place everything
@@ -199,6 +268,8 @@ func FuzzIndexNaiveEquivalence(f *testing.F) {
 				}
 			}
 			mustCleanAudit(t, indexed, i, "op")
+			checkOrdinalViews(t, indexed, i)
+			checkOrdinalViews(t, naive, i)
 		}
 	})
 }

@@ -61,6 +61,16 @@ type idxNode struct {
 // noMachine is the minID sentinel for empty subtrees.
 const noMachine = topology.MachineID(math.MaxInt)
 
+// idxVisitor is the leaf acceptance check the searches apply on top of
+// the index's resource admission (blacklist, exclusions, live-state
+// re-check).  An interface over a caller-held struct rather than a
+// closure: the searcher reuses one visitor value across searches, so
+// converting it to an interface never allocates and the hot path stays
+// heap-free.
+type idxVisitor interface {
+	visit(topology.MachineID) bool
+}
+
 func newCapIndex(cluster *topology.Cluster) *capIndex {
 	n := cluster.Size()
 	leaves := 1
@@ -208,11 +218,11 @@ func (x *capIndex) rangeMaxFree(span topology.Span) resource.Vector {
 // visit callback accepts it (blacklist, exclusions); Invalid when
 // none does.  With exclusively resource-feasible rejections this is
 // O(log machines); every visit rejection adds one descent.
-func (x *capIndex) firstFit(span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool) topology.MachineID {
+func (x *capIndex) firstFit(span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor) topology.MachineID {
 	return x.firstFitNode(1, 0, x.leaves, span, demand, usedOnly, visit)
 }
 
-func (x *capIndex) firstFitNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool) topology.MachineID {
+func (x *capIndex) firstFitNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor) topology.MachineID {
 	if nodeHi <= span.Lo || nodeLo >= span.Hi {
 		return topology.Invalid
 	}
@@ -221,7 +231,7 @@ func (x *capIndex) firstFitNode(node, nodeLo, nodeHi int, span topology.Span, de
 	}
 	if nodeHi-nodeLo == 1 {
 		mid := x.tr.Order[nodeLo]
-		if visit(mid) {
+		if visit.visit(mid) {
 			return mid
 		}
 		return topology.Invalid
@@ -260,11 +270,11 @@ func (st *bestFitState) merge(o bestFitState) {
 // pruned when they cannot admit the demand or cannot beat the
 // incumbent (their minimum free CPU is already larger, or equal with
 // no smaller machine ID available).
-func (x *capIndex) bestFit(span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool, st *bestFitState) {
+func (x *capIndex) bestFit(span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor, st *bestFitState) {
 	x.bestFitNode(1, 0, x.leaves, span, demand, usedOnly, visit, st)
 }
 
-func (x *capIndex) bestFitNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool, st *bestFitState) {
+func (x *capIndex) bestFitNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor, st *bestFitState) {
 	if nodeHi <= span.Lo || nodeLo >= span.Hi {
 		return
 	}
@@ -280,7 +290,7 @@ func (x *capIndex) bestFitNode(node, nodeLo, nodeHi int, span topology.Span, dem
 	}
 	if nodeHi-nodeLo == 1 {
 		mid := x.tr.Order[nodeLo]
-		if !visit(mid) {
+		if !visit.visit(mid) {
 			return
 		}
 		// Score from live machine state, matching the visit callback's
@@ -297,11 +307,11 @@ func (x *capIndex) bestFitNode(node, nodeLo, nodeHi int, span topology.Span, dem
 // collectFits appends, in traversal order, machines within the span
 // that admit the demand and pass the visit callback, stopping at
 // limit (≤ 0 = unlimited).  Returns false once the limit is reached.
-func (x *capIndex) collectFits(span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool, limit int, out *[]topology.MachineID) bool {
+func (x *capIndex) collectFits(span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor, limit int, out *[]topology.MachineID) bool {
 	return x.collectFitsNode(1, 0, x.leaves, span, demand, usedOnly, visit, limit, out)
 }
 
-func (x *capIndex) collectFitsNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit func(topology.MachineID) bool, limit int, out *[]topology.MachineID) bool {
+func (x *capIndex) collectFitsNode(node, nodeLo, nodeHi int, span topology.Span, demand resource.Vector, usedOnly bool, visit idxVisitor, limit int, out *[]topology.MachineID) bool {
 	if nodeHi <= span.Lo || nodeLo >= span.Hi {
 		return true
 	}
@@ -310,7 +320,7 @@ func (x *capIndex) collectFitsNode(node, nodeLo, nodeHi int, span topology.Span,
 	}
 	if nodeHi-nodeLo == 1 {
 		mid := x.tr.Order[nodeLo]
-		if visit(mid) {
+		if visit.visit(mid) {
 			*out = append(*out, mid)
 			if limit > 0 && len(*out) >= limit {
 				return false

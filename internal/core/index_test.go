@@ -86,12 +86,18 @@ func TestCapIndexRangeMaxFree(t *testing.T) {
 	}
 }
 
+// funcVisitor adapts a plain function to the idxVisitor interface for
+// tests (production visitors are reusable structs; see admitState).
+type funcVisitor func(topology.MachineID) bool
+
+func (f funcVisitor) visit(m topology.MachineID) bool { return f(m) }
+
 // TestCapIndexFirstFitMatchesScan compares the tree descent against a
 // brute-force first-fit over the traversal, across demand sizes and
 // both occupancy views.
 func TestCapIndexFirstFitMatchesScan(t *testing.T) {
 	cl, x := idxFixture(t, 48, 13)
-	accept := func(topology.MachineID) bool { return true }
+	accept := funcVisitor(func(topology.MachineID) bool { return true })
 	for cpu := int64(1); cpu <= 32; cpu += 3 {
 		demand := resource.Cores(cpu, cpu*1024)
 		for _, usedOnly := range []bool{false, true} {
@@ -108,9 +114,9 @@ func TestCapIndexFirstFitMatchesScan(t *testing.T) {
 			}
 			visit := accept
 			if usedOnly {
-				visit = func(mid topology.MachineID) bool {
+				visit = funcVisitor(func(mid topology.MachineID) bool {
 					return cl.Machine(mid).NumContainers() > 0
-				}
+				})
 			}
 			if got := x.firstFit(x.all(), demand, usedOnly, visit); got != want {
 				t.Fatalf("firstFit(cpu=%d, usedOnly=%v) = %d, want %d", cpu, usedOnly, got, want)
@@ -138,7 +144,7 @@ func TestCapIndexBestFitMatchesScan(t *testing.T) {
 			}
 		}
 		st := newBestFitState()
-		x.bestFit(x.all(), demand, false, func(topology.MachineID) bool { return true }, &st)
+		x.bestFit(x.all(), demand, false, funcVisitor(func(topology.MachineID) bool { return true }), &st)
 		if st.id != want {
 			t.Fatalf("bestFit(cpu=%d) = %d, want %d", cpu, st.id, want)
 		}

@@ -20,9 +20,10 @@ import (
 // are deliberately absent: RestoreSession rebuilds them by replaying
 // the assignment through the same place path live scheduling uses, so
 // they can never disagree with the captured ground truth.  The IL
-// cache and the sibling search hint restore cold; both are pure memos
-// whose absence changes explored-vertex counts but never placement
-// outcomes.
+// cache's live entries travel as ILFailed so a restored session's
+// first batch pays no re-miss storm; the sibling search hint restores
+// cold (a pure memo whose absence changes explored-vertex counts but
+// never placement outcomes).
 type SessionState struct {
 	// Assignment maps every currently-placed container to its machine.
 	Assignment constraint.Assignment
@@ -34,6 +35,12 @@ type SessionState struct {
 	// containers that have been evicted at least once; omitting it
 	// would let a restored session preempt a victim past its budget.
 	Requeues map[string]int
+	// ILFailed lists applications currently proven unplaceable by the
+	// isomorphism-limiting cache (entries live at the capture's
+	// release generation).  Valid to re-apply on restore because the
+	// restored cluster state is exactly the captured one: no capacity
+	// has been released since the proofs were recorded.  Sorted.
+	ILFailed []string
 }
 
 // Cluster returns the session's live cluster topology.
@@ -50,24 +57,28 @@ func (s *Session) Options() Options { return s.opts }
 // subsequent scheduling.
 func (s *Session) ExportState() *SessionState {
 	st := &SessionState{
-		Assignment: make(constraint.Assignment, len(s.placed)),
+		Assignment: make(constraint.Assignment),
 		Requeues:   make(map[string]int),
 	}
 	for id, m := range s.r.assignmentMap() {
 		st.Assignment[id] = m
 	}
-	// Sorted immediately below, so visit order cannot escape.
-	//aladdin:nondeterministic-ok output sorted before return
-	for id, placed := range s.placed {
-		if !placed {
-			st.Undeployed = append(st.Undeployed, id)
-		}
-	}
-	sort.Strings(st.Undeployed)
 	for _, c := range s.w.Containers() {
+		if s.ledger[c.Ord] == ledgerUndeployed {
+			st.Undeployed = append(st.Undeployed, c.ID)
+		}
 		if n := s.r.requeues[c.Ord]; n > 0 {
 			st.Requeues[c.ID] = n
 		}
+	}
+	sort.Strings(st.Undeployed)
+	if s.opts.IsomorphismLimiting {
+		for ao, a := range s.w.Apps() {
+			if s.r.search.il.valid(ao) {
+				st.ILFailed = append(st.ILFailed, a.ID)
+			}
+		}
+		sort.Strings(st.ILFailed)
 	}
 	return st
 }
@@ -117,7 +128,7 @@ func RestoreSession(opts Options, w *workload.Workload, cluster *topology.Cluste
 		if err := r.place(c, m); err != nil {
 			return nil, fmt.Errorf("core: restore: %w", err)
 		}
-		s.placed[c.ID] = true
+		s.ledger[c.Ord] = ledgerPlaced
 	}
 	// Pure validation sweep: which offending container the error names
 	// may vary with map order, but whether an error is returned cannot.
@@ -132,10 +143,10 @@ func RestoreSession(opts Options, w *workload.Workload, cluster *topology.Cluste
 		if c == nil {
 			return nil, fmt.Errorf("core: restore: undeployed container %s not in workload universe", id)
 		}
-		if s.placed[id] {
+		if s.ledger[c.Ord] == ledgerPlaced {
 			return nil, fmt.Errorf("core: restore: container %s both placed and undeployed", id)
 		}
-		s.placed[id] = false
+		s.ledger[c.Ord] = ledgerUndeployed
 	}
 	// Distinct ordinals: the writes commute, and which entry an error
 	// names may vary with map order but not whether one is returned.
@@ -149,6 +160,19 @@ func RestoreSession(opts Options, w *workload.Workload, cluster *topology.Cluste
 			return nil, fmt.Errorf("core: restore: container %s has negative requeue count %d", id, n)
 		}
 		r.requeues[c.Ord] = n
+	}
+	// Warm the IL cache last: the replay above never released capacity
+	// (place only), so the captured unplaceability proofs still hold at
+	// the fresh session's release generation.  Skipped when the restored
+	// configuration runs without IL — the memo would never be read.
+	if opts.IsomorphismLimiting {
+		for _, appID := range st.ILFailed {
+			ref := r.blacklist.Ref(appID)
+			if ref == constraint.NoApp {
+				return nil, fmt.Errorf("core: restore: IL cache references unknown app %s", appID)
+			}
+			r.search.il.note(ref)
+		}
 	}
 	if r.met.on {
 		r.met.restoreLat.Observe(opts.now().Sub(start).Microseconds())

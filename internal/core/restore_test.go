@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"aladdin/internal/obs"
 	"aladdin/internal/resource"
 	"aladdin/internal/topology"
 	"aladdin/internal/trace"
@@ -239,5 +240,81 @@ func TestRestoreSessionValidation(t *testing.T) {
 	st.Requeues = map[string]int{"ghost/2": 1}
 	if _, err := RestoreSession(DefaultOptions(), w, fresh(), st); err == nil {
 		t.Error("unknown requeue container should fail")
+	}
+}
+
+// TestRestoreWarmILCache proves the checkpointed IL cache is worth
+// carrying: a warm restore (state with ILFailed) and a cold restore
+// (the same state with ILFailed stripped, as an old-format snapshot
+// would deliver) produce byte-identical placements for the same
+// follow-up batch, but the warm session answers the unplaceable app's
+// remaining replicas from the restored cache — strictly fewer
+// aladdin_il_cache_misses_total than the cold session, which must
+// re-prove unplaceability by searching.
+func TestRestoreWarmILCache(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "giant", Demand: resource.Cores(64, 128*1024), Replicas: 4},
+		{ID: "small", Demand: resource.Cores(2, 4096), Replicas: 4},
+	})
+	cl := topology.New(topology.Config{
+		Machines:        8,
+		MachinesPerRack: 4,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+	s := NewSession(DefaultOptions(), w, cl)
+	// giant/0 misses the IL cache and is proven unplaceable (64 cores
+	// on 32-core machines); giant/1 is skipped off the fresh note.
+	batch := append(appContainers(w, "small"), appContainers(w, "giant")[:2]...)
+	if _, err := s.Place(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ExportState()
+	if !reflect.DeepEqual(st.ILFailed, []string{"giant"}) {
+		t.Fatalf("captured ILFailed = %v, want [giant]", st.ILFailed)
+	}
+
+	restore := func(st *SessionState) (*Session, *obs.Registry) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		opts := DefaultOptions()
+		opts.Metrics = reg
+		fresh, err := topology.FromSpecs(cl.Specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := RestoreSession(opts, w, fresh, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, reg
+	}
+	coldSt := *st
+	coldSt.ILFailed = nil // what an ILFailed-less v2 snapshot restores to
+	warm, warmReg := restore(st)
+	cold, coldReg := restore(&coldSt)
+
+	// Same follow-up batch on both: the remaining giant replicas.
+	rest := appContainers(w, "giant")[2:]
+	wres, err := warm.Place(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := cold.Place(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wres.Undeployed, cres.Undeployed) {
+		t.Fatalf("follow-up batches diverge: warm undeployed %v, cold %v", wres.Undeployed, cres.Undeployed)
+	}
+	assertSameSessionState(t, cold, warm)
+
+	warmMiss := warmReg.Snapshot().Counters["aladdin_il_cache_misses_total"]
+	coldMiss := coldReg.Snapshot().Counters["aladdin_il_cache_misses_total"]
+	if warmMiss >= coldMiss {
+		t.Fatalf("warm restore IL misses = %d, want strictly fewer than cold restore's %d", warmMiss, coldMiss)
+	}
+	warmHit := warmReg.Snapshot().Counters["aladdin_il_cache_hits_total"]
+	if warmHit == 0 {
+		t.Fatal("warm restore recorded no IL cache hits; restored cache was not consulted")
 	}
 }

@@ -44,8 +44,16 @@ type run struct {
 	// undeployed).  place/unplace are the scheduler's innermost
 	// mutations; a slice write keeps them free of string hashing.  The
 	// ID-keyed map views hand out materialise on demand.
-	asg            []topology.MachineID
-	asgMap         constraint.Assignment
+	asg    []topology.MachineID
+	asgMap constraint.Assignment
+	// residents[m] lists the workload ordinals placed on machine m in
+	// ascending ordinal order — the reverse view of asg, maintained by
+	// place/unplace so migration, drain, defrag and preemption walk a
+	// machine's occupants without the topology layer's string-ID round
+	// trip.  Pre-placed residents unknown to the workload are absent;
+	// consumers that need them (drain) detect the mismatch against
+	// Machine.NumContainers.
+	residents      [][]int32
 	requeues       []int
 	byID           map[string]*workload.Container
 	migrations     int
@@ -77,6 +85,7 @@ func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run 
 		ladder:    constraint.NewWeightLadder(w, opts.WeightBase),
 		blacklist: constraint.NewBlacklist(w, cluster.Size()),
 		asg:       make([]topology.MachineID, w.NumContainers()),
+		residents: make([][]int32, cluster.Size()),
 		requeues:  make([]int, w.NumContainers()),
 		byID:      make(map[string]*workload.Container, w.NumContainers()),
 	}
@@ -86,7 +95,7 @@ func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run 
 	for _, c := range w.Containers() {
 		r.byID[c.ID] = c
 	}
-	r.search = newSearcher(opts, cluster, r.blacklist)
+	r.search = newSearcher(opts, w, cluster, r.blacklist)
 	r.met = newCoreMetrics(opts.Metrics)
 	r.trc = opts.Tracer
 	// Assigned after construction so newSearcher's signature stays
@@ -101,7 +110,7 @@ func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run 
 // between mutations share one map (sessions hand it out by design).
 func (r *run) assignmentMap() constraint.Assignment {
 	if r.asgMap == nil {
-		r.asgMap = make(constraint.Assignment)
+		r.asgMap = make(constraint.Assignment, len(r.asg))
 		for _, c := range r.w.Containers() {
 			if m := r.asg[c.Ord]; m != topology.Invalid {
 				r.asgMap[c.ID] = m
@@ -129,7 +138,7 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 		// already proved unplaceable and no capacity has been
 		// released since — the search cannot succeed, skip it.
 		if s.opts.IsomorphismLimiting {
-			if r.search.il.skip(c.App) {
+			if r.search.il.skip(r.search.refOf(c)) {
 				r.met.ilHits.Inc()
 				undeployed = append(undeployed, c.ID)
 				continue
@@ -167,7 +176,7 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 			}
 		}
 		if s.opts.IsomorphismLimiting {
-			r.search.il.note(c.App)
+			r.search.il.note(r.search.refOf(c))
 		}
 		undeployed = append(undeployed, c.ID)
 	}
@@ -257,14 +266,45 @@ func (r *run) place(c *workload.Container, m topology.MachineID) error {
 		}
 		return err
 	}
-	r.blacklist.Place(m, c)
+	r.blacklist.PlaceRef(m, r.search.refOf(c))
 	r.asg[c.Ord] = m
+	r.addResident(m, int32(c.Ord))
 	r.asgMap = nil
 	r.search.noteUpdate(m)
 	r.met.placements.Inc()
 	r.met.placedGauge.Add(1)
 	r.trc.Emit(obs.Event{Kind: obs.EvAugmentingPath, Container: c.ID, Machine: int64(m)})
 	return nil
+}
+
+// addResident records the container ordinal in machine m's resident
+// list, keeping it ordinal-sorted.  Lists are short (containers per
+// machine), so the insertion shift beats any tree; the slice keeps its
+// capacity across remove/add churn, so steady-state placement cycles
+// allocate nothing.
+func (r *run) addResident(m topology.MachineID, ord int32) {
+	rs := r.residents[m]
+	i := len(rs)
+	for i > 0 && rs[i-1] > ord {
+		i--
+	}
+	rs = append(rs, 0)
+	copy(rs[i+1:], rs[i:])
+	rs[i] = ord
+	r.residents[m] = rs
+}
+
+// removeResident drops the container ordinal from machine m's
+// resident list.
+func (r *run) removeResident(m topology.MachineID, ord int32) {
+	rs := r.residents[m]
+	for i, o := range rs {
+		if o == ord {
+			copy(rs[i:], rs[i+1:])
+			r.residents[m] = rs[:len(rs)-1]
+			return
+		}
+	}
 }
 
 // unplace removes a container from its machine, reversing place.
@@ -276,8 +316,9 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 	if err := r.net.cancel(c, m); err != nil {
 		return err
 	}
-	r.blacklist.Release(m, c)
+	r.blacklist.ReleaseRef(m, r.search.refOf(c))
 	r.asg[c.Ord] = topology.Invalid
+	r.removeResident(m, int32(c.Ord))
 	r.asgMap = nil
 	r.search.noteUpdate(m)
 	r.search.il.bump()
@@ -344,15 +385,14 @@ func (r *run) tryMigrationInner(c *workload.Container) (bool, error) {
 	return false, nil
 }
 
-// blockersOn lists containers on machine m whose app conflicts with c.
+// blockersOn lists containers on machine m whose app conflicts with c
+// (pre-placed residents outside the workload carry no constraints and
+// are never blockers).
 func (r *run) blockersOn(m topology.MachineID, c *workload.Container) []*workload.Container {
-	machine := r.cluster.Machine(m)
+	cs := r.w.Containers()
 	var out []*workload.Container
-	for _, id := range machine.ContainerIDs() {
-		other := r.containerByID(id)
-		if other == nil {
-			continue
-		}
+	for _, ord := range r.residents[m] {
+		other := cs[ord]
 		if r.w.AntiAffine(other.App, c.App) || (other.App == c.App && r.w.AntiAffine(c.App, c.App)) {
 			out = append(out, other)
 		}
@@ -522,13 +562,13 @@ type drainKey struct {
 // scheduler state is corrupt.
 func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) (bool, error) {
 	machine := r.cluster.Machine(m)
-	var cs []*workload.Container
-	for _, id := range machine.ContainerIDs() {
-		c := r.containerByID(id)
-		if c == nil {
-			return false, nil // unknown resident: not movable
-		}
-		cs = append(cs, c)
+	all := r.w.Containers()
+	if machine.NumContainers() != len(r.residents[m]) {
+		return false, nil // unknown residents present: not movable
+	}
+	cs := make([]*workload.Container, 0, len(r.residents[m]))
+	for _, ord := range r.residents[m] {
+		cs = append(cs, all[ord])
 	}
 	if len(cs) == 0 {
 		return false, nil
@@ -544,7 +584,7 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 	// feasibility for this drain too, and an Invalid result rules the
 	// class out everywhere until the next successful drain.
 	for _, c := range cs {
-		key := drainKey{app: r.w.AppIndex(c.App), demand: c.Demand}
+		key := drainKey{app: int(r.search.refOf(c)), demand: c.Demand}
 		dest, ok := memo[key]
 		if !ok {
 			dest = r.search.findMachine(c, exclusion{skipEmpty: true})
@@ -561,6 +601,12 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 			}
 		}
 	}
+	// Every search below excludes m, and each move (and any rollback)
+	// mutates it, so batch m's per-move index pull chains into a
+	// single final write (no-op in eager modes; see
+	// searcher.deferUpdates for the monotonicity argument).
+	r.search.deferUpdates(m)
+	defer r.search.resumeUpdates()
 	type move struct {
 		c  *workload.Container
 		to topology.MachineID
@@ -669,11 +715,11 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 	machine := r.cluster.Machine(m)
 	// Choose movers: smallest CPU first, skip nothing else — the
 	// relocation search enforces their constraints at the new homes.
+	// Unknown pre-placed residents are simply immovable furniture.
+	all := r.w.Containers()
 	var movers []*workload.Container
-	for _, id := range machine.ContainerIDs() {
-		if other := r.containerByID(id); other != nil {
-			movers = append(movers, other)
-		}
+	for _, ord := range r.residents[m] {
+		movers = append(movers, all[ord])
 	}
 	sort.Slice(movers, func(i, j int) bool {
 		di, dj := movers[i].Demand.Dim(resource.CPU), movers[j].Demand.Dim(resource.CPU)
@@ -837,11 +883,9 @@ func (r *run) pickVictims(m topology.MachineID, c *workload.Container) []*worklo
 		return []*workload.Container{}
 	}
 	var lower []*workload.Container
-	for _, id := range machine.ContainerIDs() {
-		other := r.containerByID(id)
-		if other == nil {
-			continue
-		}
+	cs := r.w.Containers()
+	for _, ord := range r.residents[m] {
+		other := cs[ord]
 		// The weighted flow w_k·f (Equation 9) decides who may evict
 		// whom: a container may only displace one with strictly
 		// smaller weighted flow.  With a verified ladder this is

@@ -197,16 +197,21 @@ func (a *aggregates) subAdmits(gname string, demand resource.Vector) bool {
 // capacity is released (placements only shrink free space and grow
 // blacklists, so they can never make an infeasible sibling feasible;
 // releases can).
+//
+// Entries are a dense slice by app ordinal, not an ID-keyed map: the
+// skip check runs once per queued container, and a slice read keeps
+// it off the string-hashing path.  failed stores releaseGen+1 so the
+// zero value means "never failed" and a fresh cache needs no fill.
 type ilCache struct {
 	// releaseGen counts capacity releases (unplace/evict).
 	releaseGen uint64
-	// failed[app] is the releaseGen at which the app was proven
-	// unplaceable.
-	failed map[string]uint64
+	// failed[app] is releaseGen+1 at which the app was proven
+	// unplaceable; 0 marks an app never proven unplaceable.
+	failed []uint64
 }
 
-func newILCache() *ilCache {
-	return &ilCache{failed: make(map[string]uint64)}
+func newILCache(numApps int) *ilCache {
+	return &ilCache{failed: make([]uint64, numApps)}
 }
 
 // bump invalidates all cached failures (some capacity was released).
@@ -214,14 +219,21 @@ func (il *ilCache) bump() { il.releaseGen++ }
 
 // skip reports whether the app was already proven unplaceable at the
 // current generation.
-func (il *ilCache) skip(app string) bool {
-	g, ok := il.failed[app]
-	return ok && g == il.releaseGen
+func (il *ilCache) skip(app constraint.AppRef) bool {
+	return app >= 0 && int(app) < len(il.failed) && il.failed[app] == il.releaseGen+1
 }
 
 // note records that the app is unplaceable at the current generation.
-func (il *ilCache) note(app string) {
-	il.failed[app] = il.releaseGen
+func (il *ilCache) note(app constraint.AppRef) {
+	if app >= 0 && int(app) < len(il.failed) {
+		il.failed[app] = il.releaseGen + 1
+	}
+}
+
+// valid reports whether the app's cached failure is live at the
+// current generation — skip without the nil-app guard, for exports.
+func (il *ilCache) valid(app int) bool {
+	return il.failed[app] == il.releaseGen+1
 }
 
 // searcher walks the tiered network looking for an augmenting path
@@ -236,6 +248,13 @@ type searcher struct {
 	agg       *aggregates
 	blacklist *constraint.Blacklist
 	il        *ilCache
+
+	// w is the workload universe; refs is the dense container-ordinal →
+	// app-ordinal table, resolved once at construction so per-search
+	// app resolution is a slice read shared by every container of a
+	// batch instead of a per-container string-map probe.
+	w    *workload.Workload
+	refs []constraint.AppRef
 
 	// met carries the run's instrument handles (assigned by newRun
 	// after construction; the zero value is disabled).  findMachine
@@ -259,19 +278,64 @@ type searcher struct {
 	// any mutation before hintPos resets the hint (noteUpdate).
 	hintApp constraint.AppRef
 	hintPos int
+
+	// deferred, when valid, names the one machine whose index
+	// refreshes are being batched by a deferUpdates window (drain's
+	// move loop); deferredDirty records whether any refresh was
+	// actually skipped and owes a final write.
+	deferred      topology.MachineID
+	deferredDirty bool
+
+	// Scratch state reused across searches so the steady-state hot
+	// path performs zero heap allocations: the serial visitor structs
+	// replace the per-call closures the pre-SoA layout allocated, and
+	// the shard/fit buffers amortise the parallel sweep's staging.
+	av      admitState
+	fv      fitState
+	fitsBuf []topology.MachineID
+
+	shardStates   []admitState
+	shardFitState []fitState
+	shardBest     []bestFitState
+	shardExplored []int64
+	shardFits     [][]topology.MachineID
 }
 
 // newSearcher wires a searcher with fresh aggregates, index and IL
 // state; shared by batch runs (scheduler.go) and sessions.
-func newSearcher(opts Options, cluster *topology.Cluster, blacklist *constraint.Blacklist) *searcher {
-	return &searcher{
+func newSearcher(opts Options, w *workload.Workload, cluster *topology.Cluster, blacklist *constraint.Blacklist) *searcher {
+	s := &searcher{
 		opts:      opts,
 		cluster:   cluster,
 		agg:       newAggregates(cluster, opts),
 		blacklist: blacklist,
-		il:        newILCache(),
+		il:        newILCache(w.NumApps()),
+		w:         w,
+		refs:      make([]constraint.AppRef, w.NumContainers()),
 		hintApp:   constraint.NoApp,
+		deferred:  topology.Invalid,
 	}
+	for _, c := range w.Containers() {
+		s.refs[c.Ord] = constraint.AppRef(w.AppIndex(c.App))
+	}
+	nShards := len(s.agg.subNames)
+	s.shardStates = make([]admitState, nShards)
+	s.shardFitState = make([]fitState, nShards)
+	s.shardBest = make([]bestFitState, nShards)
+	s.shardExplored = make([]int64, nShards)
+	s.shardFits = make([][]topology.MachineID, nShards)
+	return s
+}
+
+// refOf resolves a container to its app ordinal: a slice read for
+// workload containers, falling back to the blacklist's string lookup
+// for probes outside the universe (search benchmarks).
+func (s *searcher) refOf(c *workload.Container) constraint.AppRef {
+	cs := s.w.Containers()
+	if c.Ord >= 0 && c.Ord < len(cs) && cs[c.Ord] == c {
+		return s.refs[c.Ord]
+	}
+	return s.blacklist.Ref(c.App)
 }
 
 // noteUpdate refreshes the index and aggregates after machine m
@@ -279,9 +343,49 @@ func newSearcher(opts Options, cluster *topology.Cluster, blacklist *constraint.
 // has skipped could make a previously rejecting machine admit again,
 // so the hint is dropped; mutations at or after the hint cannot.
 func (s *searcher) noteUpdate(m topology.MachineID) {
-	s.agg.update(m)
+	if m == s.deferred {
+		// Index refresh postponed (see deferUpdates); the lazy
+		// name-keyed aggregates still need a recompute before their
+		// next read.
+		s.deferredDirty = true
+		s.agg.dirty = true
+	} else {
+		s.agg.update(m)
+	}
 	if s.hintApp != constraint.NoApp && s.agg.idx.tr.Pos[m] < s.hintPos {
 		s.hintApp = constraint.NoApp
+	}
+}
+
+// deferUpdates suspends index refreshes for machine m until
+// resumeUpdates.  Only legal while every search excludes m: a subtree
+// maximum is monotone in its members' free vectors, so an understated
+// stale entry for m can never prune a subtree that still holds some
+// other admitting machine — the worst it can do is hide m itself,
+// which the exclusion hides anyway.  Consolidation's drain uses this
+// to collapse the per-move O(log n) pull chains for the machine being
+// emptied (whose free vector changes on every move) into one final
+// write.  Disabled in eager modes: their per-update cross-checks
+// recompute neighbouring aggregates from live machine state and
+// assume a fully live index.
+func (s *searcher) deferUpdates(m topology.MachineID) {
+	if s.agg.eager {
+		return
+	}
+	s.deferred = m
+	s.deferredDirty = false
+}
+
+// resumeUpdates ends a deferUpdates window, applying the machine's
+// final state to the index if any refresh was skipped.
+func (s *searcher) resumeUpdates() {
+	m := s.deferred
+	if m == topology.Invalid {
+		return
+	}
+	s.deferred = topology.Invalid
+	if s.deferredDirty {
+		s.agg.update(m)
 	}
 }
 
@@ -349,31 +453,59 @@ func (s *searcher) findMachineInner(c *workload.Container, excl exclusion) topol
 	return s.bestFitSweep(c, excl)
 }
 
-// admitVisit builds the leaf acceptance check shared by the indexed
+// admitState is the leaf acceptance check shared by the indexed
 // searches: exclusions, consolidation's no-empty-machines rule, a
 // live resource-fit check and the blacklist.  The index already
 // guarantees the fit on its own view; re-checking against live
 // machine state gives the indexed search the same robustness to
 // out-of-band cluster mutations (pre-placed residents) that the
-// naive scan gets from checking machines directly.  The explored
-// counter is passed in so parallel shards can count without
-// contending.
-func (s *searcher) admitVisit(c *workload.Container, excl exclusion, explored *int64) func(topology.MachineID) bool {
-	ref := s.blacklist.Ref(c.App)
-	return func(mid topology.MachineID) bool {
-		if excl.excludes(mid) {
-			return false
-		}
-		*explored++
-		m := s.cluster.Machine(mid)
-		if excl.skipEmpty && m.NumContainers() == 0 {
-			return false
-		}
-		if !m.Fits(c.Demand) {
-			return false
-		}
-		return s.blacklist.AllowsRef(mid, ref)
+// naive scan gets from checking machines directly.  It is a struct
+// with a pointer-receiver visit method, not a closure: the serial
+// searches reuse one instance held in the searcher's scratch, so the
+// hot path allocates nothing.  The explored counter is a pointer so
+// parallel shards can count without contending.
+type admitState struct {
+	s        *searcher
+	demand   resource.Vector
+	excl     exclusion
+	ref      constraint.AppRef
+	explored *int64
+}
+
+func (v *admitState) visit(mid topology.MachineID) bool {
+	if v.excl.excludes(mid) {
+		return false
 	}
+	*v.explored++
+	m := v.s.cluster.Machine(mid)
+	if v.excl.skipEmpty && m.NumContainers() == 0 {
+		return false
+	}
+	if !m.Fits(v.demand) {
+		return false
+	}
+	return v.s.blacklist.AllowsRef(mid, v.ref)
+}
+
+// fitState is admitState without the blacklist: resource-only
+// admission for migration's candidate enumeration.
+type fitState struct {
+	s        *searcher
+	demand   resource.Vector
+	excl     exclusion
+	explored *int64
+}
+
+func (v *fitState) visit(mid topology.MachineID) bool {
+	if v.excl.excludes(mid) {
+		return false
+	}
+	*v.explored++
+	m := v.s.cluster.Machine(mid)
+	if v.excl.skipEmpty && m.NumContainers() == 0 {
+		return false
+	}
+	return m.Fits(v.demand)
 }
 
 // firstFitIndexed is the DL search over the index: the first machine
@@ -383,13 +515,14 @@ func (s *searcher) admitVisit(c *workload.Container, excl exclusion, explored *i
 func (s *searcher) firstFitIndexed(c *workload.Container, excl exclusion) topology.MachineID {
 	idx := s.agg.idx
 	span := idx.all()
-	ref := s.blacklist.Ref(c.App)
+	ref := s.refOf(c)
 	hintable := excl.machine == topology.Invalid && excl.set == nil &&
 		!excl.skipEmpty && ref != constraint.NoApp
 	if hintable && ref == s.hintApp {
 		span.Lo = s.hintPos
 	}
-	got := idx.firstFit(span, c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &s.explored))
+	s.av = admitState{s: s, demand: c.Demand, excl: excl, ref: ref, explored: &s.explored}
+	got := idx.firstFit(span, c.Demand, excl.skipEmpty, &s.av)
 	if hintable {
 		s.hintApp = ref
 		if got != topology.Invalid {
@@ -410,23 +543,27 @@ func (s *searcher) firstFitIndexed(c *workload.Container, excl exclusion) topolo
 // -cpu setting.
 func (s *searcher) bestFitSweep(c *workload.Container, excl exclusion) topology.MachineID {
 	idx := s.agg.idx
+	ref := s.refOf(c)
 	if !s.sweepParallel() {
 		st := newBestFitState()
-		idx.bestFit(idx.all(), c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &s.explored), &st)
+		s.av = admitState{s: s, demand: c.Demand, excl: excl, ref: ref, explored: &s.explored}
+		idx.bestFit(idx.all(), c.Demand, excl.skipEmpty, &s.av, &st)
 		return st.id
 	}
-	shards := make([]bestFitState, len(s.agg.subNames))
-	explored := make([]int64, len(s.agg.subNames))
+	for i := range s.shardExplored {
+		s.shardExplored[i] = 0
+	}
 	parallel.ForEach(len(s.agg.subNames), 0, func(i int) {
 		span := idx.tr.SubSpan[s.agg.subNames[i]]
 		st := newBestFitState()
-		idx.bestFit(span, c.Demand, excl.skipEmpty, s.admitVisit(c, excl, &explored[i]), &st)
-		shards[i] = st
+		s.shardStates[i] = admitState{s: s, demand: c.Demand, excl: excl, ref: ref, explored: &s.shardExplored[i]}
+		idx.bestFit(span, c.Demand, excl.skipEmpty, &s.shardStates[i], &st)
+		s.shardBest[i] = st
 	})
 	best := newBestFitState()
-	for i, st := range shards {
-		s.explored += explored[i]
-		best.merge(st)
+	for i := range s.shardBest {
+		s.explored += s.shardExplored[i]
+		best.merge(s.shardBest[i])
 	}
 	return best.id
 }
@@ -435,7 +572,7 @@ func (s *searcher) bestFitSweep(c *workload.Container, excl exclusion) topology.
 // sub-cluster → rack → machine in tier order, pruned only by the
 // rack/sub-cluster aggregates.
 func (s *searcher) findMachineNaive(c *workload.Container, excl exclusion) topology.MachineID {
-	ref := s.blacklist.Ref(c.App)
+	ref := s.refOf(c)
 	best := topology.Invalid
 	var bestLeft int64 = 1<<62 - 1
 	for _, gname := range s.cluster.SubClusters() {
@@ -479,62 +616,51 @@ func (s *searcher) findMachineNaive(c *workload.Container, excl exclusion) topol
 	return best
 }
 
-// fitVisit is admitVisit without the blacklist: resource-only
-// admission for migration's candidate enumeration.
-func (s *searcher) fitVisit(c *workload.Container, excl exclusion, explored *int64) func(topology.MachineID) bool {
-	return func(mid topology.MachineID) bool {
-		if excl.excludes(mid) {
-			return false
-		}
-		*explored++
-		m := s.cluster.Machine(mid)
-		if excl.skipEmpty && m.NumContainers() == 0 {
-			return false
-		}
-		return m.Fits(c.Demand)
-	}
-}
-
 // findResourceFits is findMachine ignoring blacklists: used by
 // migration to locate machines where only anti-affinity blocks the
 // container.  Results are in tier-traversal order, truncated at
-// limit (≤ 0 = unlimited).
+// limit (≤ 0 = unlimited).  The returned slice aliases the
+// searcher's reusable buffer and stays valid only until the next
+// findResourceFits call.
 func (s *searcher) findResourceFits(c *workload.Container, excl exclusion, limit int) []topology.MachineID {
 	if s.opts.NaiveSearch {
 		return s.findResourceFitsNaive(c, excl, limit)
 	}
 	idx := s.agg.idx
+	s.fitsBuf = s.fitsBuf[:0]
 	if !s.sweepParallel() {
-		var out []topology.MachineID
-		idx.collectFits(idx.all(), c.Demand, excl.skipEmpty, s.fitVisit(c, excl, &s.explored), limit, &out)
-		return out
+		s.fv = fitState{s: s, demand: c.Demand, excl: excl, explored: &s.explored}
+		idx.collectFits(idx.all(), c.Demand, excl.skipEmpty, &s.fv, limit, &s.fitsBuf)
+		return s.fitsBuf
 	}
 	// Sharded per sub-cluster; each shard collects up to the full
 	// limit (any single shard may end up supplying every survivor),
 	// then shards merge in sub-cluster order so the concatenation is
 	// exactly the serial traversal order, truncated at limit.
-	shards := make([][]topology.MachineID, len(s.agg.subNames))
-	explored := make([]int64, len(s.agg.subNames))
+	for i := range s.shardExplored {
+		s.shardExplored[i] = 0
+		s.shardFits[i] = s.shardFits[i][:0]
+	}
 	parallel.ForEach(len(s.agg.subNames), 0, func(i int) {
 		span := idx.tr.SubSpan[s.agg.subNames[i]]
-		idx.collectFits(span, c.Demand, excl.skipEmpty, s.fitVisit(c, excl, &explored[i]), limit, &shards[i])
+		s.shardFitState[i] = fitState{s: s, demand: c.Demand, excl: excl, explored: &s.shardExplored[i]}
+		idx.collectFits(span, c.Demand, excl.skipEmpty, &s.shardFitState[i], limit, &s.shardFits[i])
 	})
-	var out []topology.MachineID
-	for i, shard := range shards {
-		s.explored += explored[i]
+	for i, shard := range s.shardFits {
+		s.explored += s.shardExplored[i]
 		for _, mid := range shard {
-			if limit > 0 && len(out) >= limit {
+			if limit > 0 && len(s.fitsBuf) >= limit {
 				continue
 			}
-			out = append(out, mid)
+			s.fitsBuf = append(s.fitsBuf, mid)
 		}
 	}
-	return out
+	return s.fitsBuf
 }
 
 // findResourceFitsNaive is the retained linear enumeration.
 func (s *searcher) findResourceFitsNaive(c *workload.Container, excl exclusion, limit int) []topology.MachineID {
-	var out []topology.MachineID
+	s.fitsBuf = s.fitsBuf[:0]
 	for _, gname := range s.cluster.SubClusters() {
 		if !s.agg.subAdmits(gname, c.Demand) {
 			continue
@@ -555,12 +681,12 @@ func (s *searcher) findResourceFitsNaive(c *workload.Container, excl exclusion, 
 				if !m.Fits(c.Demand) {
 					continue
 				}
-				out = append(out, mid)
-				if limit > 0 && len(out) >= limit {
-					return out
+				s.fitsBuf = append(s.fitsBuf, mid)
+				if limit > 0 && len(s.fitsBuf) >= limit {
+					return s.fitsBuf
 				}
 			}
 		}
 	}
-	return out
+	return s.fitsBuf
 }

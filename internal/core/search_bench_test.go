@@ -13,10 +13,11 @@ import (
 
 // benchFilledCluster builds a cluster and fills it with a real
 // scheduling run (including consolidation), so search benchmarks see
-// production-shaped occupancy rather than a synthetic fill.
-func benchFilledCluster(b *testing.B, machines int) *topology.Cluster {
+// production-shaped occupancy rather than a synthetic fill.  factor is
+// the trace downscale (50 ≈ 1.9k containers, 1 ≈ 100k).
+func benchFilledCluster(b *testing.B, machines, factor int) *topology.Cluster {
 	b.Helper()
-	w := trace.MustGenerate(trace.Scaled(42, 50))
+	w := trace.MustGenerate(trace.Scaled(42, factor))
 	cl := topology.New(topology.AlibabaConfig(machines))
 	if _, err := NewDefault().Schedule(w, cl, w.Arrange(workload.OrderSubmission)); err != nil {
 		b.Fatal(err)
@@ -46,12 +47,15 @@ func BenchmarkSearchIndexed(b *testing.B) {
 	for _, sc := range []struct {
 		name     string
 		machines int
+		factor   int
 	}{
-		{"small", 384},
-		{"medium", 1024},
+		{"small", 384, 50},
+		{"medium", 1024, 50},
+		{"large", 10000, 5},
 	} {
-		cl := benchFilledCluster(b, sc.machines)
-		bl := constraint.NewBlacklist(workload.MustNew(nil), cl.Size())
+		cl := benchFilledCluster(b, sc.machines, sc.factor)
+		uw := workload.MustNew(nil)
+		bl := constraint.NewBlacklist(uw, cl.Size())
 		for _, mode := range []struct {
 			name string
 			opts func() Options
@@ -76,7 +80,7 @@ func BenchmarkSearchIndexed(b *testing.B) {
 				b.Run(name, func(b *testing.B) {
 					opts := mode.opts()
 					search.tweak(&opts)
-					s := newSearcher(opts, cl, bl)
+					s := newSearcher(opts, uw, cl, bl)
 					probe := &workload.Container{ID: "probe/0", App: "probe"}
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {

@@ -109,12 +109,13 @@ func searchFixture(t *testing.T, tweak func(*Options)) (indexed, naive *searcher
 			t.Fatal(err)
 		}
 	}
-	bl := constraint.NewBlacklist(workload.MustNew(nil), cl.Size())
+	uw := workload.MustNew(nil)
+	bl := constraint.NewBlacklist(uw, cl.Size())
 	mk := func(naiveMode bool) *searcher {
 		opts := DefaultOptions()
 		opts.NaiveSearch = naiveMode
 		tweak(&opts)
-		return newSearcher(opts, cl, bl)
+		return newSearcher(opts, uw, cl, bl)
 	}
 	return mk(false), mk(true), cl
 }
@@ -188,40 +189,60 @@ func TestNoDLTieBreak(t *testing.T) {
 // TestILCacheGenerations pins the isomorphism-limiting cache's
 // generation semantics: a noted failure holds only while no capacity
 // has been released — bump (a release) re-enables the app, while
-// further placements (which never call bump) must not.
+// further placements (which never call bump) must not.  Apps are the
+// dense ordinals 0 ("a") and 1 ("b").
 func TestILCacheGenerations(t *testing.T) {
+	const a, b constraint.AppRef = 0, 1
 	for _, tc := range []struct {
 		name string
 		ops  func(il *ilCache)
 		skip bool
 	}{
 		{"fresh cache skips nothing", func(il *ilCache) {}, false},
-		{"noted failure skips", func(il *ilCache) { il.note("a") }, true},
+		{"noted failure skips", func(il *ilCache) { il.note(a) }, true},
 		{"failure survives other apps' notes", func(il *ilCache) {
-			il.note("a")
-			il.note("b")
+			il.note(a)
+			il.note(b)
 		}, true},
 		{"release re-enables", func(il *ilCache) {
-			il.note("a")
+			il.note(a)
 			il.bump()
 		}, false},
 		{"re-noted after release skips again", func(il *ilCache) {
-			il.note("a")
+			il.note(a)
 			il.bump()
-			il.note("a")
+			il.note(a)
 		}, true},
 		{"stale note from older generation does not skip", func(il *ilCache) {
-			il.note("a")
+			il.note(a)
 			il.bump()
 			il.bump()
 		}, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			il := newILCache()
+			il := newILCache(2)
 			tc.ops(il)
-			if got := il.skip("a"); got != tc.skip {
+			if got := il.skip(a); got != tc.skip {
 				t.Fatalf("skip(a) = %v, want %v", got, tc.skip)
 			}
 		})
+	}
+}
+
+// TestILCacheOutOfUniverse pins the boundary behaviour: NoApp and
+// out-of-range ordinals never skip, and noting them is a no-op
+// (bench probes and unknown residents must not corrupt the table).
+func TestILCacheOutOfUniverse(t *testing.T) {
+	il := newILCache(1)
+	il.note(constraint.NoApp)
+	il.note(5)
+	if il.skip(constraint.NoApp) {
+		t.Error("skip(NoApp) = true, want false")
+	}
+	if il.skip(5) {
+		t.Error("skip(out-of-range) = true, want false")
+	}
+	if il.skip(0) {
+		t.Error("skip(0) = true after no-op notes, want false")
 	}
 }

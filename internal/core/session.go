@@ -12,19 +12,55 @@ import (
 	"aladdin/internal/workload"
 )
 
+// Ledger states: every container the session has seen is either
+// currently deployed or was submitted and is now undeployed (arrival
+// rejection, removal, preemption stranding, machine failure).  The
+// zero value means never submitted, so a fresh ledger needs no fill.
+const (
+	ledgerNever      uint8 = 0
+	ledgerPlaced     uint8 = 1
+	ledgerUndeployed uint8 = 2
+)
+
 // Session is the online face of Aladdin (§VI: "Aladdin is an online
 // scheduling system"): it keeps the flow network, blacklists and
 // aggregates alive across scheduling rounds so LLA batches can arrive
 // and depart over time without rebuilding state.  A Session is not
 // safe for concurrent use; the production deployment runs one
 // scheduler manager (SM) per cluster (§III.A).
+//
+// All per-batch working state (queue, undeployed list, result and its
+// assignment map, batch-membership marks) lives in reusable scratch
+// buffers on the session: once warm, a steady-state Place call that
+// needs no migration or preemption performs zero heap allocations
+// (enforced by TestSessionPlaceZeroAlloc and the allocguard CI gate).
 type Session struct {
 	opts    Options
 	w       *workload.Workload
 	cluster *topology.Cluster
 	r       *run
+	name    string
 
-	placed map[string]bool
+	// ledger records each container's submission state by ordinal —
+	// the SoA replacement for the ID-keyed placed map.  ExportState
+	// derives the undeployed set from it.
+	ledger []uint8
+
+	// inBatch marks batch membership by ordinal: inBatch[ord] ==
+	// batchEpoch means the container is part of the Place call in
+	// flight.  An epoch bump resets all marks in O(1).
+	batchEpoch uint32
+	inBatch    []uint32
+
+	// Reusable per-batch scratch: the queue (batch plus requeued
+	// preemption victims), the undeployed-ID buffer, and the returned
+	// Result with its batch assignment view.  The Result a Place call
+	// returns (and everything it references) is valid only until the
+	// next Place call on the same session.
+	queue    []*workload.Container
+	undepBuf []string
+	res      sched.Result
+	resAsg   constraint.Assignment
 }
 
 // NewSession builds a session over a workload universe (every app
@@ -36,7 +72,9 @@ func NewSession(opts Options, w *workload.Workload, cluster *topology.Cluster) *
 		opts:    opts,
 		w:       w,
 		cluster: cluster,
-		placed:  make(map[string]bool),
+		name:    opts.Name(),
+		ledger:  make([]uint8, w.NumContainers()),
+		inBatch: make([]uint32, w.NumContainers()),
 	}
 	s.r = newRun(opts, w, cluster)
 	return s
@@ -55,7 +93,9 @@ func (s *Session) Placed(containerID string) bool {
 // Place schedules a batch of containers against the current state.
 // Each container must belong to the session's workload, appear at
 // most once in the batch, and not be currently placed.  The result
-// covers only this batch.
+// covers only this batch and — like every slice and map it references
+// — is only valid until the next Place call on this session; callers
+// that need to retain it across rounds must copy what they keep.
 //
 // On an internal placement error the containers placed before the
 // error stay placed, and the partial Result is returned alongside the
@@ -69,16 +109,25 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	migBefore, preBefore := r.migrations, r.preempts
 	exploredBefore := r.search.explored
 
-	queue := make([]*workload.Container, 0, len(batch))
-	batchSet := make(map[string]bool, len(batch))
+	s.batchEpoch++
+	epoch := s.batchEpoch
+	queue := s.queue[:0]
+	canon := s.w.Containers()
 	for _, c := range batch {
 		if c == nil {
 			return nil, fmt.Errorf("core: session: nil container in batch")
 		}
-		if r.byID[c.ID] == nil {
-			return nil, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
+		// Canonicalise to the workload's own container value: callers
+		// may hand in equivalent copies, but all ordinal-keyed state
+		// (assignment, network, ledger) is owned by the canonical one.
+		if c.Ord < 0 || c.Ord >= len(canon) || canon[c.Ord] != c {
+			cc := r.byID[c.ID]
+			if cc == nil {
+				return nil, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
+			}
+			c = cc
 		}
-		if s.placed[c.ID] {
+		if s.ledger[c.Ord] == ledgerPlaced {
 			return nil, fmt.Errorf("core: session: container %s already placed", c.ID)
 		}
 		// The whole batch is validated before anything is placed, so a
@@ -86,77 +135,83 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 		// the second copy, the first would already be deployed and the
 		// per-batch "not currently placed" check above would have
 		// passed for both, double-booking the machine.
-		if batchSet[c.ID] {
+		if s.inBatch[c.Ord] == epoch {
 			return nil, fmt.Errorf("core: session: container %s appears more than once in batch", c.ID)
 		}
-		batchSet[c.ID] = true
+		s.inBatch[c.Ord] = epoch
 		queue = append(queue, c)
 	}
+	s.queue = queue
+	nBatch := len(queue)
 
-	undeployed, err := s.placeQueue(queue)
+	undeployed, err := s.placeQueue(queue, s.undepBuf[:0])
+	s.undepBuf = undeployed
 
-	// Per-batch assignment view: only this batch's containers (plus
-	// any requeued victims that landed back).
-	asg := make(constraint.Assignment)
-	for id := range batchSet {
-		if c := r.byID[id]; c != nil {
-			if m := r.asg[c.Ord]; m != topology.Invalid {
-				asg[id] = m
-			}
+	// Per-batch assignment view: only this batch's containers (victims
+	// from earlier batches that were displaced and re-placed stay in
+	// the session-wide Assignment view, not this one).  queue's first
+	// nBatch entries are exactly the batch, whatever re-queueing
+	// happened behind them.
+	if s.resAsg == nil {
+		s.resAsg = make(constraint.Assignment, nBatch)
+	}
+	clear(s.resAsg)
+	for _, c := range queue[:nBatch] {
+		if m := r.asg[c.Ord]; m != topology.Invalid {
+			s.resAsg[c.ID] = m
 		}
 	}
-	for _, id := range undeployed {
-		delete(asg, id)
-	}
 
-	res := &sched.Result{
-		Scheduler:   s.opts.Name(),
-		Assignment:  asg,
+	s.res = sched.Result{
+		Scheduler:   s.name,
+		Assignment:  s.resAsg,
 		Undeployed:  undeployed,
 		Migrations:  r.migrations - migBefore,
 		Preemptions: r.preempts - preBefore,
 		Elapsed:     s.opts.now().Sub(start),
 		WorkUnits:   r.search.explored - exploredBefore,
 	}
-	r.met.placeBatch.Observe(res.Elapsed.Microseconds())
-	// Total for this batch only.
-	res.Total = len(batchSet)
+	r.met.placeBatch.Observe(s.res.Elapsed.Microseconds())
+	// Total for this batch only, plus requeued victims from earlier
+	// batches that this round stranded.
+	s.res.Total = nBatch
 	for _, id := range undeployed {
-		if !batchSet[id] {
-			res.Total++ // requeued victim stranded in this round
+		if c := r.byID[id]; c == nil || s.inBatch[c.Ord] != epoch {
+			s.res.Total++
 		}
 	}
-	return res, err
+	return &s.res, err
+}
+
+// strand records one container as undeployed in the session ledger
+// and appends its ID — every undeployed outcome (arrival rejection,
+// IL skip, error unwinding) funnels through here so a checkpoint
+// captures it and a warm restart knows not to re-attempt it.
+func (s *Session) strand(undep []string, c *workload.Container) []string {
+	s.ledger[c.Ord] = ledgerUndeployed
+	return append(undep, c.ID)
 }
 
 // placeQueue drives the normal placement pipeline — direct search,
 // migration, defragmentation, preemption — over a queue of
 // containers, re-queueing preemption victims behind the current tail,
-// and returns the IDs left undeployed.  It is the single path both
-// batch arrivals (Place) and failure re-placement (FailMachine) run
-// through, so every invariant (anti-affinity, priority safety, index
-// freshness) holds identically for both.
+// and returns the IDs left undeployed (appended to undep, which
+// callers may pass with reused backing capacity).  It is the single
+// path both batch arrivals (Place) and failure re-placement
+// (FailMachine) run through, so every invariant (anti-affinity,
+// priority safety, index freshness) holds identically for both.
 //
 // On an internal placement error, processing stops: the remaining
 // queue is reported undeployed and the error returned.  Containers
 // placed before the error stay placed.
-func (s *Session) placeQueue(queue []*workload.Container) (undeployed []string, err error) {
-	// Every container left undeployed was submitted: record it in the
-	// session ledger (on every return path) so a checkpoint captures
-	// arrival rejections too, not only preemption/failure strandings —
-	// a warm restart must know not to re-attempt them.
-	defer func() {
-		for _, id := range undeployed {
-			s.placed[id] = false
-		}
-	}()
+func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]string, error) {
 	r := s.r
 	for i := 0; i < len(queue); i++ {
 		c := queue[i]
 		if s.opts.IsomorphismLimiting {
-			if r.search.il.skip(c.App) {
+			if r.search.il.skip(r.search.refOf(c)) {
 				r.met.ilHits.Inc()
-				undeployed = append(undeployed, c.ID)
+				undep = s.strand(undep, c)
 				continue
 			}
 			r.met.ilMisses.Inc()
@@ -164,32 +219,32 @@ func (s *Session) placeQueue(queue []*workload.Container) (undeployed []string, 
 		if m := r.search.findMachine(c, noExclusion); m != topology.Invalid {
 			if err := r.place(c, m); err != nil {
 				for _, rest := range queue[i:] {
-					undeployed = append(undeployed, rest.ID)
+					undep = s.strand(undep, rest)
 				}
-				return undeployed, err
+				return undep, err
 			}
-			s.placed[c.ID] = true
+			s.ledger[c.Ord] = ledgerPlaced
 			continue
 		}
 		if s.opts.Migration {
 			ok, err := r.tryMigration(c)
 			if err != nil {
 				for _, rest := range queue[i:] {
-					undeployed = append(undeployed, rest.ID)
+					undep = s.strand(undep, rest)
 				}
-				return undeployed, err
+				return undep, err
 			}
 			if ok {
-				s.placed[c.ID] = true
+				s.ledger[c.Ord] = ledgerPlaced
 				continue
 			}
 			if ok, err = r.tryDefrag(c); err != nil {
 				for _, rest := range queue[i:] {
-					undeployed = append(undeployed, rest.ID)
+					undep = s.strand(undep, rest)
 				}
-				return undeployed, err
+				return undep, err
 			} else if ok {
-				s.placed[c.ID] = true
+				s.ledger[c.Ord] = ledgerPlaced
 				continue
 			}
 		}
@@ -197,27 +252,27 @@ func (s *Session) placeQueue(queue []*workload.Container) (undeployed []string, 
 			victims, ok, err := r.tryPreemption(c)
 			if err != nil {
 				for _, rest := range queue[i:] {
-					undeployed = append(undeployed, rest.ID)
+					undep = s.strand(undep, rest)
 				}
-				return undeployed, err
+				return undep, err
 			}
 			if ok {
-				s.placed[c.ID] = true
+				s.ledger[c.Ord] = ledgerPlaced
 				for _, v := range victims {
 					// A victim from an earlier batch re-enters this
 					// batch's queue.
-					s.placed[v.ID] = false
+					s.ledger[v.Ord] = ledgerUndeployed
 					queue = append(queue, v)
 				}
 				continue
 			}
 		}
 		if s.opts.IsomorphismLimiting {
-			r.search.il.note(c.App)
+			r.search.il.note(r.search.refOf(c))
 		}
-		undeployed = append(undeployed, c.ID)
+		undep = s.strand(undep, c)
 	}
-	return undeployed, nil
+	return undep, nil
 }
 
 // Remove handles a departure: the container's resources are released
@@ -235,7 +290,7 @@ func (s *Session) Remove(containerID string) error {
 	if err := s.r.unplace(c, m); err != nil {
 		return err
 	}
-	s.placed[containerID] = false
+	s.ledger[c.Ord] = ledgerUndeployed
 	return nil
 }
 
@@ -299,7 +354,10 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 	// Snapshot the residents, then evict each: release the (down)
 	// machine's allocation, cancel the container's flow, clear its
 	// blacklist contributions and refresh the index — r.unplace is the
-	// same single mutation path every other eviction uses.
+	// same single mutation path every other eviction uses.  The
+	// topology's string-ID view is used deliberately: it is the only
+	// view that still includes pre-placed residents unknown to the
+	// workload, and machine failure is a cold path.
 	ids := append([]string(nil), machine.ContainerIDs()...)
 	var evicted []*workload.Container
 	for _, cid := range ids {
@@ -321,7 +379,7 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 			res.Elapsed = s.opts.now().Sub(start)
 			return res, err
 		}
-		s.placed[cid] = false
+		s.ledger[c.Ord] = ledgerUndeployed
 		evicted = append(evicted, c)
 	}
 
@@ -335,10 +393,13 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 		}
 		return evicted[i].Ord < evicted[j].Ord
 	})
-	stranded, err := s.placeQueue(evicted)
+	// Fresh undeployed backing (not the Place scratch): FailureResult
+	// has no documented invalidation window, so its Stranded slice must
+	// not be overwritten by the next Place call.
+	stranded, err := s.placeQueue(evicted, nil)
 	res.Stranded = append(res.Stranded, stranded...)
 	for _, c := range evicted {
-		if s.placed[c.ID] {
+		if s.ledger[c.Ord] == ledgerPlaced {
 			res.Replaced++
 		}
 	}
