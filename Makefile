@@ -72,9 +72,12 @@ fuzz:
 # bench records the per-container placement cost (ns/container) at the
 # small (384), medium (1,024) and large (10,000 machines, ~100k
 # containers) cluster scales as JSON lines in BENCH_search.json, plus
-# the medium and large scales with the naive scan as A/B baselines.
-# BENCHREPS repeats each deterministic run and keeps the fastest,
-# stripping cold-process noise from the recorded figures.
+# the medium and large scales with the naive scan as A/B baselines and
+# the large scale through the sharded core at 1/2/4/8 shards (the
+# scaling curve of DESIGN.md §13; sharded rows report the critical
+# path, with host wall-clock in wall_ns).  BENCHREPS repeats each
+# deterministic run and keeps the fastest, stripping cold-process
+# noise from the recorded figures.
 BENCHREPS ?= 5
 bench:
 	rm -f BENCH_search.json
@@ -83,28 +86,38 @@ bench:
 	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 1024 -factor 50 -naive-search -bench-out BENCH_search.json -bench-label medium-naive
 	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -bench-out BENCH_search.json -bench-label large
 	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -naive-search -bench-out BENCH_search.json -bench-label large-naive
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -shards 1 -bench-out BENCH_search.json -bench-label large-shard1
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -shards 2 -bench-out BENCH_search.json -bench-label large-shard2
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -shards 4 -bench-out BENCH_search.json -bench-label large-shard4
+	$(GO) run ./cmd/aladdin-sim -reps $(BENCHREPS) -machines 10000 -factor 1 -shards 8 -bench-out BENCH_search.json -bench-label large-shard8
 	@cat BENCH_search.json
 
 # bench-smoke is the CI regression tripwire: re-measure the small
-# preset and fail if ns/container regressed more than 25% against the
-# committed BENCH_search.json row.  Small keeps the job fast; the 25%
-# margin plus a higher repetition count absorbs shared-runner noise
-# (the CI job is additionally non-blocking — see
-# .github/workflows/ci.yml).
+# preset and the sharded 10k-machine preset, and fail if ns/container
+# regressed against the committed BENCH_search.json rows.  Small keeps
+# the job fast and gets a 25% margin at high repetition; the sharded
+# row measures the critical path (serial sections plus slowest shard),
+# which is noisier on shared runners, so it runs fewer reps with a 50%
+# margin.  The CI job is additionally non-blocking — see
+# .github/workflows/ci.yml.
 SMOKEREPS ?= 15
+SMOKESHARDREPS ?= 3
 bench-smoke:
+	@rm -f BENCH_smoke.json
 	@$(GO) run ./cmd/aladdin-sim -reps $(SMOKEREPS) -machines 384 -factor 50 -bench-out BENCH_smoke.json -bench-label small
-	@base="$$(grep '"label":"small"' BENCH_search.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
-	now="$$(grep '"label":"small"' BENCH_smoke.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
+	@$(GO) run ./cmd/aladdin-sim -reps $(SMOKESHARDREPS) -machines 10000 -factor 1 -shards 8 -bench-out BENCH_smoke.json -bench-label large-shard8
+	@for spec in "small 125" "large-shard8 150"; do \
+		set -- $$spec; label=$$1; pct=$$2; \
+		base="$$(grep "\"label\":\"$$label\"" BENCH_search.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
+		now="$$(grep "\"label\":\"$$label\"" BENCH_smoke.json | sed 's/.*"ns_per_container":\([0-9]*\).*/\1/')"; \
+		if [ -z "$$base" ] || [ -z "$$now" ]; then \
+			echo "bench-smoke: missing $$label row (baseline or fresh run)" >&2; exit 1; fi; \
+		echo "bench-smoke: $$label ns/container now=$$now baseline=$$base (budget +$$((pct - 100))%)"; \
+		if [ "$$now" -gt $$((base * pct / 100)) ]; then \
+			echo "bench-smoke: $$label regression vs committed BENCH_search.json" >&2; exit 1; fi; \
+	done; \
 	rm -f BENCH_smoke.json; \
-	if [ -z "$$base" ] || [ -z "$$now" ]; then \
-		echo "bench-smoke: missing small row (baseline or fresh run)" >&2; exit 1; fi; \
-	echo "bench-smoke: small ns/container now=$$now baseline=$$base"; \
-	if [ "$$now" -gt $$((base * 125 / 100)) ]; then \
-		echo "bench-smoke: regression >25% vs committed BENCH_search.json" >&2; exit 1; \
-	else \
-		echo "bench-smoke: within budget"; \
-	fi
+	echo "bench-smoke: within budget"
 
 clean:
 	rm -f BENCH_search.json BENCH_smoke.json coverage.out

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // lockMarker is the lockcheck analyzer's suppression marker.
@@ -25,8 +27,22 @@ const lockMarker = "lock-ok"
 // The lock-state tracking is flow-insensitive within a method: a
 // mutex is considered held from the source position of recv.mu.Lock()
 // (or RLock) to the matching explicit recv.mu.Unlock(); deferred
-// unlocks keep it held to the end of the method.  Suppress deliberate
-// lock-free accesses with //aladdin:lock-ok.
+// unlocks keep it held to the end of the method.  Function literals
+// are separate lock contexts: a closure handed to another goroutine
+// (go statements, parallel.ForEach) is not protected by locks the
+// spawning method holds, so its body is checked starting unlocked and
+// must take the lock itself — except deferred literals, which run on
+// the method's own goroutine at return and stay in the enclosing
+// context.
+//
+// Two suppression forms exist.  A statement- or function-level
+// //aladdin:lock-ok comment silences one diagnostic site (a
+// deliberate racy read).  A //aladdin:lock-ok comment on a struct
+// field's declaration exempts the field entirely: it is read-only
+// after construction (routing tables, configuration), so accesses are
+// never tracked and can never drag it into the guarded set — the
+// antidote to over-broad inference when a coarse outer mutex is held
+// across a whole method body.
 var Lockcheck = &Analyzer{
 	Name: "lockcheck",
 	Doc: "flags exported methods reading or writing mutex-guarded fields without holding the lock; " +
@@ -89,8 +105,11 @@ type mutexInfo struct {
 }
 
 // mutexStructs finds the package's named struct types that embed or
-// hold a sync.Mutex/RWMutex field.
+// hold a sync.Mutex/RWMutex field.  Fields whose declaration carries
+// an //aladdin:lock-ok comment are exempt: never tracked, never
+// inferred guarded.
 func mutexStructs(pass *Pass) map[*types.Named]*mutexInfo {
+	markers := exemptFields(pass)
 	out := make(map[*types.Named]*mutexInfo)
 	for _, name := range pass.Pkg.Scope().Names() {
 		obj, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
@@ -105,12 +124,17 @@ func mutexStructs(pass *Pass) map[*types.Named]*mutexInfo {
 		if !ok {
 			continue
 		}
+		exempt := markers[name]
 		info := &mutexInfo{mutexFields: make(map[string]bool), fields: make(map[string]bool)}
 		for i := 0; i < st.NumFields(); i++ {
 			f := st.Field(i)
-			if isSyncMutex(f.Type()) {
+			switch {
+			case isSyncMutex(f.Type()):
 				info.mutexFields[f.Name()] = true
-			} else {
+			case exempt[f.Name()]:
+				// Declared read-only after construction; lock-free
+				// accesses are the point.
+			default:
 				info.fields[f.Name()] = true
 			}
 		}
@@ -119,6 +143,59 @@ func mutexStructs(pass *Pass) map[*types.Named]*mutexInfo {
 		}
 	}
 	return out
+}
+
+// exemptFields collects, per struct type name, the field names whose
+// declaration carries an //aladdin:lock-ok marker — either a doc
+// comment above the field or a trailing comment on its line.
+func exemptFields(pass *Pass) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					if !hasLockMarker(f.Doc) && !hasLockMarker(f.Comment) {
+						continue
+					}
+					m := out[ts.Name.Name]
+					if m == nil {
+						m = make(map[string]bool)
+						out[ts.Name.Name] = m
+					}
+					for _, n := range f.Names {
+						m[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasLockMarker reports whether a comment group contains the
+// //aladdin:lock-ok marker.
+func hasLockMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "aladdin:"+lockMarker) {
+			return true
+		}
+	}
+	return false
 }
 
 // isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (or a
@@ -153,28 +230,32 @@ func receiverNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
 	return named
 }
 
-// checkStructMethods infers the guarded field set across all methods,
-// then reports unguarded accesses in exported methods.
+// checkStructMethods infers the guarded field set across all methods
+// (every lock context of every method), then reports unguarded
+// accesses in exported methods, checking each lock context with its
+// own lock state.
 func checkStructMethods(pass *Pass, named *types.Named, info *mutexInfo, methods []*ast.FuncDecl) {
 	type methodEvents struct {
-		fd     *ast.FuncDecl
-		events []lockEvent
+		fd       *ast.FuncDecl
+		contexts [][]lockEvent
 	}
 	var all []methodEvents
 	guarded := make(map[string]bool)
 	for _, fd := range methods {
-		events := collectLockEvents(pass, fd, info)
-		all = append(all, methodEvents{fd, events})
-		held := false
-		for _, ev := range events {
-			switch ev.kind {
-			case evLock, evDeferredUnlock:
-				held = true
-			case evUnlock:
-				held = false
-			case evAccess:
-				if held {
-					guarded[ev.field] = true
+		contexts := collectLockContexts(pass, fd, info)
+		all = append(all, methodEvents{fd, contexts})
+		for _, events := range contexts {
+			held := false
+			for _, ev := range events {
+				switch ev.kind {
+				case evLock, evDeferredUnlock:
+					held = true
+				case evUnlock:
+					held = false
+				case evAccess:
+					if held {
+						guarded[ev.field] = true
+					}
 				}
 			}
 		}
@@ -186,61 +267,83 @@ func checkStructMethods(pass *Pass, named *types.Named, info *mutexInfo, methods
 		if !me.fd.Name.IsExported() {
 			continue // internal helpers run with the lock held by convention
 		}
-		held := false
-		for _, ev := range me.events {
-			switch ev.kind {
-			case evLock, evDeferredUnlock:
-				held = true
-			case evUnlock:
-				held = false
-			case evAccess:
-				if !held && guarded[ev.field] {
-					pass.Reportf(ev.node.Pos(), lockMarker,
-						"%s.%s accesses mutex-guarded field %q without holding the lock",
-						named.Obj().Name(), me.fd.Name.Name, ev.field)
+		for _, events := range me.contexts {
+			held := false
+			for _, ev := range events {
+				switch ev.kind {
+				case evLock, evDeferredUnlock:
+					held = true
+				case evUnlock:
+					held = false
+				case evAccess:
+					if !held && guarded[ev.field] {
+						pass.Reportf(ev.node.Pos(), lockMarker,
+							"%s.%s accesses mutex-guarded field %q without holding the lock",
+							named.Obj().Name(), me.fd.Name.Name, ev.field)
+					}
 				}
 			}
 		}
 	}
 }
 
-// collectLockEvents walks a method body and returns its mutex
-// operations and receiver-field accesses in source order.
-func collectLockEvents(pass *Pass, fd *ast.FuncDecl, info *mutexInfo) []lockEvent {
+// collectLockContexts walks a method body and returns its mutex
+// operations and receiver-field accesses in source order, one event
+// stream per execution context: the method body proper first, then
+// one per function literal at any nesting depth.  A closure may run
+// on another goroutine, where locks held by the spawning method do
+// not protect it, so each literal starts unlocked and tracks only its
+// own lock calls.  Deferred literals are the exception: they run on
+// the method's goroutine at return and stay in the enclosing context
+// (their Unlocks counting as deferred).
+func collectLockContexts(pass *Pass, fd *ast.FuncDecl, info *mutexInfo) [][]lockEvent {
 	recvObj := receiverObject(pass, fd)
 	if recvObj == nil {
 		return nil
 	}
-	var events []lockEvent
-	var walk func(n ast.Node, inDefer bool)
-	walk = func(root ast.Node, inDefer bool) {
-		ast.Inspect(root, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.DeferStmt:
-				walk(n.Call, true)
-				return false
-			case *ast.FuncLit:
-				return false // separate execution context
-			case *ast.CallExpr:
-				if kind, ok := mutexCall(pass, n, recvObj, info); ok {
-					if kind == evUnlock && inDefer {
-						kind = evDeferredUnlock
+	var contexts [][]lockEvent
+	var collect func(body ast.Node)
+	collect = func(body ast.Node) {
+		idx := len(contexts)
+		contexts = append(contexts, nil)
+		var events []lockEvent
+		var walk func(n ast.Node, inDefer bool)
+		walk = func(root ast.Node, inDefer bool) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.DeferStmt:
+					if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+						walk(fl.Body, true)
+					} else {
+						walk(n.Call, true)
 					}
-					events = append(events, lockEvent{pos: int(n.Pos()), node: n, kind: kind})
-					return false // don't re-visit the selector as an access
-				}
-			case *ast.SelectorExpr:
-				if field, ok := recvFieldAccess(pass, n, recvObj, info); ok {
-					events = append(events, lockEvent{pos: int(n.Pos()), node: n, kind: evAccess, field: field})
 					return false
+				case *ast.FuncLit:
+					collect(n.Body) // separate execution context
+					return false
+				case *ast.CallExpr:
+					if kind, ok := mutexCall(pass, n, recvObj, info); ok {
+						if kind == evUnlock && inDefer {
+							kind = evDeferredUnlock
+						}
+						events = append(events, lockEvent{pos: int(n.Pos()), node: n, kind: kind})
+						return false // don't re-visit the selector as an access
+					}
+				case *ast.SelectorExpr:
+					if field, ok := recvFieldAccess(pass, n, recvObj, info); ok {
+						events = append(events, lockEvent{pos: int(n.Pos()), node: n, kind: evAccess, field: field})
+						return false
+					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
+		walk(body, false)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		contexts[idx] = events
 	}
-	walk(fd.Body, false)
-	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	return events
+	collect(fd.Body)
+	return contexts
 }
 
 // receiverObject returns the types.Object of the method's receiver

@@ -45,3 +45,60 @@ func (c *Counter) value() int {
 func (c *Counter) Racy() int {
 	return c.n
 }
+
+// Gauge exercises the two analyzer extensions: the field-level
+// //aladdin:lock-ok marker exempts cfg from guarded inference even
+// though Set touches it under the lock, and function literals are
+// checked as separate lock contexts.
+type Gauge struct {
+	mu  sync.Mutex
+	v   int
+	cfg string //aladdin:lock-ok immutable after construction
+}
+
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	if g.cfg != "" {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+// Config reads an exempt field lock-free: no diagnostic, even though
+// cfg is accessed inside Set's critical section.
+func (g *Gauge) Config() string {
+	return g.cfg
+}
+
+// Fork hands a closure to a runner while holding the lock.  The
+// closure may run on another goroutine the method's lock does not
+// protect, so it does not inherit the held state and its v access is
+// flagged.
+func (g *Gauge) Fork(run func(func())) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	run(func() {
+		_ = g.v // want "accesses mutex-guarded field"
+	})
+}
+
+// ForkLocked's closure establishes its own critical section — each
+// literal tracks its own lock calls.
+func (g *Gauge) ForkLocked(run func(func())) {
+	run(func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_ = g.v
+	})
+}
+
+// Reset's deferred literal runs on the method's own goroutine at
+// return, still inside the critical section — not a separate context.
+func (g *Gauge) Reset() {
+	g.mu.Lock()
+	defer func() {
+		_ = g.v
+		g.mu.Unlock()
+	}()
+	g.v = 0
+}

@@ -354,10 +354,26 @@ func (s *SessionSnapshot) Restore(opts core.Options, w *workload.Workload) (*cor
 	return sess, cluster, nil
 }
 
+// syncDir fsyncs a directory so a completed rename is durable.  It is
+// a seam (package variable) so tests can observe that WriteFile really
+// syncs the parent directory and can inject sync failures.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // WriteFile persists the snapshot crash-safely: write to a temp file
-// in the destination directory, fsync, then rename over the target.
-// A crash mid-write leaves either the old snapshot or none — never a
-// truncated one.
+// in the destination directory, fsync, rename over the target, then
+// fsync the directory.  A crash mid-write leaves either the old
+// snapshot or none — never a truncated one.  The directory fsync is
+// what makes the rename itself durable: without it, a crash right
+// after the rename can roll the directory entry back to the old
+// snapshot or to nothing at all, losing a checkpoint the caller was
+// told had been written.
 func WriteFile(path string, s *SessionSnapshot) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -378,6 +394,9 @@ func WriteFile(path string, s *SessionSnapshot) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -141,6 +142,50 @@ func TestSessionSnapshotWriteFile(t *testing.T) {
 	}
 	if _, err := ReadSession(bytes.NewReader(bad)); err == nil {
 		t.Error("corrupted snapshot should fail")
+	}
+}
+
+// TestWriteFileSyncsDirectory pins the final step of the crash-safety
+// contract: after renaming the temp file over the target, WriteFile
+// must fsync the parent directory.  Without it the rename itself is
+// not durable — a crash right after WriteFile returns can roll the
+// directory entry back and lose the checkpoint the caller was told
+// had been written.  The sync runs through the syncDir seam so the
+// test can observe the call and inject failures.
+func TestWriteFileSyncsDirectory(t *testing.T) {
+	s, _, _ := liveSession(t)
+	snap, err := CaptureSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	var synced []string
+	syncDir = func(d string) error {
+		// The snapshot must already sit at its final name when the
+		// directory is synced: syncing earlier would not cover the
+		// rename.
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("directory synced before snapshot landed at %s: %v", path, err)
+		}
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("expected exactly one directory sync of %q, got %v", dir, synced)
+	}
+
+	// A directory-sync failure must surface: the caller cannot treat
+	// the checkpoint as durable.
+	syncDir = func(string) error { return errors.New("injected sync failure") }
+	if err := WriteFile(filepath.Join(dir, "snap2.json"), snap); err == nil || !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("expected sync-dir error, got %v", err)
 	}
 }
 

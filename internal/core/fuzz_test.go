@@ -214,11 +214,20 @@ func checkOrdinalViews(t *testing.T, s *Session, step int) {
 // audit-clean (which includes the index-vs-live cross-check).  Both
 // sessions' dense ordinal tables must additionally keep agreeing with
 // their string-keyed export views after every step (checkOrdinalViews).
+//
+// The same schedule additionally drives a concurrent and a sequential
+// ShardedSession pair over a multi-sub-cluster topology, with the
+// shard count fuzzed from the input's last byte: the two sharded
+// modes promise byte-identical merged assignments and identical error
+// outcomes, and the concurrent one must stay audit-clean (per-shard
+// auditors plus the wrapper ownership coherence check) with global
+// anti-affinity holding across shard boundaries.
 func FuzzIndexNaiveEquivalence(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44}) // place everything
 	f.Add([]byte{0, 4, 1, 2, 6, 3, 7, 0, 4})                   // churn with a failure window
 	f.Add([]byte{255, 254, 253, 252, 0, 1, 2, 3})              // high ordinals
+	f.Add([]byte{0, 4, 8, 2, 66, 1, 3, 67, 0, 3})              // churn, 4 shards (last byte 67 % 4 + 1)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > fuzzOpBudget {
 			data = data[:fuzzOpBudget]
@@ -229,6 +238,26 @@ func FuzzIndexNaiveEquivalence(f *testing.F) {
 		naive := NewSession(naiveOpts, sessionWorkload(), smallCluster(8))
 		sessions := []*Session{indexed, naive}
 		machineCount := indexed.r.cluster.Size()
+
+		// Sharded pair: shard count 1–4 from the last input byte, over
+		// a 4-sub-cluster topology so every count is distinct.
+		shards := 1
+		if len(data) > 0 {
+			shards = int(data[len(data)-1])%4 + 1
+		}
+		parOpts, seqOpts := DefaultOptions(), DefaultOptions()
+		parOpts.Shards, seqOpts.Shards = shards, shards
+		seqOpts.SequentialShards = true
+		shardedPar, err := NewSharded(parOpts, sessionWorkload(), shardCluster(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedSeq, err := NewSharded(seqOpts, sessionWorkload(), shardCluster(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedMachines := 32
+
 		for i, b := range data {
 			op, arg := int(b&3), int(b>>2)
 			var errs [2]error
@@ -270,6 +299,48 @@ func FuzzIndexNaiveEquivalence(f *testing.F) {
 			mustCleanAudit(t, indexed, i, "op")
 			checkOrdinalViews(t, indexed, i)
 			checkOrdinalViews(t, naive, i)
+
+			// Sharded concurrent vs sequential: same op, compared the
+			// same way.
+			var serrs [2]error
+			for si, ss := range []*ShardedSession{shardedPar, shardedSeq} {
+				containers := ss.w.Containers()
+				switch op {
+				case 0:
+					c := containers[arg%len(containers)]
+					if !ss.Placed(c.ID) {
+						_, serrs[si] = ss.Place([]*workload.Container{c})
+					}
+				case 1:
+					c := containers[arg%len(containers)]
+					if ss.Placed(c.ID) {
+						serrs[si] = ss.Remove(c.ID)
+					}
+				case 2:
+					_, serrs[si] = ss.FailMachine(topology.MachineID(arg % shardedMachines))
+				case 3:
+					serrs[si] = ss.RecoverMachine(topology.MachineID(arg % shardedMachines))
+				}
+				mustNotCorrupt(t, serrs[si], i, "sharded op")
+			}
+			if (serrs[0] == nil) != (serrs[1] == nil) {
+				t.Fatalf("step %d: sharded concurrent err %v, sequential err %v", i, serrs[0], serrs[1])
+			}
+			pa, sa := shardedPar.Assignment(), shardedSeq.Assignment()
+			if len(pa) != len(sa) {
+				t.Fatalf("step %d: sharded concurrent placed %d, sequential %d", i, len(pa), len(sa))
+			}
+			for id, m := range pa {
+				if sm, ok := sa[id]; !ok || sm != m {
+					t.Fatalf("step %d: container %s on machine %d concurrent, %d sequential", i, id, m, sm)
+				}
+			}
+			if vs := shardedPar.AuditInvariants(); len(vs) != 0 {
+				t.Fatalf("step %d: sharded invariants broken: %v", i, vs)
+			}
+			if vs := constraint.AuditAntiAffinity(shardedPar.w, pa); len(vs) != 0 {
+				t.Fatalf("step %d: cross-shard anti-affinity violated: %v", i, vs)
+			}
 		}
 	})
 }

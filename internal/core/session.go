@@ -90,6 +90,18 @@ func (s *Session) Placed(containerID string) bool {
 	return c != nil && s.r.asg[c.Ord] != topology.Invalid
 }
 
+// AssignedOrd returns the machine hosting the container with the
+// given workload ordinal, or topology.Invalid when it is not placed.
+// It is the allocation-free counterpart of Assignment for wrappers
+// (the sharded session) that track containers by ordinal and cannot
+// afford an ID-keyed map probe per container.
+func (s *Session) AssignedOrd(ord int) topology.MachineID {
+	if ord < 0 || ord >= len(s.r.asg) {
+		return topology.Invalid
+	}
+	return s.r.asg[ord]
+}
+
 // Place schedules a batch of containers against the current state.
 // Each container must belong to the session's workload, appear at
 // most once in the batch, and not be currently placed.  The result
@@ -152,23 +164,27 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	// the session-wide Assignment view, not this one).  queue's first
 	// nBatch entries are exactly the batch, whatever re-queueing
 	// happened behind them.
-	if s.resAsg == nil {
-		s.resAsg = make(constraint.Assignment, nBatch)
-	}
-	clear(s.resAsg)
-	for _, c := range queue[:nBatch] {
-		if m := r.asg[c.Ord]; m != topology.Invalid {
-			s.resAsg[c.ID] = m
+	if !s.opts.LeanPlaceResult {
+		if s.resAsg == nil {
+			s.resAsg = make(constraint.Assignment, nBatch)
+		}
+		clear(s.resAsg)
+		for _, c := range queue[:nBatch] {
+			if m := r.asg[c.Ord]; m != topology.Invalid {
+				s.resAsg[c.ID] = m
+			}
 		}
 	}
 
+	dt := s.opts.now().Sub(start)
 	s.res = sched.Result{
 		Scheduler:   s.name,
 		Assignment:  s.resAsg,
 		Undeployed:  undeployed,
 		Migrations:  r.migrations - migBefore,
 		Preemptions: r.preempts - preBefore,
-		Elapsed:     s.opts.now().Sub(start),
+		Elapsed:     dt,
+		WallElapsed: dt,
 		WorkUnits:   r.search.explored - exploredBefore,
 	}
 	r.met.placeBatch.Observe(s.res.Elapsed.Microseconds())

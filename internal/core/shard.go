@@ -1,0 +1,739 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aladdin/internal/constraint"
+	"aladdin/internal/parallel"
+	"aladdin/internal/resource"
+	"aladdin/internal/sched"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// noShard marks a container as placed on no shard.
+const noShard int32 = -1
+
+// coreShard is one slice of a sharded scheduler: a full single-core
+// Session over a private sub-cluster partition of the parent
+// topology.  mu guards sess and cluster — every call into either goes
+// through it, so the single-threaded Session contract holds per shard
+// while different shards run concurrently.
+type coreShard struct {
+	mu      sync.Mutex
+	sess    *Session
+	cluster *topology.Cluster
+}
+
+// ShardedSession partitions the scheduler core along sub-cluster
+// boundaries: each shard owns a contiguous run of sub-clusters as its
+// own topology copy, flow network, tournament subtree, IL cache and
+// scratch arena, so independent applications place concurrently with
+// no shared mutable scheduler state.  Cross-shard anti-affinity needs
+// no reconciliation protocol: blacklists are per-machine and the
+// shards are machine-disjoint, so a constraint can only ever bind
+// inside the shard whose machines it names.
+//
+// Lock order (see DESIGN.md §13): a shard's mu is taken before the
+// wrapper's table lock mu, never after; placeMu serializes whole
+// Place/Consolidate passes and is always outermost.  Place computes
+// every shard's queue before the fan-out and merges results in shard
+// index order, which is what makes the concurrent and sequential
+// (Options.SequentialShards) modes byte-identical.
+//
+// Unlike Session, a ShardedSession is safe for concurrent use:
+// Place/Remove/FailMachine/RecoverMachine may race from multiple
+// goroutines (an HTTP server, a failure injector) and the session
+// stays audit-clean.
+type ShardedSession struct {
+	opts   Options            //aladdin:lock-ok immutable after construction
+	w      *workload.Workload //aladdin:lock-ok immutable after construction
+	parent *topology.Cluster  //aladdin:lock-ok immutable after construction
+	name   string             //aladdin:lock-ok immutable after construction
+	shards []*coreShard       //aladdin:lock-ok immutable slice; each shard is guarded by its own mu
+
+	// Immutable routing tables, built at construction.
+	ownerOf  []int32                        //aladdin:lock-ok global machine id → shard
+	localOf  []topology.MachineID           //aladdin:lock-ok global machine id → id inside its shard
+	globalOf [][]topology.MachineID         //aladdin:lock-ok shard → local id → global machine id
+	homeOf   []int32                        //aladdin:lock-ok app index → home shard
+	spread   []bool                         //aladdin:lock-ok app index → replicas fan out round-robin across shards
+	routeOf  []int32                        //aladdin:lock-ok container ordinal → first-try shard (homeOf/spread flattened)
+	byID     map[string]*workload.Container //aladdin:lock-ok read-only container lookup
+
+	// placeMu serializes Place and Consolidate: batches are admitted,
+	// fanned out and merged one at a time, like the one scheduler
+	// manager per cluster the paper assumes — sharding parallelises
+	// the inside of a batch, not batches against each other.
+	placeMu sync.Mutex
+
+	// mu guards the wrapper's global view: the submission ledger, the
+	// shard each container is placed on, and batch-membership epochs.
+	mu         sync.Mutex
+	ledger     []uint8
+	shardOf    []int32
+	batchEpoch uint32
+	inBatch    []uint32
+}
+
+// NewSharded builds a sharded session over a workload universe and an
+// empty cluster.  opts.Shards picks the shard count, clamped to
+// [1, number of sub-clusters]; sub-cluster si goes to shard si·K/S,
+// so shards own contiguous, near-equal runs of sub-clusters and each
+// shard's machines keep the parent's traversal order.  The parent
+// cluster is retained as the routing map only — allocations live on
+// the per-shard topology copies (ShardClusters).
+func NewSharded(opts Options, w *workload.Workload, cluster *topology.Cluster) (*ShardedSession, error) {
+	subs := cluster.SubClusters()
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("core: sharded: cluster has no sub-clusters")
+	}
+	for _, m := range cluster.Machines() {
+		if m.NumContainers() > 0 {
+			return nil, fmt.Errorf("core: sharded: machine %s already hosts containers; sharding requires an empty cluster", m.Name)
+		}
+	}
+	k := opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > len(subs) {
+		k = len(subs)
+	}
+
+	s := &ShardedSession{
+		opts:     opts,
+		w:        w,
+		parent:   cluster,
+		name:     fmt.Sprintf("%s+S%d", opts.Name(), k),
+		ownerOf:  make([]int32, cluster.Size()),
+		localOf:  make([]topology.MachineID, cluster.Size()),
+		globalOf: make([][]topology.MachineID, k),
+		byID:     make(map[string]*workload.Container, w.NumContainers()),
+		ledger:   make([]uint8, w.NumContainers()),
+		shardOf:  make([]int32, w.NumContainers()),
+		inBatch:  make([]uint32, w.NumContainers()),
+	}
+	for i := range s.shardOf {
+		s.shardOf[i] = noShard
+	}
+	for _, c := range w.Containers() {
+		s.byID[c.ID] = c
+	}
+
+	specs := make([][]topology.MachineSpec, k)
+	capCPU := make([]int64, k)
+	for si, subName := range subs {
+		shard := si * k / len(subs)
+		sub := cluster.SubCluster(subName)
+		for _, rackName := range sub.Racks {
+			for _, gid := range cluster.Rack(rackName).Machines {
+				m := cluster.Machine(gid)
+				s.ownerOf[gid] = int32(shard)
+				s.localOf[gid] = topology.MachineID(len(specs[shard]))
+				s.globalOf[shard] = append(s.globalOf[shard], gid)
+				capCPU[shard] += m.Capacity().Dim(resource.CPU)
+				specs[shard] = append(specs[shard], topology.MachineSpec{
+					Name: m.Name, Rack: m.Rack, Cluster: m.Cluster,
+					Capacity: m.Capacity(), Down: !m.Up(),
+				})
+			}
+		}
+	}
+
+	// Capacity-proportional home assignment: each application is
+	// homed, in application index order, on the shard whose projected
+	// load fraction (assigned CPU demand over shard CPU capacity) is
+	// lowest.  Round-robin by count would overload the smaller shards
+	// whenever the sub-cluster count does not divide evenly across k —
+	// an overloaded shard pays the full rescue pipeline (migration,
+	// defragmentation, preemption scans) per stranded container before
+	// spilling, which dominates the run.  Cross-multiplied int64
+	// comparison keeps the choice exact; ties break to the lowest
+	// shard index, so the assignment is deterministic.
+	apps := w.Apps()
+	s.homeOf = make([]int32, len(apps))
+	s.spread = make([]bool, len(apps))
+	loads := make([]int64, k)
+
+	// Dense self-anti-affine applications are spread, not homed: when
+	// an app's replica count is within a factor of four of the smallest
+	// shard's machine count, homing it would blacklist most of that
+	// shard's machines, and every later placement search degenerates
+	// into a scan over blacklisted candidates (then strands and repeats
+	// the scan on the spill shards).  Fanning such replicas out
+	// round-robin by container ordinal keeps the blacklist density low
+	// on every shard, which is exactly what the whole-cluster scheduler
+	// enjoys for free.  The routing stays deterministic in both
+	// concurrency modes: it depends only on immutable workload
+	// ordinals.
+	minMachines := len(s.globalOf[0])
+	for j := 1; j < k; j++ {
+		if n := len(s.globalOf[j]); n < minMachines {
+			minMachines = n
+		}
+	}
+	for i, a := range apps {
+		demand := a.Demand.Dim(resource.CPU) * int64(a.Replicas)
+		if k > 1 && a.AntiAffinitySelf && int64(a.Replicas)*4 >= int64(minMachines) {
+			s.spread[i] = true
+			share := demand / int64(k)
+			for j := range loads {
+				loads[j] += share
+			}
+			continue
+		}
+		best := 0
+		for j := 1; j < k; j++ {
+			if (loads[j]+demand)*capCPU[best] < (loads[best]+demand)*capCPU[j] {
+				best = j
+			}
+		}
+		s.homeOf[i] = int32(best)
+		loads[best] += demand
+	}
+
+	// Flatten the routing decision to one int32 per container ordinal:
+	// admitBatch runs once per placed container, so it must not pay a
+	// map probe (app index) per container.  Containers are app-major
+	// in workload ordinal order, which is what makes the walk below
+	// line up with the apps slice.
+	s.routeOf = make([]int32, w.NumContainers())
+	ord := 0
+	for i, a := range apps {
+		for r := 0; r < a.Replicas; r++ {
+			if s.spread[i] {
+				s.routeOf[ord] = int32(ord % k)
+			} else {
+				s.routeOf[ord] = s.homeOf[i]
+			}
+			ord++
+		}
+	}
+
+	shardOpts := opts
+	shardOpts.Shards = 0
+	shardOpts.SequentialShards = false
+	// The wrapper consumes shard results by ordinal (AssignedOrd), so
+	// the shard sessions never need to build per-batch ID maps.
+	shardOpts.LeanPlaceResult = true
+	for i := 0; i < k; i++ {
+		cl, err := topology.FromSpecs(specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: sharded: shard %d topology: %w", i, err)
+		}
+		s.shards = append(s.shards, &coreShard{
+			sess:    NewSession(shardOpts, w, cl),
+			cluster: cl,
+		})
+	}
+	// Every shard session seeded the shared up/down gauges from its
+	// own slice, each overwrite clobbering the last; re-baseline them
+	// to cluster totals.
+	if opts.Metrics != nil {
+		newCoreMetrics(opts.Metrics).initGauges(cluster)
+	}
+	return s, nil
+}
+
+// Name returns the paper-style scheduler name with a shard suffix,
+// e.g. "Aladdin(16)+IL+DL+S8".
+func (s *ShardedSession) Name() string { return s.name }
+
+// NumShards returns the effective shard count after clamping.
+func (s *ShardedSession) NumShards() int { return len(s.shards) }
+
+// ShardClusters returns the per-shard topology copies that hold the
+// live allocations (the parent cluster passed to NewSharded stays
+// empty); callers aggregate utilization and usage across them.
+func (s *ShardedSession) ShardClusters() []*topology.Cluster {
+	out := make([]*topology.Cluster, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.cluster
+	}
+	return out
+}
+
+// workers returns the fan-out width for a Place pass: one goroutine
+// per shard, capped at GOMAXPROCS — launching more shard goroutines
+// than runnable cores would only interleave them, which distorts the
+// per-shard critical-path timings without finishing any sooner.  A
+// single in-order worker when the sequential oracle is forced.
+func (s *ShardedSession) workers() int {
+	if s.opts.SequentialShards {
+		return 1
+	}
+	if n := runtime.GOMAXPROCS(0); n < len(s.shards) {
+		return n
+	}
+	return len(s.shards)
+}
+
+// locate resolves a global machine id to (shard, shard-local id).
+// The routing tables are immutable after construction, so no lock is
+// needed.
+func (s *ShardedSession) locate(gid topology.MachineID) (*coreShard, topology.MachineID, error) {
+	if int(gid) < 0 || int(gid) >= len(s.ownerOf) {
+		return nil, topology.Invalid, fmt.Errorf("core: sharded: unknown machine %d", gid)
+	}
+	return s.shards[s.ownerOf[gid]], s.localOf[gid], nil
+}
+
+// routeShard picks the shard a container tries first: its app's home
+// shard, or — for spread apps — a round-robin slot keyed by the
+// container's immutable workload ordinal.  Reads only construction-
+// time tables, so it needs no lock.
+func (s *ShardedSession) routeShard(c *workload.Container) int32 {
+	return s.routeOf[c.Ord]
+}
+
+// admitBatch validates a batch against the wrapper ledger and splits
+// it into per-shard queues by the owning application's home shard.
+// It is the sharded analogue of Session.Place's validation prologue
+// and holds s.mu for its whole body.
+func (s *ShardedSession) admitBatch(batch []*workload.Container) (queues [][]*workload.Container, epoch uint32, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchEpoch++
+	epoch = s.batchEpoch
+	queues = make([][]*workload.Container, len(s.shards))
+	canon := s.w.Containers()
+	for _, c := range batch {
+		if c == nil {
+			return nil, 0, fmt.Errorf("core: session: nil container in batch")
+		}
+		// Canonicalise only when the caller handed in a copy: batches
+		// straight from the workload (the common case) pass the
+		// pointer identity check and skip the map probe.
+		if c.Ord < 0 || c.Ord >= len(canon) || canon[c.Ord] != c {
+			cc := s.byID[c.ID]
+			if cc == nil {
+				return nil, 0, fmt.Errorf("core: session: container %s not in workload universe", c.ID)
+			}
+			c = cc
+		}
+		if s.ledger[c.Ord] == ledgerPlaced {
+			return nil, 0, fmt.Errorf("core: session: container %s already placed", c.ID)
+		}
+		if s.inBatch[c.Ord] == epoch {
+			return nil, 0, fmt.Errorf("core: session: container %s appears more than once in batch", c.ID)
+		}
+		s.inBatch[c.Ord] = epoch
+		home := s.routeShard(c)
+		queues[home] = append(queues[home], c)
+	}
+	return queues, epoch, nil
+}
+
+// markUndeployed records a stranding in the wrapper tables under s.mu.
+func (s *ShardedSession) markUndeployed(ord int) {
+	s.mu.Lock()
+	s.ledger[ord] = ledgerUndeployed
+	s.shardOf[ord] = noShard
+	s.mu.Unlock()
+}
+
+// shardBatch carries one shard's Place outcome across the fan-out
+// barrier: everything is copied out of the shard session's scratch
+// while its lock is still held.  Batch containers are reported by
+// ordinal in queue order — no ID-keyed maps cross the barrier, so
+// the merge costs array reads, not hash probes.
+type shardBatch struct {
+	placed     []int32               // batch ordinals placed by this call, queue order
+	asg        []topology.MachineID  // global machine per placed entry
+	stranded   []*workload.Container // batch containers left unplaced, queue order
+	victims    []*workload.Container // re-queued earlier-batch victims this call stranded
+	migrations int
+	preempts   int
+	work       int64
+	elapsed    time.Duration // this shard's own placement + merge time
+	err        error
+}
+
+// placeOnShard runs one queue through one shard under its lock and
+// merges the outcome into the wrapper tables before the lock drops,
+// so a concurrent FailMachine on the same shard always observes
+// ledger and session in agreement.  epoch identifies the admitted
+// batch, separating stranded batch members from re-queued preemption
+// victims of earlier batches.
+func (s *ShardedSession) placeOnShard(k int, queue []*workload.Container, epoch uint32) shardBatch {
+	sh := s.shards[k]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t0 := s.opts.now()
+	res, err := sh.sess.Place(queue)
+	out := shardBatch{err: err}
+	if res == nil {
+		return out
+	}
+	out.migrations, out.preempts, out.work = res.Migrations, res.Preemptions, res.WorkUnits
+	// Batch members were validated unplaced at admission, so a live
+	// assignment now means this call placed them.  On a mid-batch
+	// error the untried tail lands in stranded, matching the
+	// "partial result plus error" contract of Session.Place.
+	for _, c := range queue {
+		if lm := sh.sess.AssignedOrd(c.Ord); lm != topology.Invalid {
+			out.placed = append(out.placed, int32(c.Ord))
+			out.asg = append(out.asg, s.globalOf[k][lm])
+		} else {
+			out.stranded = append(out.stranded, c)
+		}
+	}
+	// res.Undeployed holds the session-stranded containers: batch
+	// members (already collected above) plus displaced victims from
+	// earlier batches.  Both get their wrapper ledger entry below;
+	// strandings are rare, so the ID probes here are off the hot path.
+	s.mu.Lock()
+	for _, ord := range out.placed {
+		s.ledger[ord] = ledgerPlaced
+		s.shardOf[ord] = int32(k)
+	}
+	s.mu.Unlock()
+	for _, id := range res.Undeployed {
+		c := s.byID[id]
+		if c == nil {
+			continue
+		}
+		if !s.isInBatch(c.Ord, epoch) {
+			out.victims = append(out.victims, c)
+		}
+		s.markUndeployed(c.Ord)
+	}
+	out.elapsed = s.opts.now().Sub(t0)
+	return out
+}
+
+// Place schedules a batch across the shards: containers are routed to
+// their application's home shard, all shard queues run concurrently
+// (or in shard order under SequentialShards), and containers a full
+// home shard strands get one serial spill pass over the other shards
+// in index order.  The returned Result is freshly allocated — unlike
+// Session.Place it has no scratch-invalidation window.  Result.Elapsed
+// reports the batch's critical path (serial sections plus the slowest
+// shard); Result.WallElapsed reports this host's wall-clock.
+func (s *ShardedSession) Place(batch []*workload.Container) (*sched.Result, error) {
+	start := s.opts.now()
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+
+	queues, epoch, err := s.admitBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	nBatch := 0
+	for _, q := range queues {
+		nBatch += len(q)
+	}
+
+	slots := make([]shardBatch, len(s.shards))
+	fanStart := s.opts.now()
+	parallel.ForEach(len(s.shards), s.workers(), func(k int) {
+		if len(queues[k]) == 0 {
+			return
+		}
+		slots[k] = s.placeOnShard(k, queues[k], epoch)
+	})
+	fanWall := s.opts.now().Sub(fanStart)
+
+	// Merge in shard index order: identical in concurrent and
+	// sequential modes because each slot is fully determined by its
+	// own shard's (deterministic) run.  Pending collects this batch's
+	// strandings (shard order, queue order within a shard — the same
+	// sequence the old per-queue rescan produced) followed by
+	// re-queued victims; everything else is already placed, so the
+	// pass below never revisits the happy-path containers.
+	res := &sched.Result{Scheduler: s.name}
+	if !s.opts.LeanPlaceResult {
+		res.Assignment = make(constraint.Assignment, nBatch)
+	}
+	canon := s.w.Containers()
+	var errs []error
+	var pending []*workload.Container
+	var slowest time.Duration
+	for k := range slots {
+		if slots[k].err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", k, slots[k].err))
+		}
+		if res.Assignment != nil {
+			for i, ord := range slots[k].placed {
+				res.Assignment[canon[ord].ID] = slots[k].asg[i]
+			}
+		}
+		res.Migrations += slots[k].migrations
+		res.Preemptions += slots[k].preempts
+		res.WorkUnits += slots[k].work
+		if slots[k].elapsed > slowest {
+			slowest = slots[k].elapsed
+		}
+		pending = append(pending, slots[k].stranded...)
+	}
+	for k := range slots {
+		pending = append(pending, slots[k].victims...)
+	}
+
+	// Spill pass: stranded containers retry the other shards in index
+	// order — batch containers first (batch order), then re-queued
+	// preemption victims from earlier batches (shard order).  Each
+	// shard takes every remaining stranding as one queue, which
+	// places the same containers as spilling them one at a time (a
+	// shard session processes its queue serially, in order) but
+	// amortises the per-call overhead and lets isomorphism limiting
+	// short-circuit sibling spills.  Serial and deterministic in both
+	// concurrency modes; errors abort further spills.
+	if len(errs) == 0 {
+		for k2 := 0; k2 < len(s.shards) && len(pending) > 0; k2++ {
+			queue := pending[:0:0]
+			for _, c := range pending {
+				if s.routeShard(c) != int32(k2) {
+					queue = append(queue, c)
+				}
+			}
+			if len(queue) == 0 {
+				continue
+			}
+			sb := s.placeOnShard(k2, queue, epoch)
+			if sb.err != nil {
+				errs = append(errs, fmt.Errorf("spill shard %d: %w", k2, sb.err))
+				break
+			}
+			res.Migrations += sb.migrations
+			res.Preemptions += sb.preempts
+			res.WorkUnits += sb.work
+			if len(sb.placed) == 0 {
+				continue
+			}
+			landed := make(map[int]bool, len(sb.placed))
+			for i, ord := range sb.placed {
+				landed[int(ord)] = true
+				if res.Assignment != nil && s.isInBatch(int(ord), epoch) {
+					res.Assignment[canon[ord].ID] = sb.asg[i]
+				}
+			}
+			next := pending[:0]
+			for _, c := range pending {
+				if !landed[c.Ord] {
+					next = append(next, c)
+				}
+			}
+			pending = next
+		}
+	}
+
+	// Final undeployed view: whatever survived the spill pass, still
+	// in batch order then victim order.  Victims were not part of the
+	// admitted batch, so each one stranded grows the total.
+	res.Total = nBatch
+	for _, c := range pending {
+		res.Undeployed = append(res.Undeployed, c.ID)
+		if !s.isInBatch(c.Ord, epoch) {
+			res.Total++
+		}
+	}
+	// Elapsed is the batch's critical path: the serial sections
+	// (admission, merge, spill, bookkeeping) at wall-clock plus the
+	// slowest shard of the fan-out — the placements inside the fan-out
+	// are independent by construction, so the critical path is what a
+	// host with one core per shard spends.  WallElapsed keeps this
+	// host's actual wall-clock; the two coincide when GOMAXPROCS
+	// covers the shard count.
+	res.WallElapsed = s.opts.now().Sub(start)
+	res.Elapsed = res.WallElapsed - fanWall + slowest
+	return res, errors.Join(errs...)
+}
+
+// isPlaced reads the wrapper ledger under s.mu.
+func (s *ShardedSession) isPlaced(ord int) bool {
+	s.mu.Lock()
+	p := s.ledger[ord] == ledgerPlaced
+	s.mu.Unlock()
+	return p
+}
+
+// isInBatch reports whether the container was part of the epoch's
+// admitted batch, under s.mu.
+func (s *ShardedSession) isInBatch(ord int, epoch uint32) bool {
+	s.mu.Lock()
+	in := s.inBatch[ord] == epoch
+	s.mu.Unlock()
+	return in
+}
+
+// Placed reports whether the container is currently deployed on any
+// shard.
+func (s *ShardedSession) Placed(containerID string) bool {
+	c := s.byID[containerID]
+	if c == nil {
+		return false
+	}
+	return s.isPlaced(c.Ord)
+}
+
+// Assignment merges the shards' container→machine maps into one
+// freshly-allocated map in the parent cluster's machine-id space.
+func (s *ShardedSession) Assignment() constraint.Assignment {
+	out := make(constraint.Assignment)
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		for id, lm := range sh.sess.Assignment() {
+			out[id] = s.globalOf[k][lm]
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Remove departs a container from whichever shard hosts it.
+func (s *ShardedSession) Remove(containerID string) error {
+	c := s.byID[containerID]
+	if c == nil {
+		return fmt.Errorf("core: session: unknown container %s", containerID)
+	}
+	for {
+		s.mu.Lock()
+		owner := s.shardOf[c.Ord]
+		s.mu.Unlock()
+		if owner == noShard {
+			return fmt.Errorf("core: session: container %s not placed", containerID)
+		}
+		sh := s.shards[owner]
+		sh.mu.Lock()
+		s.mu.Lock()
+		moved := s.shardOf[c.Ord] != owner
+		s.mu.Unlock()
+		if moved {
+			// Lost a race with a failure eviction or re-placement;
+			// re-resolve the owner.
+			sh.mu.Unlock()
+			continue
+		}
+		err := sh.sess.Remove(containerID)
+		if err == nil {
+			s.markUndeployed(c.Ord)
+		}
+		sh.mu.Unlock()
+		return err
+	}
+}
+
+// FailMachine routes a machine loss to its owning shard: the eviction
+// and the priority-ordered re-placement both stay inside that shard's
+// domain (stranded containers may later spill through Place).  The
+// result's machine id is translated back to the parent space.
+func (s *ShardedSession) FailMachine(gid topology.MachineID) (*FailureResult, error) {
+	sh, lid, lerr := s.locate(gid)
+	if lerr != nil {
+		return nil, lerr
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	res, err := sh.sess.FailMachine(lid)
+	if res != nil {
+		res.Machine = gid
+		for _, id := range res.Stranded {
+			if c := s.byID[id]; c != nil {
+				s.markUndeployed(c.Ord)
+			}
+		}
+	}
+	return res, err
+}
+
+// RecoverMachine returns a failed machine to its shard's service.
+func (s *ShardedSession) RecoverMachine(gid topology.MachineID) error {
+	sh, lid, err := s.locate(gid)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sess.RecoverMachine(lid)
+}
+
+// Consolidate drains every shard in index order and returns the total
+// migrations performed.  Consolidation never crosses a shard
+// boundary: moves stay within each shard's machines, so ownership
+// tables are unaffected.
+func (s *ShardedSession) Consolidate() (int, error) {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n, err := sh.sess.Consolidate()
+		sh.mu.Unlock()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Audit re-checks every shard's live placement for constraint
+// violations; a healthy sharded session returns an empty slice.
+func (s *ShardedSession) Audit() []constraint.Violation {
+	var out []constraint.Violation
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.sess.Audit()...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// FlowConservation verifies Equation 2 on every shard's network.
+func (s *ShardedSession) FlowConservation() error {
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.sess.FlowConservation()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// AuditInvariants runs the full runtime Auditor on every shard and
+// then cross-checks the wrapper's own tables: each container the
+// ledger calls placed must be live on exactly the shard the ownership
+// table names, and on no other.  Results carry a "shard k:" prefix so
+// a violation localises immediately.  Like the per-shard audits it
+// wraps, this is meant to run quiesced (between operations, or after
+// concurrent load has drained).
+func (s *ShardedSession) AuditInvariants() []AuditViolation {
+	var out []AuditViolation
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		vs := sh.sess.AuditInvariants()
+		sh.mu.Unlock()
+		for _, v := range vs {
+			out = append(out, AuditViolation{Kind: v.Kind, Detail: fmt.Sprintf("shard %d: %s", k, v.Detail)})
+		}
+	}
+	containers := s.w.Containers()
+	s.mu.Lock()
+	ledger := append([]uint8(nil), s.ledger...)
+	shardOf := append([]int32(nil), s.shardOf...)
+	s.mu.Unlock()
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		for _, c := range containers {
+			got := sh.sess.Placed(c.ID)
+			want := ledger[c.Ord] == ledgerPlaced && shardOf[c.Ord] == int32(k)
+			if got != want {
+				out = append(out, AuditViolation{
+					Kind: AuditAssignmentDrift,
+					Detail: fmt.Sprintf("shard %d: container %s: shard session placed=%v, wrapper ledger=%d ownership=%d",
+						k, c.ID, got, ledger[c.Ord], shardOf[c.Ord]),
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

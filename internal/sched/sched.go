@@ -48,8 +48,20 @@ type Result struct {
 	Consolidations int
 	// Preemptions counts evictions of placed containers.
 	Preemptions int
-	// Elapsed is the wall-clock scheduling time for the whole batch.
+	// Elapsed is the scheduling time for the whole batch.  For
+	// single-threaded schedulers this is wall-clock time.  The sharded
+	// core reports the batch's critical path instead — serial
+	// admission and merge plus the slowest shard's placement time —
+	// because its shard placements are independent by construction;
+	// the two readings coincide on hosts with GOMAXPROCS at or above
+	// the shard count.
 	Elapsed time.Duration
+	// WallElapsed is the wall-clock time this host actually spent on
+	// the batch.  It equals Elapsed for single-threaded schedulers
+	// and exceeds it for the sharded core whenever the host has fewer
+	// cores than shards (the shard fan-out then time-slices on the
+	// available cores).  Zero when the producer predates the field.
+	WallElapsed time.Duration
 	// WorkUnits is a scheduler-specific effort counter (for Aladdin:
 	// machine vertices explored by the path search).  Zero when the
 	// scheduler does not report one.  Unlike Elapsed it is

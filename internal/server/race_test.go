@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"aladdin/internal/constraint"
 	"aladdin/internal/core"
 	"aladdin/internal/resource"
 	"aladdin/internal/topology"
@@ -70,6 +72,8 @@ func TestConcurrentHandlers(t *testing.T) {
 			id := fmt.Sprintf("b/%d", i)
 			send(http.MethodPost, "/place", fmt.Sprintf(`{"containers":[%q]}`, id))
 			send(http.MethodGet, "/assignments", "")
+			send(http.MethodGet, "/debug/vars", "")
+			send(http.MethodGet, "/explain?container=b/0", "")
 		}
 	}()
 	wg.Add(1)
@@ -90,5 +94,69 @@ func TestConcurrentHandlers(t *testing.T) {
 	}
 	if vs := sess.Audit(); len(vs) != 0 {
 		t.Errorf("violations after concurrent load: %v", vs)
+	}
+}
+
+// TestSlowExplainDoesNotSerializePlace is the regression for the
+// single-mutex server: /explain used to hold the one lock for its
+// whole diagnosis, so one slow explain stalled every placement queued
+// behind it.  The handler now snapshots cluster and assignment under
+// the shared read lock and diagnoses the snapshot unlocked, so this
+// test parks an /explain inside the injected explain seam and proves
+// a /place completes while it is still parked.
+func TestSlowExplainDoesNotSerializePlace(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "a", Demand: resource.Cores(2, 2048), Replicas: 8},
+	})
+	cl := topology.New(topology.Config{
+		Machines: 8, MachinesPerRack: 4, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	s := New(sess, w, cl)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	realExplain := s.explain
+	s.explain = func(wl *workload.Workload, cluster *topology.Cluster, asg constraint.Assignment, id string) (*core.Explanation, error) {
+		close(entered)
+		<-release
+		return realExplain(wl, cluster, asg, id)
+	}
+
+	explained := make(chan int, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodGet, "/explain?container=a/0", strings.NewReader(""))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		explained <- rec.Code
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("/explain never reached the explain seam")
+	}
+
+	// The explain handler is now parked holding no lock at all; a
+	// placement must go through.
+	placed := make(chan int, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(`{"containers":["a/0"]}`))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		placed <- rec.Code
+	}()
+	select {
+	case code := <-placed:
+		if code != http.StatusOK {
+			t.Fatalf("/place during slow /explain -> %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("/place blocked behind a slow /explain")
+	}
+
+	close(release)
+	if code := <-explained; code != http.StatusOK {
+		t.Fatalf("slow /explain -> %d", code)
 	}
 }

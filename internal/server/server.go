@@ -25,11 +25,19 @@ import (
 	"aladdin/internal/workload"
 )
 
-// Server wraps a Session with an http.Handler.  All handlers share
-// one mutex: the Session itself is single-threaded by design (one
-// scheduler manager per cluster).
+// Server wraps a Session with an http.Handler.  Mutating handlers
+// (place/remove/fail/recover/restore) take mu exclusively — the
+// Session itself is single-threaded by design (one scheduler manager
+// per cluster) — while read-only handlers share it, so scrapes and
+// assignment dumps no longer serialize placement.  Every mutating
+// handler re-materializes the session's lazy read views before
+// releasing the lock (unlockAfterWrite), which is what makes the
+// shared-lock read paths pure reads.  /explain goes further: it
+// copies the cluster and assignment under the read lock and runs the
+// (potentially expensive) diagnosis on that private snapshot with no
+// lock held at all.
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	session *core.Session
 	w       *workload.Workload
 	cluster *topology.Cluster
@@ -94,6 +102,9 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster,
 	for _, opt := range opts {
 		opt(s)
 	}
+	// Materialize the session's lazy read views up front so handlers
+	// running under the shared read lock never write them.
+	s.session.Assignment()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -121,6 +132,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// unlockAfterWrite releases the write lock after re-materializing the
+// session's lazily-built assignment view.  Session.Place and friends
+// invalidate that view; rebuilding it while still exclusive means
+// handlers under the shared read lock only ever read it — without
+// this, two concurrent readers would race to build the map.
+func (s *Server) unlockAfterWrite() {
+	s.session.Assignment()
+	s.mu.Unlock()
+}
+
+// handleHealth holds the write lock even though it only diagnoses:
+// the audit walks Machine.ContainerIDs, whose sorted-ID cache is
+// rebuilt lazily, so running it under the shared read lock would race
+// with other readers.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,8 +169,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // core-maintained gauge (aladdin_machines_down) is never emitted
 // twice with conflicting values.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var buf bytes.Buffer
 	s.reg.WritePrometheus(&buf) //aladdin:errcheck-ok bytes.Buffer writes cannot fail (nil registry: no-op)
 	s.writeClusterMetrics(&buf)
@@ -203,8 +228,8 @@ type clusterVars struct {
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lo, mean, hi := s.cluster.UtilizationRange()
 	totalUsed := s.cluster.TotalUsed()
 	writeJSON(w, varsResponse{
@@ -232,8 +257,8 @@ type assignmentEntry struct {
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	asg := s.session.Assignment()
 	out := make([]assignmentEntry, 0, len(asg))
 	for id, m := range asg {
@@ -253,9 +278,29 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?container=", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, err := s.explain(s.w, s.cluster, s.session.Assignment(), id)
+	// Capture a private snapshot under the shared read lock, then run
+	// the diagnosis unlocked: Explain walks blocking containers per
+	// machine, which is arbitrarily expensive on a loaded cluster, and
+	// an RWMutex alone would still let one slow reader stall the next
+	// writer (and every reader queued behind it).
+	s.mu.RLock()
+	specs := s.cluster.Specs()
+	allocs := make([]map[string]resource.Vector, len(specs))
+	for i, m := range s.cluster.Machines() {
+		allocs[i] = m.Allocations()
+	}
+	live := s.session.Assignment()
+	asg := make(constraint.Assignment, len(live))
+	for cid, m := range live {
+		asg[cid] = m
+	}
+	s.mu.RUnlock()
+	shadow, err := snapshotCluster(specs, allocs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	e, err := s.explain(s.w, shadow, asg, id)
 	if err != nil {
 		// Only "that container does not exist" is the caller's mistake;
 		// anything else is an internal failure and must say so — a 404
@@ -269,6 +314,36 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, e)
+}
+
+// snapshotCluster rebuilds a private cluster from specs and
+// per-machine allocations captured under the read lock.  Machines are
+// constructed up — Allocate rejects a down machine — so the captured
+// allocations replay, then the originally-down machines are re-marked
+// down.
+func snapshotCluster(specs []topology.MachineSpec, allocs []map[string]resource.Vector) (*topology.Cluster, error) {
+	up := make([]topology.MachineSpec, len(specs))
+	copy(up, specs)
+	for i := range up {
+		up[i].Down = false
+	}
+	cl, err := topology.FromSpecs(up)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range cl.Machines() {
+		for cid, v := range allocs[i] {
+			if err := m.Allocate(cid, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, sp := range specs {
+		if sp.Down {
+			cl.Machine(topology.MachineID(i)).MarkDown()
+		}
+	}
+	return cl, nil
 }
 
 // placeRequest is the JSON body of /place.
@@ -296,7 +371,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlockAfterWrite()
 	batch := make([]*workload.Container, 0, len(req.Containers))
 	for _, id := range req.Containers {
 		c := s.byID[id]
@@ -342,7 +417,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlockAfterWrite()
 	if err := s.session.Remove(req.Container); err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -377,7 +452,7 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlockAfterWrite()
 	if s.cluster.Machine(req.Machine) == nil {
 		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
 		return
@@ -406,7 +481,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlockAfterWrite()
 	if s.cluster.Machine(req.Machine) == nil {
 		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
 		return
@@ -516,7 +591,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlockAfterWrite()
 	sess, cluster, err := snap.Restore(s.session.Options(), s.w)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)

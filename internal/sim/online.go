@@ -235,7 +235,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		if mttr <= 0 {
 			mttr = 10 * interarrival
 		}
-		frng := rand.New(rand.NewSource(cfg.Seed + 0x5f3759df))
+		frng := rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed)))))
 		ft := time.Duration(0)
 		for {
 			ft += time.Duration(frng.ExpFloat64() * float64(cfg.MTBF))

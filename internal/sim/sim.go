@@ -53,8 +53,14 @@ type Metrics struct {
 	Utilization stats.Range
 	// Latency is Equation 11's per-container average latency.
 	Latency time.Duration
-	// Elapsed is the total wall-clock scheduling time (Fig. 13a).
+	// Elapsed is the total scheduling time (Fig. 13a): wall-clock for
+	// single-threaded schedulers, critical path for the sharded core
+	// (see sched.Result.Elapsed).
 	Elapsed time.Duration
+	// WallElapsed is the host's actual wall-clock scheduling time.
+	// Equal to Elapsed except for sharded runs on hosts with fewer
+	// cores than shards.  Zero when the scheduler does not report it.
+	WallElapsed time.Duration
 	// Migrations and Preemptions (Fig. 13b); Consolidations are the
 	// machine-draining moves of the final efficiency sweep.
 	Migrations, Preemptions, Consolidations int
@@ -166,6 +172,7 @@ func collect(cfg Config, cluster *topology.Cluster, res *sched.Result) Metrics {
 		Utilization:            stats.Range{Min: lo, Mean: mean, Max: hi},
 		Latency:                res.LatencyPerContainer(),
 		Elapsed:                res.Elapsed,
+		WallElapsed:            res.WallElapsed,
 		Migrations:             res.Migrations,
 		Preemptions:            res.Preemptions,
 		Consolidations:         res.Consolidations,
