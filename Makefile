@@ -16,16 +16,19 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# lint runs the project's static-analysis gate: gofmt, go vet, and the
-# aladdin-vet invariant analyzers (determinism, lockcheck, intcap,
-# errflow).  staticcheck and govulncheck run too when installed —
-# locally they are optional (no network to fetch them), in CI they are
-# installed and mandatory.
+# lint runs the project's static-analysis gate: gofmt, go vet, the
+# seven aladdin-vet invariant analyzers (determinism, errflow,
+# hotalloc, intcap, lockcheck, lockorder, ordinalflow), and the
+# suppression audit that keeps the //aladdin: marker inventory honest
+# (every marker known, reasoned, and still load-bearing).  staticcheck
+# and govulncheck run too when installed — locally they are optional
+# (no network to fetch them), in CI they are installed and mandatory.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/aladdin-vet ./...
+	$(GO) run ./cmd/aladdin-vet -audit-suppressions ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \

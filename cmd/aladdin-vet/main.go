@@ -1,29 +1,49 @@
 // Command aladdin-vet is the repo's invariant multichecker: it loads
-// the named packages (default ./...) and applies the four
-// repo-specific analyzers — determinism, errflow, intcap, lockcheck —
-// from internal/analysis.  Exit status 1 means findings; fix the code
-// or, for a deliberate exception, annotate the line with the
-// analyzer's //aladdin:<marker> suppression comment and a reason.
+// the named packages (default ./...) and applies the seven
+// repo-specific analyzers — determinism, errflow, hotalloc, intcap,
+// lockcheck, lockorder, ordinalflow — from internal/analysis.  Exit
+// status 1 means findings; fix the code or, for a deliberate
+// exception, annotate the line with the analyzer's
+// //aladdin:<marker> suppression comment and a reason.
+//
+// -audit-suppressions flips the polarity: instead of reporting what
+// the markers hide, it reports markers that are unknown, give no
+// reason, or no longer suppress anything (stale).
 //
 // Usage:
 //
-//	aladdin-vet [-run name,name] [-list] [packages...]
+//	aladdin-vet [-run name,name] [-list] [-json] [-audit-suppressions] [packages...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"aladdin/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding, one object per
+// line (JSON Lines), stable for CI consumption.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines on stdout")
+	audit := flag.Bool("audit-suppressions", false,
+		"audit //aladdin: markers instead: flag unknown, reason-less, and stale ones")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aladdin-vet [-run name,name] [-list] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: aladdin-vet [-run name,name] [-list] [-json] [-audit-suppressions] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -63,14 +83,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aladdin-vet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+
+	var diags []analysis.Diagnostic
+	if *audit {
+		diags, err = analysis.AuditSuppressions(pkgs, analyzers)
+	} else {
+		diags, err = analysis.RunAnalyzers(pkgs, analyzers)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aladdin-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		pos := pkgs[0].Fset.Position(d.Pos)
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+
+	if *jsonOut {
+		// Repo-relative paths: GitHub's ::error annotations resolve
+		// files against the workspace root, not the runner's absolute
+		// filesystem.
+		cwd, _ := os.Getwd()
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			pos := pkgs[0].Fset.Position(d.Pos)
+			file := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			if err := enc.Encode(jsonDiagnostic{
+				File:     file,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "aladdin-vet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			pos := pkgs[0].Fset.Position(d.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "aladdin-vet: %d finding(s)\n", len(diags))

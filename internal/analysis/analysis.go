@@ -25,7 +25,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // Analyzer describes one invariant checker.  The shape mirrors
@@ -50,6 +49,21 @@ type Pass struct {
 	// Report delivers one diagnostic.  The loader's drivers install
 	// it; analyzers call Reportf instead.
 	Report func(Diagnostic)
+
+	// markerUse, when non-nil, records that the //aladdin: comment at
+	// the given position was honoured during this run — either a
+	// suppression that silenced a diagnostic or a declaration (domain,
+	// lock-level, hotpath…) an analyzer consumed.  The suppression
+	// audit (suppress.go) installs it to find stale markers.
+	markerUse func(token.Pos)
+}
+
+// noteMarkerUse records that comment c was honoured.  Safe on a nil
+// comment or outside an audit run.
+func (p *Pass) noteMarkerUse(c *ast.Comment) {
+	if p.markerUse != nil && c != nil {
+		p.markerUse(c.Pos())
+	}
 }
 
 // Diagnostic is one finding at a source position.
@@ -64,8 +78,11 @@ type Diagnostic struct {
 // "aladdin:" (e.g. "nondeterministic-ok"); an empty marker disables
 // suppression for this diagnostic.
 func (p *Pass) Reportf(pos token.Pos, marker, format string, args ...any) {
-	if marker != "" && p.Suppressed(pos, marker) {
-		return
+	if marker != "" {
+		if c := p.suppressedBy(pos, marker); c != nil {
+			p.noteMarkerUse(c)
+			return
+		}
 	}
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
 }
@@ -74,22 +91,42 @@ func (p *Pass) Reportf(pos token.Pos, marker, format string, args ...any) {
 // position: same line, the immediately preceding line, or the doc
 // comment of the enclosing function declaration.
 func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
-	want := "aladdin:" + marker
+	c := p.suppressedBy(pos, marker)
+	if c != nil {
+		p.noteMarkerUse(c)
+	}
+	return c != nil
+}
+
+// suppressedBy returns the comment that suppresses a diagnostic with
+// the given marker at pos, or nil.  Only directive-form comments
+// (`//aladdin:<marker> …`, no leading space) count, so a prose mention
+// of a marker in documentation never silences anything.
+func (p *Pass) suppressedBy(pos token.Pos, marker string) *ast.Comment {
 	file := p.fileFor(pos)
 	if file == nil {
-		return false
+		return nil
 	}
 	line := p.Fset.Position(pos).Line
+	// A marker on the diagnostic's own line beats one on the line
+	// above: consecutive annotated lines each consume their own
+	// marker, keeping the suppression audit's staleness signal sharp.
+	var above *ast.Comment
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.Contains(c.Text, want) {
+			if word, _, ok := parseDirective(c); !ok || word != marker {
 				continue
 			}
-			cl := p.Fset.Position(c.Pos()).Line
-			if cl == line || cl == line-1 {
-				return true
+			switch p.Fset.Position(c.Pos()).Line {
+			case line:
+				return c
+			case line - 1:
+				above = c
 			}
 		}
+	}
+	if above != nil {
+		return above
 	}
 	// Enclosing function declaration's doc comment.  Scan the raw
 	// comment list, not CommentGroup.Text(): //aladdin:marker parses as
@@ -103,12 +140,12 @@ func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
 			continue
 		}
 		for _, c := range fd.Doc.List {
-			if strings.Contains(c.Text, want) {
-				return true
+			if word, _, ok := parseDirective(c); ok && word == marker {
+				return c
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 // fileFor returns the *ast.File containing pos.

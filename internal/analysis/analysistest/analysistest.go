@@ -29,8 +29,10 @@ import (
 	"aladdin/internal/analysis"
 )
 
-// wantRe extracts the quoted regexps of a want comment.
-var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+// wantRe extracts the quoted regexps of a want comment: double-quoted
+// (backslash escapes apply) or backtick-quoted (taken literally, the
+// readable form for patterns full of regex metacharacters).
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
 
 // Run loads dir as a single fixture package, applies the analyzer and
 // compares diagnostics against the fixture's want comments.
@@ -114,6 +116,10 @@ func collectWants(t *testing.T, pkg *analysis.Package) map[string][]string {
 			}
 			var patterns []string
 			for _, m := range wantRe.FindAllStringSubmatch(line[idx+len("// want "):], -1) {
+				if m[2] != "" {
+					patterns = append(patterns, m[2]) // backtick-quoted: literal
+					continue
+				}
 				pat, err := strconv.Unquote(`"` + m[1] + `"`)
 				if err != nil {
 					t.Fatalf("%s:%d: bad want string: %v", base, i+1, err)

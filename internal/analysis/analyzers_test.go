@@ -24,14 +24,32 @@ func TestErrflow(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "errflow"), analysis.Errflow)
 }
 
+func TestOrdinalflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "ordinalflow"), analysis.Ordinalflow)
+}
+
+// TestLockorder doubles as the multi-file fixture regression test: the
+// package spans a.go and b.go and the summaries must cross the file
+// boundary in both directions.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "lockorder"), analysis.Lockorder)
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "hotalloc"), analysis.Hotalloc)
+}
+
 // TestAllRegistered pins the multichecker's analyzer set: a new
 // analyzer must be registered in All() to reach aladdin-vet and CI.
 func TestAllRegistered(t *testing.T) {
 	want := map[string]bool{
 		"determinism": true,
 		"errflow":     true,
+		"hotalloc":    true,
 		"intcap":      true,
 		"lockcheck":   true,
+		"lockorder":   true,
+		"ordinalflow": true,
 	}
 	got := analysis.All()
 	if len(got) != len(want) {

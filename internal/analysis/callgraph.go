@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"sort"
+)
+
+// This file holds the call-graph and declaration-lookup substrate
+// shared by the inter-procedural analyzers (lockorder, hotalloc).
+// Resolution is static and intra-package: a call site maps to a callee
+// only when the callee is a named function or method declared in the
+// package under analysis.  Calls through function values, interfaces,
+// and other packages resolve to nil and the analyzers treat them as
+// opaque — conservative for reachability walks rooted inside the
+// package.
+
+// callGraph indexes one package's function declarations and their
+// static intra-package call edges.
+type callGraph struct {
+	// decls maps every declared function/method object to its AST.
+	decls map[*types.Func]*ast.FuncDecl
+	// callees lists the distinct intra-package functions each function
+	// may call, in source order of first call site.  Calls made inside
+	// function literals count toward the enclosing declaration: the
+	// literal's body runs with (or on behalf of) the enclosing call,
+	// so for reachability purposes its callees are the function's.
+	callees map[*types.Func][]*types.Func
+}
+
+// buildCallGraph walks the package once and resolves every static call
+// edge between its declared functions.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[obj] = fd
+		}
+	}
+	for obj, fd := range g.decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, declared := g.decls[callee]; !declared {
+				return true
+			}
+			seen[callee] = true
+			g.callees[obj] = append(g.callees[obj], callee)
+			return true
+		})
+	}
+	return g
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: a plain function call f(...) or a method call
+// x.m(...).  Function-value and builtin calls return nil.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		// Selections[] covers method calls; Uses covers qualified
+		// package-level functions (pkg.F).
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// reachable returns every declared function reachable from the roots
+// along static call edges, mapped to the root that first reaches it
+// (breadth-first, roots in the given order).  Functions in stop are
+// neither visited nor expanded.
+func (g *callGraph) reachable(roots []*types.Func, stop map[*types.Func]bool) map[*types.Func]*types.Func {
+	out := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		if stop[r] || out[r] != nil {
+			continue
+		}
+		out[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.callees[fn] {
+			if stop[callee] {
+				continue
+			}
+			if _, ok := out[callee]; ok {
+				continue
+			}
+			out[callee] = out[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return out
+}
+
+// sortedFuncs returns the graph's functions ordered by source
+// position, for deterministic iteration.
+func (g *callGraph) sortedFuncs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// funcDisplayName renders a function for diagnostics: F for
+// package-level functions, (*T).M or T.M for methods.
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		if named, ok := p.Elem().(*types.Named); ok {
+			return "(*" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// exprString renders an expression compactly for diagnostics and for
+// syntactic identity of lock receivers (e.g. "s.shards[k]").
+func exprString(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

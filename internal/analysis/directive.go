@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //aladdin: comment namespace carries two kinds of markers.
+// Suppression markers (lock-ok, domain-ok, …) silence one diagnostic
+// at a site; declaration markers (domain, lock-level, hotpath,
+// hotpath-stop) feed facts to the analyzers.  Only directive-form
+// comments count: the text after // starts exactly with "aladdin:",
+// the same shape the toolchain uses for //go: directives, so prose
+// mentions of a marker in documentation never act as one.
+
+// parseDirective interprets c as an //aladdin: directive and returns
+// the marker word and the remaining argument/reason text.
+func parseDirective(c *ast.Comment) (word, rest string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//")
+	if !found {
+		return "", "", false // /* */ comments are never directives
+	}
+	body, found := strings.CutPrefix(text, "aladdin:")
+	if !found {
+		return "", "", false
+	}
+	word, rest, _ = strings.Cut(body, " ")
+	return word, strings.TrimSpace(rest), word != ""
+}
+
+// fieldDirective is one //aladdin: directive attached to a struct
+// field declaration of a package-level type — in the field's doc
+// comment or trailing line comment.
+type fieldDirective struct {
+	structName string
+	field      *ast.Field
+	comment    *ast.Comment
+	word       string
+	args       string
+}
+
+// fieldDirectives collects every field-attached directive in the
+// package, in source order.
+func fieldDirectives(pass *Pass) []fieldDirective {
+	var out []fieldDirective
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+						if cg == nil {
+							continue
+						}
+						for _, c := range cg.List {
+							if word, args, ok := parseDirective(c); ok {
+								out = append(out, fieldDirective{
+									structName: ts.Name.Name,
+									field:      f,
+									comment:    c,
+									word:       word,
+									args:       args,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcDirective returns the args of the first //aladdin:<word>
+// directive in a function declaration's doc comment, with the comment
+// itself for usage tracking.
+func funcDirective(fd *ast.FuncDecl, word string) (args string, comment *ast.Comment, ok bool) {
+	if fd.Doc == nil {
+		return "", nil, false
+	}
+	for _, c := range fd.Doc.List {
+		if w, a, ok := parseDirective(c); ok && w == word {
+			return a, c, true
+		}
+	}
+	return "", nil, false
+}

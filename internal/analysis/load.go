@@ -172,6 +172,12 @@ func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
 			return nil, err
 		}
 		parsed = append(parsed, f)
+		// Multi-file fixtures must agree on the package clause;
+		// catching it here beats the type-checker's opaque complaint.
+		if pkgName != "" && f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: fixture %s: file %s declares package %q, earlier files declare %q",
+				dir, name, f.Name.Name, pkgName)
+		}
 		pkgName = f.Name.Name
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)

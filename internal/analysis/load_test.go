@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aladdin/internal/analysis"
+)
+
+// testModuleRoot walks up from this test file to the directory holding
+// go.mod, mirroring analysistest.moduleRoot for tests that call the
+// loader directly.
+func testModuleRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	dir := filepath.Dir(thisFile)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above load_test.go")
+		}
+		dir = parent
+	}
+}
+
+// testdataDir resolves a fixture directory next to this test file.
+func testdataDir(t *testing.T, name string) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	return filepath.Join(filepath.Dir(thisFile), "testdata", name)
+}
+
+// TestLoadDirMultiFile pins multi-file fixture loading: the lockorder
+// fixture spans two files and both must land in one package with
+// cross-file type information.
+func TestLoadDirMultiFile(t *testing.T) {
+	pkg, err := analysis.LoadDir(testModuleRoot(t), testdataDir(t, "lockorder"), "fixture/lockorder")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2", len(pkg.Files))
+	}
+	// Cross-file resolution: b.go's methods hang off a.go's wrapper.
+	if pkg.Types.Scope().Lookup("wrapper") == nil {
+		t.Fatal("type wrapper from a.go not in package scope")
+	}
+}
+
+// TestLoadDirPackageMismatch pins the loader's mixed-package
+// diagnosis: without it, go/parser's per-file results type-check into
+// a confusing unresolved-identifier cascade.
+func TestLoadDirPackageMismatch(t *testing.T) {
+	_, err := analysis.LoadDir(testModuleRoot(t), testdataDir(t, "mismatch"), "fixture/mismatch")
+	if err == nil {
+		t.Fatal("LoadDir accepted a directory with two package clauses")
+	}
+	for _, needle := range []string{"b.go", `"beta"`, `"alpha"`} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("error %q does not mention %s", err, needle)
+		}
+	}
+}

@@ -2,10 +2,8 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // lockMarker is the lockcheck analyzer's suppression marker.
@@ -131,7 +129,7 @@ func mutexStructs(pass *Pass) map[*types.Named]*mutexInfo {
 			switch {
 			case isSyncMutex(f.Type()):
 				info.mutexFields[f.Name()] = true
-			case exempt[f.Name()]:
+			case exempt[f.Name()] != nil:
 				// Declared read-only after construction; lock-free
 				// accesses are the point.
 			default:
@@ -140,62 +138,38 @@ func mutexStructs(pass *Pass) map[*types.Named]*mutexInfo {
 		}
 		if len(info.mutexFields) > 0 {
 			out[named] = info
+			// Field exemptions on a tracked struct are honoured; the
+			// suppression audit counts them as live.
+			for _, c := range exempt {
+				pass.noteMarkerUse(c)
+			}
 		}
 	}
 	return out
 }
 
-// exemptFields collects, per struct type name, the field names whose
+// exemptFields collects, per struct type name, the fields whose
 // declaration carries an //aladdin:lock-ok marker — either a doc
-// comment above the field or a trailing comment on its line.
-func exemptFields(pass *Pass) map[string]map[string]bool {
-	out := make(map[string]map[string]bool)
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, f := range st.Fields.List {
-					if !hasLockMarker(f.Doc) && !hasLockMarker(f.Comment) {
-						continue
-					}
-					m := out[ts.Name.Name]
-					if m == nil {
-						m = make(map[string]bool)
-						out[ts.Name.Name] = m
-					}
-					for _, n := range f.Names {
-						m[n.Name] = true
-					}
-				}
+// comment above the field or a trailing comment on its line — mapped
+// to the marker comment.
+func exemptFields(pass *Pass) map[string]map[string]*ast.Comment {
+	out := make(map[string]map[string]*ast.Comment)
+	for _, d := range fieldDirectives(pass) {
+		if d.word != lockMarker {
+			continue
+		}
+		m := out[d.structName]
+		if m == nil {
+			m = make(map[string]*ast.Comment)
+			out[d.structName] = m
+		}
+		for _, n := range d.field.Names {
+			if m[n.Name] == nil {
+				m[n.Name] = d.comment
 			}
 		}
 	}
 	return out
-}
-
-// hasLockMarker reports whether a comment group contains the
-// //aladdin:lock-ok marker.
-func hasLockMarker(cg *ast.CommentGroup) bool {
-	if cg == nil {
-		return false
-	}
-	for _, c := range cg.List {
-		if strings.Contains(c.Text, "aladdin:"+lockMarker) {
-			return true
-		}
-	}
-	return false
 }
 
 // isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (or a

@@ -2,5 +2,5 @@ package analysis
 
 // All returns aladdin-vet's analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Errflow, Intcap, Lockcheck}
+	return []*Analyzer{Determinism, Errflow, Hotalloc, Intcap, Lockcheck, Lockorder, Ordinalflow}
 }

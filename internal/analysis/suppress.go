@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The suppression audit (aladdin-vet -audit-suppressions) keeps the
+// //aladdin: namespace honest: every marker must carry a reason and
+// must still do something.  It replays the full analyzer suite with
+// reporting disabled, recording which directive comments were honoured
+// — a suppression that silenced a diagnostic, a declaration an
+// analyzer consumed — then walks every directive comment in the loaded
+// packages and flags the unknown, the bare, and the stale.
+
+// AuditAnalyzerName tags audit findings in output and JSON.
+const AuditAnalyzerName = "suppressions"
+
+// markerKind distinguishes suppressions (silence one diagnostic) from
+// declarations (feed facts to an analyzer).
+type markerKind int
+
+const (
+	markerSuppression markerKind = iota
+	markerDeclaration
+)
+
+// knownMarkers registers every marker word the //aladdin: namespace
+// accepts.  An unregistered word is a typo and gets flagged.
+var knownMarkers = map[string]markerKind{
+	"nondeterministic-ok": markerSuppression,
+	lockMarker:            markerSuppression, // lock-ok
+	"float-ok":            markerSuppression,
+	"errcheck-ok":         markerSuppression,
+	ordinalflowMarker:     markerSuppression, // domain-ok
+	lockorderMarker:       markerSuppression, // lockorder-ok
+	hotallocMarker:        markerSuppression, // hotalloc-ok
+	domainWord:            markerDeclaration, // domain
+	lockLevelWord:         markerDeclaration, // lock-level
+	hotpathWord:           markerDeclaration, // hotpath
+	hotpathStopWord:       markerDeclaration, // hotpath-stop
+}
+
+// AuditSuppressions replays the analyzers over the packages with
+// reporting disabled and returns one diagnostic per marker problem:
+// unknown marker words, markers with no reason text, and stale markers
+// that no longer suppress any diagnostic or feed any analyzer.
+func AuditSuppressions(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	used := make(map[token.Pos]bool)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(Diagnostic) {},
+				markerUse: func(pos token.Pos) { used[pos] = true },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+			Analyzer: AuditAnalyzerName,
+		})
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					word, rest, ok := parseDirective(c)
+					if !ok {
+						continue
+					}
+					kind, known := knownMarkers[word]
+					if !known {
+						report(c.Pos(), "unknown //aladdin: marker %q (known markers: %s)",
+							word, knownMarkerList())
+						continue
+					}
+					if reason := markerReason(word, rest); reason == "" {
+						report(c.Pos(), "//aladdin:%s has no reason text: say why the exception or declaration is safe", word)
+					}
+					if !used[c.Pos()] {
+						switch kind {
+						case markerSuppression:
+							report(c.Pos(), "stale //aladdin:%s: it no longer suppresses any diagnostic; remove it", word)
+						case markerDeclaration:
+							report(c.Pos(), "stale //aladdin:%s: no analyzer consumed it (misplaced or malformed?)", word)
+						}
+					}
+				}
+			}
+		}
+	}
+	sortDiagnostics(pkgs, diags)
+	return diags, nil
+}
+
+// markerReason strips a marker's structural arguments and returns the
+// free reason text.  lock-level consumes a numeric level first; the
+// domain directive's spec is self-documenting, so its spec counts as
+// the reason.
+func markerReason(word, rest string) string {
+	switch word {
+	case lockLevelWord:
+		_, reason, _ := cutWord(rest)
+		return strings.TrimSpace(reason)
+	default:
+		return rest
+	}
+}
+
+func knownMarkerList() string {
+	words := make([]string, 0, len(knownMarkers))
+	for w := range knownMarkers {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return strings.Join(words, ", ")
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aladdin/internal/analysis"
+)
+
+// TestAuditSuppressions pins the audit's three failure classes against
+// the suppressions fixture: an unknown marker word, a marker with no
+// reason text, and stale suppressions/declarations — while the live,
+// reasoned marker stays silent.
+func TestAuditSuppressions(t *testing.T) {
+	pkg, err := analysis.LoadDir(testModuleRoot(t), testdataDir(t, "suppressions"), "fixture/suppressions")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.AuditSuppressions([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if d.Analyzer != analysis.AuditAnalyzerName {
+			t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, analysis.AuditAnalyzerName)
+		}
+		got = append(got, fmt.Sprintf("%d: %s", pos.Line, d.Message))
+	}
+
+	wants := []string{
+		`unknown //aladdin: marker "hotalloc-okay"`,
+		"//aladdin:hotalloc-ok has no reason text",
+		"stale //aladdin:hotalloc-ok: it no longer suppresses any diagnostic",
+		"stale //aladdin:lock-level: no analyzer consumed it",
+	}
+	for _, want := range wants {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing audit finding containing %q; got:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+	if len(got) != len(wants) {
+		t.Errorf("audit returned %d findings, want %d:\n%s", len(got), len(wants), strings.Join(got, "\n"))
+	}
+}

@@ -1,0 +1,100 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer:
+// Place is the //aladdin:hotpath root, everything it reaches is hot
+// unless fenced by //aladdin:hotpath-stop, and cold error branches are
+// exempt.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct{ x, y int }
+
+type sched struct {
+	buf   []int
+	names []string
+}
+
+// Place is the steady-state placement entry point.
+//
+//aladdin:hotpath fixture root: steady state must stay allocation-free
+func (s *sched) Place(n int) error {
+	if n < 0 {
+		// Cold: failure branches may build rich errors.
+		return fmt.Errorf("negative n: %d", n)
+	}
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, i) // arena reuse: allowed
+	}
+	s.helper(n)
+	s.convert(s.names[0], nil)
+	s.lazyInit(n)
+	if err := s.validate(n); err != nil {
+		return err
+	}
+	s.rescue(n)
+	return nil
+}
+
+// helper is reachable from the root, so it is hot.
+func (s *sched) helper(n int) {
+	m := make([]int, n) // want `make allocates on the hot path`
+	_ = m
+	cb := func() int { return n } // want `function literal captures n`
+	_ = cb()
+	dst := append(s.buf, n) // want `append into a new destination`
+	_ = dst
+	box(n) // want `argument boxes int into interface parameter`
+}
+
+// convert collects the conversion/literal/boxing shapes.
+func (s *sched) convert(name string, b []byte) {
+	_ = string(b)            // want `conversion to string allocates a copy`
+	_ = name + "!"           // want `string concatenation allocates`
+	_ = fmt.Sprintf("%d", 1) // want `fmt.Sprintf allocates`
+	p := &point{x: 1, y: 2}  // want `&composite literal escapes to the heap`
+	_ = box(p)               // pointer-shaped into any: no allocation, no finding
+	m := map[int]int{1: 2}   // want `map literal allocates`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	q := new(point) // want `new allocates`
+	_ = q
+	go s.helper(1) // want `go statement allocates`
+}
+
+// lazyInit documents a deliberate one-time allocation.
+func (s *sched) lazyInit(n int) {
+	if s.names == nil {
+		s.names = make([]string, n) //aladdin:hotalloc-ok fixture: one-time lazy init, steady state reuses
+	}
+}
+
+// validate builds its error message on the cold failure branch only.
+func (s *sched) validate(n int) error {
+	if n > 1000 {
+		msg := fmt.Sprintf("too big: %d", n) // cold block: no finding
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// rescue is fenced off: its allocations are deliberate and outside
+// the steady-state contract.
+//
+//aladdin:hotpath-stop fixture: rescue path outside the steady-state gate
+func (s *sched) rescue(n int) {
+	spill := make([]int, n)
+	_ = fmt.Sprint(spill)
+}
+
+// box's any parameter forces its concrete arguments onto the heap.
+func box(v any) any { return v }
+
+// coldStart is not reachable from any hotpath root: not checked.
+func (s *sched) coldStart(n int) {
+	_ = make([]int, n)
+	_ = fmt.Sprint(n)
+}

@@ -1,0 +1,117 @@
+// Package lockorder is the golden fixture for the lockorder analyzer.
+// It mirrors the sharded scheduler core's hierarchy: an outermost
+// batch lock (level 10), per-shard locks (level 20), and an innermost
+// wrapper bookkeeping lock (level 30).  Lower levels are outer locks
+// and must be acquired first.
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+var errClosed = errors.New("closed")
+
+type wrapper struct {
+	placeMu sync.Mutex //aladdin:lock-level 10 outermost: serializes batch placement
+	mu      sync.Mutex //aladdin:lock-level 30 innermost: wrapper bookkeeping tables
+	shards  []*shard
+	epoch   int
+}
+
+type shard struct {
+	mu sync.RWMutex //aladdin:lock-level 20 per-shard session lock
+	n  int
+}
+
+// Place follows the declared order 10 → 20 → 30: clean.
+func (w *wrapper) Place() {
+	w.placeMu.Lock()
+	defer w.placeMu.Unlock()
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		sh.n++
+		w.mu.Lock()
+		w.epoch++
+		w.mu.Unlock()
+		sh.mu.Unlock()
+	}
+}
+
+// Inverted takes the per-shard lock while already holding the
+// innermost wrapper lock.
+func (w *wrapper) Inverted(sh *shard) {
+	w.mu.Lock()
+	sh.mu.Lock() // want `acquiring sh.mu .lock-level 20. while holding w.mu .lock-level 30.`
+	sh.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// Double locks the same mutex twice: self-deadlock.
+func (w *wrapper) Double() {
+	w.mu.Lock()
+	w.mu.Lock() // want `w.mu is already held .locked at .*: double lock`
+	w.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// TwoShards holds two instances of the same per-shard lock at once;
+// instances of one field have no relative order.
+func (w *wrapper) TwoShards(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `two instances of shard.mu held at once`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Leak returns on the error path without unlocking.
+func (w *wrapper) Leak(fail bool) error {
+	w.mu.Lock()
+	if fail {
+		return errClosed // want `return while w.mu is still locked`
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// forgetUnlock never releases at all.
+func (w *wrapper) forgetUnlock() {
+	w.mu.Lock() // want `locked here but never unlocked before the function exits`
+	w.epoch++
+}
+
+// SuppressedInversion documents a deliberate exception.
+func (w *wrapper) SuppressedInversion(sh *shard) {
+	w.mu.Lock()
+	//aladdin:lockorder-ok fixture: deliberate inversion under test
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// Spawn hands a closure to another goroutine: it is a separate lock
+// context, so the spawner's holdings do not order it and taking the
+// shard lock inside is clean.
+func (w *wrapper) Spawn(sh *shard) {
+	w.mu.Lock()
+	go func() {
+		sh.mu.Lock()
+		sh.n++
+		sh.mu.Unlock()
+	}()
+	w.mu.Unlock()
+}
+
+type peers struct {
+	left  sync.Mutex //aladdin:lock-level 40 left peer
+	right sync.Mutex //aladdin:lock-level 40 right peer
+}
+
+// Both holds two same-level locks at once: peers have no declared
+// order.
+func (p *peers) Both() {
+	p.left.Lock()
+	p.right.Lock() // want `both at lock-level 40: peer locks have no declared order`
+	p.right.Unlock()
+	p.left.Unlock()
+}

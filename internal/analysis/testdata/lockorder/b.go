@@ -1,0 +1,69 @@
+// Cross-file, cross-function cases: summaries built in this file must
+// propagate to call sites in a.go's structs and vice versa, proving
+// multi-file fixture packages work end to end.
+package lockorder
+
+import "sync"
+
+// reenter acquires the outermost batch lock; harmless on its own.
+func (w *wrapper) reenter() {
+	w.placeMu.Lock()
+	w.epoch++
+	w.placeMu.Unlock()
+}
+
+// viaMiddle adds a hop so the acquired set must propagate
+// transitively.
+func (w *wrapper) viaMiddle() {
+	w.reenter()
+}
+
+// CallInversion holds the innermost lock and calls a helper that
+// acquires the outermost one.
+func (w *wrapper) CallInversion() {
+	w.mu.Lock()
+	w.reenter() // want `may acquire wrapper.placeMu .lock-level 10. while holding w.mu .lock-level 30.`
+	w.mu.Unlock()
+}
+
+// TransitiveInversion does the same through two hops.
+func (w *wrapper) TransitiveInversion() {
+	w.mu.Lock()
+	w.viaMiddle() // want `may acquire wrapper.placeMu .lock-level 10. while holding w.mu .lock-level 30.`
+	w.mu.Unlock()
+}
+
+// CallDouble calls a helper that re-locks a mutex the caller already
+// holds: self-deadlock through the call graph.
+func (w *wrapper) CallDouble() {
+	w.placeMu.Lock()
+	w.reenter() // want `may lock wrapper.placeMu, which is already held`
+	w.placeMu.Unlock()
+}
+
+// srv mirrors internal/server's RWMutex-with-unlock-helper shape.
+type srv struct {
+	mu    sync.RWMutex //aladdin:lock-level 50 session lock
+	dirty bool
+	gen   int
+}
+
+// unlockAfterWrite releases the write lock on behalf of its caller.
+func (s *srv) unlockAfterWrite() {
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// Handle releases through the deferred helper: no leak at return.
+func (s *srv) Handle() {
+	s.mu.Lock()
+	defer s.unlockAfterWrite()
+	s.gen++
+}
+
+// Snapshot takes the read lock with a deferred release: clean.
+func (s *srv) Snapshot() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}

@@ -1,0 +1,7 @@
+// Package alpha is half of the load-error fixture: b.go in this
+// directory deliberately declares a different package so LoadDir's
+// mixed-package check has something to reject.
+package alpha
+
+// A keeps the file non-empty.
+const A = 1

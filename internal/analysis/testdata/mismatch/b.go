@@ -1,0 +1,5 @@
+// Package beta mismatches a.go's package alpha on purpose; see a.go.
+package beta
+
+// B keeps the file non-empty.
+const B = 2

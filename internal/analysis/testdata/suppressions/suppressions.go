@@ -1,0 +1,36 @@
+// Package suppressions is the fixture for the -audit-suppressions
+// mode: one live marker (consumed, reasoned — silent), one bare
+// marker, one stale suppression, one stale declaration, and one typo.
+// The expectations live in TestAuditSuppressions, not in // want
+// comments: the audit is a mode over all analyzers, not an Analyzer.
+package suppressions
+
+import "fmt"
+
+type w struct {
+	buf []int
+
+	// The level below never binds: lvl is not a mutex, so no analyzer
+	// consumes the declaration and the audit calls it stale.
+	lvl int //aladdin:lock-level 10 not actually a mutex field
+}
+
+// Hot is the hotalloc root whose findings the markers below suppress.
+//
+//aladdin:hotpath fixture root: steady state must stay clean
+func (s *w) Hot(n int) {
+	_ = fmt.Sprint(n)  //aladdin:hotalloc-ok live marker: deliberate formatting, keeps a reason
+	_ = make([]int, n) //aladdin:hotalloc-ok
+	s.cold(n)
+}
+
+// cold is cut off below, so the marker inside suppresses nothing.
+//
+//aladdin:hotpath-stop fixture fence so cold's marker goes stale
+func (s *w) cold(n int) {
+	s.buf = s.buf[:0] //aladdin:hotalloc-ok stale: no diagnostic fires on this line
+	_ = n
+}
+
+//aladdin:hotalloc-okay typo'd marker word
+func unknown() {}

@@ -44,6 +44,8 @@ type run struct {
 	// undeployed).  place/unplace are the scheduler's innermost
 	// mutations; a slice write keeps them free of string hashing.  The
 	// ID-keyed map views hand out materialise on demand.
+	//
+	//aladdin:domain ord -> machine container ordinal → assigned machine
 	asg    []topology.MachineID
 	asgMap constraint.Assignment
 	// residents[m] lists the workload ordinals placed on machine m in
@@ -53,7 +55,10 @@ type run struct {
 	// trip.  Pre-placed residents unknown to the workload are absent;
 	// consumers that need them (drain) detect the mismatch against
 	// Machine.NumContainers.
-	residents      [][]int32
+	//
+	//aladdin:domain machine, _ -> ord machine id → resident container ordinals
+	residents [][]int32
+	//aladdin:domain ord -> _ container ordinal → requeue count
 	requeues       []int
 	byID           map[string]*workload.Container
 	migrations     int
@@ -331,6 +336,8 @@ func (r *run) unplace(c *workload.Container, m topology.MachineID) error {
 // blocks it, and relocate the blocking containers elsewhere.  The
 // relocated containers stay deployed, so priority safety holds by
 // construction.
+//
+//aladdin:hotpath-stop rescue path: migrations are rare and allocate for ranking/rollback by design
 func (r *run) tryMigration(c *workload.Container) (bool, error) {
 	if !r.met.on {
 		return r.tryMigrationInner(c)
@@ -658,6 +665,8 @@ func (r *run) drain(m topology.MachineID, memo map[drainKey]topology.MachineID) 
 // the worst complexity" mechanism of §IV.D.  Its latency lands in the
 // migration histogram: defragmentation is the same relocate-to-admit
 // rescue, differing only in what blocks the claimant.
+//
+//aladdin:hotpath-stop rescue path: defragmentation is rare and allocates for target ranking by design
 func (r *run) tryDefrag(c *workload.Container) (bool, error) {
 	if !r.met.on {
 		return r.tryDefragInner(c)
@@ -791,6 +800,8 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 // Returns the victims to requeue and whether preemption succeeded; a
 // non-nil error means an eviction or restore step failed and the
 // scheduler state is corrupt.
+//
+//aladdin:hotpath-stop rescue path: preemption is rare and allocates its victim sets by design
 func (r *run) tryPreemption(c *workload.Container) ([]*workload.Container, bool, error) {
 	if !r.met.on {
 		return r.tryPreemptionInner(c)

@@ -253,7 +253,8 @@ type searcher struct {
 	// app-ordinal table, resolved once at construction so per-search
 	// app resolution is a slice read shared by every container of a
 	// batch instead of a per-container string-map probe.
-	w    *workload.Workload
+	w *workload.Workload
+	//aladdin:domain ord -> app container ordinal → IL/blacklist app ref
 	refs []constraint.AppRef
 
 	// met carries the run's instrument handles (assigned by newRun
@@ -553,6 +554,7 @@ func (s *searcher) bestFitSweep(c *workload.Container, excl exclusion) topology.
 	for i := range s.shardExplored {
 		s.shardExplored[i] = 0
 	}
+	//aladdin:hotalloc-ok one closure per parallel sweep, amortized over the whole sub-cluster fan-out; the serial path above is the allocguard-measured steady state
 	parallel.ForEach(len(s.agg.subNames), 0, func(i int) {
 		span := idx.tr.SubSpan[s.agg.subNames[i]]
 		st := newBestFitState()

@@ -44,13 +44,16 @@ type Session struct {
 	// ledger records each container's submission state by ordinal —
 	// the SoA replacement for the ID-keyed placed map.  ExportState
 	// derives the undeployed set from it.
+	//
+	//aladdin:domain ord -> _ container ordinal → submission state
 	ledger []uint8
 
 	// inBatch marks batch membership by ordinal: inBatch[ord] ==
 	// batchEpoch means the container is part of the Place call in
 	// flight.  An epoch bump resets all marks in O(1).
 	batchEpoch uint32
-	inBatch    []uint32
+	//aladdin:domain ord -> _ container ordinal → epoch of the batch in flight
+	inBatch []uint32
 
 	// Reusable per-batch scratch: the queue (batch plus requeued
 	// preemption victims), the undeployed-ID buffer, and the returned
@@ -114,6 +117,8 @@ func (s *Session) AssignedOrd(ord int) topology.MachineID {
 // error so callers (the HTTP /place handler, the online simulator)
 // can reconcile their view instead of silently diverging from the
 // live cluster state.
+//
+//aladdin:hotpath steady-state placement is allocation-free (allocguard pins AllocsPerRun == 0)
 func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	start := s.opts.now()
 	r := s.r
@@ -166,7 +171,7 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	// happened behind them.
 	if !s.opts.LeanPlaceResult {
 		if s.resAsg == nil {
-			s.resAsg = make(constraint.Assignment, nBatch)
+			s.resAsg = make(constraint.Assignment, nBatch) //aladdin:hotalloc-ok one-time lazy init; steady state clears and reuses the map
 		}
 		clear(s.resAsg)
 		for _, c := range queue[:nBatch] {
@@ -294,6 +299,8 @@ func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]str
 // Remove handles a departure: the container's resources are released
 // and its flow cancelled.  Removing an unplaced container is an
 // error.
+//
+//aladdin:hotpath departures run between placements; steady state stays allocation-free
 func (s *Session) Remove(containerID string) error {
 	c := s.r.byID[containerID]
 	if c == nil {

@@ -24,6 +24,7 @@ const noShard int32 = -1
 // through it, so the single-threaded Session contract holds per shard
 // while different shards run concurrently.
 type coreShard struct {
+	//aladdin:lock-level 20 per-shard session lock, taken under placeMu and before the wrapper mu
 	mu      sync.Mutex
 	sess    *Session
 	cluster *topology.Cluster
@@ -54,30 +55,70 @@ type ShardedSession struct {
 	w      *workload.Workload //aladdin:lock-ok immutable after construction
 	parent *topology.Cluster  //aladdin:lock-ok immutable after construction
 	name   string             //aladdin:lock-ok immutable after construction
-	shards []*coreShard       //aladdin:lock-ok immutable slice; each shard is guarded by its own mu
 
-	// Immutable routing tables, built at construction.
-	ownerOf  []int32                        //aladdin:lock-ok global machine id → shard
-	localOf  []topology.MachineID           //aladdin:lock-ok global machine id → id inside its shard
-	globalOf [][]topology.MachineID         //aladdin:lock-ok shard → local id → global machine id
-	homeOf   []int32                        //aladdin:lock-ok app index → home shard
-	spread   []bool                         //aladdin:lock-ok app index → replicas fan out round-robin across shards
-	routeOf  []int32                        //aladdin:lock-ok container ordinal → first-try shard (homeOf/spread flattened)
-	byID     map[string]*workload.Container //aladdin:lock-ok read-only container lookup
+	// Each shard is guarded by its own mu; the slice itself is
+	// immutable after construction.
+	//
+	//aladdin:lock-ok immutable slice; each shard guarded by its own mu
+	//aladdin:domain shard -> _ shard index → shard
+	shards []*coreShard
+
+	// Immutable routing tables, built at construction.  The //aladdin:domain
+	// directives declare each table's id spaces: "global" is a machine id
+	// in the parent cluster, "machine" a machine id local to one shard's
+	// topology copy, "shard" a shard index, "app" an app index in the
+	// workload universe, and "ord" a container ordinal.
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain global -> shard owning shard of each global machine id
+	ownerOf []int32
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain global -> machine global machine id → id inside its shard
+	localOf []topology.MachineID
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain shard, machine -> global per-shard local → global machine id
+	globalOf [][]topology.MachineID
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain app -> shard app index → home shard
+	homeOf []int32
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain app -> _ app index → replicas fan out round-robin across shards
+	spread []bool
+
+	//aladdin:lock-ok immutable after construction
+	//aladdin:domain ord -> shard container ordinal → first-try shard (homeOf/spread flattened)
+	routeOf []int32
+
+	byID map[string]*workload.Container //aladdin:lock-ok read-only container lookup
 
 	// placeMu serializes Place and Consolidate: batches are admitted,
 	// fanned out and merged one at a time, like the one scheduler
 	// manager per cluster the paper assumes — sharding parallelises
 	// the inside of a batch, not batches against each other.
+	//
+	//aladdin:lock-level 10 outermost: whole-batch serialization, taken before any shard mu
 	placeMu sync.Mutex
 
 	// mu guards the wrapper's global view: the submission ledger, the
 	// shard each container is placed on, and batch-membership epochs.
-	mu         sync.Mutex
-	ledger     []uint8
-	shardOf    []int32
+	//
+	//aladdin:lock-level 30 innermost: table updates only, taken after shard mus are released or inside merge
+	mu sync.Mutex
+
+	//aladdin:domain ord -> _ container ordinal → submission state
+	ledger []uint8
+
+	//aladdin:domain ord -> shard container ordinal → shard it is placed on (noShard if none)
+	shardOf []int32
+
 	batchEpoch uint32
-	inBatch    []uint32
+
+	//aladdin:domain ord -> _ container ordinal → epoch of the batch that touched it
+	inBatch []uint32
 }
 
 // NewSharded builds a sharded session over a workload universe and an
@@ -276,6 +317,8 @@ func (s *ShardedSession) workers() int {
 // locate resolves a global machine id to (shard, shard-local id).
 // The routing tables are immutable after construction, so no lock is
 // needed.
+//
+//aladdin:domain global -> _
 func (s *ShardedSession) locate(gid topology.MachineID) (*coreShard, topology.MachineID, error) {
 	if int(gid) < 0 || int(gid) >= len(s.ownerOf) {
 		return nil, topology.Invalid, fmt.Errorf("core: sharded: unknown machine %d", gid)

@@ -37,6 +37,7 @@ import (
 // (potentially expensive) diagnosis on that private snapshot with no
 // lock held at all.
 type Server struct {
+	//aladdin:lock-level 40 handler session lock; the wrapped Session is single-threaded and holds no locks of its own
 	mu      sync.RWMutex
 	session *core.Session
 	w       *workload.Workload
