@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench bench-smoke cover allocguard clean
+.PHONY: build test verify lint fuzz bench bench-smoke load-smoke cover allocguard clean
 
 build:
 	$(GO) build ./...
@@ -121,6 +121,17 @@ bench-smoke:
 	done; \
 	rm -f BENCH_smoke.json; \
 	echo "bench-smoke: within budget"
+
+# load-smoke drives the multi-tenant HTTP server through the
+# concurrent load harness (internal/loadtest) at a small fixed load:
+# every response must be 200 or 429 and p99 must stay under a
+# deliberately generous tripwire.  It catches gross serving
+# regressions (deadlocked batchers, lost replies, stalls), not
+# percentage-level slowdowns; the throughput-ratio claim itself lives
+# in TestCoalescedThroughput2x.  The CI job is additionally
+# non-blocking — see .github/workflows/ci.yml.
+load-smoke:
+	$(GO) test ./internal/loadtest/ -run 'TestLoadSmoke|TestCoalescedThroughput2x' -count=1 -v
 
 clean:
 	rm -f BENCH_search.json BENCH_smoke.json coverage.out

@@ -8,14 +8,26 @@
 //	aladdin-server -factor 100 -machines 256 -addr :8080
 //	curl -XPOST localhost:8080/place -d '{"containers":["app-00001/0"]}'
 //	curl localhost:8080/metrics
+//
+// Multi-tenant mode with request coalescing and backpressure:
+//
+//	aladdin-server -tenants blue,green -coalesce-window 2ms -max-queue 256
+//	curl -XPOST localhost:8080/t/blue/place -d '{"containers":["app-00001/0"]}'
+//	curl localhost:8080/tenants
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"aladdin/internal/checkpoint"
 	"aladdin/internal/core"
@@ -38,6 +50,10 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		ckptPath  = flag.String("checkpoint", "", "default snapshot file for POST /checkpoint")
 		restoreIn = flag.String("restore", "", "warm-restart from this v2 snapshot at startup (cluster comes from the snapshot; -machines is ignored)")
+		tenants   = flag.String("tenants", "", "comma-separated tenant names to create at startup (each shares the default universe on its own cluster)")
+		coWindow  = flag.Duration("coalesce-window", 0, "request-coalescing flush window (0 disables coalescing)")
+		coBatch   = flag.Int("max-batch", 0, "containers per coalesced flush before an early cut (0: default 128)")
+		coQueue   = flag.Int("max-queue", 0, "queued place requests per tenant before 429s (0: default 256)")
 	)
 	flag.Parse()
 	if *restoreIn != "" && *placeAll {
@@ -100,8 +116,42 @@ func main() {
 	if *ckptPath != "" {
 		srvOpts = append(srvOpts, server.WithCheckpointPath(*ckptPath))
 	}
+	if *coWindow > 0 {
+		srvOpts = append(srvOpts, server.WithCoalescing(server.CoalesceConfig{
+			Window: *coWindow, MaxBatch: *coBatch, MaxQueue: *coQueue,
+		}))
+	}
 	srv := server.New(session, w, cluster, srvOpts...)
+	for _, name := range strings.Split(*tenants, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == server.DefaultTenant {
+			continue
+		}
+		if _, err := srv.CreateTenant(server.TenantSpec{Name: name}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %s: %d containers on a private %d-machine cluster\n",
+			name, w.NumContainers(), cluster.Size())
+	}
 	fmt.Printf("aladdin-server: %d apps / %d containers, %d machines, listening on %s\n",
 		len(w.Apps()), w.NumContainers(), cluster.Size(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// Graceful shutdown: stop admitting placements, flush every
+	// tenant's coalescing queue so in-flight requests get responses,
+	// then close the listener.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-stop
+		fmt.Printf("received %s, draining\n", sig)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Println("drained, bye")
 }

@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "medium", "small | medium | full")
-		fig       = flag.String("fig", "all", "8 | 9 | 10 | 12 | 13 | ablation | hetero | availability | scalability | all")
+		fig       = flag.String("fig", "all", "8 | 9 | 10 | 12 | 13 | ablation | hetero | availability | scalability | loadtest | all")
 		out       = flag.String("out", "", "output file (default stdout)")
 		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
@@ -114,6 +114,13 @@ func run(scale experiments.Scale, fig string, w io.Writer) error {
 		return nil
 	case "scalability":
 		r, err := experiments.Scalability(scale)
+		if err != nil {
+			return err
+		}
+		writeTables(w, r)
+		return nil
+	case "loadtest":
+		r, err := experiments.LoadTest(scale)
 		if err != nil {
 			return err
 		}

@@ -48,41 +48,52 @@ type coreMetrics struct {
 }
 
 // newCoreMetrics registers the scheduler's metric families on reg; a
-// nil registry yields the disabled zero value.
-func newCoreMetrics(reg *obs.Registry) coreMetrics {
+// nil registry yields the disabled zero value.  A non-empty label set
+// (Options.MetricLabels) scopes every series, so per-tenant sessions
+// sharing one registry keep distinct counters and gauges.
+func newCoreMetrics(reg *obs.Registry, labels obs.Labels) coreMetrics {
 	if reg == nil {
 		return coreMetrics{}
 	}
 	lat := obs.LatencyBucketsUS
+	histogram := func(name, help string) *obs.Histogram {
+		return reg.LabeledHistogram(name, help, lat, labels)
+	}
+	counter := func(name, help string) *obs.Counter {
+		return reg.LabeledCounter(name, help, labels)
+	}
+	gauge := func(name, help string) *obs.Gauge {
+		return reg.LabeledGauge(name, help, labels)
+	}
 	return coreMetrics{
 		on: true,
 
-		placeBatch: reg.Histogram("aladdin_place_batch_duration_us", "wall-clock latency of one Place/Schedule batch, microseconds", lat),
-		searchLat:  reg.Histogram("aladdin_search_duration_us", "latency of one findMachine path search, microseconds", lat),
-		migLat:     reg.Histogram("aladdin_migration_duration_us", "latency of one migration/defragmentation rescue attempt, microseconds", lat),
-		preLat:     reg.Histogram("aladdin_preemption_duration_us", "latency of one preemption rescue attempt, microseconds", lat),
-		auditLat:   reg.Histogram("aladdin_audit_duration_us", "latency of one AuditInvariants pass, microseconds", lat),
-		failLat:    reg.Histogram("aladdin_fail_machine_duration_us", "eviction plus re-placement latency of one machine failure, microseconds", lat),
-		restoreLat: reg.Histogram("aladdin_restore_duration_us", "latency of one RestoreSession warm restart, microseconds", lat),
+		placeBatch: histogram("aladdin_place_batch_duration_us", "wall-clock latency of one Place/Schedule batch, microseconds"),
+		searchLat:  histogram("aladdin_search_duration_us", "latency of one findMachine path search, microseconds"),
+		migLat:     histogram("aladdin_migration_duration_us", "latency of one migration/defragmentation rescue attempt, microseconds"),
+		preLat:     histogram("aladdin_preemption_duration_us", "latency of one preemption rescue attempt, microseconds"),
+		auditLat:   histogram("aladdin_audit_duration_us", "latency of one AuditInvariants pass, microseconds"),
+		failLat:    histogram("aladdin_fail_machine_duration_us", "eviction plus re-placement latency of one machine failure, microseconds"),
+		restoreLat: histogram("aladdin_restore_duration_us", "latency of one RestoreSession warm restart, microseconds"),
 
-		ilHits:        reg.Counter("aladdin_il_cache_hits_total", "searches skipped by the isomorphism-limiting cache"),
-		ilMisses:      reg.Counter("aladdin_il_cache_misses_total", "searches that ran because the IL cache had no valid entry"),
-		dlCutoffs:     reg.Counter("aladdin_dl_cutoffs_total", "searches truncated at the first feasible machine by depth limiting"),
-		searchIndexed: reg.Counter("aladdin_search_indexed_total", "path searches answered by the residual-capacity index"),
-		searchNaive:   reg.Counter("aladdin_search_naive_total", "path searches answered by the naive linear scan"),
+		ilHits:        counter("aladdin_il_cache_hits_total", "searches skipped by the isomorphism-limiting cache"),
+		ilMisses:      counter("aladdin_il_cache_misses_total", "searches that ran because the IL cache had no valid entry"),
+		dlCutoffs:     counter("aladdin_dl_cutoffs_total", "searches truncated at the first feasible machine by depth limiting"),
+		searchIndexed: counter("aladdin_search_indexed_total", "path searches answered by the residual-capacity index"),
+		searchNaive:   counter("aladdin_search_naive_total", "path searches answered by the naive linear scan"),
 
-		placements:     reg.Counter("aladdin_placements_total", "augmenting paths routed (containers placed, including rescue re-placements)"),
-		migrations:     reg.Counter("aladdin_migrations_total", "containers relocated by migration and defragmentation"),
-		preemptions:    reg.Counter("aladdin_preemptions_total", "containers evicted by preemption"),
-		consolidations: reg.Counter("aladdin_consolidations_total", "containers relocated by consolidation drains"),
-		corruptions:    reg.Counter("aladdin_corruptions_total", "rollback failures that poisoned the scheduler state"),
-		failures:       reg.Counter("aladdin_machine_failures_total", "machines taken out of service by FailMachine"),
-		recoveries:     reg.Counter("aladdin_machine_recoveries_total", "machines returned to service by RecoverMachine"),
-		restores:       reg.Counter("aladdin_restores_total", "sessions rebuilt from a checkpoint by RestoreSession"),
+		placements:     counter("aladdin_placements_total", "augmenting paths routed (containers placed, including rescue re-placements)"),
+		migrations:     counter("aladdin_migrations_total", "containers relocated by migration and defragmentation"),
+		preemptions:    counter("aladdin_preemptions_total", "containers evicted by preemption"),
+		consolidations: counter("aladdin_consolidations_total", "containers relocated by consolidation drains"),
+		corruptions:    counter("aladdin_corruptions_total", "rollback failures that poisoned the scheduler state"),
+		failures:       counter("aladdin_machine_failures_total", "machines taken out of service by FailMachine"),
+		recoveries:     counter("aladdin_machine_recoveries_total", "machines returned to service by RecoverMachine"),
+		restores:       counter("aladdin_restores_total", "sessions rebuilt from a checkpoint by RestoreSession"),
 
-		placedGauge:  reg.Gauge("aladdin_flow_containers_placed", "containers currently holding an augmenting path in the flow network"),
-		machinesUp:   reg.Gauge("aladdin_machines_up", "machines currently in service"),
-		machinesDown: reg.Gauge("aladdin_machines_down", "machines currently failed"),
+		placedGauge:  gauge("aladdin_flow_containers_placed", "containers currently holding an augmenting path in the flow network"),
+		machinesUp:   gauge("aladdin_machines_up", "machines currently in service"),
+		machinesDown: gauge("aladdin_machines_down", "machines currently failed"),
 	}
 }
 

@@ -79,6 +79,13 @@ type Options struct {
 	// registry lookups, no clock reads beyond the one per-batch
 	// Elapsed pair, no allocations on the search hot path.
 	Metrics *obs.Registry
+	// MetricLabels, when non-empty, attaches these labels to every
+	// metric series the scheduler registers on Metrics.  Multi-tenant
+	// deployments give each tenant's session a distinct label set
+	// (e.g. tenant="blue") so sessions sharing one registry keep
+	// separate series instead of clobbering each other's gauges; an
+	// empty map keeps today's unlabeled families.
+	MetricLabels obs.Labels
 	// Tracer, when non-nil, receives structured scheduler events
 	// (placements, preemptions, migrations, corruption, machine
 	// failures).  Nil is the zero-cost disabled tracer.

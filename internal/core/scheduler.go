@@ -101,7 +101,7 @@ func newRun(opts Options, w *workload.Workload, cluster *topology.Cluster) *run 
 		r.byID[c.ID] = c
 	}
 	r.search = newSearcher(opts, w, cluster, r.blacklist)
-	r.met = newCoreMetrics(opts.Metrics)
+	r.met = newCoreMetrics(opts.Metrics, opts.MetricLabels)
 	r.trc = opts.Tracer
 	// Assigned after construction so newSearcher's signature stays
 	// stable for the search benchmarks that build one directly.

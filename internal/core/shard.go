@@ -276,7 +276,7 @@ func NewSharded(opts Options, w *workload.Workload, cluster *topology.Cluster) (
 	// own slice, each overwrite clobbering the last; re-baseline them
 	// to cluster totals.
 	if opts.Metrics != nil {
-		newCoreMetrics(opts.Metrics).initGauges(cluster)
+		newCoreMetrics(opts.Metrics, opts.MetricLabels).initGauges(cluster)
 	}
 	return s, nil
 }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/loadtest"
+	"aladdin/internal/resource"
+	"aladdin/internal/server"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// LoadTestRow compares one client-count level of the HTTP sweep:
+// the same single-container request stream pushed through the direct
+// per-request path and through the coalescing batcher.
+type LoadTestRow struct {
+	Clients        int
+	DirectRPS      float64
+	CoalescedRPS   float64
+	Speedup        float64
+	DirectP50US    float64
+	DirectP99US    float64
+	CoalescedP50US float64
+	CoalescedP99US float64
+}
+
+// LoadTestResult is the request-coalescing throughput sweep: how much
+// solver-batch amortisation buys at increasing client concurrency.
+type LoadTestResult struct {
+	Requests int
+	Rows     []LoadTestRow
+}
+
+// loadServer builds a fresh server over a flat n-container universe,
+// optionally with coalescing, plus the request IDs to place.
+func loadServer(n int, coalesced bool) (*server.Server, []string) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "svc", Demand: resource.Cores(1, 2048), Replicas: n},
+	})
+	cl := topology.New(topology.Config{
+		Machines: n / 16, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	var opts []server.Option
+	if coalesced {
+		opts = append(opts, server.WithCoalescing(server.CoalesceConfig{
+			Window: time.Millisecond, MaxBatch: 32, MaxQueue: 4096,
+		}))
+	}
+	s := server.New(sess, w, cl, opts...)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("svc/%d", i)
+	}
+	return s, ids
+}
+
+// LoadTest sweeps client concurrency over the in-process HTTP server,
+// fresh sessions per cell so every run places the same containers
+// onto an empty cluster.
+func LoadTest(s Scale) (*LoadTestResult, error) {
+	n := s.Machines * 8
+	if n < 256 {
+		n = 256
+	}
+	res := &LoadTestResult{Requests: n}
+	for _, clients := range []int{1, 8, 32} {
+		direct, ids := loadServer(n, false)
+		rd := loadtest.Run(loadtest.Config{Clients: clients, IDs: ids}, loadtest.HandlerTarget{Handler: direct})
+		direct.Drain()
+		if !rd.OK(200) {
+			return nil, fmt.Errorf("loadtest direct c=%d: statuses %v, %d errors", clients, rd.StatusCounts, rd.Errors)
+		}
+		co, ids := loadServer(n, true)
+		rc := loadtest.Run(loadtest.Config{Clients: clients, IDs: ids}, loadtest.HandlerTarget{Handler: co})
+		co.Drain()
+		if !rc.OK(200) {
+			return nil, fmt.Errorf("loadtest coalesced c=%d: statuses %v, %d errors", clients, rc.StatusCounts, rc.Errors)
+		}
+		row := LoadTestRow{
+			Clients:        clients,
+			DirectRPS:      rd.Throughput,
+			CoalescedRPS:   rc.Throughput,
+			DirectP50US:    rd.P50US,
+			DirectP99US:    rd.P99US,
+			CoalescedP50US: rc.P50US,
+			CoalescedP99US: rc.P99US,
+		}
+		if rd.Throughput > 0 {
+			row.Speedup = rc.Throughput / rd.Throughput
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Tables renders the sweep.
+func (r *LoadTestResult) Tables() []*Table {
+	t := &Table{
+		Title: fmt.Sprintf("Request coalescing: HTTP throughput, %d single-container requests", r.Requests),
+		Header: []string{"clients", "direct req/s", "coalesced req/s", "speedup",
+			"direct p50/p99 us", "coalesced p50/p99 us"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Clients,
+			fmt.Sprintf("%.0f", row.DirectRPS),
+			fmt.Sprintf("%.0f", row.CoalescedRPS),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.0f/%.0f", row.DirectP50US, row.DirectP99US),
+			fmt.Sprintf("%.0f/%.0f", row.CoalescedP50US, row.CoalescedP99US))
+	}
+	return []*Table{t}
+}

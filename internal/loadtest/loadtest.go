@@ -1,0 +1,198 @@
+// Package loadtest is a small concurrent load harness for the aladdin
+// scheduler server: many client goroutines issue single-container
+// POST /place requests against a Target (an in-process http.Handler
+// or a live HTTP endpoint), and per-request latency lands in an obs
+// histogram so p50/p99 come out of the same quantile machinery the
+// production metrics use.  It is shared by the server throughput
+// tests, the experiments sweep, and the CI load-smoke job.
+package loadtest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aladdin/internal/obs"
+)
+
+// Target is one way of delivering a request to the server.
+type Target interface {
+	// Do issues the request and returns the HTTP status code.
+	Do(method, path, body string) (int, error)
+}
+
+// HandlerTarget drives an http.Handler in process through httptest —
+// no sockets, so the harness measures the server, not the kernel.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+func (h HandlerTarget) Do(method, path, body string) (int, error) {
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	h.Handler.ServeHTTP(rec, req)
+	return rec.Code, nil
+}
+
+// HTTPTarget drives a live server over the network.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (h HTTPTarget) Do(method, path, body string) (int, error) {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, h.Base+path, rdr)
+	if err != nil {
+		return 0, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Config shapes one load run.
+type Config struct {
+	// Clients is the number of concurrent client goroutines; 0 means 1.
+	Clients int
+	// IDs are the container IDs to place, one single-container request
+	// each, work-stolen across clients.
+	IDs []string
+	// Prefix is the tenant route prefix ("" for the default tenant,
+	// "/t/blue" for a named one).
+	Prefix string
+}
+
+// Result summarises one load run.
+type Result struct {
+	// Requests is the number of requests issued (== len(cfg.IDs)).
+	Requests int
+	// Duration is the wall-clock span from first request to last
+	// response.
+	Duration time.Duration
+	// Throughput is completed requests per second.
+	Throughput float64
+	// StatusCounts histograms the HTTP status codes received.
+	StatusCounts map[int]int
+	// Errors counts transport-level failures (HTTPTarget only).
+	Errors int
+	// P50US and P99US are per-request latency quantiles in
+	// microseconds, estimated from the obs histogram the harness
+	// records into.
+	P50US float64
+	P99US float64
+	// Latency is the raw histogram snapshot for callers that want
+	// other quantiles.
+	Latency obs.HistogramSnapshot
+}
+
+// OK reports whether every request came back with the given statuses
+// (transport errors always fail).
+func (r *Result) OK(allowed ...int) bool {
+	if r.Errors > 0 {
+		return false
+	}
+	ok := make(map[int]bool, len(allowed))
+	for _, code := range allowed {
+		ok[code] = true
+	}
+	for code, n := range r.StatusCounts {
+		if n > 0 && !ok[code] {
+			return false
+		}
+	}
+	return true
+}
+
+// latencyFamily is the harness's private histogram family name.
+const latencyFamily = "loadtest_request_duration_us"
+
+// Run fires len(cfg.IDs) single-container place requests at the
+// target from cfg.Clients goroutines and reports throughput and
+// latency quantiles.
+func Run(cfg Config, target Target) *Result {
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	if clients > len(cfg.IDs) {
+		clients = len(cfg.IDs)
+	}
+	reg := obs.NewRegistry()
+	lat := reg.Histogram(latencyFamily, "per-request wall latency, microseconds", obs.LatencyBucketsUS)
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		counts = make(map[int]int)
+		errs   int
+		wg     sync.WaitGroup
+	)
+	path := cfg.Prefix + "/place"
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfg.IDs) {
+					return
+				}
+				body := fmt.Sprintf(`{"containers":[%q]}`, cfg.IDs[i])
+				t0 := time.Now()
+				code, err := target.Do(http.MethodPost, path, body)
+				lat.Observe(time.Since(t0).Microseconds())
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					counts[code]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	snap := reg.Snapshot().Histograms[latencyFamily]
+	res := &Result{
+		Requests:     len(cfg.IDs),
+		Duration:     dur,
+		StatusCounts: counts,
+		Errors:       errs,
+		P50US:        snap.Quantile(0.50),
+		P99US:        snap.Quantile(0.99),
+		Latency:      snap,
+	}
+	if dur > 0 {
+		res.Throughput = float64(res.Requests) / dur.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package loadtest
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/server"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// buildServer assembles a server over a flat single-app universe: n
+// one-core containers on enough 32-core machines to hold them all,
+// with or without request coalescing.
+func buildServer(tb testing.TB, n int, coalesced bool) (*server.Server, []string) {
+	tb.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "svc", Demand: resource.Cores(1, 2048), Replicas: n},
+	})
+	cl := topology.New(topology.Config{
+		Machines: n / 16, MachinesPerRack: 8, RacksPerCluster: 4,
+		Capacity: resource.Cores(32, 64*1024),
+	})
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	var opts []server.Option
+	if coalesced {
+		opts = append(opts, server.WithCoalescing(server.CoalesceConfig{
+			Window: time.Millisecond, MaxBatch: 32, MaxQueue: 4096,
+		}))
+	}
+	s := server.New(sess, w, cl, opts...)
+	tb.Cleanup(s.Drain)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("svc/%d", i)
+	}
+	return s, ids
+}
+
+// TestHarnessBasics sanity-checks the harness itself on a small
+// uncoalesced server: every request lands, statuses are 200, and the
+// latency histogram carries every observation.
+func TestHarnessBasics(t *testing.T) {
+	s, ids := buildServer(t, 64, false)
+	res := Run(Config{Clients: 128, IDs: ids}, HandlerTarget{Handler: s})
+	if res.Requests != 64 || res.StatusCounts[200] != 64 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !res.OK(200) {
+		t.Fatalf("unexpected statuses: %v (errors %d)", res.StatusCounts, res.Errors)
+	}
+	if res.Latency.Count != 64 {
+		t.Fatalf("latency count = %d, want 64", res.Latency.Count)
+	}
+	if res.Throughput <= 0 || res.P99US < res.P50US {
+		t.Fatalf("throughput %v p50 %v p99 %v", res.Throughput, res.P50US, res.P99US)
+	}
+}
+
+// TestHTTPTarget exercises the network-backed target against a real
+// listener.
+func TestHTTPTarget(t *testing.T) {
+	s, ids := buildServer(t, 32, true)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	res := Run(Config{Clients: 8, IDs: ids}, HTTPTarget{Base: srv.URL})
+	if !res.OK(200) {
+		t.Fatalf("statuses = %v, errors = %d", res.StatusCounts, res.Errors)
+	}
+}
+
+// TestLoadSmoke is the CI load-smoke gate: a small fixed load against
+// a coalesced server.  Any response outside {200, 429}, any transport
+// error, or a p99 above a deliberately generous tripwire fails the
+// job; it exists to catch gross regressions (deadlocks, lost replies,
+// hundred-millisecond stalls), not to benchmark.
+func TestLoadSmoke(t *testing.T) {
+	s, ids := buildServer(t, 512, true)
+	res := Run(Config{Clients: 16, IDs: ids}, HandlerTarget{Handler: s})
+	if !res.OK(200, 429) {
+		t.Fatalf("statuses = %v, errors = %d; want only 200/429", res.StatusCounts, res.Errors)
+	}
+	const tripwireUS = 500_000 // 0.5s — orders of magnitude above normal
+	if res.P99US > tripwireUS {
+		t.Fatalf("p99 = %.0fus, tripwire %dus", res.P99US, tripwireUS)
+	}
+	t.Logf("load-smoke: %d req, %.0f req/s, p50 %.0fus, p99 %.0fus, statuses %v",
+		res.Requests, res.Throughput, res.P50US, res.P99US, res.StatusCounts)
+}
+
+// TestCoalescedThroughput2x is the tentpole's headline claim: 32
+// concurrent clients each placing single containers push at least 2x
+// the throughput through the coalescing batcher that they get from
+// the direct per-request path.  The mechanism: the direct path pays
+// one full assignment-view rebuild (O(placed)) plus one solver entry
+// per request; the batcher pays both once per merged batch.
+func TestCoalescedThroughput2x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short")
+	}
+	const n = 2048
+	const clients = 32
+
+	direct, ids := buildServer(t, n, false)
+	resDirect := Run(Config{Clients: clients, IDs: ids}, HandlerTarget{Handler: direct})
+	if !resDirect.OK(200) {
+		t.Fatalf("direct statuses = %v, errors = %d", resDirect.StatusCounts, resDirect.Errors)
+	}
+
+	coalesced, ids := buildServer(t, n, true)
+	resCo := Run(Config{Clients: clients, IDs: ids}, HandlerTarget{Handler: coalesced})
+	if !resCo.OK(200) {
+		t.Fatalf("coalesced statuses = %v, errors = %d", resCo.StatusCounts, resCo.Errors)
+	}
+
+	speedup := resCo.Throughput / resDirect.Throughput
+	t.Logf("direct:    %.0f req/s  p50 %.0fus  p99 %.0fus", resDirect.Throughput, resDirect.P50US, resDirect.P99US)
+	t.Logf("coalesced: %.0f req/s  p50 %.0fus  p99 %.0fus", resCo.Throughput, resCo.P50US, resCo.P99US)
+	t.Logf("speedup:   %.2fx", speedup)
+	if speedup < 2 {
+		t.Errorf("coalesced throughput %.0f req/s is only %.2fx the direct path's %.0f req/s, want >= 2x",
+			resCo.Throughput, speedup, resDirect.Throughput)
+	}
+}

@@ -14,6 +14,11 @@
 // with metrics disabled every call is a nil-check no-op that
 // allocates nothing, so the hot path does not pay for the telemetry
 // it is not emitting.
+//
+// Families may carry labeled series (LabeledCounter and friends):
+// one # HELP/# TYPE header, many samples distinguished by label sets,
+// the exposition shape multi-tenant deployments need — each tenant's
+// counters live under one family as name{tenant="..."} samples.
 package obs
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -32,6 +38,46 @@ var LatencyBucketsUS = []int64{
 	1, 2, 5, 10, 25, 50, 100, 250, 500,
 	1000, 2500, 5000, 10000, 25000, 50000,
 	100000, 250000, 500000, 1000000,
+}
+
+// Labels attaches dimension values to a metric series.  A nil or
+// empty map is the unlabeled series.  Label names must be valid
+// Prometheus label identifiers; values are escaped on rendering.
+type Labels map[string]string
+
+// canon renders the label set canonically — keys sorted, values
+// escaped, `k1="v1",k2="v2"` without braces — so equal label sets
+// always resolve to the same series and exposition order is stable.
+func (l Labels) canon() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // Counter is a monotonically non-decreasing int64 metric.
@@ -164,22 +210,45 @@ func (k metricKind) String() string {
 	return "unknown"
 }
 
-// family is one registered metric: its metadata plus exactly one of
-// the three handles.
+// series is one sample stream inside a family: a label set (the
+// canonical rendering, "" for the unlabeled series) and exactly one
+// of the three handles.
+type series struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one registered metric name: metadata shared by every
+// series plus the series themselves, keyed by canonical label string.
 type family struct {
 	name, help string
 	kind       metricKind
-	c          *Counter
-	g          *Gauge
-	h          *Histogram
+	// bounds is the histogram bucket template; the first
+	// registration's bounds win for every series of the family, so
+	// labeled siblings are always comparable bucket-for-bucket.
+	bounds []int64
+	series map[string]*series
+}
+
+// sortedSeries returns the family's series with the unlabeled series
+// first, then labeled series in canonical-label order.
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
 }
 
 // Registry holds named metrics and renders them as Prometheus text
 // exposition or a JSON snapshot.  Registration is idempotent:
-// re-registering a name of the same kind returns the existing handle
-// (the first registration's help text and buckets win), so every
-// scheduling run over a shared registry accumulates into the same
-// series.
+// re-registering a name of the same kind (and label set) returns the
+// existing handle (the first registration's help text and buckets
+// win), so every scheduling run over a shared registry accumulates
+// into the same series.
 type Registry struct {
 	mu   sync.Mutex
 	fams map[string]*family
@@ -195,13 +264,7 @@ func NewRegistry() *Registry {
 func (r *Registry) register(name, help string, kind metricKind) *family {
 	f, ok := r.fams[name]
 	if !ok {
-		f = &family{name: name, help: help, kind: kind}
-		switch kind {
-		case kindCounter:
-			f.c = &Counter{}
-		case kindGauge:
-			f.g = &Gauge{}
-		}
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
 		r.fams[name] = f
 		return f
 	}
@@ -211,48 +274,93 @@ func (r *Registry) register(name, help string, kind metricKind) *family {
 	return f
 }
 
-// Counter returns the named counter, registering it on first use.
+// seriesFor resolves or creates the series with the given canonical
+// label string inside a family.
+func (f *family) seriesFor(labels string) *series {
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{
+				bounds:  f.bounds,
+				buckets: make([]atomic.Int64, len(f.bounds)+1),
+			}
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Counter returns the named unlabeled counter, registering it on
+// first use.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, help, nil)
+}
+
+// LabeledCounter returns the counter series with the given label set,
+// registering family and series on first use.  All series of one
+// family share its help text and type header in the exposition.
+func (r *Registry) LabeledCounter(name, help string, labels Labels) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.register(name, help, kindCounter).c
+	return r.register(name, help, kindCounter).seriesFor(labels.canon()).c
 }
 
-// Gauge returns the named gauge, registering it on first use.
+// Gauge returns the named unlabeled gauge, registering it on first
+// use.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.LabeledGauge(name, help, nil)
+}
+
+// LabeledGauge returns the gauge series with the given label set,
+// registering family and series on first use.
+func (r *Registry) LabeledGauge(name, help string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.register(name, help, kindGauge).g
+	return r.register(name, help, kindGauge).seriesFor(labels.canon()).g
 }
 
-// Histogram returns the named histogram, registering it on first use
-// with the given ascending bucket bounds (the overflow bucket is
-// implicit).  An existing registration keeps its original bounds.
+// Histogram returns the named unlabeled histogram, registering it on
+// first use with the given ascending bucket bounds (the overflow
+// bucket is implicit).  An existing registration keeps its original
+// bounds.
 func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	return r.LabeledHistogram(name, help, bounds, nil)
+}
+
+// LabeledHistogram returns the histogram series with the given label
+// set.  The family's bucket bounds are fixed by its first
+// registration, so every labeled sibling shares the same ladder.
+func (r *Registry) LabeledHistogram(name, help string, bounds []int64, labels Labels) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.register(name, help, kindHistogram)
-	if f.h == nil {
+	if f.bounds == nil {
 		for i := 1; i < len(bounds); i++ {
 			if bounds[i] <= bounds[i-1] {
 				panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending at %d", name, i))
 			}
 		}
-		f.h = &Histogram{
-			bounds:  append([]int64(nil), bounds...),
-			buckets: make([]atomic.Int64, len(bounds)+1),
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
 		}
+		f.bounds = append([]int64(nil), bounds...)
 	}
-	return f.h
+	return f.seriesFor(labels.canon()).h
 }
 
 // Has reports whether a metric of any kind is registered under name.
@@ -325,11 +433,21 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 }
 
 // Snapshot is a point-in-time reading of the whole registry,
-// JSON-marshalable for /debug/vars and -metrics-out dumps.
+// JSON-marshalable for /debug/vars and -metrics-out dumps.  Unlabeled
+// series are keyed by bare family name; labeled series by
+// `name{k="v",...}` with canonical label ordering.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// seriesKey is the snapshot map key for one series.
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
 }
 
 // Snapshot reads every metric.  Counters in successive snapshots are
@@ -347,13 +465,16 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, f := range r.fams {
-		switch f.kind {
-		case kindCounter:
-			s.Counters[name] = f.c.Value()
-		case kindGauge:
-			s.Gauges[name] = f.g.Value()
-		case kindHistogram:
-			s.Histograms[name] = f.h.snapshot()
+		for _, sr := range f.series {
+			key := seriesKey(name, sr.labels)
+			switch f.kind {
+			case kindCounter:
+				s.Counters[key] = sr.c.Value()
+			case kindGauge:
+				s.Gauges[key] = sr.g.Value()
+			case kindHistogram:
+				s.Histograms[key] = sr.h.snapshot()
+			}
 		}
 	}
 	return s
@@ -366,10 +487,29 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// sampleName renders one sample's name with its label block.
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// bucketName renders a histogram bucket sample name: the le label
+// always comes last so `name_bucket{tenant="a",le="5"}` parses the
+// same whether or not the series carries labels.
+func bucketName(name, labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+	}
+	return fmt.Sprintf("%s_bucket{%s,le=%q}", name, labels, le)
+}
+
 // WritePrometheus renders the registry as Prometheus text exposition
 // (version 0.0.4): families in name order, each with # HELP and
-// # TYPE lines; histograms expose cumulative le buckets plus _sum and
-// _count.
+// # TYPE lines, then its series — unlabeled first, labeled in
+// canonical label order; histograms expose cumulative le buckets plus
+// _sum and _count per series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -381,30 +521,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
 			return err
 		}
-		switch f.kind {
-		case kindCounter:
-			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value()); err != nil {
-				return err
-			}
-		case kindGauge:
-			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.g.Value()); err != nil {
-				return err
-			}
-		case kindHistogram:
-			snap := f.h.snapshot()
-			var cum int64
-			for i, bound := range snap.Bounds {
-				cum += snap.Counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", f.name, bound, cum); err != nil {
+		for _, sr := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(f.name, sr.labels), sr.c.Value()); err != nil {
 					return err
 				}
-			}
-			cum += snap.Counts[len(snap.Counts)-1]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", f.name, snap.Sum, f.name, cum); err != nil {
-				return err
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(f.name, sr.labels), sr.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				snap := sr.h.snapshot()
+				var cum int64
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(f.name, sr.labels, fmt.Sprint(bound)), cum); err != nil {
+						return err
+					}
+				}
+				cum += snap.Counts[len(snap.Counts)-1]
+				if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(f.name, sr.labels, "+Inf"), cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n",
+					sampleName(f.name+"_sum", sr.labels), snap.Sum,
+					sampleName(f.name+"_count", sr.labels), cum); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -247,3 +247,111 @@ func TestSnapshotConsistencyUnderWriters(t *testing.T) {
 		}
 	}
 }
+
+func TestLabeledSeriesDistinctAndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.LabeledCounter("tenant_requests_total", "requests", Labels{"tenant": "a"})
+	b := r.LabeledCounter("tenant_requests_total", "requests", Labels{"tenant": "b"})
+	plain := r.Counter("tenant_requests_total", "requests")
+	if a == b || a == plain || b == plain {
+		t.Fatal("distinct label sets shared a handle")
+	}
+	a.Add(3)
+	b.Inc()
+	plain.Add(7)
+	if a.Value() != 3 || b.Value() != 1 || plain.Value() != 7 {
+		t.Fatalf("labeled series cross-talk: a=%d b=%d plain=%d", a.Value(), b.Value(), plain.Value())
+	}
+	// Same labels, any map identity: same handle.
+	if r.LabeledCounter("tenant_requests_total", "x", Labels{"tenant": "a"}) != a {
+		t.Fatal("re-registration with equal labels returned a new handle")
+	}
+	// Gauges and histograms label the same way.
+	ga := r.LabeledGauge("tenant_depth", "", Labels{"tenant": "a"})
+	gb := r.LabeledGauge("tenant_depth", "", Labels{"tenant": "b"})
+	ga.Set(2)
+	gb.Set(5)
+	if ga.Value() != 2 || gb.Value() != 5 {
+		t.Fatalf("labeled gauges cross-talk: %d %d", ga.Value(), gb.Value())
+	}
+	ha := r.LabeledHistogram("tenant_lat_us", "", []int64{10, 100}, Labels{"tenant": "a"})
+	hb := r.LabeledHistogram("tenant_lat_us", "", []int64{10, 100}, Labels{"tenant": "b"})
+	ha.Observe(5)
+	hb.Observe(50)
+	if ha.snapshot().Count != 1 || hb.snapshot().Count != 1 {
+		t.Fatal("labeled histograms cross-talk")
+	}
+}
+
+func TestLabeledCanonicalOrdering(t *testing.T) {
+	// Key order in the Labels map must not matter.
+	r := NewRegistry()
+	x := r.LabeledCounter("m_total", "", Labels{"b": "2", "a": "1"})
+	y := r.LabeledCounter("m_total", "", Labels{"a": "1", "b": "2"})
+	if x != y {
+		t.Fatal("label canonicalisation is map-order sensitive")
+	}
+	x.Inc()
+	snap := r.Snapshot()
+	if got := snap.Counters[`m_total{a="1",b="2"}`]; got != 1 {
+		t.Fatalf("snapshot keys = %v, want canonical m_total{a=\"1\",b=\"2\"}", snap.Counters)
+	}
+}
+
+func TestLabeledExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests").Add(4)
+	r.LabeledCounter("req_total", "requests", Labels{"tenant": "blue"}).Add(2)
+	r.LabeledCounter("req_total", "requests", Labels{"tenant": "amber"}).Inc()
+	r.LabeledGauge("depth", "queue depth", Labels{"tenant": "blue"}).Set(3)
+	h := r.LabeledHistogram("lat_us", "latency", []int64{10, 100}, Labels{"tenant": "blue"})
+	h.Observe(5)
+	h.Observe(50)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP depth queue depth",
+		"# TYPE depth gauge",
+		`depth{tenant="blue"} 3`,
+		"# HELP lat_us latency",
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{tenant="blue",le="10"} 1`,
+		`lat_us_bucket{tenant="blue",le="100"} 2`,
+		`lat_us_bucket{tenant="blue",le="+Inf"} 2`,
+		`lat_us_sum{tenant="blue"} 55`,
+		`lat_us_count{tenant="blue"} 2`,
+		"# HELP req_total requests",
+		"# TYPE req_total counter",
+		"req_total 4",
+		`req_total{tenant="amber"} 1`,
+		`req_total{tenant="blue"} 2`,
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("labeled exposition drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("esc_total", "", Labels{"q": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped sample missing:\n%s\nwant line: %s", buf.String(), want)
+	}
+}
+
+func TestLabeledHistogramSharesBounds(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledHistogram("shared_us", "", []int64{1, 2, 3}, Labels{"t": "a"})
+	hb := r.LabeledHistogram("shared_us", "", []int64{999}, Labels{"t": "b"})
+	if got := len(hb.snapshot().Bounds); got != 3 {
+		t.Fatalf("second registration got %d bounds, want the family's 3", got)
+	}
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// coalesceWorkload is the universe both the coalesced server and its
+// serial oracle schedule: one app, replicas single-container requests.
+func coalesceWorkload(replicas int) *workload.Workload {
+	return workload.MustNew([]*workload.App{
+		{ID: "web", Demand: resource.Cores(4, 8192), Replicas: replicas, AntiAffinitySelf: true},
+	})
+}
+
+func coalesceTopology() topology.Config {
+	return topology.Config{
+		Machines: 16, MachinesPerRack: 4, RacksPerCluster: 2,
+		Capacity: resource.Cores(32, 64*1024),
+	}
+}
+
+// coalescedServer builds a server over the shared coalescing fixture.
+// Drain is registered as cleanup so the flusher goroutine never
+// outlives the test.
+func coalescedServer(t *testing.T, replicas int, cfg CoalesceConfig) *Server {
+	t.Helper()
+	w := coalesceWorkload(replicas)
+	cl := topology.New(coalesceTopology())
+	sess := core.NewSession(core.DefaultOptions(), w, cl)
+	s := New(sess, w, cl, WithCoalescing(cfg))
+	t.Cleanup(s.Drain)
+	return s
+}
+
+// TestCoalescingEquivalence is the oracle test the tentpole hangs on:
+// K concurrent clients each submitting one container through the
+// batcher must leave the session in exactly the state one client
+// submitting the same containers as a single ordinal-ordered batch
+// would — proven byte-for-byte on the deterministic checkpoint
+// snapshot.
+func TestCoalescingEquivalence(t *testing.T) {
+	const k = 16
+	// A one-hour window with MaxBatch=k pins the flush plan: nothing
+	// flushes until all k requests are queued, then everything flushes
+	// as one merged batch.
+	s := coalescedServer(t, k, CoalesceConfig{Window: time.Hour, MaxBatch: k, MaxQueue: k})
+
+	var wg sync.WaitGroup
+	codes := make([]int, k)
+	bodies := make([]placeResponse, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"containers":["web/%d"]}`, i)
+			req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+			json.Unmarshal(rec.Body.Bytes(), &bodies[i]) //aladdin:errcheck-ok asserted via codes below
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("client %d = %d: %+v", i, code, bodies[i])
+		}
+		if bodies[i].Placed != 1 || bodies[i].Coalesced != k {
+			t.Fatalf("client %d response = %+v, want placed=1 coalesced=%d", i, bodies[i], k)
+		}
+	}
+
+	// The serial oracle: same universe, same cluster, one batch in
+	// workload-ordinal order, no coalescing.
+	oracle, _ := func() (*Server, *workload.Workload) {
+		w := coalesceWorkload(k)
+		cl := topology.New(coalesceTopology())
+		return New(core.NewSession(core.DefaultOptions(), w, cl), w, cl), w
+	}()
+	ids := make([]string, k)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%q", fmt.Sprintf("web/%d", i))
+	}
+	body := `{"containers":[` + strings.Join(ids, ",") + `]}`
+	if rec := do(t, oracle, http.MethodPost, "/place", body); rec.Code != http.StatusOK {
+		t.Fatalf("oracle place = %d: %s", rec.Code, rec.Body)
+	}
+
+	coalesced := do(t, s, http.MethodPost, "/checkpoint", "").Body.Bytes()
+	serial := do(t, oracle, http.MethodPost, "/checkpoint", "").Body.Bytes()
+	if len(coalesced) == 0 || len(serial) == 0 {
+		t.Fatal("empty checkpoint snapshot")
+	}
+	if string(coalesced) != string(serial) {
+		t.Fatalf("coalesced and serial checkpoints differ:\n%s", diffLines(string(serial), string(coalesced)))
+	}
+}
+
+// TestCoalescingValidationPerCall: one bad request in a flush fails
+// alone; the good requests sharing the batch still place.
+func TestCoalescingValidationPerCall(t *testing.T) {
+	s := coalescedServer(t, 4, CoalesceConfig{Window: time.Hour, MaxBatch: 3, MaxQueue: 8})
+	var wg sync.WaitGroup
+	type result struct {
+		code int
+		body string
+	}
+	results := make([]result, 3)
+	// Three requests so the container threshold (MaxBatch=3) trips
+	// exactly when the last one lands: two good, one unknown ID.
+	reqs := []string{
+		`{"containers":["web/0"]}`,
+		`{"containers":["nosuch/9"]}`,
+		`{"containers":["web/1"]}`,
+	}
+	for i, body := range reqs {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			results[i] = result{rec.Code, rec.Body.String()}
+		}(i, body)
+	}
+	wg.Wait()
+	if results[0].code != http.StatusOK || results[2].code != http.StatusOK {
+		t.Fatalf("good requests = %d, %d: %s %s", results[0].code, results[2].code, results[0].body, results[2].body)
+	}
+	if results[1].code != http.StatusBadRequest || !strings.Contains(results[1].body, "unknown container") {
+		t.Fatalf("bad request = %d: %s", results[1].code, results[1].body)
+	}
+	var asg []assignmentEntry
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/assignments", "").Body.Bytes(), &asg); err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 2 {
+		t.Fatalf("placed = %d, want 2", len(asg))
+	}
+}
+
+// TestBackpressureBoundary pins the admission-control edge: a queue
+// at capacity still admits the request that fills it; the next one is
+// rejected with 429 and a Retry-After hint; drain then flushes the
+// queue so every admitted request gets its response.
+func TestBackpressureBoundary(t *testing.T) {
+	const maxQueue = 3
+	// MaxBatch larger than the queue so nothing flushes on its own.
+	s := coalescedServer(t, 8, CoalesceConfig{Window: time.Hour, MaxBatch: 64, MaxQueue: maxQueue})
+	bat := s.def.bat
+
+	// Fill all but one slot directly at the batcher layer, keeping the
+	// test single-threaded and the boundary exact.
+	direct := make([]*placeCall, 0, maxQueue-1)
+	for i := 0; i < maxQueue-1; i++ {
+		call := &placeCall{ids: []string{fmt.Sprintf("web/%d", i)}, done: make(chan placeReply, 1)}
+		if err := bat.enqueue(call); err != nil {
+			t.Fatalf("fill enqueue %d: %v", i, err)
+		}
+		direct = append(direct, call)
+	}
+
+	// The capacity-th request goes through HTTP and must be admitted:
+	// it parks until drain, so it runs on its own goroutine.
+	admitted := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(`{"containers":["web/6"]}`))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		admitted <- rec
+	}()
+	waitFor(t, func() bool { return bat.queueLen() == maxQueue })
+
+	// Capacity + 1: rejected, with the retry hint.
+	rec := do(t, s, http.MethodPost, "/place", `{"containers":["web/7"]}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity place = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Result().Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Drain flushes the queue: the parked HTTP request completes and
+	// the directly-enqueued calls all receive replies.
+	s.Drain()
+	got := <-admitted
+	if got.Code != http.StatusOK {
+		t.Fatalf("admitted request after drain = %d: %s", got.Code, got.Body)
+	}
+	for i, call := range direct {
+		select {
+		case rep := <-call.done:
+			if rep.status != http.StatusOK {
+				t.Fatalf("direct call %d reply = %d (%s)", i, rep.status, rep.plain)
+			}
+		default:
+			t.Fatalf("direct call %d: no reply after drain", i)
+		}
+	}
+
+	// Post-drain: admission is closed for good.
+	if rec := do(t, s, http.MethodPost, "/place", `{"containers":["web/5"]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain place = %d, want 503", rec.Code)
+	}
+}
+
+// TestCoalescingClientDisconnect: a client that gives up while queued
+// neither hangs the handler nor blocks the flusher; the batch still
+// places.
+func TestCoalescingClientDisconnect(t *testing.T) {
+	s := coalescedServer(t, 4, CoalesceConfig{Window: time.Hour, MaxBatch: 64, MaxQueue: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(`{"containers":["web/0"]}`)).WithContext(ctx)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	waitFor(t, func() bool { return s.def.bat.queueLen() == 1 })
+	cancel()
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after context cancellation")
+	}
+	// The abandoned request is still in the queue; drain flushes it
+	// into the session without anyone listening.
+	s.Drain()
+	var asg []assignmentEntry
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/assignments", "").Body.Bytes(), &asg); err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 1 {
+		t.Fatalf("placed = %d, want 1 (abandoned request still flushed)", len(asg))
+	}
+}
+
+// waitFor polls a condition with a deadline — the tests above need to
+// observe queue states that a concurrent handler establishes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescingEmptyRequest pins the empty-batch reply: a request
+// with no containers contributes nothing to the merged batch, but its
+// handler must still get an answer — a dropped reply parks the client
+// until it gives up.  Regression test: the flusher used to return
+// early on an empty merge without fanning anything back.
+func TestCoalescingEmptyRequest(t *testing.T) {
+	s := coalescedServer(t, 4, CoalesceConfig{Window: time.Millisecond, MaxBatch: 8, MaxQueue: 8})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/place", strings.NewReader(`{"containers":[]}`))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		done <- rec
+	}()
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("empty place = %d, want 200: %s", rec.Code, rec.Body)
+		}
+		var resp placeResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding body %q: %v", rec.Body, err)
+		}
+		if resp.Placed != 0 || len(resp.Undeployed) != 0 {
+			t.Fatalf("empty place body = %+v, want zero placement", resp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty coalesced place never answered")
+	}
+}

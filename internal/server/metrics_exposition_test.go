@@ -65,12 +65,71 @@ type promFamily struct {
 	samples []promSample
 }
 
-// promSample is a single sample line.  le carries the bucket bound
-// for histogram _bucket samples and is empty otherwise.
+// promSample is a single sample line.  labels holds the full parsed
+// label set (nil when the sample is unlabeled); le mirrors
+// labels["le"] for histogram _bucket samples.
 type promSample struct {
-	name  string
-	le    string
-	value float64
+	name   string
+	labels map[string]string
+	le     string
+	value  float64
+}
+
+// parseLabels splits a `k="v",k2="v2"` label body (braces already
+// stripped) into a map, unescaping the three sequences the exposition
+// format defines for label values: \\, \", \n.
+func parseLabels(t *testing.T, lineNo int, body string) map[string]string {
+	t.Helper()
+	labels := make(map[string]string)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			t.Fatalf("line %d: malformed label body %q", lineNo, body)
+		}
+		key := body[:eq]
+		var val strings.Builder
+		i := eq + 2
+		for {
+			if i >= len(body) {
+				t.Fatalf("line %d: unterminated label value in %q", lineNo, body)
+			}
+			ch := body[i]
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if i+1 >= len(body) {
+					t.Fatalf("line %d: dangling escape in %q", lineNo, body)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("line %d: unknown escape \\%c in %q", lineNo, body[i+1], body)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(ch)
+			i++
+		}
+		if _, dup := labels[key]; dup {
+			t.Fatalf("line %d: duplicate label %q", lineNo, key)
+		}
+		labels[key] = val.String()
+		body = body[i+1:]
+		if body != "" {
+			if body[0] != ',' {
+				t.Fatalf("line %d: expected ',' between labels, got %q", lineNo, body)
+			}
+			body = body[1:]
+		}
+	}
+	return labels
 }
 
 // parseExposition is a miniature parser for the Prometheus text
@@ -127,11 +186,8 @@ func parseExposition(t *testing.T, body string) map[string]*promFamily {
 		sample := promSample{name: nameAndLabels, value: value}
 		if name, labels, ok := strings.Cut(nameAndLabels, "{"); ok {
 			sample.name = name
-			le, found := strings.CutPrefix(strings.TrimSuffix(labels, "}"), `le="`)
-			if !found {
-				t.Fatalf("line %d: only le labels expected, got %q", lineNo, line)
-			}
-			sample.le = strings.TrimSuffix(le, `"`)
+			sample.labels = parseLabels(t, lineNo, strings.TrimSuffix(labels, "}"))
+			sample.le = sample.labels["le"]
 		}
 		if cur == nil {
 			t.Fatalf("line %d: sample %q before any family", lineNo, line)
@@ -284,6 +340,39 @@ func TestMetricsGoldenExposition(t *testing.T) {
 		if fams[name] == nil {
 			t.Errorf("exposition missing scrape-time gauge %q", name)
 		}
+	}
+	// Server-layer tenant families carry a tenant label on every
+	// sample, default tenant included.
+	for _, name := range []string{
+		"aladdin_tenant_place_requests_total",
+		"aladdin_tenant_place_batches_total",
+		"aladdin_tenant_rejected_total",
+	} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("exposition missing tenant counter %q", name)
+		}
+		if f.typ != "counter" {
+			t.Errorf("%s type = %q, want counter", name, f.typ)
+		}
+		for _, smp := range f.samples {
+			if smp.labels["tenant"] != "default" {
+				t.Errorf("%s labels = %v, want tenant=default", name, smp.labels)
+			}
+		}
+	}
+	bs := fams["aladdin_tenant_batch_size"]
+	if bs == nil {
+		t.Fatal("exposition missing tenant histogram aladdin_tenant_batch_size")
+	}
+	checkHistogram(t, bs)
+	for _, smp := range bs.samples {
+		if smp.labels["tenant"] != "default" {
+			t.Errorf("aladdin_tenant_batch_size labels = %v, want tenant=default", smp.labels)
+		}
+	}
+	if v := fams["aladdin_tenant_place_requests_total"].samples[0].value; v != 1 {
+		t.Errorf("tenant place requests = %v, want 1", v)
 	}
 }
 

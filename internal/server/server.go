@@ -1,8 +1,15 @@
-// Package server exposes a live scheduling Session over HTTP — the
+// Package server exposes scheduling sessions over HTTP — the
 // operational surface a production scheduler manager needs: health,
 // metrics, the live assignment, per-container diagnosis, and batch
 // submission.  It is the in-process analogue of the watching/binding
 // APIs the paper's model adaptor delegates (§IV.C).
+//
+// The server is multi-tenant: a registry of named tenants, each with
+// its own session, workload universe, cluster, coalescing batcher and
+// labeled metrics.  The un-prefixed routes (/place, /assignments, …)
+// serve the default tenant, so a single-tenant deployment looks
+// exactly like the pre-tenancy server; /t/{tenant}/... variants reach
+// the others, and /tenants is the CRUD surface.
 package server
 
 import (
@@ -14,7 +21,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"aladdin/internal/checkpoint"
 	"aladdin/internal/constraint"
@@ -25,24 +34,37 @@ import (
 	"aladdin/internal/workload"
 )
 
-// Server wraps a Session with an http.Handler.  Mutating handlers
-// (place/remove/fail/recover/restore) take mu exclusively — the
-// Session itself is single-threaded by design (one scheduler manager
-// per cluster) — while read-only handlers share it, so scrapes and
-// assignment dumps no longer serialize placement.  Every mutating
-// handler re-materializes the session's lazy read views before
-// releasing the lock (unlockAfterWrite), which is what makes the
-// shared-lock read paths pure reads.  /explain goes further: it
-// copies the cluster and assignment under the read lock and runs the
-// (potentially expensive) diagnosis on that private snapshot with no
-// lock held at all.
+// Server is the multi-tenant HTTP front end.  Three lock tiers, all
+// disjoint by construction: the registry lock (this mu) guards only
+// the tenant map and is never held while a tenant or batcher lock is
+// taken; each batcher's queue lock is never held across a solver
+// call; each tenant's session lock serializes that tenant's session
+// exactly as the old single-tenant server lock did — mutating
+// handlers exclusive, read-only handlers shared, every mutating path
+// re-materializing the session's lazy read views before unlock.  The
+// scheduler core's own locks nest strictly inside a tenant lock.
 type Server struct {
-	//aladdin:lock-level 40 handler session lock; the wrapped Session is single-threaded and holds no locks of its own
+	//aladdin:lock-level 40 tenant registry lock; guards the tenants map only and is released before any batcher or tenant session lock is acquired
 	mu      sync.RWMutex
-	session *core.Session
-	w       *workload.Workload
-	cluster *topology.Cluster
-	byID    map[string]*workload.Container
+	tenants map[string]*Tenant
+
+	// def is the default tenant, also registered in tenants; kept as a
+	// field so the un-prefixed routes skip the map lookup.
+	def *Tenant
+
+	// baseOpts is the scheduler configuration template for created
+	// tenants, captured from the default tenant's session so every
+	// tenant runs the same policy knobs (per-tenant metrics labels and
+	// shard counts are layered on top).
+	baseOpts core.Options
+
+	// coalesce, when enabled, gives every tenant a request batcher.
+	coalesce CoalesceConfig
+
+	// draining flips at Drain: placement admission stops (503 on the
+	// direct path, errDraining from the batchers) while queued work is
+	// flushed so every admitted request still gets its response.
+	draining atomic.Bool
 
 	// reg is the metrics registry behind /metrics and /debug/vars.
 	// Attach the same registry via core.Options.Metrics and the
@@ -52,8 +74,8 @@ type Server struct {
 	reg       *obs.Registry
 	withPprof bool
 
-	// ckptPath is the default destination for POST /checkpoint when
-	// the request names none (WithCheckpointPath).
+	// ckptPath is the default tenant's snapshot destination for
+	// POST /checkpoint requests that name none (WithCheckpointPath).
 	ckptPath string
 
 	// explain is the diagnosis seam, core.Explain in production; tests
@@ -81,43 +103,61 @@ func WithPprof() Option {
 	return func(s *Server) { s.withPprof = true }
 }
 
-// WithCheckpointPath sets the default snapshot file for
+// WithCheckpointPath sets the default tenant's snapshot file for
 // POST /checkpoint requests that name no path of their own.
 func WithCheckpointPath(path string) Option {
 	return func(s *Server) { s.ckptPath = path }
 }
 
-// New builds a server over a session and the workload/cluster it
-// manages.
+// WithCoalescing turns on request coalescing for every tenant: small
+// POST /place calls enqueue into a per-tenant batcher and flush as
+// one merged solver batch (see CoalesceConfig).  A zero Window leaves
+// coalescing off.
+func WithCoalescing(cfg CoalesceConfig) Option {
+	return func(s *Server) { s.coalesce = cfg.withDefaults() }
+}
+
+// New builds a server whose default tenant wraps the given session
+// and the workload/cluster it manages.
 func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster, opts ...Option) *Server {
 	s := &Server{
-		session: session,
-		w:       w,
-		cluster: cluster,
-		byID:    make(map[string]*workload.Container, w.NumContainers()),
+		tenants: make(map[string]*Tenant),
 		explain: core.Explain,
-	}
-	for _, c := range w.Containers() {
-		s.byID[c.ID] = c
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	// Materialize the session's lazy read views up front so handlers
-	// running under the shared read lock never write them.
-	s.session.Assignment()
+	s.baseOpts = session.Options()
+	s.def = newTenant(DefaultTenant, session, session, w, cluster, s.ckptPath, 0, s.reg)
+	if s.coalesce.enabled() {
+		s.def.bat = newBatcher(s.def, s.coalesce)
+	}
+	s.tenants[DefaultTenant] = s.def
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	routes := []struct {
+		method, path string
+		h            tenantHandler
+	}{
+		{"GET", "healthz", s.handleHealth},
+		{"GET", "assignments", s.handleAssignments},
+		{"GET", "explain", s.handleExplain},
+		{"POST", "place", s.handlePlace},
+		{"POST", "remove", s.handleRemove},
+		{"POST", "fail", s.handleFail},
+		{"POST", "recover", s.handleRecover},
+		{"POST", "checkpoint", s.handleCheckpoint},
+		{"POST", "restore", s.handleRestore},
+	}
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.method+" /"+rt.path, s.dflt(rt.h))
+		s.mux.HandleFunc(rt.method+" /t/{tenant}/"+rt.path, s.named(rt.h))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
-	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("POST /place", s.handlePlace)
-	s.mux.HandleFunc("POST /remove", s.handleRemove)
-	s.mux.HandleFunc("POST /fail", s.handleFail)
-	s.mux.HandleFunc("POST /recover", s.handleRecover)
-	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	s.mux.HandleFunc("GET /tenants", s.handleTenantsList)
+	s.mux.HandleFunc("POST /tenants", s.handleTenantCreate)
+	s.mux.HandleFunc("DELETE /tenants/{tenant}", s.handleTenantDelete)
 	if s.withPprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -133,28 +173,53 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// unlockAfterWrite releases the write lock after re-materializing the
-// session's lazily-built assignment view.  Session.Place and friends
-// invalidate that view; rebuilding it while still exclusive means
-// handlers under the shared read lock only ever read it — without
-// this, two concurrent readers would race to build the map.
-func (s *Server) unlockAfterWrite() {
-	s.session.Assignment()
-	s.mu.Unlock()
+// Drain stops admitting placement work and flushes every tenant's
+// coalescing queue, so each already-admitted request receives its
+// response rather than a connection reset.  Call before process
+// shutdown; other endpoints (reads, metrics, admin) keep serving.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	for _, t := range s.tenantsSorted() {
+		if t.bat != nil {
+			t.bat.close()
+		}
+	}
+}
+
+// tenantHandler is a handler bound to a resolved tenant.
+type tenantHandler func(http.ResponseWriter, *http.Request, *Tenant)
+
+// dflt adapts a tenant handler to the un-prefixed routes, which serve
+// the default tenant.
+func (s *Server) dflt(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+}
+
+// named adapts a tenant handler to the /t/{tenant}/... routes.
+func (s *Server) named(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		t := s.lookupTenant(name)
+		if t == nil {
+			http.Error(w, fmt.Sprintf("unknown tenant %q", name), http.StatusNotFound)
+			return
+		}
+		h(w, r, t)
+	}
 }
 
 // handleHealth holds the write lock even though it only diagnoses:
 // the audit walks Machine.ContainerIDs, whose sorted-ID cache is
 // rebuilt lazily, so running it under the shared read lock would race
 // with other readers.
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.session.FlowConservation(); err != nil {
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, t *Tenant) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.sched.FlowConservation(); err != nil {
 		http.Error(w, fmt.Sprintf("flow conservation violated: %v", err), http.StatusInternalServerError)
 		return
 	}
-	if vs := s.session.Audit(); len(vs) != 0 {
+	if vs := t.sched.Audit(); len(vs) != 0 {
 		http.Error(w, fmt.Sprintf("%d constraint violations live", len(vs)), http.StatusInternalServerError)
 		return
 	}
@@ -162,58 +227,113 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// clusterSample is one tenant's scrape-time cluster summary, read
+// under that tenant's lock alone so a scrape never serializes the
+// whole fleet.
+type clusterSample struct {
+	tenant   string
+	machines int
+	used     int
+	down     int
+	placed   int
+	cpu      int64
+	mem      int64
+	lo       float64
+	mean     float64
+	hi       float64
+}
+
+// sample reads one tenant's cluster summary under its read lock.
+func (t *Tenant) sample() clusterSample {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	lo, mean, hi := t.cluster.UtilizationRange()
+	totalUsed := t.cluster.TotalUsed()
+	return clusterSample{
+		tenant:   t.name,
+		machines: t.cluster.Size(),
+		used:     t.cluster.UsedMachines(),
+		down:     t.cluster.DownMachines(),
+		placed:   len(t.sched.Assignment()),
+		cpu:      totalUsed.Dim(resource.CPU),
+		mem:      totalUsed.Dim(resource.Memory),
+		lo:       lo,
+		mean:     mean,
+		hi:       hi,
+	}
+}
+
 // handleMetrics renders Prometheus text exposition (format 0.0.4):
 // the attached registry's families first — the scheduler's phase
-// histograms and event counters when the session shares a registry —
-// then scrape-time gauges derived from the live cluster state.  The
-// scrape-time block skips any family the registry already owns, so a
-// core-maintained gauge (aladdin_machines_down) is never emitted
-// twice with conflicting values.
+// histograms and event counters when the sessions share a registry —
+// then scrape-time gauges derived from every tenant's live cluster
+// state.  The scrape-time block skips any family the registry already
+// owns, so a core-maintained gauge (aladdin_machines_down) is never
+// emitted twice with conflicting values.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var buf bytes.Buffer
 	s.reg.WritePrometheus(&buf) //aladdin:errcheck-ok bytes.Buffer writes cannot fail (nil registry: no-op)
-	s.writeClusterMetrics(&buf)
+	samples := make([]clusterSample, 0, 4)
+	for _, t := range s.tenantsSorted() {
+		samples = append(samples, t.sample())
+	}
+	s.writeClusterMetrics(&buf, samples)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes())
 }
 
 // writeClusterMetrics appends gauges recomputed from cluster ground
-// truth at scrape time.  They need no registry plumbing and stay
+// truth at scrape time, one sample per tenant under each family
+// header.  The default tenant stays unlabeled — identical to the
+// pre-tenancy exposition — and every other tenant gets a
+// tenant="name" label.  They need no registry plumbing and stay
 // correct even when the scheduler runs uninstrumented.
-func (s *Server) writeClusterMetrics(buf *bytes.Buffer) {
-	used := s.cluster.UsedMachines()
-	lo, mean, hi := s.cluster.UtilizationRange()
-	totalUsed := s.cluster.TotalUsed()
-	intGauge := func(name, help string, v int64) {
+func (s *Server) writeClusterMetrics(buf *bytes.Buffer, samples []clusterSample) {
+	series := func(name, tenant string) string {
+		if tenant == DefaultTenant {
+			return name
+		}
+		// Tenant names are pre-validated to [A-Za-z0-9._-], so no label
+		// escaping is needed here.
+		return fmt.Sprintf("%s{tenant=%q}", name, tenant)
+	}
+	intGauge := func(name, help string, v func(clusterSample) int64) {
 		if s.reg.Has(name) {
 			return
 		}
-		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, cs := range samples {
+			fmt.Fprintf(buf, "%s %d\n", series(name, cs.tenant), v(cs))
+		}
 	}
-	floatGauge := func(name, help string, v float64) {
+	floatGauge := func(name, help string, v func(clusterSample) float64) {
 		if s.reg.Has(name) {
 			return
 		}
-		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %.4f\n", name, help, name, name, v)
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, cs := range samples {
+			fmt.Fprintf(buf, "%s %.4f\n", series(name, cs.tenant), v(cs))
+		}
 	}
-	intGauge("aladdin_machines_total", "machines in the cluster topology", int64(s.cluster.Size()))
-	intGauge("aladdin_machines_used", "machines hosting at least one container", int64(used))
-	intGauge("aladdin_machines_down", "machines currently marked failed", int64(s.cluster.DownMachines()))
-	intGauge("aladdin_containers_placed", "containers with a live assignment", int64(len(s.session.Assignment())))
-	intGauge("aladdin_cpu_milli_allocated", "millicores allocated across the cluster", totalUsed.Dim(resource.CPU))
-	intGauge("aladdin_mem_mb_allocated", "memory MB allocated across the cluster", totalUsed.Dim(resource.Memory))
-	floatGauge("aladdin_cpu_utilization_min", "lowest per-machine CPU utilization among used machines", lo)
-	floatGauge("aladdin_cpu_utilization_mean", "mean per-machine CPU utilization among used machines", mean)
-	floatGauge("aladdin_cpu_utilization_max", "highest per-machine CPU utilization among used machines", hi)
+	intGauge("aladdin_machines_total", "machines in the cluster topology", func(cs clusterSample) int64 { return int64(cs.machines) })
+	intGauge("aladdin_machines_used", "machines hosting at least one container", func(cs clusterSample) int64 { return int64(cs.used) })
+	intGauge("aladdin_machines_down", "machines currently marked failed", func(cs clusterSample) int64 { return int64(cs.down) })
+	intGauge("aladdin_containers_placed", "containers with a live assignment", func(cs clusterSample) int64 { return int64(cs.placed) })
+	intGauge("aladdin_cpu_milli_allocated", "millicores allocated across the cluster", func(cs clusterSample) int64 { return cs.cpu })
+	intGauge("aladdin_mem_mb_allocated", "memory MB allocated across the cluster", func(cs clusterSample) int64 { return cs.mem })
+	floatGauge("aladdin_cpu_utilization_min", "lowest per-machine CPU utilization among used machines", func(cs clusterSample) float64 { return cs.lo })
+	floatGauge("aladdin_cpu_utilization_mean", "mean per-machine CPU utilization among used machines", func(cs clusterSample) float64 { return cs.mean })
+	floatGauge("aladdin_cpu_utilization_max", "highest per-machine CPU utilization among used machines", func(cs clusterSample) float64 { return cs.hi })
 }
 
 // varsResponse is the JSON body of /debug/vars: the full registry
-// snapshot plus the same cluster-derived summary /metrics appends.
+// snapshot plus per-tenant cluster summaries.  Cluster repeats the
+// default tenant's block under its pre-tenancy key so existing
+// consumers keep working.
 type varsResponse struct {
-	Metrics obs.Snapshot `json:"metrics"`
-	Cluster clusterVars  `json:"cluster"`
+	Metrics obs.Snapshot           `json:"metrics"`
+	Cluster clusterVars            `json:"cluster"`
+	Tenants map[string]clusterVars `json:"tenants,omitempty"`
 }
 
 type clusterVars struct {
@@ -228,25 +348,33 @@ type clusterVars struct {
 	UtilizationMax   float64 `json:"cpu_utilization_max"`
 }
 
+func (cs clusterSample) vars() clusterVars {
+	return clusterVars{
+		Machines:         cs.machines,
+		MachinesUsed:     cs.used,
+		MachinesDown:     cs.down,
+		ContainersPlaced: cs.placed,
+		CPUMilli:         cs.cpu,
+		MemMB:            cs.mem,
+		UtilizationMin:   cs.lo,
+		UtilizationMean:  cs.mean,
+		UtilizationMax:   cs.hi,
+	}
+}
+
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lo, mean, hi := s.cluster.UtilizationRange()
-	totalUsed := s.cluster.TotalUsed()
-	writeJSON(w, varsResponse{
+	resp := varsResponse{
 		Metrics: s.reg.Snapshot(),
-		Cluster: clusterVars{
-			Machines:         s.cluster.Size(),
-			MachinesUsed:     s.cluster.UsedMachines(),
-			MachinesDown:     s.cluster.DownMachines(),
-			ContainersPlaced: len(s.session.Assignment()),
-			CPUMilli:         totalUsed.Dim(resource.CPU),
-			MemMB:            totalUsed.Dim(resource.Memory),
-			UtilizationMin:   lo,
-			UtilizationMean:  mean,
-			UtilizationMax:   hi,
-		},
-	})
+		Tenants: make(map[string]clusterVars),
+	}
+	for _, t := range s.tenantsSorted() {
+		cv := t.sample().vars()
+		if t.name == DefaultTenant {
+			resp.Cluster = cv
+		}
+		resp.Tenants[t.name] = cv
+	}
+	writeJSON(w, resp)
 }
 
 // assignmentEntry is the JSON row of /assignments.
@@ -257,13 +385,13 @@ type assignmentEntry struct {
 	Rack      string             `json:"rack"`
 }
 
-func (s *Server) handleAssignments(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	asg := s.session.Assignment()
+func (s *Server) handleAssignments(w http.ResponseWriter, _ *http.Request, t *Tenant) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	asg := t.sched.Assignment()
 	out := make([]assignmentEntry, 0, len(asg))
 	for id, m := range asg {
-		machine := s.cluster.Machine(m)
+		machine := t.cluster.Machine(m)
 		out = append(out, assignmentEntry{
 			Container: id, Machine: m,
 			MachineID: machine.Name, Rack: machine.Rack,
@@ -273,7 +401,7 @@ func (s *Server) handleAssignments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	id := r.URL.Query().Get("container")
 	if id == "" {
 		http.Error(w, "missing ?container=", http.StatusBadRequest)
@@ -284,24 +412,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// machine, which is arbitrarily expensive on a loaded cluster, and
 	// an RWMutex alone would still let one slow reader stall the next
 	// writer (and every reader queued behind it).
-	s.mu.RLock()
-	specs := s.cluster.Specs()
+	t.mu.RLock()
+	specs := t.cluster.Specs()
 	allocs := make([]map[string]resource.Vector, len(specs))
-	for i, m := range s.cluster.Machines() {
+	for i, m := range t.cluster.Machines() {
 		allocs[i] = m.Allocations()
 	}
-	live := s.session.Assignment()
+	live := t.sched.Assignment()
 	asg := make(constraint.Assignment, len(live))
 	for cid, m := range live {
 		asg[cid] = m
 	}
-	s.mu.RUnlock()
+	t.mu.RUnlock()
 	shadow, err := snapshotCluster(specs, allocs)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	e, err := s.explain(s.w, shadow, asg, id)
+	e, err := s.explain(t.w, shadow, asg, id)
 	if err != nil {
 		// Only "that container does not exist" is the caller's mistake;
 		// anything else is an internal failure and must say so — a 404
@@ -356,33 +484,76 @@ type placeRequest struct {
 // hit an internal placement error mid-way: the other fields then
 // describe the partial placement that is live on the cluster, so the
 // caller can reconcile instead of guessing what a bare 409 left
-// behind.
+// behind.  Coalesced, when set, is the size of the merged solver
+// batch this request rode in — the request's own containers plus
+// everything queued alongside it.
 type placeResponse struct {
 	Placed     int      `json:"placed"`
 	Undeployed []string `json:"undeployed,omitempty"`
 	Migrations int      `json:"migrations"`
 	ElapsedUS  int64    `json:"elapsed_us"`
+	Coalesced  int      `json:"coalesced,omitempty"`
 	Error      string   `json:"error,omitempty"`
 }
 
-func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+// handlePlace admits one placement request.  With coalescing on, the
+// request enqueues into the tenant's batcher and the handler parks on
+// the reply channel: admission control answers 429 + Retry-After at
+// queue capacity, drain answers 503, and a departed client simply
+// abandons its buffered reply.  Without coalescing the request places
+// directly under the tenant lock, exactly the pre-tenancy behavior.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req placeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.unlockAfterWrite()
+	t.met.requests.Inc()
+	t.met.inflight.Add(1)
+	defer t.met.inflight.Add(-1)
+	if s.draining.Load() {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if t.bat != nil {
+		call := &placeCall{ids: req.Containers, done: make(chan placeReply, 1)}
+		if err := t.bat.enqueue(call); err != nil {
+			if errors.Is(err, errQueueFull) {
+				w.Header().Set("Retry-After", strconv.Itoa(t.bat.cfg.retryAfterSeconds()))
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case rep := <-call.done:
+			if rep.plain != "" {
+				http.Error(w, rep.plain, rep.status)
+				return
+			}
+			writeJSONStatus(w, rep.status, rep.body)
+		case <-r.Context().Done():
+			// Client gone.  The flusher's send lands in the buffered
+			// channel and is garbage collected with the call.
+		}
+		return
+	}
+
+	t.mu.Lock()
+	defer t.unlockAfterWrite()
 	batch := make([]*workload.Container, 0, len(req.Containers))
 	for _, id := range req.Containers {
-		c := s.byID[id]
+		c := t.byID[id]
 		if c == nil {
 			http.Error(w, fmt.Sprintf("unknown container %q", id), http.StatusBadRequest)
 			return
 		}
 		batch = append(batch, c)
 	}
-	res, err := s.session.Place(batch)
+	res, err := t.sched.Place(batch)
+	t.met.batches.Inc()
+	t.met.batchSize.Observe(int64(len(batch)))
 	if err != nil {
 		if res == nil {
 			// Validation failure: nothing was placed.
@@ -411,15 +582,15 @@ type removeRequest struct {
 	Container string `json:"container"`
 }
 
-func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req removeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.unlockAfterWrite()
-	if err := s.session.Remove(req.Container); err != nil {
+	t.mu.Lock()
+	defer t.unlockAfterWrite()
+	if err := t.sched.Remove(req.Container); err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
@@ -446,19 +617,19 @@ type failResponse struct {
 // handleFail is the admin endpoint for taking a machine out of
 // service: residents are evicted and re-placed through the normal
 // pipeline; the response reports who moved and who was stranded.
-func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req machineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.unlockAfterWrite()
-	if s.cluster.Machine(req.Machine) == nil {
+	t.mu.Lock()
+	defer t.unlockAfterWrite()
+	if t.cluster.Machine(req.Machine) == nil {
 		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
 		return
 	}
-	res, err := s.session.FailMachine(req.Machine)
+	res, err := t.sched.FailMachine(req.Machine)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -475,19 +646,19 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRecover returns a failed machine to service.
-func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req machineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.unlockAfterWrite()
-	if s.cluster.Machine(req.Machine) == nil {
+	t.mu.Lock()
+	defer t.unlockAfterWrite()
+	if t.cluster.Machine(req.Machine) == nil {
 		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
 		return
 	}
-	if err := s.session.RecoverMachine(req.Machine); err != nil {
+	if err := t.sched.RecoverMachine(req.Machine); err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
@@ -498,7 +669,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 // checkpointRequest is the JSON body of /checkpoint; an empty body is
 // allowed.
 type checkpointRequest struct {
-	// Path overrides the server's configured checkpoint file.  With
+	// Path overrides the tenant's configured checkpoint file.  With
 	// neither, the snapshot itself is returned inline.
 	Path string `json:"path,omitempty"`
 }
@@ -512,26 +683,32 @@ type checkpointResponse struct {
 }
 
 // handleCheckpoint captures the live session as a v2 snapshot.  With
-// a destination path (request body or WithCheckpointPath) the
-// snapshot is written crash-safely and a summary returned; without
-// one the snapshot JSON itself is the response, so an operator can
-// checkpoint a diskless server through curl alone.
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+// a destination path (request body or the tenant's configured path)
+// the snapshot is written crash-safely and a summary returned;
+// without one the snapshot JSON itself is the response, so an
+// operator can checkpoint a diskless server through curl alone.
+// Sharded tenants cannot checkpoint: snapshots replay through a
+// single flow network.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req checkpointRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap, err := checkpoint.CaptureSession(s.session)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.plain == nil {
+		http.Error(w, fmt.Sprintf("tenant %q runs the sharded core; checkpointing is unsupported", t.name), http.StatusConflict)
+		return
+	}
+	snap, err := checkpoint.CaptureSession(t.plain)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	path := req.Path
 	if path == "" {
-		path = s.ckptPath
+		path = t.ckptPath
 	}
 	if path == "" {
 		writeJSON(w, snap)
@@ -563,11 +740,11 @@ type restoreResponse struct {
 	Undeployed int `json:"undeployed"`
 }
 
-// handleRestore replaces the live session with one rebuilt from a v2
-// snapshot.  The workload universe is the server's own: a snapshot
-// captured against a different trace fails validation rather than
-// restoring a diverged state.
-func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+// handleRestore replaces the tenant's live session with one rebuilt
+// from a v2 snapshot.  The workload universe is the tenant's own: a
+// snapshot captured against a different trace fails validation rather
+// than restoring a diverged state.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req restoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -591,14 +768,18 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.unlockAfterWrite()
-	sess, cluster, err := snap.Restore(s.session.Options(), s.w)
+	t.mu.Lock()
+	defer t.unlockAfterWrite()
+	if t.plain == nil {
+		http.Error(w, fmt.Sprintf("tenant %q runs the sharded core; restore is unsupported", t.name), http.StatusConflict)
+		return
+	}
+	sess, cluster, err := snap.Restore(t.plain.Options(), t.w)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	s.session, s.cluster = sess, cluster
+	t.plain, t.sched, t.cluster = sess, sess, cluster
 	writeJSON(w, restoreResponse{
 		Machines:   cluster.Size(),
 		Placed:     len(sess.Assignment()),
