@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench bench-smoke load-smoke cover allocguard clean
+.PHONY: build test verify lint fuzz bench bench-smoke load-smoke rebalance-soak cover allocguard clean
 
 build:
 	$(GO) build ./...
@@ -132,6 +132,17 @@ bench-smoke:
 # non-blocking — see .github/workflows/ci.yml.
 load-smoke:
 	$(GO) test ./internal/loadtest/ -run 'TestLoadSmoke|TestCoalescedThroughput2x' -count=1 -v
+
+# rebalance-soak runs the long-horizon continuous-rescheduling gate
+# (DESIGN.md §15): the online simulation with failures, recoveries,
+# churn and budgeted rebalancing cycles, with the full invariant
+# Auditor after every failure, recovery and cycle.  SOAKFACTOR is the
+# trace scale divisor — smaller means more applications and a longer
+# horizon (the in-suite default is 200; CI soaks at 40).
+SOAKFACTOR ?= 40
+rebalance-soak:
+	ALADDIN_SOAK=$(SOAKFACTOR) $(GO) test ./internal/sim/ -run 'TestRunOnlineRebalanceSoak' -count=1 -v
+	$(GO) test -race ./internal/core/ -run 'TestShardedConcurrentConsolidateRacingPlace' -count=1
 
 clean:
 	rm -f BENCH_search.json BENCH_smoke.json coverage.out

@@ -54,6 +54,8 @@ func main() {
 		coWindow  = flag.Duration("coalesce-window", 0, "request-coalescing flush window (0 disables coalescing)")
 		coBatch   = flag.Int("max-batch", 0, "containers per coalesced flush before an early cut (0: default 128)")
 		coQueue   = flag.Int("max-queue", 0, "queued place requests per tenant before 429s (0: default 256)")
+		rbEvery   = flag.Duration("rebalance-every", 0, "background rebalancing cycle interval for every tenant (0 disables; POST /rebalance/start can enable per tenant later)")
+		rbBudget  = flag.Int("rebalance-budget", 0, "container moves allowed per rebalancing cycle (0: unlimited)")
 	)
 	flag.Parse()
 	if *restoreIn != "" && *placeAll {
@@ -132,6 +134,21 @@ func main() {
 		}
 		fmt.Printf("tenant %s: %d containers on a private %d-machine cluster\n",
 			name, w.NumContainers(), cluster.Size())
+	}
+	if *rbEvery > 0 {
+		started := []string{server.DefaultTenant}
+		for _, name := range strings.Split(*tenants, ",") {
+			if name = strings.TrimSpace(name); name != "" && name != server.DefaultTenant {
+				started = append(started, name)
+			}
+		}
+		for _, name := range started {
+			if err := srv.StartRebalancer(name, *rbEvery, *rbBudget); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("rebalancer: every %s, budget %d moves/cycle, tenants %s\n",
+			*rbEvery, *rbBudget, strings.Join(started, ","))
 	}
 	fmt.Printf("aladdin-server: %d apps / %d containers, %d machines, listening on %s\n",
 		len(w.Apps()), w.NumContainers(), cluster.Size(), *addr)

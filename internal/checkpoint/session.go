@@ -73,6 +73,12 @@ type SessionSnapshot struct {
 	// Undeployed lists submitted-but-unplaced containers (arrival
 	// rejections, preemption strandings, failure evictions), sorted.
 	Undeployed []string `json:"undeployed,omitempty"`
+	// Stranded lists the subset of Undeployed evicted by machine
+	// failures and eligible for automatic retry after recovery,
+	// sorted.  Optional: snapshots from before this field restore
+	// with every undeployed container requiring explicit
+	// re-submission.
+	Stranded []string `json:"stranded,omitempty"`
 	// Requeues is the consumed preemption re-queue budget, sorted by
 	// container ID.
 	Requeues []RequeueCount `json:"requeues,omitempty"`
@@ -130,6 +136,7 @@ func CaptureSession(s *core.Session) (*SessionSnapshot, error) {
 		return snap.Placements[i].Container < snap.Placements[j].Container
 	})
 	snap.Undeployed = append(snap.Undeployed, st.Undeployed...)
+	snap.Stranded = append(snap.Stranded, st.Stranded...)
 	for id, n := range st.Requeues {
 		snap.Requeues = append(snap.Requeues, RequeueCount{Container: id, Count: n})
 	}
@@ -286,6 +293,19 @@ func ReadSession(r io.Reader) (*SessionSnapshot, error) {
 			return nil, fmt.Errorf("checkpoint: container %s both placed and undeployed", id)
 		}
 	}
+	seenStranded := make(map[string]bool, len(s.Stranded))
+	for _, id := range s.Stranded {
+		if id == "" {
+			return nil, fmt.Errorf("checkpoint: empty container ID in stranded ledger")
+		}
+		if seenStranded[id] {
+			return nil, fmt.Errorf("checkpoint: duplicate stranded entry %s", id)
+		}
+		seenStranded[id] = true
+		if !undeployed[id] {
+			return nil, fmt.Errorf("checkpoint: stranded container %s not in the undeployed ledger", id)
+		}
+	}
 	seenReq := make(map[string]bool, len(s.Requeues))
 	for _, rq := range s.Requeues {
 		if rq.Container == "" {
@@ -335,6 +355,7 @@ func (s *SessionSnapshot) Restore(opts core.Options, w *workload.Workload) (*cor
 	st := &core.SessionState{
 		Assignment: make(map[string]topology.MachineID, len(s.Placements)),
 		Undeployed: append([]string(nil), s.Undeployed...),
+		Stranded:   append([]string(nil), s.Stranded...),
 		Requeues:   make(map[string]int, len(s.Requeues)),
 		ILFailed:   append([]string(nil), s.ILFailed...),
 	}

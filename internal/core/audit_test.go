@@ -134,7 +134,7 @@ func TestAuditorCleanAcrossFailure(t *testing.T) {
 	if vs := s.AuditInvariants(); len(vs) != 0 {
 		t.Errorf("violations after failure: %v", vs)
 	}
-	if err := s.RecoverMachine(m); err != nil {
+	if _, err := s.RecoverMachine(m); err != nil {
 		t.Fatal(err)
 	}
 	if vs := s.AuditInvariants(); len(vs) != 0 {

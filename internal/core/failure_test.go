@@ -71,7 +71,7 @@ func TestFailRecoverRoundTrip(t *testing.T) {
 	if _, err := s.FailMachine(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RecoverMachine(0); err != nil {
+	if _, err := s.RecoverMachine(0); err != nil {
 		t.Fatal(err)
 	}
 	if cl.DownMachines() != 0 {
@@ -105,10 +105,10 @@ func TestFailMachineErrors(t *testing.T) {
 	if _, err := s.FailMachine(99); err == nil {
 		t.Error("unknown machine should fail")
 	}
-	if err := s.RecoverMachine(99); err == nil {
+	if _, err := s.RecoverMachine(99); err == nil {
 		t.Error("recovering unknown machine should fail")
 	}
-	if err := s.RecoverMachine(0); err == nil {
+	if _, err := s.RecoverMachine(0); err == nil {
 		t.Error("recovering an up machine should fail")
 	}
 	if _, err := s.FailMachine(0); err != nil {
@@ -117,7 +117,7 @@ func TestFailMachineErrors(t *testing.T) {
 	if _, err := s.FailMachine(0); err == nil {
 		t.Error("double failure should fail")
 	}
-	if err := s.RecoverMachine(0); err != nil {
+	if _, err := s.RecoverMachine(0); err != nil {
 		t.Fatal(err)
 	}
 }

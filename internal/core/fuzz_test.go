@@ -82,7 +82,8 @@ func FuzzPlace(f *testing.F) {
 			case 3:
 				m := machines[arg%len(machines)]
 				if !m.Up() {
-					mustNotCorrupt(t, s.RecoverMachine(m.ID), i, "recover")
+					_, rerr := s.RecoverMachine(m.ID)
+					mustNotCorrupt(t, rerr, i, "recover")
 					mustCleanAudit(t, s, i, "recover")
 				}
 			}
@@ -123,7 +124,8 @@ func FuzzFailRecover(f *testing.F) {
 				if m.Up() {
 					continue
 				}
-				mustNotCorrupt(t, s.RecoverMachine(m.ID), i, "recover")
+				_, rerr := s.RecoverMachine(m.ID)
+				mustNotCorrupt(t, rerr, i, "recover")
 				mustCleanAudit(t, s, i, "recover")
 			}
 		}
@@ -131,7 +133,7 @@ func FuzzFailRecover(f *testing.F) {
 		// capacity back in service.
 		for _, m := range machines {
 			if !m.Up() {
-				if err := s.RecoverMachine(m.ID); err != nil {
+				if _, err := s.RecoverMachine(m.ID); err != nil {
 					t.Fatalf("final recovery of machine %d: %v", m.ID, err)
 				}
 			}
@@ -279,7 +281,7 @@ func FuzzIndexNaiveEquivalence(f *testing.F) {
 				case 3:
 					mid := topology.MachineID(arg % machineCount)
 					if !s.r.cluster.Machine(mid).Up() {
-						errs[si] = s.RecoverMachine(mid)
+						_, errs[si] = s.RecoverMachine(mid)
 					}
 				}
 				mustNotCorrupt(t, errs[si], i, "op")
@@ -319,7 +321,7 @@ func FuzzIndexNaiveEquivalence(f *testing.F) {
 				case 2:
 					_, serrs[si] = ss.FailMachine(topology.MachineID(arg % shardedMachines))
 				case 3:
-					serrs[si] = ss.RecoverMachine(topology.MachineID(arg % shardedMachines))
+					_, serrs[si] = ss.RecoverMachine(topology.MachineID(arg % shardedMachines))
 				}
 				mustNotCorrupt(t, serrs[si], i, "sharded op")
 			}

@@ -144,7 +144,7 @@ func TestILCacheCountersAndFailureMetrics(t *testing.T) {
 	if _, err := s.FailMachine(mid); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RecoverMachine(mid); err != nil {
+	if _, err := s.RecoverMachine(mid); err != nil {
 		t.Fatal(err)
 	}
 	snap = reg.Snapshot()

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// mustClean fails the test unless the session passes the invariant
+// auditor and flow conservation.
+func mustClean(t *testing.T, s *Session, op string) {
+	t.Helper()
+	if vs := s.AuditInvariants(); len(vs) != 0 {
+		t.Fatalf("%s: invariants broken: %v", op, vs)
+	}
+	if err := s.FlowConservation(); err != nil {
+		t.Fatalf("%s: flow conservation: %v", op, err)
+	}
+}
+
+// byMachine groups the current assignment's container IDs per machine,
+// each group sorted for determinism.
+func byMachine(asg map[string]topology.MachineID) map[topology.MachineID][]string {
+	out := make(map[topology.MachineID][]string)
+	for id, m := range asg {
+		out[m] = append(out[m], id)
+	}
+	for _, ids := range out {
+		sort.Strings(ids)
+	}
+	return out
+}
+
+// fragmentSession fills every machine of a fresh session with 8-core
+// containers, then removes all but one container per machine — the
+// worst-case scatter a consolidation pass exists to clean up.  Returns
+// the session and the number of machines left holding one container.
+func fragmentSession(t *testing.T, machines int) (*Session, int) {
+	t.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "fill", Demand: resource.Cores(8, 16384), Replicas: machines * 4},
+	})
+	s := NewSession(DefaultOptions(), w, smallCluster(machines))
+	res, err := s.Place(appContainers(w, "fill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undeployed) != 0 {
+		t.Fatalf("fill left %d undeployed", len(res.Undeployed))
+	}
+	for m, ids := range byMachine(s.Assignment()) {
+		for _, id := range ids[1:] {
+			if err := s.Remove(id); err != nil {
+				t.Fatalf("remove %s from machine %d: %v", id, m, err)
+			}
+		}
+	}
+	return s, len(byMachine(s.Assignment()))
+}
+
+// TestConsolidateNBudgetResume: a budget-1 consolidation performs at
+// most one move per call, reports More while drain work remains, and
+// resumed calls converge to the same packing an unbudgeted pass
+// reaches in one shot.
+func TestConsolidateNBudgetResume(t *testing.T) {
+	s, scattered := fragmentSession(t, 4)
+	if scattered != 4 {
+		t.Fatalf("scatter produced %d used machines, want 4", scattered)
+	}
+
+	var calls, moves int
+	for {
+		r, err := s.ConsolidateN(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Moves > 1 {
+			t.Fatalf("call %d moved %d containers, budget was 1", calls, r.Moves)
+		}
+		calls++
+		moves += r.Moves
+		if !r.More {
+			break
+		}
+		if calls > 16 {
+			t.Fatal("budgeted consolidation does not converge")
+		}
+	}
+	mustClean(t, s, "after budgeted consolidation")
+
+	// Three single-container machines drain into the fourth.
+	if moves != 3 {
+		t.Errorf("total moves = %d, want 3", moves)
+	}
+	if used := len(byMachine(s.Assignment())); used != 1 {
+		t.Errorf("used machines after consolidation = %d, want 1", used)
+	}
+
+	// The unbudgeted pass on an identically-scattered session reaches
+	// the same packing in a single call.  It may spend more moves than
+	// the budgeted loop: within one pass drains cascade through
+	// machines that already absorbed earlier drains, while the budgeted
+	// loop re-ranks candidates between calls and always drains the
+	// current lightest.
+	ref, _ := fragmentSession(t, 4)
+	r, err := ref.ConsolidateN(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.More {
+		t.Error("unbudgeted pass reported More")
+	}
+	if r.Moves < moves {
+		t.Errorf("unbudgeted pass moved %d, less than budgeted total %d", r.Moves, moves)
+	}
+	if used := len(byMachine(ref.Assignment())); used != 1 {
+		t.Errorf("unbudgeted used machines = %d, want 1", used)
+	}
+}
+
+// retryScenario builds the stranded-retry fixture: a 28-core container
+// alone on one machine, twelve 8-core pads filling the other three.
+// Failing the big container's machine strands it — every other machine
+// is full, so the failure-time rescue pipeline cannot help.
+func retryScenario(t *testing.T) (s *Session, big string, home topology.MachineID) {
+	t.Helper()
+	w := workload.MustNew([]*workload.App{
+		{ID: "big", Demand: resource.Cores(28, 56*1024), Replicas: 1},
+		{ID: "pad", Demand: resource.Cores(8, 16384), Replicas: 12},
+	})
+	s = NewSession(DefaultOptions(), w, smallCluster(4))
+	if _, err := s.Place(appContainers(w, "big")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(appContainers(w, "pad")); err != nil {
+		t.Fatal(err)
+	}
+	big = "big/0"
+	home = s.Assignment()[big]
+	fr, err := s.FailMachine(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fr.Stranded, []string{big}) {
+		t.Fatalf("failure stranded %v, want [%s]", fr.Stranded, big)
+	}
+	if got := s.StrandedIDs(); !reflect.DeepEqual(got, []string{big}) {
+		t.Fatalf("StrandedIDs = %v, want [%s]", got, big)
+	}
+	return s, big, home
+}
+
+// TestRetryStrandedMoveBudget: re-placing the stranded container
+// requires exactly two migrations (no single machine can be freed with
+// one move), so a budget-1 sweep must leave it stranded and spend
+// nothing, while a budget-2 sweep rescues it.
+func TestRetryStrandedMoveBudget(t *testing.T) {
+	s, big, home := retryScenario(t)
+
+	// Open 16-core holes on two of the full machines.  No hole fits the
+	// 28-core container directly; the cheapest rescue drains one holed
+	// machine's two remaining pads into the other's hole — exactly two
+	// migrations, and no single move can free 28 cores anywhere.
+	groups := byMachine(s.Assignment())
+	var others []topology.MachineID
+	for m := range groups {
+		if m != home {
+			others = append(others, m)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+	if len(others) != 3 {
+		t.Fatalf("pads live on %d machines, want 3", len(others))
+	}
+	for _, m := range others[:2] {
+		for _, id := range groups[m][:2] {
+			if err := s.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	r1, err := s.RetryStranded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Retried != 1 || len(r1.Replaced) != 0 {
+		t.Fatalf("budget-1 sweep: retried %d, replaced %v; want a skipped rescue", r1.Retried, r1.Replaced)
+	}
+	if spent := r1.Migrations + r1.Preemptions; spent > 1 {
+		t.Fatalf("budget-1 sweep spent %d moves", spent)
+	}
+	if got := s.StrandedIDs(); !reflect.DeepEqual(got, []string{big}) {
+		t.Fatalf("after budget-1 sweep StrandedIDs = %v, want [%s]", got, big)
+	}
+
+	r2, err := s.RetryStranded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2.Replaced, []string{big}) {
+		t.Fatalf("budget-2 sweep replaced %v, want [%s]", r2.Replaced, big)
+	}
+	if r2.Migrations != 2 || r2.Preemptions != 0 {
+		t.Fatalf("budget-2 sweep spent %d migrations / %d preemptions, want exactly 2 / 0", r2.Migrations, r2.Preemptions)
+	}
+	if got := s.StrandedIDs(); len(got) != 0 {
+		t.Fatalf("still stranded after rescue: %v", got)
+	}
+	mustClean(t, s, "after budgeted retry")
+}
+
+// TestRecoverMachineAutoRetry: recovery re-places what the failure
+// stranded — the regression the continuous-rescheduling work fixes.
+// Before it, a stranded container stayed out forever even after its
+// only feasible machine came back.
+func TestRecoverMachineAutoRetry(t *testing.T) {
+	s, big, home := retryScenario(t)
+
+	rr, err := s.RecoverMachine(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Machine != home {
+		t.Errorf("RecoverResult.Machine = %d, want %d", rr.Machine, home)
+	}
+	if rr.Retried != 1 || !reflect.DeepEqual(rr.Replaced, []string{big}) {
+		t.Fatalf("recovery retried %d / replaced %v, want the stranded container re-placed", rr.Retried, rr.Replaced)
+	}
+	if got := s.StrandedIDs(); len(got) != 0 {
+		t.Fatalf("stranded after recovery: %v", got)
+	}
+	if !s.Placed(big) {
+		t.Fatal("stranded container not placed after recovery")
+	}
+	mustClean(t, s, "after recovery auto-retry")
+}
+
+// TestForget: a forgotten stranded container leaves the retry set but
+// stays undeployed; placed and unknown containers are rejected.
+func TestForget(t *testing.T) {
+	s, big, home := retryScenario(t)
+
+	if err := s.Forget("ghost/0"); err == nil {
+		t.Error("forgetting an unknown container should fail")
+	}
+	if err := s.Forget("pad/0"); err == nil {
+		t.Error("forgetting a placed container should fail")
+	}
+	if err := s.Forget(big); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StrandedIDs(); len(got) != 0 {
+		t.Fatalf("StrandedIDs after Forget = %v, want none", got)
+	}
+	// Forgetting a merely-undeployed container is a no-op.
+	if err := s.Forget(big); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery now has nothing to retry: the departed application's
+	// container must not be resurrected.
+	rr, err := s.RecoverMachine(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Retried != 0 || len(rr.Replaced) != 0 {
+		t.Fatalf("recovery retried %d / replaced %v after Forget, want nothing", rr.Retried, rr.Replaced)
+	}
+	if s.Placed(big) {
+		t.Fatal("forgotten container was resurrected")
+	}
+}
+
+// TestPackingStats spot-checks the rebalancer's trigger inputs against
+// a hand-computable layout.
+func TestPackingStats(t *testing.T) {
+	s, _ := fragmentSession(t, 4) // 4 machines, one 8/32-core container each
+	ps := s.PackingStats()
+	if ps.Machines != 4 || ps.Used != 4 || ps.Down != 0 || ps.Stranded != 0 {
+		t.Fatalf("PackingStats = %+v", ps)
+	}
+	if ps.FreeCPU != 4*24000 || ps.LargestFreeCPU != 24000 {
+		t.Fatalf("free CPU = %d / largest %d, want 96000 / 24000", ps.FreeCPU, ps.LargestFreeCPU)
+	}
+	if got, want := ps.MeanUtilization, 0.25; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("mean utilization = %v, want %v", got, want)
+	}
+
+	if _, err := s.ConsolidateN(0); err != nil {
+		t.Fatal(err)
+	}
+	ps = s.PackingStats()
+	if ps.Used != 1 {
+		t.Fatalf("used after consolidation = %d, want 1", ps.Used)
+	}
+	if ps.FreeCPU != 4*24000 {
+		t.Fatalf("consolidation changed total free CPU: %d", ps.FreeCPU)
+	}
+}
+
+// TestExportStateRoundTripsStranded: strandedness survives a
+// checkpoint/restore — a restored session keeps auto-retrying exactly
+// what the live one would.
+func TestExportStateRoundTripsStranded(t *testing.T) {
+	s, big, _ := retryScenario(t)
+	st := s.ExportState()
+	if !reflect.DeepEqual(st.Stranded, []string{big}) {
+		t.Fatalf("exported Stranded = %v, want [%s]", st.Stranded, big)
+	}
+	fresh, err := topology.FromSpecs(s.Cluster().Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(DefaultOptions(), s.Workload(), fresh, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.StrandedIDs(); !reflect.DeepEqual(got, []string{big}) {
+		t.Fatalf("restored StrandedIDs = %v, want [%s]", got, big)
+	}
+
+	// A corrupt snapshot — stranded without being undeployed — fails.
+	bad := s.ExportState()
+	bad.Stranded = []string{"pad/0"}
+	if _, err := RestoreSession(DefaultOptions(), s.Workload(), fresh, bad); err == nil {
+		t.Fatal("restore accepted a stranded container outside the undeployed ledger")
+	}
+}

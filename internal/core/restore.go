@@ -31,6 +31,12 @@ type SessionState struct {
 	// currently placed — arrival rejections, preemption strandings and
 	// failure evictions awaiting re-submission.  Sorted.
 	Undeployed []string
+	// Stranded lists the subset of Undeployed that was knocked out by
+	// machine failures and is eligible for automatic retry (on
+	// RecoverMachine or a rebalancer sweep).  Omitting it restores
+	// every undeployed container as requiring explicit re-submission.
+	// Sorted.
+	Stranded []string
 	// Requeues records the consumed preemption re-queue budget for
 	// containers that have been evicted at least once; omitting it
 	// would let a restored session preempt a victim past its budget.
@@ -64,14 +70,22 @@ func (s *Session) ExportState() *SessionState {
 		st.Assignment[id] = m
 	}
 	for _, c := range s.w.Containers() {
-		if s.ledger[c.Ord] == ledgerUndeployed {
+		// Stranded is an undeployed sub-state: such containers appear
+		// in Undeployed (the complete not-placed ledger) and again in
+		// Stranded so a restored session keeps auto-retrying them.
+		switch s.ledger[c.Ord] {
+		case ledgerUndeployed:
 			st.Undeployed = append(st.Undeployed, c.ID)
+		case ledgerStranded:
+			st.Undeployed = append(st.Undeployed, c.ID)
+			st.Stranded = append(st.Stranded, c.ID)
 		}
 		if n := s.r.requeues[c.Ord]; n > 0 {
 			st.Requeues[c.ID] = n
 		}
 	}
 	sort.Strings(st.Undeployed)
+	sort.Strings(st.Stranded)
 	if s.opts.IsomorphismLimiting {
 		for ao, a := range s.w.Apps() {
 			if s.r.search.il.valid(ao) {
@@ -147,6 +161,16 @@ func RestoreSession(opts Options, w *workload.Workload, cluster *topology.Cluste
 			return nil, fmt.Errorf("core: restore: container %s both placed and undeployed", id)
 		}
 		s.ledger[c.Ord] = ledgerUndeployed
+	}
+	for _, id := range st.Stranded {
+		c := r.byID[id]
+		if c == nil {
+			return nil, fmt.Errorf("core: restore: stranded container %s not in workload universe", id)
+		}
+		if s.ledger[c.Ord] != ledgerUndeployed {
+			return nil, fmt.Errorf("core: restore: stranded container %s not in the undeployed ledger", id)
+		}
+		s.setLedger(c.Ord, ledgerStranded)
 	}
 	// Distinct ordinals: the writes commute, and which entry an error
 	// names may vary with map order but not whether one is returned.

@@ -133,7 +133,7 @@ func TestRestoreSessionEquivalenceWithFailures(t *testing.T) {
 			}
 		}
 		for _, id := range failed {
-			if err := s.RecoverMachine(id); err != nil {
+			if _, err := s.RecoverMachine(id); err != nil {
 				t.Fatal(err)
 			}
 		}

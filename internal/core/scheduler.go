@@ -71,6 +71,41 @@ type run struct {
 	// strictly below the claimant's (§III.B) unless the DisableWeights
 	// ablation is on.
 	preemptLog []preemptEvent
+
+	// moveCap caps rescue moves (migration relocations, defrag moves,
+	// preemption evictions) while non-zero; moveStartMig/moveStartPre
+	// snapshot the counters at setMoveBudget so movesRemaining can
+	// charge only moves made under the budget.  Direct placements are
+	// free: the budget prices churn, not admissions.
+	moveCap      int
+	moveStartMig int
+	moveStartPre int
+}
+
+// setMoveBudget caps subsequent rescue moves at cap (<= 0 clears the
+// budget).  The rescue paths consult movesRemaining before committing
+// to a relocation set, so a bounded call never exceeds the cap.
+func (r *run) setMoveBudget(cap int) {
+	if cap <= 0 {
+		r.moveCap = 0
+		return
+	}
+	r.moveCap = cap
+	r.moveStartMig = r.migrations
+	r.moveStartPre = r.preempts
+}
+
+// movesRemaining reports how many rescue moves the active budget still
+// allows; effectively unbounded when no budget is set.
+func (r *run) movesRemaining() int {
+	if r.moveCap <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	spent := (r.migrations - r.moveStartMig) + (r.preempts - r.moveStartPre)
+	if spent >= r.moveCap {
+		return 0
+	}
+	return r.moveCap - spent
 }
 
 // preemptEvent is one preemption eviction: claimant displaced victim
@@ -180,7 +215,10 @@ func (s *Scheduler) Schedule(w *workload.Workload, cluster *topology.Cluster, ar
 				continue
 			}
 		}
-		if s.opts.IsomorphismLimiting {
+		// An unplaceability proof recorded while a move budget constrains
+		// the rescue pipeline would poison later unconstrained searches —
+		// the failure may be the budget's, not the cluster's.
+		if s.opts.IsomorphismLimiting && r.moveCap == 0 {
 			r.search.il.note(r.search.refOf(c))
 		}
 		undeployed = append(undeployed, c.ID)
@@ -370,6 +408,9 @@ func (r *run) tryMigrationInner(c *workload.Container) (bool, error) {
 		if len(blockers) == 0 || len(blockers) > r.opts.maxBlockers() {
 			continue
 		}
+		if len(blockers) > r.movesRemaining() {
+			continue // over the rescue-move budget
+		}
 		ranked = append(ranked, cand{m: mid, blockers: blockers})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
@@ -498,6 +539,20 @@ func (r *run) enforceGangs(undeployed []string) ([]string, error) {
 // drain rolls back.  Consolidation never opens an empty machine, so
 // each successful drain strictly reduces the used-machine count.
 func (r *run) consolidate() error {
+	_, _, err := r.consolidateBudget(0)
+	return err
+}
+
+// consolidateBudget is consolidate with a per-call move cap: at most
+// budget containers relocate (0 = unlimited).  A drain is
+// all-or-nothing, so a machine is attempted only when its entire
+// resident set fits inside the remaining budget; machines skipped for
+// budget set more=true so the caller can resume with a later call.
+// Drains are deterministic in cluster state, so a resumed call
+// re-ranks the surviving machines and picks up where this one
+// stopped.  more may be conservatively true (a skipped machine could
+// turn out undrainable), never falsely false.
+func (r *run) consolidateBudget(budget int) (moves int, more bool, err error) {
 	// Drains are deterministic in cluster/blacklist/flow state, and a
 	// failed drain rolls back exactly, so state advances only when a
 	// drain succeeds.  epoch counts successes; a machine whose drain
@@ -536,11 +591,23 @@ func (r *run) consolidate() error {
 			if e, ok := failedAt[cand.m]; ok && e == epoch {
 				continue
 			}
+			n := r.cluster.Machine(cand.m).NumContainers()
+			if budget > 0 && moves+n > budget {
+				// Signal More only when the drain could plausibly land:
+				// without this check a fully-consolidated cluster whose
+				// last machine exceeds the budget would report pending
+				// work forever, spinning any resume loop built on More.
+				if r.drainCouldFit(cand.m) {
+					more = true
+				}
+				continue
+			}
 			// The memo shares feasibility prechecks across attempts: it
 			// too stays valid until the next successful drain.
-			if ok, err := r.drain(cand.m, memo); err != nil {
-				return err
+			if ok, derr := r.drain(cand.m, memo); derr != nil {
+				return moves, more, derr
 			} else if ok {
+				moves += n
 				drained = true
 				epoch++
 				clear(memo)
@@ -549,10 +616,27 @@ func (r *run) consolidate() error {
 			}
 		}
 		if !drained {
-			return nil
+			return moves, more, nil
 		}
 	}
-	return nil
+	return moves, more, nil
+}
+
+// drainCouldFit is the budget-skip analogue of drain's feasibility
+// precheck: residents can only relocate onto other used machines
+// (consolidation never opens an empty one), so when their combined
+// demand exceeds the free capacity there, the drain is infeasible
+// whatever the budget and the skip must not promise future work.
+func (r *run) drainCouldFit(m topology.MachineID) bool {
+	used := r.cluster.Machine(m).Used()
+	var free resource.Vector
+	for _, o := range r.cluster.Machines() {
+		if o.ID == m || !o.Up() || o.NumContainers() == 0 {
+			continue
+		}
+		free = free.Add(o.Free())
+	}
+	return used.Fits(free)
 }
 
 // drainKey classifies a resident for the drain feasibility precheck:
@@ -754,7 +838,10 @@ func (r *run) defragInto(m topology.MachineID, c *workload.Container) (bool, err
 		}
 		return nil
 	}
-	const maxMoves = 4
+	maxMoves := 4
+	if rem := r.movesRemaining(); rem < maxMoves {
+		maxMoves = rem // rescue-move budget binds tighter
+	}
 	for _, mv := range movers {
 		if c.Demand.Fits(machine.Free()) {
 			break
@@ -842,6 +929,9 @@ func (r *run) tryPreemptionInner(c *workload.Container) ([]*workload.Container, 
 				}
 				if victims == nil {
 					continue
+				}
+				if len(victims) > r.movesRemaining() {
+					continue // over the rescue-move budget
 				}
 				for _, v := range victims {
 					if err := r.unplace(v, mid); err != nil {

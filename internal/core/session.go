@@ -16,10 +16,15 @@ import (
 // currently deployed or was submitted and is now undeployed (arrival
 // rejection, removal, preemption stranding, machine failure).  The
 // zero value means never submitted, so a fresh ledger needs no fill.
+// ledgerStranded is the undeployed sub-state for containers knocked
+// out by a machine failure: they did not ask to leave, so recovery
+// (and the rebalancer's stranded sweep) auto-retries them; every
+// other undeployed path requires an explicit re-submission.
 const (
 	ledgerNever      uint8 = 0
 	ledgerPlaced     uint8 = 1
 	ledgerUndeployed uint8 = 2
+	ledgerStranded   uint8 = 3
 )
 
 // Session is the online face of Aladdin (§VI: "Aladdin is an online
@@ -47,6 +52,15 @@ type Session struct {
 	//
 	//aladdin:domain ord -> _ container ordinal → submission state
 	ledger []uint8
+	// strandedN counts ledgerStranded entries so RecoverMachine can
+	// skip the retry sweep in O(1) when nothing is stranded.
+	strandedN int
+	// disableRecoverRetry turns off RecoverMachine's automatic
+	// stranded-container retry.  The sharded wrapper sets it on its
+	// shard sessions: a shard cannot retry its own strandings because
+	// the feasible destination may live on another shard, so the
+	// wrapper runs the sweep itself across all shards.
+	disableRecoverRetry bool
 
 	// inBatch marks batch membership by ordinal: inBatch[ord] ==
 	// batchEpoch means the container is part of the Place call in
@@ -204,12 +218,27 @@ func (s *Session) Place(batch []*workload.Container) (*sched.Result, error) {
 	return &s.res, err
 }
 
+// setLedger writes a container's submission state, keeping the
+// stranded count in sync.  Every ledger mutation funnels through here
+// so strandedN can never drift.
+//
+//aladdin:hotpath runs per container in placeQueue; two comparisons, no allocations
+func (s *Session) setLedger(ord int, state uint8) {
+	if s.ledger[ord] == ledgerStranded {
+		s.strandedN--
+	}
+	if state == ledgerStranded {
+		s.strandedN++
+	}
+	s.ledger[ord] = state
+}
+
 // strand records one container as undeployed in the session ledger
 // and appends its ID — every undeployed outcome (arrival rejection,
 // IL skip, error unwinding) funnels through here so a checkpoint
 // captures it and a warm restart knows not to re-attempt it.
 func (s *Session) strand(undep []string, c *workload.Container) []string {
-	s.ledger[c.Ord] = ledgerUndeployed
+	s.setLedger(c.Ord, ledgerUndeployed)
 	return append(undep, c.ID)
 }
 
@@ -244,7 +273,7 @@ func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]str
 				}
 				return undep, err
 			}
-			s.ledger[c.Ord] = ledgerPlaced
+			s.setLedger(c.Ord, ledgerPlaced)
 			continue
 		}
 		if s.opts.Migration {
@@ -256,7 +285,7 @@ func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]str
 				return undep, err
 			}
 			if ok {
-				s.ledger[c.Ord] = ledgerPlaced
+				s.setLedger(c.Ord, ledgerPlaced)
 				continue
 			}
 			if ok, err = r.tryDefrag(c); err != nil {
@@ -265,7 +294,7 @@ func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]str
 				}
 				return undep, err
 			} else if ok {
-				s.ledger[c.Ord] = ledgerPlaced
+				s.setLedger(c.Ord, ledgerPlaced)
 				continue
 			}
 		}
@@ -278,17 +307,19 @@ func (s *Session) placeQueue(queue []*workload.Container, undep []string) ([]str
 				return undep, err
 			}
 			if ok {
-				s.ledger[c.Ord] = ledgerPlaced
+				s.setLedger(c.Ord, ledgerPlaced)
 				for _, v := range victims {
 					// A victim from an earlier batch re-enters this
 					// batch's queue.
-					s.ledger[v.Ord] = ledgerUndeployed
+					s.setLedger(v.Ord, ledgerUndeployed)
 					queue = append(queue, v)
 				}
 				continue
 			}
 		}
-		if s.opts.IsomorphismLimiting {
+		// Budget-constrained failures prove nothing about the cluster:
+		// recording them would poison later unconstrained searches.
+		if s.opts.IsomorphismLimiting && r.moveCap == 0 {
 			r.search.il.note(r.search.refOf(c))
 		}
 		undep = s.strand(undep, c)
@@ -313,7 +344,7 @@ func (s *Session) Remove(containerID string) error {
 	if err := s.r.unplace(c, m); err != nil {
 		return err
 	}
-	s.ledger[c.Ord] = ledgerUndeployed
+	s.setLedger(c.Ord, ledgerUndeployed)
 	return nil
 }
 
@@ -402,7 +433,7 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 			res.Elapsed = s.opts.now().Sub(start)
 			return res, err
 		}
-		s.ledger[c.Ord] = ledgerUndeployed
+		s.setLedger(c.Ord, ledgerUndeployed)
 		evicted = append(evicted, c)
 	}
 
@@ -426,6 +457,16 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 			res.Replaced++
 		}
 	}
+	// Everything the failure left undeployed — evicted residents with
+	// no new home and collateral preemption victims alike — is marked
+	// stranded: these containers did not depart, so recovery may
+	// auto-retry them.  Residents unknown to the workload have no
+	// ledger entry and die with the machine.
+	for _, cid := range stranded {
+		if c := r.byID[cid]; c != nil && s.ledger[c.Ord] == ledgerUndeployed {
+			s.setLedger(c.Ord, ledgerStranded)
+		}
+	}
 	res.Migrations = r.migrations - migBefore
 	res.Preemptions = r.preempts - preBefore
 	res.Elapsed = s.opts.now().Sub(start)
@@ -437,15 +478,20 @@ func (s *Session) FailMachine(id topology.MachineID) (*FailureResult, error) {
 // RecoverMachine returns a failed machine to service: its capacity
 // becomes visible to the search index again, and the isomorphism
 // cache is invalidated because reappearing capacity can make a
-// previously unplaceable application feasible.  Stranded containers
-// are not re-placed automatically; re-submit them via Place.
-func (s *Session) RecoverMachine(id topology.MachineID) error {
+// previously unplaceable application feasible.  Containers stranded
+// by earlier failures are then retried automatically through the
+// shared placement pipeline (unbudgeted — recovery should restore as
+// much of the pre-failure placement as is feasible); the result
+// reports what came back.  A non-nil error alongside a non-nil result
+// is an internal placement error from the retry sweep.
+func (s *Session) RecoverMachine(id topology.MachineID) (*RecoverResult, error) {
+	start := s.opts.now()
 	machine := s.r.cluster.Machine(id)
 	if machine == nil {
-		return fmt.Errorf("core: session: unknown machine %d", id)
+		return nil, fmt.Errorf("core: session: unknown machine %d", id)
 	}
 	if machine.Up() {
-		return fmt.Errorf("core: session: machine %s is not down", machine.Name)
+		return nil, fmt.Errorf("core: session: machine %s is not down", machine.Name)
 	}
 	machine.MarkUp()
 	s.r.search.noteUpdate(id)
@@ -454,7 +500,20 @@ func (s *Session) RecoverMachine(id topology.MachineID) error {
 	s.r.met.machinesUp.Add(1)
 	s.r.met.machinesDown.Add(-1)
 	s.r.trc.Emit(obs.Event{Kind: obs.EvRecoverMachine, Machine: int64(id)})
-	return nil
+	res := &RecoverResult{Machine: id}
+	var err error
+	if !s.disableRecoverRetry && s.strandedN > 0 {
+		var rr *RetryResult
+		rr, err = s.RetryStranded(0)
+		if rr != nil {
+			res.Retried = rr.Retried
+			res.Replaced = rr.Replaced
+			res.Migrations = rr.Migrations
+			res.Preemptions = rr.Preemptions
+		}
+	}
+	res.Elapsed = s.opts.now().Sub(start)
+	return res, err
 }
 
 // Consolidate runs the machine-draining pass on demand (e.g. during

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,7 +42,7 @@ type coreShard struct {
 //
 // Lock order (see DESIGN.md §13): a shard's mu is taken before the
 // wrapper's table lock mu, never after; placeMu serializes whole
-// Place/Consolidate passes and is always outermost.  Place computes
+// Place passes and is always outermost.  Place computes
 // every shard's queue before the fan-out and merges results in shard
 // index order, which is what makes the concurrent and sequential
 // (Options.SequentialShards) modes byte-identical.
@@ -95,10 +96,12 @@ type ShardedSession struct {
 
 	byID map[string]*workload.Container //aladdin:lock-ok read-only container lookup
 
-	// placeMu serializes Place and Consolidate: batches are admitted,
-	// fanned out and merged one at a time, like the one scheduler
-	// manager per cluster the paper assumes — sharding parallelises
-	// the inside of a batch, not batches against each other.
+	// placeMu serializes Place: batches are admitted, fanned out and
+	// merged one at a time, like the one scheduler manager per cluster
+	// the paper assumes — sharding parallelises the inside of a batch,
+	// not batches against each other.  Consolidation deliberately does
+	// NOT take it: ConsolidateN drains in bounded per-shard chunks so
+	// placements interleave with the sweep (see DESIGN.md §15).
 	//
 	//aladdin:lock-level 10 outermost: whole-batch serialization, taken before any shard mu
 	placeMu sync.Mutex
@@ -111,6 +114,12 @@ type ShardedSession struct {
 
 	//aladdin:domain ord -> _ container ordinal → submission state
 	ledger []uint8
+
+	// strandedN counts ledgerStranded entries in the wrapper ledger
+	// (guarded by mu).  The wrapper tracks strandedness itself —
+	// shard-local marks cannot drive retries, because a stranded
+	// container's feasible new home may live on another shard.
+	strandedN int
 
 	//aladdin:domain ord -> shard container ordinal → shard it is placed on (noShard if none)
 	shardOf []int32
@@ -267,8 +276,13 @@ func NewSharded(opts Options, w *workload.Workload, cluster *topology.Cluster) (
 		if err != nil {
 			return nil, fmt.Errorf("core: sharded: shard %d topology: %w", i, err)
 		}
+		sess := NewSession(shardOpts, w, cl)
+		// A shard cannot retry its own strandings — the feasible new
+		// home may live on another shard — so the wrapper runs the
+		// recovery sweep itself across all shards.
+		sess.disableRecoverRetry = true
 		s.shards = append(s.shards, &coreShard{
-			sess:    NewSession(shardOpts, w, cl),
+			sess:    sess,
 			cluster: cl,
 		})
 	}
@@ -372,10 +386,32 @@ func (s *ShardedSession) admitBatch(batch []*workload.Container) (queues [][]*wo
 	return queues, epoch, nil
 }
 
+// setLedgerLocked writes a wrapper ledger entry, keeping the stranded
+// count in sync.  Callers hold s.mu.
+func (s *ShardedSession) setLedgerLocked(ord int, state uint8) {
+	if s.ledger[ord] == ledgerStranded {
+		s.strandedN--
+	}
+	if state == ledgerStranded {
+		s.strandedN++
+	}
+	s.ledger[ord] = state
+}
+
 // markUndeployed records a stranding in the wrapper tables under s.mu.
 func (s *ShardedSession) markUndeployed(ord int) {
 	s.mu.Lock()
-	s.ledger[ord] = ledgerUndeployed
+	s.setLedgerLocked(ord, ledgerUndeployed)
+	s.shardOf[ord] = noShard
+	s.mu.Unlock()
+}
+
+// markStranded records a failure-stranding in the wrapper tables under
+// s.mu: like markUndeployed, but the container stays eligible for the
+// automatic retry sweeps (RecoverMachine, RetryStranded).
+func (s *ShardedSession) markStranded(ord int) {
+	s.mu.Lock()
+	s.setLedgerLocked(ord, ledgerStranded)
 	s.shardOf[ord] = noShard
 	s.mu.Unlock()
 }
@@ -432,7 +468,7 @@ func (s *ShardedSession) placeOnShard(k int, queue []*workload.Container, epoch 
 	// strandings are rare, so the ID probes here are off the hot path.
 	s.mu.Lock()
 	for _, ord := range out.placed {
-		s.ledger[ord] = ledgerPlaced
+		s.setLedgerLocked(int(ord), ledgerPlaced)
 		s.shardOf[ord] = int32(k)
 	}
 	s.mu.Unlock()
@@ -678,42 +714,247 @@ func (s *ShardedSession) FailMachine(gid topology.MachineID) (*FailureResult, er
 		res.Machine = gid
 		for _, id := range res.Stranded {
 			if c := s.byID[id]; c != nil {
-				s.markUndeployed(c.Ord)
+				s.markStranded(c.Ord)
 			}
 		}
 	}
 	return res, err
 }
 
-// RecoverMachine returns a failed machine to its shard's service.
-func (s *ShardedSession) RecoverMachine(gid topology.MachineID) error {
-	sh, lid, err := s.locate(gid)
-	if err != nil {
-		return err
+// RecoverMachine returns a failed machine to its shard's service,
+// then runs the wrapper's stranded-container retry sweep: every
+// failure-stranded container re-enters the normal Place pipeline one
+// at a time (home shard first, spilling across the others), so the
+// recovered capacity — and any other capacity that freed up since the
+// failure — is put back to work.  The sweep is unbudgeted, like the
+// single-session recovery path.
+func (s *ShardedSession) RecoverMachine(gid topology.MachineID) (*RecoverResult, error) {
+	start := s.opts.now()
+	sh, lid, lerr := s.locate(gid)
+	if lerr != nil {
+		return nil, lerr
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.sess.RecoverMachine(lid)
+	res, err := sh.sess.RecoverMachine(lid)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	res.Machine = gid
+	rr, rerr := s.RetryStranded(0)
+	if rr != nil {
+		res.Retried = rr.Retried
+		res.Replaced = rr.Replaced
+		res.Migrations = rr.Migrations
+		res.Preemptions = rr.Preemptions
+	}
+	res.Elapsed = s.opts.now().Sub(start)
+	return res, rerr
 }
+
+// RetryStranded re-submits failure-stranded containers through the
+// wrapper's Place pipeline in priority order, one container per call
+// so shard locks release between attempts.  budget caps rescue moves
+// (migrations plus preemptions) per sweep; it is enforced per shard
+// session, so a single attempt that spills across shards may overshoot
+// by the moves the extra shards spend (0 = unlimited).  Containers
+// that still fit nowhere stay stranded for the next sweep.
+func (s *ShardedSession) RetryStranded(budget int) (*RetryResult, error) {
+	res := &RetryResult{}
+	s.mu.Lock()
+	var queue []*workload.Container
+	if s.strandedN > 0 {
+		cs := s.w.Containers()
+		queue = make([]*workload.Container, 0, s.strandedN)
+		for ord, st := range s.ledger {
+			if st == ledgerStranded {
+				queue = append(queue, cs[ord])
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(queue) == 0 {
+		return res, nil
+	}
+	sort.Slice(queue, func(i, j int) bool {
+		if queue[i].Priority != queue[j].Priority {
+			return queue[i].Priority > queue[j].Priority
+		}
+		return queue[i].Ord < queue[j].Ord
+	})
+	remaining := budget
+	for _, c := range queue {
+		if budget > 0 && remaining <= 0 {
+			break
+		}
+		if s.isPlaced(c.Ord) {
+			continue // lost a race with a concurrent placement
+		}
+		res.Retried++
+		if budget > 0 {
+			s.setShardMoveBudgets(remaining)
+		}
+		pr, err := s.Place([]*workload.Container{c})
+		if budget > 0 {
+			s.setShardMoveBudgets(0)
+		}
+		if err != nil {
+			if errors.Is(err, ErrStateCorruption) {
+				return res, err
+			}
+			// A benign admission race (e.g. the container landed via a
+			// concurrent Place between our check and the call): skip it.
+			continue
+		}
+		res.Migrations += pr.Migrations
+		res.Preemptions += pr.Preemptions
+		if budget > 0 {
+			remaining -= pr.Migrations + pr.Preemptions
+		}
+		placed := true
+		for _, id := range pr.Undeployed {
+			if id == c.ID {
+				placed = false
+			}
+			// Whatever the attempt left undeployed — the retried
+			// container or a collateral victim — stays stranded.
+			if cc := s.byID[id]; cc != nil && !s.isPlaced(cc.Ord) {
+				s.markStranded(cc.Ord)
+			}
+		}
+		if placed {
+			res.Replaced = append(res.Replaced, c.ID)
+		}
+	}
+	return res, nil
+}
+
+// setShardMoveBudgets installs (or clears, cap <= 0) a rescue-move
+// budget on every shard session.  While installed, concurrent Place
+// batches share the cap — an acceptable, transient narrowing during a
+// budgeted retry attempt.
+func (s *ShardedSession) setShardMoveBudgets(cap int) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.sess.r.setMoveBudget(cap)
+		sh.mu.Unlock()
+	}
+}
+
+// consolidateChunk is how many container moves a sharded consolidation
+// performs per shard-lock acquisition: large enough to amortise the
+// drain pass's candidate scan, small enough that concurrent Place and
+// failure traffic never waits behind a whole-shard drain.
+const consolidateChunk = 64
 
 // Consolidate drains every shard in index order and returns the total
 // migrations performed.  Consolidation never crosses a shard
 // boundary: moves stay within each shard's machines, so ownership
 // tables are unaffected.
 func (s *ShardedSession) Consolidate() (int, error) {
-	s.placeMu.Lock()
-	defer s.placeMu.Unlock()
-	total := 0
+	r, err := s.ConsolidateN(0)
+	return r.Moves, err
+}
+
+// ConsolidateN drains the shards incrementally under a move budget (0
+// = unlimited).  Unlike Place it never takes placeMu, and each shard's
+// lock is held only for one bounded chunk of moves at a time, so
+// concurrent Place/Remove/Fail/Recover traffic interleaves with the
+// sweep instead of stalling behind it.  Result.More reports whether
+// drain work (possibly infeasible — the signal is conservative)
+// remained when the budget ran out; a later call resumes it.
+func (s *ShardedSession) ConsolidateN(budget int) (ConsolidateResult, error) {
+	var out ConsolidateResult
+	remaining := budget
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		n, err := sh.sess.Consolidate()
-		sh.mu.Unlock()
-		total += n
-		if err != nil {
-			return total, err
+		chunk := consolidateChunk
+		for {
+			if budget > 0 && remaining <= 0 {
+				out.More = true
+				return out, nil
+			}
+			n := chunk
+			if budget > 0 && n > remaining {
+				n = remaining
+			}
+			sh.mu.Lock()
+			r, err := sh.sess.ConsolidateN(n)
+			sh.mu.Unlock()
+			out.Moves += r.Moves
+			if budget > 0 {
+				remaining -= r.Moves
+			}
+			if err != nil {
+				return out, err
+			}
+			if !r.More {
+				break // shard fully consolidated
+			}
+			if r.Moves == 0 {
+				// Every remaining drainable machine on this shard holds
+				// more residents than the chunk allows.  Grow the chunk
+				// until one fits — unless the sweep budget itself is the
+				// binding cap, in which case this shard must wait for a
+				// future sweep.
+				if budget > 0 && n >= remaining {
+					out.More = true
+					break
+				}
+				chunk *= 2
+			}
 		}
 	}
-	return total, nil
+	return out, nil
+}
+
+// PackingStats aggregates placement quality across the shard clusters.
+func (s *ShardedSession) PackingStats() PackingStats {
+	var a packingAccum
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		a.add(sh.cluster)
+		sh.mu.Unlock()
+	}
+	s.mu.Lock()
+	n := s.strandedN
+	s.mu.Unlock()
+	return a.finish(n)
+}
+
+// StrandedIDs lists the failure-stranded containers in workload
+// ordinal order, from the wrapper ledger.
+func (s *ShardedSession) StrandedIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.strandedN == 0 {
+		return nil
+	}
+	out := make([]string, 0, s.strandedN)
+	cs := s.w.Containers()
+	for ord, st := range s.ledger {
+		if st == ledgerStranded {
+			out = append(out, cs[ord].ID)
+		}
+	}
+	return out
+}
+
+// Forget clears a container's failure-stranded mark in the wrapper
+// ledger; see Session.Forget.
+func (s *ShardedSession) Forget(containerID string) error {
+	c := s.byID[containerID]
+	if c == nil {
+		return fmt.Errorf("core: session: unknown container %s", containerID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger[c.Ord] == ledgerPlaced {
+		return fmt.Errorf("core: session: container %s is placed; use Remove", containerID)
+	}
+	if s.ledger[c.Ord] == ledgerStranded {
+		s.setLedgerLocked(c.Ord, ledgerUndeployed)
+	}
+	return nil
 }
 
 // Audit re-checks every shard's live placement for constraint

@@ -137,7 +137,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 					case 2:
 						_, errs[si] = s.FailMachine(topology.MachineID(arg % 32))
 					case 3:
-						errs[si] = s.RecoverMachine(topology.MachineID(arg % 32))
+						_, errs[si] = s.RecoverMachine(topology.MachineID(arg % 32))
 					}
 				}
 				if (errs[0] == nil) != (errs[1] == nil) {
@@ -272,10 +272,10 @@ func TestShardedFailRecoverRouting(t *testing.T) {
 	if _, err := s.FailMachine(target); err == nil {
 		t.Error("second FailMachine on a down machine should error")
 	}
-	if err := s.RecoverMachine(target); err != nil {
+	if _, err := s.RecoverMachine(target); err != nil {
 		t.Fatalf("RecoverMachine(%d): %v", target, err)
 	}
-	if err := s.RecoverMachine(target); err == nil {
+	if _, err := s.RecoverMachine(target); err == nil {
 		t.Error("recovering an up machine should error")
 	}
 	if _, err := s.FailMachine(topology.MachineID(999)); err == nil {
@@ -360,7 +360,7 @@ func TestShardedConcurrentFailRecoverRacingPlace(t *testing.T) {
 					x = x*1664525 + 1013904223
 					m := topology.MachineID(x % 64)
 					if _, err := s.FailMachine(m); err == nil {
-						_ = s.RecoverMachine(m)
+						_, _ = s.RecoverMachine(m)
 					}
 				}
 			}()

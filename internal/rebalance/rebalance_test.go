@@ -1,0 +1,330 @@
+package rebalance
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/obs"
+	"aladdin/internal/resource"
+	"aladdin/internal/topology"
+	"aladdin/internal/workload"
+)
+
+// fakeTarget scripts the Target interface so trigger and budget logic
+// can be asserted without a real scheduling session.
+type fakeTarget struct {
+	mu        sync.Mutex
+	ps        core.PackingStats
+	retryRes  core.RetryResult
+	retryErr  error
+	consRes   core.ConsolidateResult
+	consErr   error
+	retryArgs []int // budgets RetryStranded was called with
+	consArgs  []int // budgets ConsolidateN was called with
+}
+
+func (f *fakeTarget) PackingStats() core.PackingStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ps
+}
+
+func (f *fakeTarget) ConsolidateN(budget int) (core.ConsolidateResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.consArgs = append(f.consArgs, budget)
+	return f.consRes, f.consErr
+}
+
+func (f *fakeTarget) RetryStranded(budget int) (*core.RetryResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.retryArgs = append(f.retryArgs, budget)
+	r := f.retryRes
+	return &r, f.retryErr
+}
+
+func (f *fakeTarget) AuditInvariants() []core.AuditViolation { return nil }
+func (f *fakeTarget) FlowConservation() error                { return nil }
+
+func (f *fakeTarget) calls() (retry, cons []int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.retryArgs...), append([]int(nil), f.consArgs...)
+}
+
+func TestFragmentation(t *testing.T) {
+	cases := []struct {
+		free, largest int64
+		want          float64
+	}{
+		{0, 0, 0},         // nothing free: nothing to fragment
+		{1000, 1000, 0},   // one contiguous slab
+		{1000, 250, 0.75}, // shattered
+	}
+	for _, c := range cases {
+		ps := core.PackingStats{FreeCPU: c.free, LargestFreeCPU: c.largest}
+		if got := Fragmentation(ps); got != c.want {
+			t.Errorf("Fragmentation(free=%d largest=%d) = %v, want %v", c.free, c.largest, got, c.want)
+		}
+	}
+}
+
+// TestCycleTriggers drives the decision table: first cycle always
+// consolidates, steady state skips, and fragmentation, drift or a
+// successful stranded retry each re-arm the sweep.
+func TestCycleTriggers(t *testing.T) {
+	steady := core.PackingStats{MeanUtilization: 0.5, FreeCPU: 1000, LargestFreeCPU: 1000}
+
+	f := &fakeTarget{ps: steady}
+	rb := New(f, Config{})
+
+	if r := rb.RunCycle(); r.Skipped {
+		t.Fatal("first cycle skipped; it must consolidate to establish a baseline")
+	}
+	if r := rb.RunCycle(); !r.Skipped {
+		t.Fatal("steady-state cycle not skipped")
+	}
+	_, cons := f.calls()
+	if len(cons) != 1 {
+		t.Fatalf("ConsolidateN called %d times, want 1 (skipped cycle must not touch the target)", len(cons))
+	}
+
+	// Fragmentation at/above the threshold triggers.
+	f.mu.Lock()
+	f.ps.LargestFreeCPU = 100 // frag 0.9 >= 0.125
+	f.mu.Unlock()
+	if r := rb.RunCycle(); r.Skipped {
+		t.Fatal("fragmented cycle skipped")
+	}
+	f.mu.Lock()
+	f.ps = steady
+	f.mu.Unlock()
+
+	// Utilization drift triggers even with zero fragmentation.
+	f.mu.Lock()
+	f.ps.MeanUtilization = 0.55 // |0.55-0.5| >= 0.02
+	f.mu.Unlock()
+	if r := rb.RunCycle(); r.Skipped {
+		t.Fatal("drifted cycle skipped")
+	}
+
+	// Stranded containers force a retry; a successful re-placement
+	// then forces consolidation to absorb the churn.
+	f.mu.Lock()
+	f.ps.Stranded = 1
+	f.retryRes = core.RetryResult{Retried: 1, Replaced: []string{"a/0"}, Migrations: 1}
+	f.mu.Unlock()
+	r := rb.RunCycle()
+	if r.Skipped || r.Retried != 1 || r.Replaced != 1 || r.Moves < 1 {
+		t.Fatalf("stranded cycle = %+v, want retried=1 replaced=1", r)
+	}
+	retry, _ := f.calls()
+	if len(retry) != 1 {
+		t.Fatalf("RetryStranded called %d times, want 1", len(retry))
+	}
+}
+
+// TestCycleBudgetSplit: the retry sweep draws down the cycle budget
+// before consolidation sees the remainder, and a retry that exhausts
+// it defers all drain work to the next cycle via More.
+func TestCycleBudgetSplit(t *testing.T) {
+	f := &fakeTarget{
+		ps:       core.PackingStats{Stranded: 2, MeanUtilization: 0.4, FreeCPU: 1000, LargestFreeCPU: 100},
+		retryRes: core.RetryResult{Retried: 2, Replaced: []string{"a/0"}, Migrations: 1, Preemptions: 1},
+	}
+	rb := New(f, Config{Budget: 5})
+	r := rb.RunCycle()
+	if r.Budget != 5 || r.Moves != 2 {
+		t.Fatalf("cycle = %+v, want budget 5, moves 2", r)
+	}
+	retry, cons := f.calls()
+	if len(retry) != 1 || retry[0] != 5 {
+		t.Fatalf("RetryStranded budgets = %v, want [5]", retry)
+	}
+	if len(cons) != 1 || cons[0] != 3 {
+		t.Fatalf("ConsolidateN budgets = %v, want [3] (5 minus 2 retry moves)", cons)
+	}
+
+	// Retry consumes the entire budget: no consolidation call, More set.
+	f2 := &fakeTarget{
+		ps:       core.PackingStats{Stranded: 1, FreeCPU: 1000, LargestFreeCPU: 100},
+		retryRes: core.RetryResult{Retried: 1, Replaced: []string{"a/0"}, Migrations: 2},
+	}
+	rb2 := New(f2, Config{Budget: 2})
+	r2 := rb2.RunCycle()
+	if !r2.More {
+		t.Fatal("budget-exhausted cycle did not report More")
+	}
+	if _, cons2 := f2.calls(); len(cons2) != 0 {
+		t.Fatalf("ConsolidateN called with an exhausted budget: %v", cons2)
+	}
+}
+
+// TestPendingMoreResume: a budget-capped drain that left work behind
+// re-arms the next cycle even when no fresh trigger fires.
+func TestPendingMoreResume(t *testing.T) {
+	steady := core.PackingStats{MeanUtilization: 0.5, FreeCPU: 1000, LargestFreeCPU: 1000}
+	f := &fakeTarget{ps: steady, consRes: core.ConsolidateResult{Moves: 1, More: true}}
+	rb := New(f, Config{Budget: 1})
+
+	if r := rb.RunCycle(); !r.More {
+		t.Fatal("first cycle should report leftover drain work")
+	}
+	// No fragmentation, no drift, no strandings — but More was pending.
+	f.mu.Lock()
+	f.consRes = core.ConsolidateResult{}
+	f.mu.Unlock()
+	if r := rb.RunCycle(); r.Skipped {
+		t.Fatal("cycle after More skipped instead of resuming the drain")
+	}
+	// With the drain finished the third cycle finally idles.
+	if r := rb.RunCycle(); !r.Skipped {
+		t.Fatal("cycle after a completed drain was not skipped")
+	}
+}
+
+func TestCycleErrorPropagation(t *testing.T) {
+	wrapped := fmt.Errorf("audit: %w", core.ErrStateCorruption)
+	f := &fakeTarget{
+		ps:       core.PackingStats{Stranded: 1, FreeCPU: 1000, LargestFreeCPU: 100},
+		retryErr: wrapped,
+	}
+	r := New(f, Config{}).RunCycle()
+	if r.Err == nil || !IsCorruption(r.Err) {
+		t.Fatalf("cycle error = %v, want state corruption", r.Err)
+	}
+	if IsCorruption(errors.New("transient")) {
+		t.Error("IsCorruption misclassified a transient error")
+	}
+}
+
+// TestLifecycle covers Start/Stop/SetSchedule edges: Start demands an
+// interval, refuses double-starts, Stop is idempotent and a stopped
+// rebalancer restarts; SetSchedule is rejected mid-run.
+func TestLifecycle(t *testing.T) {
+	f := &fakeTarget{ps: core.PackingStats{FreeCPU: 1000, LargestFreeCPU: 100}}
+	rb := New(f, Config{})
+	if err := rb.Start(); err == nil {
+		t.Fatal("Start without an interval should error")
+	}
+	if err := rb.SetSchedule(time.Millisecond, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Running() {
+		t.Fatal("Running() false after Start")
+	}
+	if err := rb.Start(); err == nil {
+		t.Fatal("second Start should error")
+	}
+	if err := rb.SetSchedule(time.Second, 1); err == nil {
+		t.Fatal("SetSchedule while running should error")
+	}
+	// The loop must actually cycle: fragmentation is high, so every
+	// tick consolidates with the configured budget.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, cons := f.calls(); len(cons) > 0 {
+			if cons[0] != 3 {
+				t.Fatalf("ticker cycle used budget %d, want 3", cons[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never ran a cycle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rb.Stop()
+	if rb.Running() {
+		t.Fatal("Running() true after Stop")
+	}
+	rb.Stop() // idempotent
+	if err := rb.Start(); err != nil {
+		t.Fatalf("restart after Stop: %v", err)
+	}
+	rb.Stop()
+}
+
+// TestRunCycleRealSession runs budgeted cycles against a live
+// core.Session scattered one-container-per-machine: every cycle obeys
+// the move cap, audits stay clean, and the loop converges to a dense
+// packing with no leftover More.
+func TestRunCycleRealSession(t *testing.T) {
+	w := workload.MustNew([]*workload.App{
+		{ID: "fill", Demand: resource.Cores(8, 16384), Replicas: 32},
+	})
+	cl := topology.New(topology.Config{
+		Machines:        8,
+		MachinesPerRack: 4,
+		RacksPerCluster: 2,
+		Capacity:        resource.Cores(32, 64*1024),
+	})
+	s := core.NewSession(core.DefaultOptions(), w, cl)
+	if _, err := s.Place(w.Containers()); err != nil {
+		t.Fatal(err)
+	}
+	perMachine := make(map[topology.MachineID]bool)
+	for id, m := range s.Assignment() {
+		if perMachine[m] {
+			if err := s.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perMachine[m] = true
+	}
+
+	reg := obs.NewRegistry()
+	rb := New(s, Config{Budget: 2, Audit: true, Metrics: reg})
+	var total, cycles int
+	for {
+		r := rb.RunCycle()
+		if r.Err != nil {
+			t.Fatalf("cycle %d: %v", cycles, r.Err)
+		}
+		if r.Moves > 2 {
+			t.Fatalf("cycle %d spent %d moves on a budget of 2", cycles, r.Moves)
+		}
+		if len(r.Violations) != 0 {
+			t.Fatalf("cycle %d: audit violations %v", cycles, r.Violations)
+		}
+		total += r.Moves
+		cycles++
+		if r.Moves == 0 && !r.More {
+			break
+		}
+		if cycles > 32 {
+			t.Fatal("budgeted rebalancing did not converge")
+		}
+	}
+	if total == 0 {
+		t.Fatal("rebalancer moved nothing on an 8-way scatter")
+	}
+	// 8 containers x 8 cores pack into two 32-core machines.
+	if ps := s.PackingStats(); ps.Used != 2 {
+		t.Errorf("converged packing uses %d machines, want 2", ps.Used)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"aladdin_rebalance_cycles_total",
+		"aladdin_rebalance_moves_total",
+		"aladdin_rebalance_cycle_moves",
+		"aladdin_rebalance_fragmentation_bp",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}

@@ -413,7 +413,10 @@ func TestHandlerContentTypes(t *testing.T) {
 		{http.MethodGet, "/explain?container=db/0", "", http.StatusOK, "application/json"},
 		{http.MethodPost, "/remove", `{"container":"web/1"}`, http.StatusOK, "text/plain; charset=utf-8"},
 		{http.MethodPost, "/fail", `{"machine":2}`, http.StatusOK, "application/json"},
-		{http.MethodPost, "/recover", `{"machine":2}`, http.StatusOK, "text/plain; charset=utf-8"},
+		{http.MethodPost, "/recover", `{"machine":2}`, http.StatusOK, "application/json"},
+		{http.MethodPost, "/consolidate", `{}`, http.StatusOK, "application/json"},
+		{http.MethodPost, "/rebalance", `{"budget":4}`, http.StatusOK, "application/json"},
+		{http.MethodPost, "/rebalance/stop", "", http.StatusOK, "text/plain; charset=utf-8"},
 	}
 	for _, tc := range cases {
 		rec := do(t, s, tc.method, tc.path, tc.body)

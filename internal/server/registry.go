@@ -11,6 +11,7 @@ import (
 	"aladdin/internal/constraint"
 	"aladdin/internal/core"
 	"aladdin/internal/obs"
+	"aladdin/internal/rebalance"
 	"aladdin/internal/sched"
 	"aladdin/internal/topology"
 	"aladdin/internal/trace"
@@ -25,12 +26,17 @@ type Sched interface {
 	Place(batch []*workload.Container) (*sched.Result, error)
 	Remove(containerID string) error
 	FailMachine(id topology.MachineID) (*core.FailureResult, error)
-	RecoverMachine(id topology.MachineID) error
+	RecoverMachine(id topology.MachineID) (*core.RecoverResult, error)
 	Assignment() constraint.Assignment
 	Placed(containerID string) bool
 	Audit() []constraint.Violation
 	FlowConservation() error
 	AuditInvariants() []core.AuditViolation
+	// Continuous-rescheduling surface (the rebalance.Target methods,
+	// plus the consolidate endpoint's direct path).
+	PackingStats() core.PackingStats
+	ConsolidateN(budget int) (core.ConsolidateResult, error)
+	RetryStranded(budget int) (*core.RetryResult, error)
 }
 
 // DefaultTenant is the name of the tenant New builds from its session
@@ -104,6 +110,17 @@ type Tenant struct {
 
 	bat *batcher
 	met tenantMetrics
+
+	// rbMu guards the tenant's rebalancer lifecycle (lazy creation,
+	// start/stop).  It is held while acquiring t.mu only transitively —
+	// a cycle started under it takes t.mu through the target adapter —
+	// never the other way around, and Tenant.stopRebalancer must never
+	// run under t.mu: Stop waits for an in-flight cycle that needs t.mu
+	// to finish.
+	//
+	//aladdin:lock-level 43 per-tenant rebalancer lifecycle lock; may be held while a cycle acquires the tenant session lock (44), never acquired under it
+	rbMu sync.Mutex
+	rb   *rebalance.Rebalancer
 }
 
 // newTenant wraps an existing session as a tenant and materializes
@@ -275,6 +292,7 @@ func (s *Server) DeleteTenant(name string) error {
 	if t.bat != nil {
 		t.bat.close()
 	}
+	t.stopRebalancer()
 	return nil
 }
 

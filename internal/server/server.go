@@ -148,6 +148,10 @@ func New(session *core.Session, w *workload.Workload, cluster *topology.Cluster,
 		{"POST", "recover", s.handleRecover},
 		{"POST", "checkpoint", s.handleCheckpoint},
 		{"POST", "restore", s.handleRestore},
+		{"POST", "consolidate", s.handleConsolidate},
+		{"POST", "rebalance", s.handleRebalance},
+		{"POST", "rebalance/start", s.handleRebalanceStart},
+		{"POST", "rebalance/stop", s.handleRebalanceStop},
 	}
 	for _, rt := range routes {
 		s.mux.HandleFunc(rt.method+" /"+rt.path, s.dflt(rt.h))
@@ -183,6 +187,7 @@ func (s *Server) Drain() {
 		if t.bat != nil {
 			t.bat.close()
 		}
+		t.stopRebalancer()
 	}
 }
 
@@ -645,7 +650,19 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	})
 }
 
-// handleRecover returns a failed machine to service.
+// recoverResponse reports one recovery event's outcome, including the
+// automatic stranded-container retry RecoverMachine runs.
+type recoverResponse struct {
+	Machine     topology.MachineID `json:"machine"`
+	Retried     int                `json:"retried"`
+	Replaced    []string           `json:"replaced,omitempty"`
+	Migrations  int                `json:"migrations"`
+	Preemptions int                `json:"preemptions"`
+	ElapsedUS   int64              `json:"elapsed_us"`
+}
+
+// handleRecover returns a failed machine to service and reports the
+// stranded containers the recovery re-placed onto it.
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req machineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -658,12 +675,19 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request, t *Tenant
 		http.Error(w, fmt.Sprintf("unknown machine %d", req.Machine), http.StatusNotFound)
 		return
 	}
-	if err := t.sched.RecoverMachine(req.Machine); err != nil {
+	res, err := t.sched.RecoverMachine(req.Machine)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "recovered")
+	writeJSON(w, recoverResponse{
+		Machine:     res.Machine,
+		Retried:     res.Retried,
+		Replaced:    res.Replaced,
+		Migrations:  res.Migrations,
+		Preemptions: res.Preemptions,
+		ElapsedUS:   res.Elapsed.Microseconds(),
+	})
 }
 
 // checkpointRequest is the JSON body of /checkpoint; an empty body is

@@ -10,6 +10,7 @@ import (
 	"aladdin/internal/checkpoint"
 	"aladdin/internal/core"
 	"aladdin/internal/obs"
+	"aladdin/internal/rebalance"
 	"aladdin/internal/resource"
 	"aladdin/internal/stats"
 	"aladdin/internal/topology"
@@ -71,6 +72,15 @@ type OnlineConfig struct {
 	// failure event — the moments a warm restart is most likely to be
 	// needed from.
 	CheckpointOnFailure bool
+	// RebalanceEvery enables continuous rescheduling: a rebalancing
+	// cycle fires on the first event at or after each multiple of this
+	// simulated-time interval (the sim drives cycles off the event
+	// clock, not a wall-clock ticker, so runs stay deterministic).
+	// Zero disables the rebalancer.
+	RebalanceEvery time.Duration
+	// RebalanceBudget caps moves (consolidation relocations, retry
+	// migrations and preemptions) per rebalancing cycle; 0 = unlimited.
+	RebalanceBudget int
 }
 
 // OnlineMetrics summarises an online run.
@@ -128,6 +138,21 @@ type OnlineMetrics struct {
 	// Checkpoints counts session snapshots written during the run
 	// (periodic, on-failure and the drain checkpoint).
 	Checkpoints int
+	// RebalanceCycles / RebalanceMoves accumulate over the run's
+	// rebalancing cycles; RebalanceMaxCycleMoves is the single-cycle
+	// high-water mark (never exceeds a non-zero RebalanceBudget).
+	RebalanceCycles, RebalanceMoves, RebalanceMaxCycleMoves int
+	// StrandedRetried counts failure-stranded containers the recovery
+	// and rebalancing sweeps re-submitted; StrandedRecovered of those
+	// found a machine.  StrandedAtDrain is the stranded ledger size
+	// when the timeline drains — 0 when every stranding was healed or
+	// its application departed.
+	StrandedRetried, StrandedRecovered, StrandedAtDrain int
+	// MeanUsedMachines is the time-weighted average of used machines
+	// over the run — the packing quality integral a rebalancer is
+	// meant to push down (peaks alone can't distinguish a run that
+	// consolidates from one that stays fragmented between peaks).
+	MeanUsedMachines float64
 }
 
 // eventKind discriminates timeline events.
@@ -287,9 +312,30 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		nextCkpt = cfg.CheckpointEvery
 	}
 
+	// Continuous rescheduling rides the event clock: cycles fire at
+	// simulated-interval boundaries (like periodic checkpoints), so a
+	// seeded run with a rebalancer is as reproducible as one without.
+	var rb *rebalance.Rebalancer
+	var nextRb time.Duration
+	if cfg.RebalanceEvery > 0 {
+		rb = rebalance.New(session, rebalance.Config{
+			Budget: cfg.RebalanceBudget,
+			Audit:  cfg.DeepAudit,
+		})
+		nextRb = cfg.RebalanceEvery
+	}
+
+	// MeanUsedMachines integrates used machines over simulated time:
+	// accumulate the pre-event level across the gap since the last
+	// event, then let the event change the level.
+	var usedIntegral float64
+	var lastAt time.Duration
+
 	var replaceLat []float64
 	for h.Len() > 0 {
 		e := h.popEvent()
+		usedIntegral += float64(cluster.UsedMachines()) * float64(e.at-lastAt)
+		lastAt = e.at
 		switch e.kind {
 		case kindArrive:
 			batch := byApp[e.arrive.ID]
@@ -336,9 +382,15 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		case kindDepart:
 			for _, id := range e.departs {
 				// A container may have been preempted or stranded by a
-				// machine failure after its initial placement;
-				// departures of unplaced containers are no-ops.
+				// machine failure after its initial placement.  A
+				// departing stranded container must be forgotten, not
+				// skipped: its application is gone, so a later recovery
+				// or rebalancing sweep must not resurrect it into
+				// capacity nothing will ever release.
 				if !session.Placed(id) {
+					if err := session.Forget(id); err != nil {
+						return nil, fmt.Errorf("sim: online departure: %w", err)
+					}
 					continue
 				}
 				if err := session.Remove(id); err != nil {
@@ -377,12 +429,36 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 			if cluster.Machine(e.machine).Up() {
 				continue // never failed, or an overlapping repair won
 			}
-			if err := session.RecoverMachine(e.machine); err != nil {
+			rr, err := session.RecoverMachine(e.machine)
+			if err != nil {
 				return nil, fmt.Errorf("sim: online recovery: %w", err)
 			}
 			m.Recoveries++
+			m.StrandedRetried += rr.Retried
+			m.StrandedRecovered += len(rr.Replaced)
+			m.Migrations += rr.Migrations
+			m.Preemptions += rr.Preemptions
 			if cfg.DeepAudit {
 				m.Violations += audit()
+			}
+		}
+		// Rebalancing cycle: fire on the first event at or past each
+		// interval boundary, after the event's own mutation settles.
+		if rb != nil && e.at >= nextRb {
+			res := rb.RunCycle()
+			if res.Err != nil {
+				return nil, fmt.Errorf("sim: online rebalance: %w", res.Err)
+			}
+			m.RebalanceCycles++
+			m.RebalanceMoves += res.Moves
+			if res.Moves > m.RebalanceMaxCycleMoves {
+				m.RebalanceMaxCycleMoves = res.Moves
+			}
+			m.StrandedRetried += res.Retried
+			m.StrandedRecovered += res.Replaced
+			m.Violations += len(res.Violations)
+			for nextRb <= e.at {
+				nextRb += cfg.RebalanceEvery
 			}
 		}
 		// Periodic checkpoint: fire on the first event at or past each
@@ -402,6 +478,10 @@ func RunOnline(cfg OnlineConfig) (*OnlineMetrics, error) {
 		}
 	}
 	m.Violations += audit()
+	m.StrandedAtDrain = len(session.StrandedIDs())
+	if lastAt > 0 {
+		m.MeanUsedMachines = usedIntegral / float64(lastAt)
+	}
 	m.BatchLatency = stats.NewCDF(latencies)
 	m.ReplaceLatency = stats.NewCDF(replaceLat)
 	m.Snapshot = cfg.Options.Metrics.Snapshot()

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"aladdin/internal/core"
+	"aladdin/internal/trace"
+)
+
+// TestRunOnlineStrandedRetryOnRecovery is the stranded-container
+// regression test: before recovery-triggered retry existed, containers
+// stranded by a machine failure stayed out of the cluster forever —
+// RecoverMachine returned capacity but nothing re-submitted the
+// strandings, so StrandedRecovered was always zero and availability
+// was lost for the rest of each application's lifetime.  Now every
+// repair sweeps the stranded ledger through the placement pipeline and
+// the ledger drains to zero.
+func TestRunOnlineStrandedRetryOnRecovery(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 200))
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         16, // tight: failure evictions can't all re-place
+		Options:          core.DefaultOptions(),
+		Seed:             7,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     30 * time.Second,
+		MTBF:             2 * time.Second,
+		MTTR:             4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailureStranded == 0 {
+		t.Fatal("a near-full 16-machine cluster under aggressive failures must strand containers")
+	}
+	if m.StrandedRetried == 0 {
+		t.Error("recoveries never retried the stranded ledger")
+	}
+	if m.StrandedRecovered == 0 {
+		t.Error("no stranded container was re-placed after recovery — the availability regression")
+	}
+	if m.StrandedAtDrain != 0 {
+		t.Errorf("StrandedAtDrain = %d, want 0: every stranding must be re-placed or forgotten", m.StrandedAtDrain)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0", m.Violations)
+	}
+}
+
+// TestRunOnlineRebalancerImprovesPacking is the seeded A/B: the same
+// workload, timeline and failure schedule run with and without the
+// background rebalancer, and the rebalanced run must hold a strictly
+// lower time-weighted mean of used machines — the packing integral
+// continuous rescheduling exists to push down.
+func TestRunOnlineRebalancerImprovesPacking(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(42, 200))
+	base := OnlineConfig{
+		Workload:         w,
+		Machines:         64,
+		Options:          core.DefaultOptions(),
+		Seed:             7,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     20 * time.Second, // long-lived stragglers fragment departures
+		MTBF:             3 * time.Second,
+		MTTR:             4 * time.Second,
+	}
+	off, err := RunOnline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Options = core.DefaultOptions() // fresh metrics registry per run
+	on.RebalanceEvery = 2 * time.Second
+	on.RebalanceBudget = 16
+	onM, err := RunOnline(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onM.RebalanceCycles == 0 {
+		t.Fatal("rebalancer never cycled")
+	}
+	if onM.MeanUsedMachines >= off.MeanUsedMachines {
+		t.Errorf("rebalanced mean used machines %.2f, want < baseline %.2f",
+			onM.MeanUsedMachines, off.MeanUsedMachines)
+	}
+	if onM.RebalanceMaxCycleMoves > 16 {
+		t.Errorf("a cycle spent %d moves on a budget of 16", onM.RebalanceMaxCycleMoves)
+	}
+	if off.Violations != 0 || onM.Violations != 0 {
+		t.Errorf("violations: baseline %d, rebalanced %d", off.Violations, onM.Violations)
+	}
+	// The arrival/failure timeline must be identical: the rebalancer
+	// draws nothing from the rng streams.
+	if off.Arrived != onM.Arrived || off.Failures != onM.Failures {
+		t.Errorf("rebalancer perturbed the timeline: %d/%d arrivals, %d/%d failures",
+			off.Arrived, onM.Arrived, off.Failures, onM.Failures)
+	}
+}
+
+// TestRunOnlineRebalancerDeterministic: cycles ride the event clock,
+// so a seeded run with the rebalancer is exactly reproducible.
+func TestRunOnlineRebalancerDeterministic(t *testing.T) {
+	w := trace.MustGenerate(trace.Scaled(3, 400))
+	run := func() *OnlineMetrics {
+		m, err := RunOnline(OnlineConfig{
+			Workload: w, Machines: 64, Options: core.DefaultOptions(), Seed: 11,
+			MeanInterarrival: time.Second, MeanLifetime: 10 * time.Second,
+			MTBF: 3 * time.Second, MTTR: 4 * time.Second,
+			RebalanceEvery: 2 * time.Second, RebalanceBudget: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.RebalanceCycles != b.RebalanceCycles || a.RebalanceMoves != b.RebalanceMoves ||
+		a.StrandedRecovered != b.StrandedRecovered || a.MeanUsedMachines != b.MeanUsedMachines {
+		t.Errorf("rebalanced run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunOnlineRebalanceSoak is the long-horizon gate: failures,
+// recoveries, churn and budgeted rebalancing cycles together, with the
+// full invariant Auditor after every failure, recovery and cycle.  It
+// asserts the three safety properties the rebalancer must never trade
+// for packing: per-cycle churn stays within budget, no audit (priority
+// / flow / index) violation ever appears, and the stranded ledger is
+// empty at drain.  ALADDIN_SOAK=<factor> lengthens the horizon
+// (smaller factor = more applications); `make rebalance-soak` runs it
+// at factor 40.
+func TestRunOnlineRebalanceSoak(t *testing.T) {
+	factor := 200
+	if v := os.Getenv("ALADDIN_SOAK"); v != "" {
+		f, err := strconv.Atoi(v)
+		if err != nil || f <= 0 {
+			t.Fatalf("ALADDIN_SOAK=%q: want a positive integer factor", v)
+		}
+		factor = f
+	} else if testing.Short() {
+		t.Skip("short mode: rebalance soak runs in full and soak CI lanes")
+	}
+	const budget = 8
+	w := trace.MustGenerate(trace.Scaled(42, factor))
+	m, err := RunOnline(OnlineConfig{
+		Workload:         w,
+		Machines:         48,
+		Options:          core.DefaultOptions(),
+		Seed:             5,
+		MeanInterarrival: time.Second,
+		MeanLifetime:     10 * time.Second,
+		MTBF:             3 * time.Second,
+		MTTR:             4 * time.Second,
+		DeepAudit:        true,
+		RebalanceEvery:   2 * time.Second,
+		RebalanceBudget:  budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d apps, %d failures, %d cycles, %d moves (max %d/cycle), %d retried, %d recovered, mean used %.2f",
+		m.Arrived, m.Failures, m.RebalanceCycles, m.RebalanceMoves, m.RebalanceMaxCycleMoves,
+		m.StrandedRetried, m.StrandedRecovered, m.MeanUsedMachines)
+	if m.Failures == 0 || m.RebalanceCycles == 0 {
+		t.Fatalf("soak exercised nothing: %d failures, %d cycles", m.Failures, m.RebalanceCycles)
+	}
+	if m.RebalanceMaxCycleMoves > budget {
+		t.Errorf("a cycle spent %d moves on a budget of %d", m.RebalanceMaxCycleMoves, budget)
+	}
+	if m.Violations != 0 {
+		t.Errorf("Violations = %d, want 0 — deep audit caught the rebalancer breaking an invariant", m.Violations)
+	}
+	if m.StrandedAtDrain != 0 {
+		t.Errorf("StrandedAtDrain = %d, want 0", m.StrandedAtDrain)
+	}
+	if m.Arrived != m.Departed+m.RejectedApps {
+		t.Errorf("ledger unbalanced: Arrived %d != Departed %d + RejectedApps %d",
+			m.Arrived, m.Departed, m.RejectedApps)
+	}
+}
